@@ -1,0 +1,239 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one per experiment; see DESIGN.md §3), plus ablation
+// benches for the design decisions of DESIGN.md §4. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figures are regenerated at reduced scale per iteration so -bench
+// stays tractable; use cmd/experiments for full-scale runs.
+package bgpstream_test
+
+import (
+	"context"
+	"io"
+	"net/netip"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+	"github.com/bgpstream-go/bgpstream/internal/astopo"
+	"github.com/bgpstream-go/bgpstream/internal/collector"
+	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/experiments"
+	"github.com/bgpstream-go/bgpstream/internal/merge"
+	"github.com/bgpstream-go/bgpstream/internal/prefixtrie"
+)
+
+// benchExperiment runs one experiment per iteration at bench scale.
+func benchExperiment(b *testing.B, id string, scale float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, experiments.Config{Seed: 1, Scale: scale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkTable1ElemExtraction(b *testing.B)  { benchExperiment(b, "table1", 1) }
+func BenchmarkFig3SortedMerge(b *testing.B)       { benchExperiment(b, "fig3", 1) }
+func BenchmarkSortingOverhead(b *testing.B)       { benchExperiment(b, "sorting-overhead", 0.5) }
+func BenchmarkListing1PathInflation(b *testing.B) { benchExperiment(b, "listing1", 1) }
+func BenchmarkFig4RTBH(b *testing.B)              { benchExperiment(b, "fig4", 0.5) }
+func BenchmarkFig5aTableGrowth(b *testing.B)      { benchExperiment(b, "fig5a", 0.4) }
+func BenchmarkFig5bMOAS(b *testing.B)             { benchExperiment(b, "fig5b", 0.4) }
+func BenchmarkFig5cTransit(b *testing.B)          { benchExperiment(b, "fig5c", 0.4) }
+func BenchmarkFig5dCommunities(b *testing.B)      { benchExperiment(b, "fig5d", 1) }
+func BenchmarkFig6PfxMonitor(b *testing.B)        { benchExperiment(b, "fig6", 0.5) }
+func BenchmarkFig9RTDiffs(b *testing.B)           { benchExperiment(b, "fig9", 0.5) }
+func BenchmarkRTAccuracy(b *testing.B)            { benchExperiment(b, "rt-accuracy", 0.6) }
+func BenchmarkFig10Outages(b *testing.B)          { benchExperiment(b, "fig10", 0.7) }
+func BenchmarkLatency(b *testing.B)               { benchExperiment(b, "latency", 0.5) }
+
+// benchArchive generates one shared archive for the throughput and
+// ablation benches.
+func benchArchive(b *testing.B) string {
+	b.Helper()
+	dir := b.TempDir()
+	p := astopo.DefaultParams(3)
+	p.StubCount = 120
+	topo := astopo.Generate(p)
+	sim, err := collector.NewSimulator(collector.Config{
+		Topo:              topo,
+		Collectors:        collector.DefaultCollectors(topo, 8),
+		ChurnFlapsPerHour: 60,
+		Seed:              3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := archive.NewStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := sim.GenerateArchive(store, start, start.Add(2*time.Hour)); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+// BenchmarkStreamThroughput measures the full libBGPStream pipeline:
+// open files, parse MRT, merge, decompose into elems.
+func BenchmarkStreamThroughput(b *testing.B) {
+	dir := benchArchive(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := core.NewStream(context.Background(), &core.Directory{Dir: dir}, core.Filters{})
+		elems := 0
+		for {
+			_, _, err := s.NextElem()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			elems++
+		}
+		s.Close()
+		if elems == 0 {
+			b.Fatal("no elems")
+		}
+		b.ReportMetric(float64(elems), "elems/op")
+	}
+}
+
+// BenchmarkAblationNoPartition compares the §3.3.4 partitioned merge
+// against one big heap over every file (the design alternative).
+func BenchmarkAblationNoPartition(b *testing.B) {
+	r := testRandSeries(200, 5000)
+	b.Run("partitioned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// 10 disjoint groups of 20 sources (how dump windows
+			// partition in practice).
+			var groups [][]merge.Source[int]
+			for g := 0; g < 10; g++ {
+				var sources []merge.Source[int]
+				for j := 0; j < 20; j++ {
+					sources = append(sources, &merge.SliceSource[int]{Items: r[g*20+j]})
+				}
+				groups = append(groups, sources)
+			}
+			seq := merge.NewSequence(func(a, c int) bool { return a < c }, groups...)
+			for {
+				if _, err := seq.Next(); err != nil {
+					break
+				}
+			}
+		}
+	})
+	b.Run("one-big-heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var sources []merge.Source[int]
+			for j := 0; j < 200; j++ {
+				sources = append(sources, &merge.SliceSource[int]{Items: r[j]})
+			}
+			m := merge.NewMerger(func(a, c int) bool { return a < c }, sources...)
+			for {
+				if _, err := m.Next(); err != nil {
+					break
+				}
+			}
+		}
+	})
+}
+
+func testRandSeries(n, perSource int) [][]int {
+	out := make([][]int, n)
+	seed := uint64(99)
+	for i := range out {
+		items := make([]int, perSource)
+		for j := range items {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			items[j] = int(seed % 1e9)
+		}
+		sort.Ints(items)
+		out[i] = items
+	}
+	return out
+}
+
+// BenchmarkAblationTrieVsScan compares the prefix-filter radix trie
+// against the naive linear scan over filter prefixes.
+func BenchmarkAblationTrieVsScan(b *testing.B) {
+	var filters []netip.Prefix
+	seed := uint64(7)
+	for i := 0; i < 1000; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		a := netip.AddrFrom4([4]byte{byte(20 + seed%32), byte(seed >> 8), 0, 0})
+		p, _ := a.Prefix(16 + int(seed>>16%9))
+		filters = append(filters, p)
+	}
+	probes := make([]netip.Prefix, 1024)
+	for i := range probes {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		a := netip.AddrFrom4([4]byte{byte(20 + seed%32), byte(seed >> 8), byte(seed >> 16), 0})
+		probes[i], _ = a.Prefix(24)
+	}
+	b.Run("trie", func(b *testing.B) {
+		t := prefixtrie.New[struct{}]()
+		for _, p := range filters {
+			t.Insert(p, struct{}{})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.OverlapsAny(probes[i%len(probes)])
+		}
+	})
+	b.Run("linear-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := probes[i%len(probes)]
+			for _, f := range filters {
+				fp := f.Masked()
+				if (fp.Bits() <= p.Bits() && fp.Contains(p.Addr())) ||
+					(p.Bits() <= fp.Bits() && p.Contains(fp.Addr())) {
+					break
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkArchiveGeneration measures the simulator substrate itself.
+func BenchmarkArchiveGeneration(b *testing.B) {
+	p := astopo.DefaultParams(3)
+	p.StubCount = 80
+	topo := astopo.Generate(p)
+	start := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir, err := os.MkdirTemp("", "bench-archive-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, err := collector.NewSimulator(collector.Config{
+			Topo:              topo,
+			Collectors:        collector.DefaultCollectors(topo, 6),
+			ChurnFlapsPerHour: 30,
+			Seed:              int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		store, err := archive.NewStore(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.GenerateArchive(store, start, start.Add(time.Hour)); err != nil {
+			b.Fatal(err)
+		}
+		os.RemoveAll(dir)
+	}
+}

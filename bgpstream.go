@@ -1,0 +1,120 @@
+// Package bgpstream is the public API of the BGPStream framework for
+// Go: an open-source system for the analysis of historical and live
+// BGP measurement data, reproducing Orsini et al., "BGPStream: A
+// Software Framework for Live and Historical BGP Data Analysis"
+// (IMC 2016).
+//
+// The quickstart mirrors the paper's API (§3.3.1): configure a stream
+// with meta-data filters, then iterate records or elems:
+//
+//	di := bgpstream.NewBrokerClient("http://localhost:8472", filters)
+//	s := bgpstream.NewStream(ctx, di, filters)
+//	defer s.Close()
+//	for {
+//		rec, elem, err := s.NextElem()
+//		if err == io.EOF {
+//			break
+//		}
+//		// ... use elem.Prefix, elem.ASPath, elem.Communities ...
+//	}
+//
+// Set Filters.Live to true to convert any program into a live monitor
+// (the C API's interval end of -1). Data interfaces besides the
+// Broker: Directory (a local archive tree), CSVFile, and SingleFiles.
+//
+// This package re-exports the user-facing types of the internal
+// implementation packages; power users building custom pipelines
+// (BGPCorsaro plugins, routing-table consumers) can depend on the
+// same internals the bundled tools use.
+package bgpstream
+
+import (
+	"context"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+	"github.com/bgpstream-go/bgpstream/internal/broker"
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+// Stream is a time-sorted stream of BGP records; see core.Stream.
+type Stream = core.Stream
+
+// Record is the annotated BGPStream record (§3.3.3, Table 1 context).
+type Record = core.Record
+
+// Elem is the per-(VP, prefix) element of Table 1.
+type Elem = core.Elem
+
+// Filters defines a stream (§3.3.1).
+type Filters = core.Filters
+
+// PrefixFilter matches elem prefixes with a PrefixMatch mode.
+type PrefixFilter = core.PrefixFilter
+
+// CommunityFilter matches communities with optional wildcards.
+type CommunityFilter = core.CommunityFilter
+
+// DataInterface supplies dump-file meta-data to a stream.
+type DataInterface = core.DataInterface
+
+// DumpMeta describes one dump file.
+type DumpMeta = archive.DumpMeta
+
+// DumpType is "ribs" or "updates".
+type DumpType = core.DumpType
+
+// ElemType classifies an Elem.
+type ElemType = core.ElemType
+
+// RecordStatus is a record's validity flag.
+type RecordStatus = core.RecordStatus
+
+// Directory reads a local archive tree.
+type Directory = core.Directory
+
+// CSVFile reads a CSV dump index.
+type CSVFile = core.CSVFile
+
+// SingleFiles wraps an explicit dump-file list.
+type SingleFiles = core.SingleFiles
+
+// BrokerClient queries a BGPStream Broker.
+type BrokerClient = broker.Client
+
+// Re-exported enum values.
+const (
+	DumpRIB     = core.DumpRIB
+	DumpUpdates = core.DumpUpdates
+
+	ElemRIB          = core.ElemRIB
+	ElemAnnouncement = core.ElemAnnouncement
+	ElemWithdrawal   = core.ElemWithdrawal
+	ElemPeerState    = core.ElemPeerState
+
+	StatusValid           = core.StatusValid
+	StatusCorruptedDump   = core.StatusCorruptedDump
+	StatusCorruptedRecord = core.StatusCorruptedRecord
+	StatusUnsupported     = core.StatusUnsupported
+
+	MatchAny          = core.MatchAny
+	MatchExact        = core.MatchExact
+	MatchMoreSpecific = core.MatchMoreSpecific
+	MatchLessSpecific = core.MatchLessSpecific
+)
+
+// NewStream builds a stream over a data interface; ctx bounds live
+// polling.
+func NewStream(ctx context.Context, di DataInterface, filters Filters) *Stream {
+	return core.NewStream(ctx, di, filters)
+}
+
+// NewBrokerClient builds the Broker data interface, the default way
+// to consume public archives.
+func NewBrokerClient(baseURL string, filters Filters) *BrokerClient {
+	return broker.NewClient(baseURL, filters)
+}
+
+// ParseCommunityFilter parses "asn:value" with "*" wildcards.
+func ParseCommunityFilter(s string) (CommunityFilter, error) {
+	return core.ParseCommunityFilter(s)
+}

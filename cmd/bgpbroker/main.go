@@ -1,0 +1,82 @@
+// Command bgpbroker runs the BGPStream Broker web service (§3.2): it
+// continuously scrapes data-provider archives, indexes dump-file
+// meta-data, and answers windowed HTTP queries from libBGPStream
+// clients.
+//
+// Example:
+//
+//	bgpbroker -listen :8472 \
+//	    -provider ris=http://archive.example/ris/ \
+//	    -provider routeviews=http://archive.example/routeviews/,http://mirror.example/routeviews/ \
+//	    -index /var/lib/bgpbroker/index.jsonl -scrape 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/broker"
+)
+
+type providerFlag []broker.DataProvider
+
+func (p *providerFlag) String() string { return fmt.Sprintf("%v", *p) }
+
+func (p *providerFlag) Set(v string) error {
+	name, urls, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("provider must be project=url[,mirror...]: %q", v)
+	}
+	mirrors := strings.Split(urls, ",")
+	for i := range mirrors {
+		mirrors[i] = strings.TrimSpace(mirrors[i])
+	}
+	*p = append(*p, broker.DataProvider{Project: name, Mirrors: mirrors})
+	return nil
+}
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":8472", "HTTP listen address")
+		indexPath = flag.String("index", "", "persist meta-data to this JSON-line log")
+		interval  = flag.Duration("scrape", time.Minute, "archive scrape interval")
+	)
+	var providers providerFlag
+	flag.Var(&providers, "provider", "project=url[,mirror...] (repeatable)")
+	flag.Parse()
+
+	if len(providers) == 0 {
+		fmt.Fprintln(os.Stderr, "bgpbroker: at least one -provider is required")
+		os.Exit(2)
+	}
+	var (
+		index *broker.Index
+		err   error
+	)
+	if *indexPath != "" {
+		index, err = broker.OpenIndex(*indexPath)
+		if err != nil {
+			log.Fatalf("bgpbroker: %v", err)
+		}
+		defer index.Close()
+	} else {
+		index = broker.NewIndex()
+	}
+	srv := &broker.Server{
+		Index:          index,
+		Providers:      providers,
+		ScrapeInterval: *interval,
+	}
+	srv.Start()
+	defer srv.Stop()
+	log.Printf("bgpbroker: serving on %s (%d providers, %d files indexed)",
+		*listen, len(providers), index.Len())
+	if err := http.ListenAndServe(*listen, srv); err != nil {
+		log.Fatalf("bgpbroker: %v", err)
+	}
+}

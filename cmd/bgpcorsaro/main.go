@@ -1,0 +1,150 @@
+// Command bgpcorsaro continuously extracts derived data from a BGP
+// stream in regular time bins through a plugin pipeline (§6.1).
+//
+// Plugins:
+//
+//	stats                    per-collector record/elem counters
+//	pfxmonitor:<p1;p2;...>   prefix-set monitoring (Figure 6)
+//	rt                       routing-tables plugin publishing diffs to
+//	                         a message-bus (requires -mq)
+//
+// Example (the Figure 6 experiment):
+//
+//	bgpcorsaro -d ./archive -i 5m \
+//	    -plugin 'pfxmonitor:20.1.0.0/16;20.2.0.0/16' -plugin stats
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/corsaro"
+	"github.com/bgpstream-go/bgpstream/internal/mq"
+	"github.com/bgpstream-go/bgpstream/internal/rtables"
+
+	bgpstream "github.com/bgpstream-go/bgpstream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bgpcorsaro:", err)
+		os.Exit(1)
+	}
+}
+
+type listFlag []string
+
+func (l *listFlag) String() string { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func run() error {
+	var (
+		brokerURL = flag.String("broker", "", "BGPStream Broker URL")
+		dir       = flag.String("d", "", "local archive directory")
+		interval  = flag.Duration("i", 5*time.Minute, "time bin size")
+		window    = flag.String("w", "", "time window start[,end] unix seconds")
+		mqAddr    = flag.String("mq", "", "message-bus address for the rt plugin")
+		collector = flag.String("c", "", "restrict to one collector")
+	)
+	var pluginSpecs listFlag
+	flag.Var(&pluginSpecs, "plugin", "plugin spec (repeatable): stats | pfxmonitor:<p;p> | rt")
+	flag.Parse()
+
+	filters := core.Filters{}
+	if *collector != "" {
+		filters.Collectors = []string{*collector}
+	}
+	if *window != "" {
+		parts := strings.SplitN(*window, ",", 2)
+		var startSec, endSec int64
+		if _, err := fmt.Sscanf(parts[0], "%d", &startSec); err != nil {
+			return fmt.Errorf("invalid -w: %w", err)
+		}
+		filters.Start = time.Unix(startSec, 0).UTC()
+		if len(parts) == 2 {
+			if _, err := fmt.Sscanf(parts[1], "%d", &endSec); err != nil {
+				return fmt.Errorf("invalid -w end: %w", err)
+			}
+			filters.End = time.Unix(endSec, 0).UTC()
+		} else {
+			filters.Live = true
+		}
+	}
+	var di core.DataInterface
+	switch {
+	case *dir != "":
+		di = &core.Directory{Dir: *dir}
+	case *brokerURL != "":
+		di = bgpstream.NewBrokerClient(*brokerURL, filters)
+	default:
+		return fmt.Errorf("one of -broker, -d is required")
+	}
+
+	if len(pluginSpecs) == 0 {
+		pluginSpecs = []string{"stats"}
+	}
+	var plugins []corsaro.Plugin
+	for _, spec := range pluginSpecs {
+		p, err := buildPlugin(spec, *mqAddr)
+		if err != nil {
+			return err
+		}
+		plugins = append(plugins, p)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	stream := bgpstream.NewStream(ctx, di, filters)
+	defer stream.Close()
+	runner := &corsaro.Runner{Source: stream, Interval: *interval, Plugins: plugins}
+	if err := runner.Run(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bgpcorsaro: done (%d invalid records, %d decode errors)\n",
+		runner.InvalidRecords, runner.DecodeErrors)
+	return nil
+}
+
+func buildPlugin(spec, mqAddr string) (corsaro.Plugin, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	switch name {
+	case "stats":
+		return corsaro.NewStats(os.Stdout), nil
+	case "pfxmonitor":
+		if arg == "" {
+			return nil, fmt.Errorf("pfxmonitor requires prefixes: pfxmonitor:<p;p>")
+		}
+		var prefixes []netip.Prefix
+		for _, tok := range strings.Split(arg, ";") {
+			p, err := netip.ParsePrefix(strings.TrimSpace(tok))
+			if err != nil {
+				return nil, fmt.Errorf("pfxmonitor prefix %q: %w", tok, err)
+			}
+			prefixes = append(prefixes, p)
+		}
+		return corsaro.NewPfxMonitor(prefixes, os.Stdout), nil
+	case "rt":
+		rt := rtables.New()
+		rt.SnapshotEvery = 60
+		if mqAddr != "" {
+			cl, err := mq.Dial(mqAddr)
+			if err != nil {
+				return nil, fmt.Errorf("rt plugin: %w", err)
+			}
+			rt.Publisher = &mq.RTPublisher{Producer: cl}
+		}
+		return rt, nil
+	default:
+		return nil, fmt.Errorf("unknown plugin %q", name)
+	}
+}

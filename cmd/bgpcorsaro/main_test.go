@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestBuildPlugin(t *testing.T) {
+	p, err := buildPlugin("stats", "")
+	if err != nil || p.Name() != "stats" {
+		t.Fatalf("stats: %v %v", p, err)
+	}
+	p, err = buildPlugin("pfxmonitor:10.0.0.0/8;192.0.2.0/24", "")
+	if err != nil || p.Name() != "pfxmonitor" {
+		t.Fatalf("pfxmonitor: %v %v", p, err)
+	}
+	p, err = buildPlugin("rt", "")
+	if err != nil || p.Name() != "routing-tables" {
+		t.Fatalf("rt: %v %v", p, err)
+	}
+	for _, bad := range []string{"pfxmonitor", "pfxmonitor:junk", "nope"} {
+		if _, err := buildPlugin(bad, ""); err == nil {
+			t.Errorf("buildPlugin(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Command bgpreader outputs BGPStream records and elems in ASCII — a
+// drop-in replacement for the classic bgpdump tool (§4.1) that adds
+// multi-file/multi-collector/multi-project reading, live mode, and
+// filters.
+//
+// Examples:
+//
+//	# all updates about sub-prefixes of 192.0.0.0/8 since a time,
+//	# following new data forever (live mode):
+//	bgpreader -broker http://localhost:8472 -w 1463011200 -t updates -k 192.0.0.0/8
+//
+//	# historical window over a local archive, bgpdump -m output:
+//	bgpreader -d ./archive -w 1438415400,1438416600 -m
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/bgpdump"
+	"github.com/bgpstream-go/bgpstream/internal/core"
+
+	bgpstream "github.com/bgpstream-go/bgpstream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bgpreader:", err)
+		os.Exit(1)
+	}
+}
+
+type listFlag []string
+
+func (l *listFlag) String() string { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func run() error {
+	var (
+		brokerURL = flag.String("broker", "", "BGPStream Broker URL (default data interface)")
+		dir       = flag.String("d", "", "local archive directory data interface")
+		csv       = flag.String("csv", "", "CSV dump-index data interface")
+		window    = flag.String("w", "", "time window: start[,end] unix seconds; omit end for live mode")
+		types     = flag.String("t", "", "dump type filter: ribs or updates")
+		machine   = flag.Bool("m", false, "bgpdump -m compatible output (elems only)")
+		records   = flag.Bool("r", false, "print one line per record instead of per elem")
+		elemTypes = flag.String("e", "", "elem type filter: any of A,W,R,S (comma separated)")
+	)
+	var projects, collectors, prefixes, communities, peers listFlag
+	flag.Var(&projects, "p", "project filter (repeatable)")
+	flag.Var(&collectors, "c", "collector filter (repeatable)")
+	flag.Var(&prefixes, "k", "prefix filter, any overlap (repeatable)")
+	flag.Var(&communities, "y", "community filter asn:value with * wildcards (repeatable)")
+	flag.Var(&peers, "j", "peer ASN filter (repeatable)")
+	flag.Parse()
+
+	filters := core.Filters{Projects: projects, Collectors: collectors}
+	if *types != "" {
+		dt := core.DumpType(*types)
+		if !dt.Valid() {
+			return fmt.Errorf("invalid -t %q", *types)
+		}
+		filters.DumpTypes = []core.DumpType{dt}
+	}
+	if *window != "" {
+		start, end, live, err := parseWindow(*window)
+		if err != nil {
+			return err
+		}
+		filters.Start, filters.End, filters.Live = start, end, live
+	}
+	for _, p := range prefixes {
+		pf, err := parsePrefix(p)
+		if err != nil {
+			return err
+		}
+		filters.Prefixes = append(filters.Prefixes, pf)
+	}
+	for _, c := range communities {
+		cf, err := bgpstream.ParseCommunityFilter(c)
+		if err != nil {
+			return err
+		}
+		filters.Communities = append(filters.Communities, cf)
+	}
+	for _, p := range peers {
+		asn, err := strconv.ParseUint(p, 10, 32)
+		if err != nil {
+			return fmt.Errorf("invalid -j %q", p)
+		}
+		filters.PeerASNs = append(filters.PeerASNs, uint32(asn))
+	}
+	if *elemTypes != "" {
+		for _, tok := range strings.Split(*elemTypes, ",") {
+			switch strings.TrimSpace(strings.ToUpper(tok)) {
+			case "A":
+				filters.ElemTypes = append(filters.ElemTypes, core.ElemAnnouncement)
+			case "W":
+				filters.ElemTypes = append(filters.ElemTypes, core.ElemWithdrawal)
+			case "R":
+				filters.ElemTypes = append(filters.ElemTypes, core.ElemRIB)
+			case "S":
+				filters.ElemTypes = append(filters.ElemTypes, core.ElemPeerState)
+			default:
+				return fmt.Errorf("invalid -e token %q", tok)
+			}
+		}
+	}
+
+	var di core.DataInterface
+	switch {
+	case *dir != "":
+		di = &core.Directory{Dir: *dir}
+	case *csv != "":
+		di = &core.CSVFile{Path: *csv}
+	case *brokerURL != "":
+		di = bgpstream.NewBrokerClient(*brokerURL, filters)
+	default:
+		return fmt.Errorf("one of -broker, -d, -csv is required")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	stream := bgpstream.NewStream(ctx, di, filters)
+	defer stream.Close()
+
+	out := newBufferedStdout()
+	defer out.Flush()
+	for {
+		if *records {
+			rec, err := stream.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, bgpdump.FormatRecord(rec))
+			continue
+		}
+		rec, elem, err := stream.NextElem()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if *machine {
+			fmt.Fprintln(out, bgpdump.FormatElem(rec, elem))
+		} else {
+			fmt.Fprintln(out, bgpdump.FormatElemVerbose(rec, elem))
+		}
+	}
+}
+
+func parseWindow(s string) (start, end time.Time, live bool, err error) {
+	parts := strings.SplitN(s, ",", 2)
+	sec, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return start, end, false, fmt.Errorf("invalid -w start %q", parts[0])
+	}
+	start = time.Unix(sec, 0).UTC()
+	if len(parts) == 1 {
+		return start, time.Time{}, true, nil
+	}
+	esec, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil || esec < sec {
+		return start, end, false, fmt.Errorf("invalid -w end %q", parts[1])
+	}
+	return start, time.Unix(esec, 0).UTC(), false, nil
+}
+
+func parsePrefix(s string) (core.PrefixFilter, error) {
+	p, err := parseNetipPrefix(s)
+	if err != nil {
+		return core.PrefixFilter{}, fmt.Errorf("invalid -k %q: %w", s, err)
+	}
+	return core.PrefixFilter{Prefix: p, Match: core.MatchAny}, nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseWindow(t *testing.T) {
+	start, end, live, err := parseWindow("1463011200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !live || !end.IsZero() {
+		t.Errorf("open window must be live: live=%v end=%v", live, end)
+	}
+	if start.Unix() != 1463011200 {
+		t.Errorf("start = %v", start)
+	}
+
+	start, end, live, err = parseWindow("1000,2000")
+	if err != nil || live {
+		t.Fatalf("closed window: %v live=%v", err, live)
+	}
+	if start.Unix() != 1000 || end.Unix() != 2000 {
+		t.Errorf("window = %v..%v", start, end)
+	}
+
+	for _, bad := range []string{"", "abc", "2000,1000", "1,x"} {
+		if _, _, _, err := parseWindow(bad); err == nil {
+			t.Errorf("parseWindow(%q) accepted", bad)
+		}
+	}
+	_ = time.Time{}
+}
+
+func TestParsePrefixFilterFlag(t *testing.T) {
+	pf, err := parsePrefix("192.0.0.0/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Prefix.String() != "192.0.0.0/8" {
+		t.Errorf("prefix = %s", pf.Prefix)
+	}
+	// Bare address accepted as host prefix.
+	pf, err = parsePrefix("192.0.2.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Prefix.Bits() != 32 {
+		t.Errorf("host prefix bits = %d", pf.Prefix.Bits())
+	}
+	if _, err := parsePrefix("not-a-prefix"); err == nil {
+		t.Error("junk accepted")
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var l listFlag
+	l.Set("a")
+	l.Set("b")
+	if len(l) != 2 || l.String() != "a,b" {
+		t.Errorf("listFlag = %v", l)
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bufio"
+	"net/netip"
+	"os"
+)
+
+// parseNetipPrefix parses a CIDR prefix, accepting bare addresses as
+// host prefixes for convenience.
+func parseNetipPrefix(s string) (netip.Prefix, error) {
+	if p, err := netip.ParsePrefix(s); err == nil {
+		return p, nil
+	}
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		return netip.Prefix{}, err
+	}
+	return a.Prefix(a.BitLen())
+}
+
+// newBufferedStdout wraps stdout: bgpreader can emit millions of
+// lines, so write through a sizeable buffer.
+func newBufferedStdout() *bufio.Writer {
+	return bufio.NewWriterSize(os.Stdout, 1<<20)
+}

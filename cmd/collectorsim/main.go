@@ -1,0 +1,155 @@
+// Command collectorsim generates RouteViews/RIPE-RIS-style MRT
+// archives from a synthetic AS-level Internet, optionally serving
+// them over HTTP with realistic publication delays so the whole
+// BGPStream stack — broker, reader, corsaro, consumers — can run
+// against live-looking data without network access.
+//
+// Examples:
+//
+//	# 24 hours of two collectors with background churn and a scripted
+//	# hijack, then serve the archive on :8480:
+//	collectorsim -out ./archive -hours 24 -churn 20 \
+//	    -hijack 2h,1h -serve :8480
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+	"github.com/bgpstream-go/bgpstream/internal/astopo"
+	"github.com/bgpstream-go/bgpstream/internal/collector"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "collectorsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out     = flag.String("out", "./archive", "archive output directory")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		hours   = flag.Int("hours", 8, "simulated duration")
+		startS  = flag.String("start", "2016-03-01T00:00:00Z", "simulation start (RFC 3339)")
+		vps     = flag.Int("vps", 8, "vantage points per collector")
+		churn   = flag.Float64("churn", 10, "background flaps per hour")
+		stubs   = flag.Int("stubs", 200, "stub AS count")
+		serve   = flag.String("serve", "", "serve the archive over HTTP on this address after generating")
+		delay   = flag.Duration("publish-delay", 0, "publication delay when serving")
+		hijack  = flag.String("hijack", "", "inject a hijack: offset,duration (e.g. 2h,1h)")
+		outage  = flag.String("outage", "", "inject a country outage: country,offset,duration (e.g. IQ,2h,1h)")
+		rtbhArg = flag.String("rtbh", "", "inject an RTBH event: offset,duration")
+	)
+	flag.Parse()
+
+	start, err := time.Parse(time.RFC3339, *startS)
+	if err != nil {
+		return fmt.Errorf("invalid -start: %w", err)
+	}
+	params := astopo.DefaultParams(*seed)
+	params.StubCount = *stubs
+	topo := astopo.Generate(params)
+	colls := collector.DefaultCollectors(topo, *vps)
+
+	var events []collector.Event
+	if *hijack != "" {
+		off, dur, err := parseOffsetDuration(*hijack)
+		if err != nil {
+			return fmt.Errorf("-hijack: %w", err)
+		}
+		stubsList := topo.Stubs()
+		victim, attacker := stubsList[0], stubsList[len(stubsList)/2]
+		events = append(events, collector.Hijack{
+			Start: start.Add(off), End: start.Add(off + dur),
+			Attacker: attacker, Prefixes: topo.AS(victim).Prefixes[:1],
+		})
+		log.Printf("hijack: AS%d announces %s (victim AS%d) at +%s for %s",
+			attacker, topo.AS(victim).Prefixes[0], victim, off, dur)
+	}
+	if *outage != "" {
+		parts := strings.SplitN(*outage, ",", 3)
+		if len(parts) != 3 {
+			return fmt.Errorf("-outage wants country,offset,duration")
+		}
+		off, err := time.ParseDuration(parts[1])
+		if err != nil {
+			return fmt.Errorf("-outage offset: %w", err)
+		}
+		dur, err := time.ParseDuration(parts[2])
+		if err != nil {
+			return fmt.Errorf("-outage duration: %w", err)
+		}
+		victims := topo.ASesInCountry(parts[0])
+		if len(victims) == 0 {
+			return fmt.Errorf("no ASes in country %q", parts[0])
+		}
+		events = append(events, collector.Outage{
+			Start: start.Add(off), End: start.Add(off + dur), ASNs: victims,
+		})
+		log.Printf("outage: %d ASes in %s at +%s for %s", len(victims), parts[0], off, dur)
+	}
+	if *rtbhArg != "" {
+		off, dur, err := parseOffsetDuration(*rtbhArg)
+		if err != nil {
+			return fmt.Errorf("-rtbh: %w", err)
+		}
+		ev, desc, err := collector.DefaultRTBH(topo, start.Add(off), dur)
+		if err != nil {
+			return err
+		}
+		events = append(events, ev)
+		log.Printf("rtbh: %s", desc)
+	}
+
+	sim, err := collector.NewSimulator(collector.Config{
+		Topo:              topo,
+		Collectors:        colls,
+		Events:            events,
+		ChurnFlapsPerHour: *churn,
+		Seed:              *seed,
+	})
+	if err != nil {
+		return err
+	}
+	store, err := archive.NewStore(*out)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	metas, err := sim.GenerateArchive(store, start, start.Add(time.Duration(*hours)*time.Hour))
+	if err != nil {
+		return err
+	}
+	log.Printf("wrote %d dump files to %s in %s", len(metas), *out, time.Since(t0).Round(time.Millisecond))
+
+	if *serve == "" {
+		return nil
+	}
+	h := &archive.Server{Store: store, PublishDelay: *delay}
+	log.Printf("serving archive on %s (publish delay %s)", *serve, *delay)
+	return http.ListenAndServe(*serve, h)
+}
+
+func parseOffsetDuration(s string) (time.Duration, time.Duration, error) {
+	parts := strings.SplitN(s, ",", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want offset,duration")
+	}
+	off, err := time.ParseDuration(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	dur, err := time.ParseDuration(parts[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, dur, nil
+}

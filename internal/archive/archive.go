@@ -1,0 +1,195 @@
+// Package archive models the public dump archives operated by route
+// collector projects (RouteViews, RIPE RIS): their directory layouts,
+// file naming conventions, dump rotation periods, and HTTP
+// distribution with directory-listing indexes.
+//
+// It is the substrate both below the Broker (which scrapes archives to
+// index dump files) and below the route-collector simulator (which
+// writes archives). The layouts follow the real projects:
+//
+//	routeviews:  <collector>/bgpdata/2015.08/RIBS/rib.20150801.0800.gz
+//	             <collector>/bgpdata/2015.08/UPDATES/updates.20150801.0800.gz
+//	ris:         <collector>/2015.08/bview.20150801.0800.gz
+//	             <collector>/2015.08/updates.20150801.0800.gz
+//
+// with RouteViews dumping RIBs every 2 hours and updates every 15
+// minutes, and RIPE RIS every 8 hours and 5 minutes respectively, as
+// described in §2 of the paper.
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"strings"
+	"time"
+)
+
+// DumpType distinguishes RIB snapshots from update-message dumps.
+type DumpType string
+
+// The two dump types of §2.
+const (
+	DumpRIB     DumpType = "ribs"
+	DumpUpdates DumpType = "updates"
+)
+
+// Valid reports whether t is a known dump type.
+func (t DumpType) Valid() bool { return t == DumpRIB || t == DumpUpdates }
+
+// Project describes a collector project's dump cadence and naming.
+type Project struct {
+	Name         string
+	RIBPeriod    time.Duration // time between RIB dumps
+	UpdatePeriod time.Duration // update dump rotation period
+	ribPrefix    string        // file name prefix for RIB dumps
+	updatePrefix string
+	nested       bool // RouteViews-style bgpdata/…/RIBS nesting
+}
+
+// The two collector projects BGPStream ships support for.
+var (
+	RouteViews = Project{
+		Name:         "routeviews",
+		RIBPeriod:    2 * time.Hour,
+		UpdatePeriod: 15 * time.Minute,
+		ribPrefix:    "rib",
+		updatePrefix: "updates",
+		nested:       true,
+	}
+	RIPERIS = Project{
+		Name:         "ris",
+		RIBPeriod:    8 * time.Hour,
+		UpdatePeriod: 5 * time.Minute,
+		ribPrefix:    "bview",
+		updatePrefix: "updates",
+		nested:       false,
+	}
+)
+
+// Projects maps project names to their conventions.
+var Projects = map[string]Project{
+	RouteViews.Name: RouteViews,
+	RIPERIS.Name:    RIPERIS,
+}
+
+// ProjectByName returns the named project's conventions.
+func ProjectByName(name string) (Project, error) {
+	p, ok := Projects[name]
+	if !ok {
+		return Project{}, fmt.Errorf("archive: unknown project %q", name)
+	}
+	return p, nil
+}
+
+// Period returns the dump rotation period for the given type.
+func (p Project) Period(t DumpType) time.Duration {
+	if t == DumpRIB {
+		return p.RIBPeriod
+	}
+	return p.UpdatePeriod
+}
+
+// FileName returns the dump file name for a dump beginning at ts.
+func (p Project) FileName(t DumpType, ts time.Time) string {
+	prefix := p.updatePrefix
+	if t == DumpRIB {
+		prefix = p.ribPrefix
+	}
+	return fmt.Sprintf("%s.%s.gz", prefix, ts.UTC().Format("20060102.1504"))
+}
+
+// FilePath returns the archive-relative path of a dump file, following
+// the project's directory layout.
+func (p Project) FilePath(collector string, t DumpType, ts time.Time) string {
+	month := ts.UTC().Format("2006.01")
+	name := p.FileName(t, ts)
+	if p.nested {
+		sub := "UPDATES"
+		if t == DumpRIB {
+			sub = "RIBS"
+		}
+		return path.Join(collector, "bgpdata", month, sub, name)
+	}
+	return path.Join(collector, month, name)
+}
+
+// DumpMeta is the meta-data the Broker serves about one dump file:
+// enough to select, order, and fetch it. URL may be an http(s) URL or
+// a local filesystem path.
+type DumpMeta struct {
+	Project   string
+	Collector string
+	Type      DumpType
+	Time      time.Time     // nominal dump start time
+	Duration  time.Duration // time covered by the dump file
+	URL       string
+}
+
+// Interval returns the closed time interval (Unix seconds) covered by
+// the dump, used for the §3.3.4 overlap partitioning.
+func (m DumpMeta) Interval() (start, end int64) {
+	start = m.Time.Unix()
+	end = m.Time.Add(m.Duration).Unix()
+	if end < start {
+		end = start
+	}
+	return start, end
+}
+
+// ErrNotDump reports a path that does not name a dump file.
+var ErrNotDump = errors.New("archive: not a dump file path")
+
+// ParsePath parses an archive-relative dump path in either project's
+// layout back into its meta-data (with URL left empty).
+func ParsePath(project, relPath string) (DumpMeta, error) {
+	p, err := ProjectByName(project)
+	if err != nil {
+		return DumpMeta{}, err
+	}
+	parts := strings.Split(path.Clean(relPath), "/")
+	if len(parts) < 3 {
+		return DumpMeta{}, ErrNotDump
+	}
+	collector := parts[0]
+	file := parts[len(parts)-1]
+	base, ok := strings.CutSuffix(file, ".gz")
+	if !ok {
+		return DumpMeta{}, ErrNotDump
+	}
+	segs := strings.SplitN(base, ".", 2)
+	if len(segs) != 2 {
+		return DumpMeta{}, ErrNotDump
+	}
+	var t DumpType
+	switch segs[0] {
+	case p.ribPrefix:
+		t = DumpRIB
+	case p.updatePrefix:
+		t = DumpUpdates
+	default:
+		return DumpMeta{}, ErrNotDump
+	}
+	ts, err := time.ParseInLocation("20060102.1504", segs[1], time.UTC)
+	if err != nil {
+		return DumpMeta{}, fmt.Errorf("archive: bad timestamp in %q: %w", file, err)
+	}
+	dur := p.Period(t)
+	if t == DumpRIB {
+		// A RIB dump's records span its write-out, not the full RIB
+		// period; model a short span as collectors do.
+		dur = RIBSpan
+	}
+	return DumpMeta{
+		Project:   project,
+		Collector: collector,
+		Type:      t,
+		Time:      ts,
+		Duration:  dur,
+	}, nil
+}
+
+// RIBSpan is the modelled time a collector takes to write a full RIB
+// dump; record timestamps within a RIB dump fall in this window
+// ("timestamps often spanning several minutes", §6.2.1 E2).
+const RIBSpan = 5 * time.Minute

@@ -1,0 +1,253 @@
+package archive
+
+import (
+	"net/http/httptest"
+	"net/netip"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+	"github.com/bgpstream-go/bgpstream/internal/mrt"
+)
+
+func ts(s string) time.Time {
+	t, err := time.Parse("2006-01-02 15:04", s)
+	if err != nil {
+		panic(err)
+	}
+	return t.UTC()
+}
+
+func TestFilePathRouteViews(t *testing.T) {
+	got := RouteViews.FilePath("route-views2", DumpRIB, ts("2015-08-01 08:00"))
+	want := "route-views2/bgpdata/2015.08/RIBS/rib.20150801.0800.gz"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+	got = RouteViews.FilePath("route-views2", DumpUpdates, ts("2015-08-01 08:15"))
+	want = "route-views2/bgpdata/2015.08/UPDATES/updates.20150801.0815.gz"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestFilePathRIS(t *testing.T) {
+	got := RIPERIS.FilePath("rrc01", DumpRIB, ts("2015-08-01 08:00"))
+	want := "rrc01/2015.08/bview.20150801.0800.gz"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestParsePathRoundTrip(t *testing.T) {
+	cases := []struct {
+		project   string
+		collector string
+		typ       DumpType
+		when      time.Time
+	}{
+		{"routeviews", "route-views2", DumpRIB, ts("2015-08-01 08:00")},
+		{"routeviews", "linx", DumpUpdates, ts("2016-03-15 23:45")},
+		{"ris", "rrc01", DumpRIB, ts("2015-08-01 00:00")},
+		{"ris", "rrc12", DumpUpdates, ts("2016-04-20 10:05")},
+	}
+	for _, c := range cases {
+		p := Projects[c.project]
+		rel := p.FilePath(c.collector, c.typ, c.when)
+		meta, err := ParsePath(c.project, rel)
+		if err != nil {
+			t.Fatalf("ParsePath(%s): %v", rel, err)
+		}
+		if meta.Collector != c.collector || meta.Type != c.typ || !meta.Time.Equal(c.when) {
+			t.Errorf("ParsePath(%s) = %+v", rel, meta)
+		}
+		if c.typ == DumpUpdates && meta.Duration != p.UpdatePeriod {
+			t.Errorf("updates duration = %v", meta.Duration)
+		}
+		if c.typ == DumpRIB && meta.Duration != RIBSpan {
+			t.Errorf("rib duration = %v", meta.Duration)
+		}
+	}
+}
+
+func TestParsePathRejectsJunk(t *testing.T) {
+	for _, rel := range []string{
+		"route-views2/bgpdata/2015.08/RIBS/README.txt",
+		"x",
+		"rrc01/2015.08/bview.20150801.gz",
+		"rrc01/2015.08/whatever.20150801.0800.gz",
+	} {
+		if _, err := ParsePath("ris", rel); err == nil {
+			t.Errorf("ParsePath(%q) accepted junk", rel)
+		}
+	}
+}
+
+func TestDumpMetaInterval(t *testing.T) {
+	m := DumpMeta{Time: time.Unix(1000, 0), Duration: 300 * time.Second}
+	s, e := m.Interval()
+	if s != 1000 || e != 1300 {
+		t.Errorf("interval = %d %d", s, e)
+	}
+}
+
+func testRecords(n int, base uint32) []mrt.Record {
+	u := &bgp.Update{
+		Attrs: bgp.PathAttributes{
+			ASPath:    bgp.SequencePath(64512, 701),
+			HasASPath: true,
+			NextHop:   netip.MustParseAddr("192.0.2.1"),
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")},
+	}
+	recs := make([]mrt.Record, n)
+	for i := range recs {
+		recs[i] = mrt.NewUpdateRecord(base+uint32(i), 64512, 65000,
+			netip.MustParseAddr("192.0.2.1"), netip.MustParseAddr("192.0.2.254"), u)
+	}
+	return recs
+}
+
+func TestStoreWriteScan(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	when := ts("2015-08-01 08:00")
+	m1, err := st.WriteDump(RouteViews, "route-views2", DumpUpdates, when, testRecords(3, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.WriteDump(RIPERIS, "rrc01", DumpRIB, when, testRecords(2, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	metas, err := st.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 2 {
+		t.Fatalf("scan found %d dumps", len(metas))
+	}
+	// Dump files must be readable MRT gzip.
+	f, err := os.Open(m1.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := mrt.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0].Header.Timestamp != 1000 {
+		t.Errorf("read back %d records, first ts %d", len(recs), recs[0].Header.Timestamp)
+	}
+}
+
+func TestStoreCollectors(t *testing.T) {
+	st, _ := NewStore(t.TempDir())
+	when := ts("2015-08-01 08:00")
+	st.WriteDump(RIPERIS, "rrc01", DumpRIB, when, testRecords(1, 0))
+	st.WriteDump(RIPERIS, "rrc00", DumpRIB, when, testRecords(1, 0))
+	got, err := st.Collectors("ris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "rrc00" || got[1] != "rrc01" {
+		t.Errorf("collectors = %v", got)
+	}
+	if c, _ := st.Collectors("routeviews"); len(c) != 0 {
+		t.Errorf("unexpected collectors %v", c)
+	}
+}
+
+func TestHTTPServeAndCrawl(t *testing.T) {
+	st, _ := NewStore(t.TempDir())
+	when := ts("2015-08-01 08:00")
+	for _, coll := range []string{"rrc00", "rrc01"} {
+		if _, err := st.WriteDump(RIPERIS, coll, DumpUpdates, when, testRecords(2, 100)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.WriteDump(RIPERIS, coll, DumpRIB, when, testRecords(1, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(&Server{Store: st})
+	defer srv.Close()
+
+	metas, err := Crawl(srv.Client(), srv.URL+"/ris/", "ris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 4 {
+		t.Fatalf("crawl found %d dumps: %+v", len(metas), metas)
+	}
+	// Every crawled URL must be fetchable and parse as MRT.
+	resp, err := srv.Client().Get(metas[0].URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	recs, err := mrt.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Error("no records over HTTP")
+	}
+}
+
+func TestHTTPPublishDelayHidesFreshDumps(t *testing.T) {
+	st, _ := NewStore(t.TempDir())
+	when := ts("2015-08-01 08:00")
+	meta, err := st.WriteDump(RIPERIS, "rrc00", DumpUpdates, when, testRecords(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = meta
+	clock := when.Add(2 * time.Minute) // mid-interval
+	h := &Server{Store: st, PublishDelay: 3 * time.Minute, Now: func() time.Time { return clock }}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	urlPath := srv.URL + "/ris/" + RIPERIS.FilePath("rrc00", DumpUpdates, when)
+	resp, err := srv.Client().Get(urlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unpublished dump visible: status %d", resp.StatusCode)
+	}
+	// Crawl must also not see it.
+	metas, err := Crawl(srv.Client(), srv.URL+"/ris/", "ris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 0 {
+		t.Fatalf("crawl sees unpublished dumps: %v", metas)
+	}
+	// Advance past interval end + delay: visible.
+	clock = when.Add(RIPERIS.UpdatePeriod + 4*time.Minute)
+	resp, err = srv.Client().Get(urlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("published dump hidden: status %d", resp.StatusCode)
+	}
+}
+
+func TestSortMetas(t *testing.T) {
+	m := []DumpMeta{
+		{Project: "ris", Collector: "rrc01", Time: time.Unix(200, 0)},
+		{Project: "routeviews", Collector: "linx", Time: time.Unix(100, 0)},
+		{Project: "ris", Collector: "rrc00", Time: time.Unix(200, 0)},
+	}
+	SortMetas(m)
+	if m[0].Collector != "linx" || m[1].Collector != "rrc00" || m[2].Collector != "rrc01" {
+		t.Errorf("order: %+v", m)
+	}
+}

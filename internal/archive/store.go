@@ -1,0 +1,139 @@
+package archive
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/mrt"
+)
+
+// Store is a local archive rooted at a directory, holding one or more
+// projects' dump trees. It is written by the route-collector simulator
+// and read by the directory data interface, the HTTP archive server,
+// and the Broker scraper.
+type Store struct {
+	Root string
+}
+
+// NewStore opens (creating if needed) an archive rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("archive: create root: %w", err)
+	}
+	return &Store{Root: dir}, nil
+}
+
+// WriteDump writes records as a gzip-compressed MRT dump file at the
+// project's conventional path and returns its meta-data.
+func (s *Store) WriteDump(project Project, collector string, t DumpType, ts time.Time, records []mrt.Record) (DumpMeta, error) {
+	rel := filepath.Join(project.Name, filepath.FromSlash(project.FilePath(collector, t, ts)))
+	full := filepath.Join(s.Root, rel)
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		return DumpMeta{}, fmt.Errorf("archive: mkdir: %w", err)
+	}
+	f, err := os.Create(full)
+	if err != nil {
+		return DumpMeta{}, fmt.Errorf("archive: create dump: %w", err)
+	}
+	w := mrt.NewGzipWriter(f)
+	for _, rec := range records {
+		if err := w.WriteRecord(rec); err != nil {
+			f.Close()
+			return DumpMeta{}, fmt.Errorf("archive: write record: %w", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		return DumpMeta{}, fmt.Errorf("archive: close gzip: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return DumpMeta{}, fmt.Errorf("archive: close dump: %w", err)
+	}
+	dur := project.Period(t)
+	if t == DumpRIB {
+		dur = RIBSpan
+	}
+	return DumpMeta{
+		Project:   project.Name,
+		Collector: collector,
+		Type:      t,
+		Time:      ts,
+		Duration:  dur,
+		URL:       full,
+	}, nil
+}
+
+// Scan walks the store and returns meta-data for every dump file,
+// sorted by (time, project, collector, type). URLs are absolute local
+// paths.
+func (s *Store) Scan() ([]DumpMeta, error) {
+	var out []DumpMeta
+	for name := range Projects {
+		projRoot := filepath.Join(s.Root, name)
+		if _, err := os.Stat(projRoot); os.IsNotExist(err) {
+			continue
+		}
+		err := filepath.Walk(projRoot, func(p string, info os.FileInfo, err error) error {
+			if err != nil || info.IsDir() {
+				return err
+			}
+			rel, rerr := filepath.Rel(projRoot, p)
+			if rerr != nil {
+				return rerr
+			}
+			meta, perr := ParsePath(name, filepath.ToSlash(rel))
+			if perr != nil {
+				return nil // ignore foreign files
+			}
+			meta.URL = p
+			out = append(out, meta)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("archive: scan: %w", err)
+		}
+	}
+	SortMetas(out)
+	return out, nil
+}
+
+// SortMetas orders metas by time, then project, collector and type,
+// the canonical order used throughout the framework.
+func SortMetas(metas []DumpMeta) {
+	sort.Slice(metas, func(i, j int) bool {
+		a, b := metas[i], metas[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		if a.Project != b.Project {
+			return a.Project < b.Project
+		}
+		if a.Collector != b.Collector {
+			return a.Collector < b.Collector
+		}
+		return a.Type < b.Type
+	})
+}
+
+// Collectors lists the collectors present for a project in the store.
+func (s *Store) Collectors(project string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.Root, project))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("archive: list collectors: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() && !strings.HasPrefix(e.Name(), ".") {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

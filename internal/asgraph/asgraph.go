@@ -1,0 +1,251 @@
+// Package asgraph builds AS-level adjacency graphs from observed AS
+// paths and runs the graph analyses of the paper: shortest paths for
+// the AS-path-inflation study (Listing 1, replacing NetworkX),
+// transit-AS classification (Figure 5c), and general degree/adjacency
+// queries.
+package asgraph
+
+import (
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+)
+
+// Graph is a simple undirected graph over ASNs (no self loops, no
+// multi-edges), built incrementally from AS paths.
+type Graph struct {
+	adj map[uint32]map[uint32]struct{}
+	// transit marks ASNs seen in the middle of any path.
+	transit map[uint32]struct{}
+}
+
+// New creates an empty graph.
+func New() *Graph {
+	return &Graph{
+		adj:     make(map[uint32]map[uint32]struct{}),
+		transit: make(map[uint32]struct{}),
+	}
+}
+
+// AddEdge inserts an undirected edge.
+func (g *Graph) AddEdge(a, b uint32) {
+	if a == b {
+		return
+	}
+	g.edgeSet(a)[b] = struct{}{}
+	g.edgeSet(b)[a] = struct{}{}
+}
+
+func (g *Graph) edgeSet(a uint32) map[uint32]struct{} {
+	s, ok := g.adj[a]
+	if !ok {
+		s = make(map[uint32]struct{})
+		g.adj[a] = s
+	}
+	return s
+}
+
+// AddPath folds an observed AS path into the graph: consecutive
+// distinct hops become edges (prepending collapses), middle hops are
+// marked transit. AS_SET segments are skipped for edges (ambiguous
+// adjacency), matching common practice.
+func (g *Graph) AddPath(path bgp.ASPath) {
+	hops := sequenceHops(path)
+	for i := 0; i+1 < len(hops); i++ {
+		g.AddEdge(hops[i], hops[i+1])
+	}
+	for i := 1; i+1 < len(hops); i++ {
+		g.transit[hops[i]] = struct{}{}
+	}
+	// Ensure endpoints exist as nodes even for 1-hop paths.
+	for _, h := range hops {
+		g.edgeSet(h)
+	}
+}
+
+// sequenceHops flattens AS_SEQUENCE segments, collapsing consecutive
+// duplicates (path prepending).
+func sequenceHops(path bgp.ASPath) []uint32 {
+	var hops []uint32
+	for _, seg := range path.Segments {
+		if seg.Type != bgp.SegmentASSequence && seg.Type != bgp.SegmentConfedSequence {
+			continue
+		}
+		for _, as := range seg.ASNs {
+			if n := len(hops); n > 0 && hops[n-1] == as {
+				continue
+			}
+			hops = append(hops, as)
+		}
+	}
+	return hops
+}
+
+// NodeCount returns the number of ASNs in the graph.
+func (g *Graph) NodeCount() int { return len(g.adj) }
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, s := range g.adj {
+		n += len(s)
+	}
+	return n / 2
+}
+
+// Degree returns an AS's neighbour count.
+func (g *Graph) Degree(a uint32) int { return len(g.adj[a]) }
+
+// IsTransit reports whether the AS appeared in the middle of any
+// observed path — the Figure 5c classification.
+func (g *Graph) IsTransit(a uint32) bool {
+	_, ok := g.transit[a]
+	return ok
+}
+
+// TransitCount returns the number of transit ASNs.
+func (g *Graph) TransitCount() int { return len(g.transit) }
+
+// ShortestPathLen returns the minimum hop count between two ASNs
+// (0 for a == b) and whether they are connected, via BFS.
+func (g *Graph) ShortestPathLen(from, to uint32) (int, bool) {
+	if from == to {
+		_, ok := g.adj[from]
+		return 0, ok
+	}
+	if _, ok := g.adj[from]; !ok {
+		return 0, false
+	}
+	visited := map[uint32]bool{from: true}
+	frontier := []uint32{from}
+	depth := 0
+	for len(frontier) > 0 {
+		depth++
+		var next []uint32
+		for _, u := range frontier {
+			for v := range g.adj[u] {
+				if visited[v] {
+					continue
+				}
+				if v == to {
+					return depth, true
+				}
+				visited[v] = true
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	return 0, false
+}
+
+// ShortestPathLensFrom computes BFS distances from one source to every
+// reachable node — the batched form used by the inflation analysis
+// (one BFS per vantage point instead of one per pair).
+func (g *Graph) ShortestPathLensFrom(from uint32) map[uint32]int {
+	dist := map[uint32]int{from: 0}
+	if _, ok := g.adj[from]; !ok {
+		return nil
+	}
+	frontier := []uint32{from}
+	depth := 0
+	for len(frontier) > 0 {
+		depth++
+		var next []uint32
+		for _, u := range frontier {
+			for v := range g.adj[u] {
+				if _, seen := dist[v]; seen {
+					continue
+				}
+				dist[v] = depth
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// InflationAnalysis is the Listing 1 computation: it accumulates, per
+// (monitor, origin) pair, the minimum observed BGP AS-path hop count,
+// builds the adjacency graph as paths stream in, and finally compares
+// against graph shortest paths.
+type InflationAnalysis struct {
+	Graph *Graph
+	// bgpLens[monitor][origin] = minimum observed path length (hops).
+	bgpLens map[uint32]map[uint32]int
+}
+
+// NewInflationAnalysis creates an empty analysis.
+func NewInflationAnalysis() *InflationAnalysis {
+	return &InflationAnalysis{
+		Graph:   New(),
+		bgpLens: make(map[uint32]map[uint32]int),
+	}
+}
+
+// Observe folds one RIB path into the analysis. Following Listing 1
+// it ignores local routes (paths not starting at the monitor or with
+// fewer than two hops).
+func (a *InflationAnalysis) Observe(monitorASN uint32, path bgp.ASPath) {
+	hops := sequenceHops(path)
+	if len(hops) < 2 || hops[0] != monitorASN {
+		return
+	}
+	a.Graph.AddPath(path)
+	origin := hops[len(hops)-1]
+	hopCount := len(hops) - 1
+	m := a.bgpLens[monitorASN]
+	if m == nil {
+		m = make(map[uint32]int)
+		a.bgpLens[monitorASN] = m
+	}
+	if cur, ok := m[origin]; !ok || hopCount < cur {
+		m[origin] = hopCount
+	}
+}
+
+// InflationResult summarises the comparison.
+type InflationResult struct {
+	// Pairs is the number of (monitor, origin) pairs compared.
+	Pairs int
+	// Inflated is how many pairs had BGP length > shortest path.
+	Inflated int
+	// MaxExtraHops is the largest observed inflation.
+	MaxExtraHops int
+	// ExtraHopHistogram counts pairs by (bgp - shortest) hops.
+	ExtraHopHistogram map[int]int
+}
+
+// InflatedFraction returns Inflated/Pairs.
+func (r InflationResult) InflatedFraction() float64 {
+	if r.Pairs == 0 {
+		return 0
+	}
+	return float64(r.Inflated) / float64(r.Pairs)
+}
+
+// Result runs the shortest-path comparison over everything observed.
+func (a *InflationAnalysis) Result() InflationResult {
+	res := InflationResult{ExtraHopHistogram: make(map[int]int)}
+	for monitor, origins := range a.bgpLens {
+		dist := a.Graph.ShortestPathLensFrom(monitor)
+		for origin, bgpLen := range origins {
+			sp, ok := dist[origin]
+			if !ok {
+				continue
+			}
+			res.Pairs++
+			extra := bgpLen - sp
+			if extra < 0 {
+				extra = 0
+			}
+			res.ExtraHopHistogram[extra]++
+			if extra > 0 {
+				res.Inflated++
+				if extra > res.MaxExtraHops {
+					res.MaxExtraHops = extra
+				}
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,157 @@
+package asgraph
+
+import (
+	"testing"
+
+	"github.com/bgpstream-go/bgpstream/internal/astopo"
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+)
+
+func TestAddPathBuildsEdges(t *testing.T) {
+	g := New()
+	g.AddPath(bgp.SequencePath(1, 2, 3))
+	if g.NodeCount() != 3 || g.EdgeCount() != 2 {
+		t.Fatalf("nodes=%d edges=%d", g.NodeCount(), g.EdgeCount())
+	}
+	if !g.IsTransit(2) || g.IsTransit(1) || g.IsTransit(3) {
+		t.Error("transit classification wrong")
+	}
+	// Duplicate edges don't double count.
+	g.AddPath(bgp.SequencePath(1, 2, 3))
+	if g.EdgeCount() != 2 {
+		t.Errorf("edges after dup = %d", g.EdgeCount())
+	}
+}
+
+func TestAddPathCollapsesPrepending(t *testing.T) {
+	g := New()
+	g.AddPath(bgp.SequencePath(1, 2, 2, 2, 3))
+	if g.EdgeCount() != 2 {
+		t.Errorf("prepending created edges: %d", g.EdgeCount())
+	}
+	if g.Degree(2) != 2 {
+		t.Errorf("degree(2) = %d", g.Degree(2))
+	}
+}
+
+func TestAddPathSkipsSets(t *testing.T) {
+	g := New()
+	g.AddPath(bgp.ASPath{Segments: []bgp.PathSegment{
+		{Type: bgp.SegmentASSequence, ASNs: []uint32{1, 2}},
+		{Type: bgp.SegmentASSet, ASNs: []uint32{3, 4}},
+	}})
+	if g.EdgeCount() != 1 {
+		t.Errorf("set members created edges: %d", g.EdgeCount())
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := New()
+	// 1-2-3-4 chain plus 1-5-4 shortcut.
+	g.AddPath(bgp.SequencePath(1, 2, 3, 4))
+	g.AddPath(bgp.SequencePath(1, 5, 4))
+	d, ok := g.ShortestPathLen(1, 4)
+	if !ok || d != 2 {
+		t.Errorf("d(1,4) = %d %v", d, ok)
+	}
+	d, ok = g.ShortestPathLen(2, 5)
+	if !ok || d != 2 {
+		t.Errorf("d(2,5) = %d %v", d, ok)
+	}
+	if _, ok := g.ShortestPathLen(1, 99); ok {
+		t.Error("phantom node reachable")
+	}
+	d, ok = g.ShortestPathLen(3, 3)
+	if !ok || d != 0 {
+		t.Errorf("d(3,3) = %d %v", d, ok)
+	}
+	dist := g.ShortestPathLensFrom(1)
+	if dist[4] != 2 || dist[3] != 2 || dist[2] != 1 {
+		t.Errorf("BFS map: %v", dist)
+	}
+}
+
+func TestInflationAnalysis(t *testing.T) {
+	a := NewInflationAnalysis()
+	// Monitor 10 reaches 40 via the long path, but edges 10-20, 20-40
+	// exist from another observation → shortest 2, BGP 3: inflation 1.
+	a.Observe(10, bgp.SequencePath(10, 20, 30, 40))
+	a.Observe(10, bgp.SequencePath(10, 20, 40))
+	// The second observation lowers the stored min to 2 → no inflation.
+	res := a.Result()
+	if res.Pairs == 0 {
+		t.Fatal("no pairs")
+	}
+	if res.Inflated != 0 {
+		t.Errorf("min tracking failed: %+v", res)
+	}
+
+	b := NewInflationAnalysis()
+	b.Observe(10, bgp.SequencePath(10, 20, 30, 40)) // BGP len 3
+	b.Observe(50, bgp.SequencePath(50, 20, 40))     // creates 20-40 edge
+	res = b.Result()
+	// Pair (10,40): BGP 3, shortest 10-20-40 = 2 → inflated by 1.
+	if res.Inflated != 1 || res.MaxExtraHops != 1 {
+		t.Errorf("inflation: %+v", res)
+	}
+	if res.ExtraHopHistogram[1] != 1 {
+		t.Errorf("histogram: %v", res.ExtraHopHistogram)
+	}
+	if f := res.InflatedFraction(); f <= 0 || f > 1 {
+		t.Errorf("fraction: %f", f)
+	}
+}
+
+func TestInflationIgnoresLocalRoutes(t *testing.T) {
+	a := NewInflationAnalysis()
+	a.Observe(10, bgp.SequencePath(10))        // 1 hop: local
+	a.Observe(10, bgp.SequencePath(99, 20, 3)) // doesn't start at monitor
+	if res := a.Result(); res.Pairs != 0 {
+		t.Errorf("local routes counted: %+v", res)
+	}
+}
+
+// TestInflationOnTopology checks the Listing 1 pipeline against the
+// synthetic Internet: valley-free policy routing must inflate a
+// detectable share of paths above graph-shortest.
+func TestInflationOnTopology(t *testing.T) {
+	p := astopo.DefaultParams(3)
+	topo := astopo.Generate(p)
+	eng := astopo.NewRoutingEngine(topo)
+	a := NewInflationAnalysis()
+	vps := topo.Transits()[:10]
+	for _, dst := range topo.Stubs() {
+		routes := eng.RoutesTo(dst)
+		for _, vp := range vps {
+			if r, ok := routes[vp]; ok {
+				a.Observe(vp, bgp.SequencePath(r.Path...))
+			}
+		}
+	}
+	res := a.Result()
+	if res.Pairs < 100 {
+		t.Fatalf("pairs = %d", res.Pairs)
+	}
+	frac := res.InflatedFraction()
+	if frac <= 0 {
+		t.Errorf("no inflation found on policy-routed topology")
+	}
+	t.Logf("inflation: %.1f%% of %d pairs, max extra hops %d", frac*100, res.Pairs, res.MaxExtraHops)
+}
+
+func BenchmarkBFS(b *testing.B) {
+	p := astopo.DefaultParams(1)
+	topo := astopo.Generate(p)
+	eng := astopo.NewRoutingEngine(topo)
+	g := New()
+	for _, dst := range topo.Stubs()[:50] {
+		for _, r := range eng.RoutesTo(dst) {
+			g.AddPath(bgp.SequencePath(r.Path...))
+		}
+	}
+	srcs := topo.Transits()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ShortestPathLensFrom(srcs[i%len(srcs)])
+	}
+}

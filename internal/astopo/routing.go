@@ -1,0 +1,222 @@
+package astopo
+
+import (
+	"sort"
+
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+)
+
+// RouteType records how a route was learned, in decreasing order of
+// preference per the Gao–Rexford model.
+type RouteType int
+
+// Route learning types.
+const (
+	// RouteSelf marks the destination's own route.
+	RouteSelf RouteType = iota
+	// RouteCustomer marks a route learned from a customer.
+	RouteCustomer
+	// RoutePeer marks a route learned from a peer.
+	RoutePeer
+	// RouteProvider marks a route learned from a provider.
+	RouteProvider
+)
+
+// Route is one AS's best path towards a destination AS.
+type Route struct {
+	// Path is the AS path from the routing AS to the destination,
+	// inclusive of both ([self, ..., dst]).
+	Path []uint32
+	Type RouteType
+}
+
+// Hops returns the AS-hop count (path length minus one).
+func (r Route) Hops() int { return len(r.Path) - 1 }
+
+// Routes computes every AS's best valley-free route to destination
+// dst, applying the standard three-phase propagation:
+//
+//  1. customer routes climb provider links (exportable to anyone),
+//  2. one peer hop may be taken (customer cone to customer cone),
+//  3. provider routes descend to customers.
+//
+// Preference order is customer > peer > provider, then shortest path,
+// then lowest next-hop ASN for determinism. The returned map includes
+// dst itself with an empty-typed self route; ASes with no route
+// (disconnected) are absent.
+func (t *Topology) Routes(dst uint32) map[uint32]Route {
+	routes := make(map[uint32]Route, len(t.ASes))
+	if t.ASes[dst] == nil {
+		return routes
+	}
+	routes[dst] = Route{Path: []uint32{dst}, Type: RouteSelf}
+
+	better := func(cand Route, incumbent Route, candVia, incVia uint32) bool {
+		if cand.Type != incumbent.Type {
+			return cand.Type < incumbent.Type
+		}
+		if len(cand.Path) != len(incumbent.Path) {
+			return len(cand.Path) < len(incumbent.Path)
+		}
+		return candVia < incVia
+	}
+	via := make(map[uint32]uint32) // AS -> neighbour the route came from
+
+	offer := func(to uint32, through Route, rt RouteType, from uint32) bool {
+		path := make([]uint32, 0, len(through.Path)+1)
+		path = append(path, to)
+		path = append(path, through.Path...)
+		cand := Route{Path: path, Type: rt}
+		inc, ok := routes[to]
+		if !ok || better(cand, inc, from, via[to]) {
+			routes[to] = cand
+			via[to] = from
+			return true
+		}
+		return false
+	}
+
+	// Phase 1: customer routes propagate up provider links, BFS by
+	// path length so shorter offers come first.
+	queue := []uint32{dst}
+	for len(queue) > 0 {
+		var next []uint32
+		// Deterministic processing order.
+		sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+		for _, u := range queue {
+			r := routes[u]
+			for _, prov := range t.ASes[u].Providers {
+				if offer(prov, r, RouteCustomer, u) {
+					next = append(next, prov)
+				}
+			}
+		}
+		queue = next
+	}
+	// Phase 2: one peer hop. Only customer/self routes cross peering.
+	type peerOffer struct {
+		to   uint32
+		from uint32
+	}
+	var accepted []peerOffer
+	asns := t.SortedASNs()
+	for _, u := range asns {
+		r, ok := routes[u]
+		if !ok || r.Type > RouteCustomer {
+			continue
+		}
+		for _, p := range t.ASes[u].Peers {
+			if offer(p, r, RoutePeer, u) {
+				accepted = append(accepted, peerOffer{to: p, from: u})
+			}
+		}
+	}
+	_ = accepted
+	// Phase 3: provider routes descend customer links. BFS again;
+	// any route type may be exported to customers.
+	queue = queue[:0]
+	for _, u := range asns {
+		if _, ok := routes[u]; ok {
+			queue = append(queue, u)
+		}
+	}
+	for len(queue) > 0 {
+		var next []uint32
+		sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+		for _, u := range queue {
+			r := routes[u]
+			for _, cust := range t.ASes[u].Customers {
+				if offer(cust, r, RouteProvider, u) {
+					next = append(next, cust)
+				}
+			}
+		}
+		queue = next
+	}
+	return routes
+}
+
+// RoutingEngine caches per-destination route maps; the simulator asks
+// for the same destinations repeatedly.
+type RoutingEngine struct {
+	topo  *Topology
+	cache map[uint32]map[uint32]Route
+}
+
+// NewRoutingEngine builds an engine over t. Mutating t afterwards
+// requires Invalidate.
+func NewRoutingEngine(t *Topology) *RoutingEngine {
+	return &RoutingEngine{topo: t, cache: make(map[uint32]map[uint32]Route)}
+}
+
+// Invalidate drops all cached routes (after topology mutation).
+func (e *RoutingEngine) Invalidate() {
+	e.cache = make(map[uint32]map[uint32]Route)
+}
+
+// RoutesTo returns (cached) routes of every AS towards dst.
+func (e *RoutingEngine) RoutesTo(dst uint32) map[uint32]Route {
+	if r, ok := e.cache[dst]; ok {
+		return r
+	}
+	r := e.topo.Routes(dst)
+	e.cache[dst] = r
+	return r
+}
+
+// BestOrigin decides, for a vantage point choosing among several
+// origins announcing the same prefix (a MOAS/hijack situation), which
+// origin's route the VP prefers. It returns the winning origin and
+// route; ok is false when the VP reaches none of them.
+func (e *RoutingEngine) BestOrigin(vp uint32, origins []uint32) (uint32, Route, bool) {
+	var (
+		bestOrigin uint32
+		best       Route
+		found      bool
+	)
+	for _, o := range origins {
+		r, ok := e.RoutesTo(o)[vp]
+		if !ok {
+			continue
+		}
+		if !found || routePref(r, bestOrigin, o, best) {
+			best, bestOrigin, found = r, o, true
+		}
+	}
+	return bestOrigin, best, found
+}
+
+// routePref reports whether candidate r (to origin o) beats the
+// incumbent best (to origin bo).
+func routePref(r Route, bo, o uint32, best Route) bool {
+	if r.Type != best.Type {
+		return r.Type < best.Type
+	}
+	if len(r.Path) != len(best.Path) {
+		return len(r.Path) < len(best.Path)
+	}
+	return o < bo
+}
+
+// PathCommunities accumulates the communities visible at the vantage
+// point for a route: the origin's tags plus every transit AS's tags,
+// honouring community-stripping ASes (walking origin → VP; a stripping
+// AS clears everything gathered so far before adding nothing of its
+// own).
+func (t *Topology) PathCommunities(r Route) bgp.Communities {
+	var cs bgp.Communities
+	// Path is [vp, ..., origin]; apply from the origin forward.
+	for i := len(r.Path) - 1; i >= 1; i-- {
+		as := t.ASes[r.Path[i]]
+		if as == nil {
+			continue
+		}
+		if as.StripsCommunities {
+			cs = cs[:0]
+			continue
+		}
+		cs = append(cs, as.TagCommunities...)
+	}
+	// The VP's own AS does not strip what it shows the collector.
+	return cs
+}

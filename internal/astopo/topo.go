@@ -1,0 +1,493 @@
+// Package astopo builds synthetic AS-level Internet topologies and
+// computes the valley-free (Gao–Rexford) routes BGP would select over
+// them. It is the ground-truth substrate behind the route-collector
+// simulator: every RIB entry and update the simulator emits comes from
+// paths computed here, so experiments can be validated against known
+// truth.
+//
+// A topology is a set of autonomous systems connected by
+// customer-provider and peer-peer links, arranged in tiers (a transit
+// clique, regional transits, and stub/edge networks), with each AS
+// assigned origin prefixes, a country, BGP-community policy, and an
+// IPv6 adoption epoch. Topologies are generated deterministically from
+// a seed and can be grown epoch by epoch to model the longitudinal
+// growth analyses of §5 (Figure 5a-d).
+package astopo
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+)
+
+// RelType is the business relationship of a link, from the perspective
+// of the first AS: the first AS is the customer in a CustomerProvider
+// link, and an equal in a PeerPeer link.
+type RelType int
+
+// Link relationship types.
+const (
+	// CustomerProvider marks a link where A buys transit from B.
+	CustomerProvider RelType = iota
+	// PeerPeer marks settlement-free peering.
+	PeerPeer
+)
+
+// Tier classifies an AS's role in the hierarchy.
+type Tier int
+
+// AS tiers.
+const (
+	TierOne Tier = iota + 1
+	TierTwo
+	TierStub
+)
+
+// AS is one autonomous system.
+type AS struct {
+	ASN     uint32
+	Tier    Tier
+	Country string
+	// Prefixes are the IPv4 prefixes the AS originates.
+	Prefixes []netip.Prefix
+	// PrefixesV6 are the IPv6 prefixes (empty before the AS's v6
+	// adoption epoch).
+	PrefixesV6 []netip.Prefix
+	// Providers, Customers and Peers hold neighbour ASNs.
+	Providers []uint32
+	Customers []uint32
+	Peers     []uint32
+	// StripsCommunities models ASes that remove community attributes
+	// before propagating routes (§5: communities visible through only
+	// ~83% of VPs).
+	StripsCommunities bool
+	// TagCommunities are attached when the AS propagates a route.
+	TagCommunities bgp.Communities
+	// V6Epoch is the epoch at which the AS starts originating and
+	// carrying IPv6 (-1: never).
+	V6Epoch int
+}
+
+// Topology is a generated AS-level Internet.
+type Topology struct {
+	ASes  map[uint32]*AS
+	Order []uint32 // ASNs in creation order (stable iteration)
+	// Countries lists the country codes in use.
+	Countries []string
+	epoch     int
+}
+
+// Params configures topology generation.
+type Params struct {
+	Seed int64
+	// TierOneCount is the size of the top clique.
+	TierOneCount int
+	// TierTwoCount is the number of regional transit ASes.
+	TierTwoCount int
+	// StubCount is the number of edge ASes.
+	StubCount int
+	// Countries to distribute ASes over.
+	Countries []string
+	// MeanPrefixesPerStub controls address-space size.
+	MeanPrefixesPerStub int
+	// StripFraction is the fraction of transit ASes that strip
+	// communities.
+	StripFraction float64
+	// StubPeeringProb adds settlement-free peering between
+	// same-country stubs with this probability (0 = none). Stub
+	// peering creates graph edges that valley-free policy cannot use
+	// end-to-end, which is what drives the AS-path-inflation effect
+	// of Listing 1.
+	StubPeeringProb float64
+}
+
+// DefaultParams returns a laptop-scale Internet: large enough to show
+// every effect the paper measures, small enough to route in
+// milliseconds.
+func DefaultParams(seed int64) Params {
+	return Params{
+		Seed:                seed,
+		TierOneCount:        8,
+		TierTwoCount:        40,
+		StubCount:           200,
+		Countries:           []string{"US", "DE", "JP", "BR", "IQ", "IT", "NL", "RO", "GB", "FR"},
+		MeanPrefixesPerStub: 3,
+		StripFraction:       0.2,
+	}
+}
+
+// Generate builds a topology at epoch 0.
+func Generate(p Params) *Topology {
+	g := &generator{p: p, rng: rand.New(rand.NewSource(p.Seed)), topo: &Topology{
+		ASes:      make(map[uint32]*AS),
+		Countries: p.Countries,
+	}}
+	g.build()
+	return g.topo
+}
+
+type generator struct {
+	p       Params
+	rng     *rand.Rand
+	topo    *Topology
+	nextASN uint32
+	// prefix allocation cursors
+	nextV4Block uint32
+	nextV6Block uint32
+}
+
+func (g *generator) newASN() uint32 {
+	if g.nextASN == 0 {
+		g.nextASN = 100
+	}
+	asn := g.nextASN
+	g.nextASN++
+	return asn
+}
+
+// allocV4 hands out non-overlapping prefixes from 20.0.0.0 upward.
+// Internally it allocates in units of /16 blocks; prefixes shorter
+// than /16 reserve (and align to) every /16 they cover, so no two
+// allocations ever overlap.
+func (g *generator) allocV4(bits int) netip.Prefix {
+	span := uint32(1)
+	if bits < 16 {
+		span = 1 << (16 - bits)
+	}
+	block := (g.nextV4Block + span - 1) / span * span // align
+	g.nextV4Block = block + span
+	a := byte(20 + block/256)
+	b := byte(block % 256)
+	addr := netip.AddrFrom4([4]byte{a, b, 0, 0})
+	p, err := addr.Prefix(bits)
+	if err != nil {
+		panic(fmt.Sprintf("astopo: alloc v4: %v", err))
+	}
+	return p
+}
+
+func (g *generator) allocV6() netip.Prefix {
+	block := g.nextV6Block
+	g.nextV6Block++
+	addr := netip.AddrFrom16([16]byte{0x20, 0x01, 0x0d, 0xb8, byte(block >> 8), byte(block), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	p, err := addr.Prefix(48)
+	if err != nil {
+		panic(fmt.Sprintf("astopo: alloc v6: %v", err))
+	}
+	return p
+}
+
+func (g *generator) country() string {
+	return g.p.Countries[g.rng.Intn(len(g.p.Countries))]
+}
+
+func (g *generator) addAS(tier Tier) *AS {
+	as := &AS{
+		ASN:     g.newASN(),
+		Tier:    tier,
+		Country: g.country(),
+		V6Epoch: -1,
+	}
+	g.topo.ASes[as.ASN] = as
+	g.topo.Order = append(g.topo.Order, as.ASN)
+	return as
+}
+
+func (g *generator) link(customer, provider *AS) {
+	customer.Providers = append(customer.Providers, provider.ASN)
+	provider.Customers = append(provider.Customers, customer.ASN)
+}
+
+func (g *generator) peer(a, b *AS) {
+	a.Peers = append(a.Peers, b.ASN)
+	b.Peers = append(b.Peers, a.ASN)
+}
+
+func (g *generator) build() {
+	// Tier 1: full clique of peers, large address blocks, all carry v6
+	// from epoch 0.
+	var t1 []*AS
+	for i := 0; i < g.p.TierOneCount; i++ {
+		as := g.addAS(TierOne)
+		as.Prefixes = []netip.Prefix{g.allocV4(12 + i%3)}
+		as.V6Epoch = 0
+		as.PrefixesV6 = []netip.Prefix{g.allocV6()}
+		as.TagCommunities = bgp.Communities{bgp.NewCommunity(uint16(as.ASN), 100)}
+		t1 = append(t1, as)
+	}
+	for i := 0; i < len(t1); i++ {
+		for j := i + 1; j < len(t1); j++ {
+			g.peer(t1[i], t1[j])
+		}
+	}
+	// Tier 2: regional transit. 1-3 tier-1 providers, peers among
+	// same-country tier 2s.
+	var t2 []*AS
+	for i := 0; i < g.p.TierTwoCount; i++ {
+		as := g.addAS(TierTwo)
+		as.Prefixes = []netip.Prefix{g.allocV4(16)}
+		np := 1 + g.rng.Intn(3)
+		for _, pi := range g.rng.Perm(len(t1))[:np] {
+			g.link(as, t1[pi])
+		}
+		if g.rng.Float64() < 0.5 {
+			as.V6Epoch = g.rng.Intn(3)
+			as.PrefixesV6 = []netip.Prefix{g.allocV6()}
+		}
+		if g.rng.Float64() < g.p.StripFraction {
+			as.StripsCommunities = true
+		} else {
+			as.TagCommunities = bgp.Communities{
+				bgp.NewCommunity(uint16(as.ASN), 200),
+				bgp.NewCommunity(uint16(as.ASN), uint16(201+g.rng.Intn(20))),
+			}
+		}
+		t2 = append(t2, as)
+	}
+	for i := 0; i < len(t2); i++ {
+		for j := i + 1; j < len(t2); j++ {
+			if t2[i].Country == t2[j].Country && g.rng.Float64() < 0.5 {
+				g.peer(t2[i], t2[j])
+			} else if g.rng.Float64() < 0.08 {
+				g.peer(t2[i], t2[j])
+			}
+		}
+	}
+	// Stubs: 1-2 providers drawn mostly from same-country tier 2.
+	var stubs []*AS
+	for i := 0; i < g.p.StubCount; i++ {
+		stubs = append(stubs, g.addStub(t1, t2))
+	}
+	// Optional stub-stub peering (see Params.StubPeeringProb).
+	if g.p.StubPeeringProb > 0 {
+		for i := 0; i < len(stubs); i++ {
+			for j := i + 1; j < len(stubs); j++ {
+				if stubs[i].Country == stubs[j].Country && g.rng.Float64() < g.p.StubPeeringProb {
+					g.peer(stubs[i], stubs[j])
+				}
+			}
+		}
+	}
+}
+
+// addStub appends one stub AS, used both at initial build and by Grow.
+func (g *generator) addStub(t1, t2 []*AS) *AS {
+	as := g.addAS(TierStub)
+	n := 1 + g.rng.Intn(g.p.MeanPrefixesPerStub)
+	for j := 0; j < n; j++ {
+		bits := 20 + g.rng.Intn(5) // /20../24
+		as.Prefixes = append(as.Prefixes, g.allocV4(bits))
+	}
+	// A small set of edge early-adopters carries IPv6 from the start,
+	// so the epoch-0 v6 graph has the transit-heavy composition the
+	// Figure 5c decay starts from.
+	if g.topo.epoch == 0 && g.rng.Float64() < 0.10 {
+		as.V6Epoch = 0
+		as.PrefixesV6 = []netip.Prefix{g.allocV6()}
+	}
+	// Prefer same-country tier-2 providers.
+	var local []*AS
+	for _, c := range t2 {
+		if c.Country == as.Country {
+			local = append(local, c)
+		}
+	}
+	pool := local
+	if len(pool) == 0 || g.rng.Float64() < 0.25 {
+		pool = t2
+	}
+	nprov := 1
+	if g.rng.Float64() < 0.35 {
+		nprov = 2 // multi-homed
+	}
+	perm := g.rng.Perm(len(pool))
+	for j := 0; j < nprov && j < len(pool); j++ {
+		g.link(as, pool[perm[j]])
+	}
+	return as
+}
+
+// Epoch returns the topology's current growth epoch.
+func (t *Topology) Epoch() int { return t.epoch }
+
+// AS returns the AS with the given number, or nil.
+func (t *Topology) AS(asn uint32) *AS { return t.ASes[asn] }
+
+// Stubs returns the ASNs of all stub ASes in creation order.
+func (t *Topology) Stubs() []uint32 {
+	var out []uint32
+	for _, asn := range t.Order {
+		if t.ASes[asn].Tier == TierStub {
+			out = append(out, asn)
+		}
+	}
+	return out
+}
+
+// Transits returns the ASNs of tier-1 and tier-2 ASes.
+func (t *Topology) Transits() []uint32 {
+	var out []uint32
+	for _, asn := range t.Order {
+		if t.ASes[asn].Tier != TierStub {
+			out = append(out, asn)
+		}
+	}
+	return out
+}
+
+// ASesInCountry returns the ASNs registered in the given country.
+func (t *Topology) ASesInCountry(cc string) []uint32 {
+	var out []uint32
+	for _, asn := range t.Order {
+		if t.ASes[asn].Country == cc {
+			out = append(out, asn)
+		}
+	}
+	return out
+}
+
+// OriginOf returns the AS originating the prefix, or 0.
+func (t *Topology) OriginOf(p netip.Prefix) uint32 {
+	for _, asn := range t.Order {
+		as := t.ASes[asn]
+		for _, q := range as.Prefixes {
+			if q == p {
+				return asn
+			}
+		}
+		for _, q := range as.PrefixesV6 {
+			if q == p {
+				return asn
+			}
+		}
+	}
+	return 0
+}
+
+// AllPrefixes returns every originated prefix with its origin ASN,
+// IPv4 first, in deterministic order.
+func (t *Topology) AllPrefixes() []OriginPrefix {
+	var out []OriginPrefix
+	for _, asn := range t.Order {
+		as := t.ASes[asn]
+		for _, p := range as.Prefixes {
+			out = append(out, OriginPrefix{Prefix: p, Origin: asn})
+		}
+	}
+	for _, asn := range t.Order {
+		as := t.ASes[asn]
+		for _, p := range as.PrefixesV6 {
+			out = append(out, OriginPrefix{Prefix: p, Origin: asn})
+		}
+	}
+	return out
+}
+
+// OriginPrefix pairs a prefix with its originating AS.
+type OriginPrefix struct {
+	Prefix netip.Prefix
+	Origin uint32
+}
+
+// Evolving wraps a generator so a topology can be grown epoch by
+// epoch: each Grow call adds stub ASes (Internet growth is
+// edge-dominated), occasionally a new tier-2, and switches on IPv6 for
+// ASes whose adoption epoch arrives.
+type Evolving struct {
+	g  *generator
+	t1 []*AS
+	t2 []*AS
+}
+
+// NewEvolving generates the epoch-0 topology and returns the evolving
+// handle plus the live topology pointer (mutated by Grow).
+func NewEvolving(p Params) (*Evolving, *Topology) {
+	g := &generator{p: p, rng: rand.New(rand.NewSource(p.Seed)), topo: &Topology{
+		ASes:      make(map[uint32]*AS),
+		Countries: p.Countries,
+	}}
+	g.build()
+	e := &Evolving{g: g}
+	for _, asn := range g.topo.Order {
+		as := g.topo.ASes[asn]
+		switch as.Tier {
+		case TierOne:
+			e.t1 = append(e.t1, as)
+		case TierTwo:
+			e.t2 = append(e.t2, as)
+		}
+	}
+	return e, g.topo
+}
+
+// Grow advances one epoch, adding stubGrowth stubs and enabling IPv6
+// on schedule. The v6 adoption wave reproduces the Figure 5c shape:
+// transit ASes adopt early, the edge catches up later.
+func (e *Evolving) Grow(stubGrowth int) {
+	g := e.g
+	g.topo.epoch++
+	epoch := g.topo.epoch
+	// Occasionally a new tier-2 appears.
+	if g.rng.Float64() < 0.25 {
+		as := g.addAS(TierTwo)
+		as.Prefixes = []netip.Prefix{g.allocV4(16)}
+		for _, pi := range g.rng.Perm(len(e.t1))[:1+g.rng.Intn(2)] {
+			g.link(as, e.t1[pi])
+		}
+		as.V6Epoch = epoch
+		as.PrefixesV6 = []netip.Prefix{g.allocV6()}
+		if g.rng.Float64() < g.p.StripFraction {
+			as.StripsCommunities = true
+		} else {
+			as.TagCommunities = bgp.Communities{bgp.NewCommunity(uint16(as.ASN), 200)}
+		}
+		e.t2 = append(e.t2, as)
+	}
+	for i := 0; i < stubGrowth; i++ {
+		as := g.addStub(e.t1, e.t2)
+		// Edge v6 adoption accelerates with epoch.
+		adoptP := 0.05 + 0.06*float64(epoch)
+		if adoptP > 0.6 {
+			adoptP = 0.6
+		}
+		if g.rng.Float64() < adoptP {
+			as.V6Epoch = epoch
+			as.PrefixesV6 = []netip.Prefix{g.allocV6()}
+		}
+	}
+	// Existing ASes adopt v6 over time; transit first.
+	for _, asn := range g.topo.Order {
+		as := g.topo.ASes[asn]
+		if as.V6Epoch >= 0 {
+			continue
+		}
+		var adoptP float64
+		if as.Tier != TierStub {
+			adoptP = 0.25
+		} else {
+			adoptP = 0.02 + 0.015*float64(epoch)
+		}
+		if g.rng.Float64() < adoptP {
+			as.V6Epoch = epoch
+			as.PrefixesV6 = []netip.Prefix{g.allocV6()}
+		}
+	}
+	// Existing stubs also grow their address space slowly (routing
+	// table growth, Figure 5a).
+	for _, asn := range g.topo.Order {
+		as := g.topo.ASes[asn]
+		if as.Tier == TierStub && g.rng.Float64() < 0.10 {
+			as.Prefixes = append(as.Prefixes, g.allocV4(22+g.rng.Intn(3)))
+		}
+	}
+}
+
+// SortedASNs returns all ASNs ascending (for deterministic output).
+func (t *Topology) SortedASNs() []uint32 {
+	out := append([]uint32(nil), t.Order...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,349 @@
+package astopo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small(seed int64) Params {
+	p := DefaultParams(seed)
+	p.TierOneCount = 4
+	p.TierTwoCount = 10
+	p.StubCount = 40
+	return p
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(small(7))
+	b := Generate(small(7))
+	if len(a.Order) != len(b.Order) {
+		t.Fatalf("sizes differ: %d %d", len(a.Order), len(b.Order))
+	}
+	for i := range a.Order {
+		x, y := a.ASes[a.Order[i]], b.ASes[b.Order[i]]
+		if x.ASN != y.ASN || x.Tier != y.Tier || x.Country != y.Country || len(x.Prefixes) != len(y.Prefixes) {
+			t.Fatalf("AS %d differs: %+v vs %+v", i, x, y)
+		}
+	}
+	c := Generate(small(8))
+	same := true
+	for i := range a.Order {
+		if a.ASes[a.Order[i]].Country != c.ASes[c.Order[i]].Country {
+			same = false
+			break
+		}
+	}
+	if same && len(a.Order) == len(c.Order) {
+		t.Log("warning: different seeds produced identical countries (unlikely but possible)")
+	}
+}
+
+func TestTopologyStructure(t *testing.T) {
+	topo := Generate(small(1))
+	n1, n2, ns := 0, 0, 0
+	for _, asn := range topo.Order {
+		as := topo.ASes[asn]
+		switch as.Tier {
+		case TierOne:
+			n1++
+			if len(as.Providers) != 0 {
+				t.Errorf("tier-1 %d has providers", asn)
+			}
+			if len(as.Peers) < 3 {
+				t.Errorf("tier-1 %d has %d peers, want clique", asn, len(as.Peers))
+			}
+		case TierTwo:
+			n2++
+			if len(as.Providers) == 0 {
+				t.Errorf("tier-2 %d has no providers", asn)
+			}
+		case TierStub:
+			ns++
+			if len(as.Providers) == 0 {
+				t.Errorf("stub %d has no providers", asn)
+			}
+			if len(as.Customers) != 0 {
+				t.Errorf("stub %d has customers", asn)
+			}
+			if len(as.Prefixes) == 0 {
+				t.Errorf("stub %d originates nothing", asn)
+			}
+		}
+	}
+	if n1 != 4 || n2 != 10 || ns != 40 {
+		t.Errorf("tier counts: %d %d %d", n1, n2, ns)
+	}
+}
+
+func TestLinkSymmetry(t *testing.T) {
+	topo := Generate(small(3))
+	for _, asn := range topo.Order {
+		as := topo.ASes[asn]
+		for _, p := range as.Providers {
+			if !contains(topo.ASes[p].Customers, asn) {
+				t.Fatalf("provider link %d->%d not mirrored", asn, p)
+			}
+		}
+		for _, p := range as.Peers {
+			if !contains(topo.ASes[p].Peers, asn) {
+				t.Fatalf("peer link %d<->%d not mirrored", asn, p)
+			}
+		}
+	}
+}
+
+func TestPrefixesUniqueOrigins(t *testing.T) {
+	topo := Generate(small(5))
+	seen := map[string]uint32{}
+	for _, op := range topo.AllPrefixes() {
+		key := op.Prefix.String()
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("prefix %s originated by both %d and %d", key, prev, op.Origin)
+		}
+		seen[key] = op.Origin
+		if got := topo.OriginOf(op.Prefix); got != op.Origin {
+			t.Fatalf("OriginOf(%s) = %d, want %d", key, got, op.Origin)
+		}
+	}
+}
+
+func TestRoutesReachEveryone(t *testing.T) {
+	topo := Generate(small(2))
+	stubs := topo.Stubs()
+	dst := stubs[0]
+	routes := topo.Routes(dst)
+	// Everyone must reach a stub (transit hierarchy is connected).
+	if len(routes) != len(topo.Order) {
+		t.Fatalf("%d of %d ASes have routes to %d", len(routes), len(topo.Order), dst)
+	}
+	for asn, r := range routes {
+		if r.Path[0] != asn {
+			t.Fatalf("route of %d starts with %d", asn, r.Path[0])
+		}
+		if r.Path[len(r.Path)-1] != dst {
+			t.Fatalf("route of %d ends with %d", asn, r.Path[len(r.Path)-1])
+		}
+	}
+	if routes[dst].Type != RouteSelf || routes[dst].Hops() != 0 {
+		t.Errorf("self route: %+v", routes[dst])
+	}
+}
+
+func TestRoutesAreValleyFree(t *testing.T) {
+	topo := Generate(small(4))
+	relOf := func(from, to uint32) string {
+		a := topo.ASes[from]
+		if contains(a.Providers, to) {
+			return "up"
+		}
+		if contains(a.Customers, to) {
+			return "down"
+		}
+		if contains(a.Peers, to) {
+			return "peer"
+		}
+		return "none"
+	}
+	for _, dst := range topo.Stubs()[:5] {
+		for asn, r := range topo.Routes(dst) {
+			_ = asn
+			// Walk VP -> dst; pattern must be up* peer? down*.
+			phase := 0 // 0=up, 1=peer-taken, 2=down
+			for i := 0; i+1 < len(r.Path); i++ {
+				rel := relOf(r.Path[i], r.Path[i+1])
+				switch rel {
+				case "none":
+					t.Fatalf("path %v uses nonexistent link %d-%d", r.Path, r.Path[i], r.Path[i+1])
+				case "up":
+					if phase != 0 {
+						t.Fatalf("valley in path %v (up after %d)", r.Path, phase)
+					}
+				case "peer":
+					if phase != 0 {
+						t.Fatalf("two peer hops or peer after down in %v", r.Path)
+					}
+					phase = 1
+				case "down":
+					phase = 2
+				}
+			}
+		}
+	}
+}
+
+func TestRoutesNoLoops(t *testing.T) {
+	topo := Generate(small(6))
+	for _, dst := range topo.Stubs()[:10] {
+		for _, r := range topo.Routes(dst) {
+			seen := map[uint32]bool{}
+			for _, asn := range r.Path {
+				if seen[asn] {
+					t.Fatalf("loop in path %v", r.Path)
+				}
+				seen[asn] = true
+			}
+		}
+	}
+}
+
+func TestQuickRoutesInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		topo := Generate(small(seed%1000 + 1))
+		stubs := topo.Stubs()
+		dst := stubs[int(seed%int64(len(stubs))+int64(len(stubs)))%len(stubs)]
+		routes := topo.Routes(dst)
+		for asn, r := range routes {
+			if r.Path[0] != asn || r.Path[len(r.Path)-1] != dst {
+				return false
+			}
+			if len(r.Path) > 12 { // synthetic topos are shallow
+				return false
+			}
+		}
+		return len(routes) == len(topo.Order)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestOriginPrefersCloser(t *testing.T) {
+	topo := Generate(small(9))
+	eng := NewRoutingEngine(topo)
+	stubs := topo.Stubs()
+	victim, attacker := stubs[0], stubs[1]
+	// The victim itself must always prefer its own origin.
+	o, _, ok := eng.BestOrigin(victim, []uint32{victim, attacker})
+	if !ok || o != victim {
+		t.Fatalf("victim picks %d", o)
+	}
+	// Across all VPs, both origins should win somewhere for a typical
+	// hijack (not guaranteed for every pair, but for these seeds the
+	// split must not be 100/0 given disjoint provider trees).
+	winners := map[uint32]int{}
+	for _, vp := range topo.Order {
+		if o, _, ok := eng.BestOrigin(vp, []uint32{victim, attacker}); ok {
+			winners[o]++
+		}
+	}
+	if winners[victim] == 0 {
+		t.Error("victim never preferred")
+	}
+	if winners[victim]+winners[attacker] != len(topo.Order) {
+		t.Errorf("winner counts: %v of %d", winners, len(topo.Order))
+	}
+}
+
+func TestRoutingEngineCaches(t *testing.T) {
+	topo := Generate(small(11))
+	eng := NewRoutingEngine(topo)
+	dst := topo.Stubs()[0]
+	a := eng.RoutesTo(dst)
+	b := eng.RoutesTo(dst)
+	if &a == &b {
+		t.Skip("map comparison is by header; just ensure same content")
+	}
+	if len(a) != len(b) {
+		t.Error("cache returned different result")
+	}
+	eng.Invalidate()
+	c := eng.RoutesTo(dst)
+	if len(c) != len(a) {
+		t.Error("post-invalidate recompute differs")
+	}
+}
+
+func TestPathCommunities(t *testing.T) {
+	topo := Generate(small(12))
+	eng := NewRoutingEngine(topo)
+	// Find a VP with a multi-hop route whose path has no strippers.
+	var found bool
+	for _, dst := range topo.Stubs() {
+		for vp, r := range eng.RoutesTo(dst) {
+			if vp == dst || r.Hops() < 2 {
+				continue
+			}
+			strip := false
+			for _, asn := range r.Path[1:] {
+				if topo.ASes[asn].StripsCommunities {
+					strip = true
+					break
+				}
+			}
+			cs := topo.PathCommunities(r)
+			if strip && len(cs) > 0 {
+				// A stripper later in the walk may still clear; just
+				// check the walk respected at least one rule below.
+				continue
+			}
+			if !strip && len(cs) == 0 {
+				// Transit ASes without tags exist (tier-1 always tags,
+				// so multi-hop paths via tier-1 gather something);
+				// tolerate but keep searching for a positive case.
+				continue
+			}
+			found = true
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Error("no route produced communities; community model broken")
+	}
+}
+
+func TestEvolvingGrowth(t *testing.T) {
+	e, topo := NewEvolving(small(20))
+	n0 := len(topo.Order)
+	p0 := len(topo.AllPrefixes())
+	for i := 0; i < 5; i++ {
+		e.Grow(10)
+	}
+	if topo.Epoch() != 5 {
+		t.Errorf("epoch = %d", topo.Epoch())
+	}
+	if len(topo.Order) < n0+50 {
+		t.Errorf("AS growth: %d -> %d", n0, len(topo.Order))
+	}
+	if len(topo.AllPrefixes()) <= p0 {
+		t.Errorf("prefix growth: %d -> %d", p0, len(topo.AllPrefixes()))
+	}
+	// v6 adoption must increase.
+	v6 := 0
+	for _, asn := range topo.Order {
+		if topo.ASes[asn].V6Epoch >= 0 {
+			v6++
+		}
+	}
+	if v6 == 0 {
+		t.Error("no v6 adoption after growth")
+	}
+	// Existing links must stay symmetric after growth.
+	for _, asn := range topo.Order {
+		as := topo.ASes[asn]
+		for _, p := range as.Providers {
+			if !contains(topo.ASes[p].Customers, asn) {
+				t.Fatalf("asymmetric link after growth")
+			}
+		}
+	}
+}
+
+func contains(xs []uint32, v uint32) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func BenchmarkRoutesMediumTopology(b *testing.B) {
+	topo := Generate(DefaultParams(1))
+	dsts := topo.Stubs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topo.Routes(dsts[i%len(dsts)])
+	}
+}

@@ -1,0 +1,194 @@
+// Package atlas simulates the active-measurement side of the RTBH
+// case study (§4.3): a RIPE-Atlas-like probe infrastructure that runs
+// traceroute-style reachability measurements toward black-holed
+// destinations over the synthetic AS topology's data plane.
+//
+// Probe selection follows the paper: probes are taken from (i) the
+// visible AS neighbours of the origin AS, (ii) ASes co-located at the
+// same IXPs (approximated by shared peers), and (iii) ASes in the
+// target's country. The data-plane forwarding model honours
+// remotely-triggered black-holing: a provider that accepted a
+// blackhole-tagged announcement drops traffic for the covered
+// destination at its border, so reachability during RTBH collapses
+// except from customers/peers that reach the origin without crossing
+// a black-holing border — reproducing the Figure 4 contrast.
+package atlas
+
+import (
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"github.com/bgpstream-go/bgpstream/internal/astopo"
+)
+
+// Probe is one measurement vantage point.
+type Probe struct {
+	ASN uint32
+}
+
+// SelectProbes picks up to max probes for a target origin AS using
+// the three-way strategy of §4.3. Selection is deterministic given
+// the seed.
+func SelectProbes(topo *astopo.Topology, origin uint32, max int, seed int64) []Probe {
+	as := topo.AS(origin)
+	if as == nil {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	candidates := make(map[uint32]bool)
+	// (i) visible AS neighbours.
+	for _, n := range as.Providers {
+		candidates[n] = true
+	}
+	for _, n := range as.Peers {
+		candidates[n] = true
+	}
+	for _, n := range as.Customers {
+		candidates[n] = true
+	}
+	// (ii) ASes sharing a peer (IXP co-location approximation).
+	for _, p := range as.Peers {
+		for _, n := range topo.AS(p).Peers {
+			candidates[n] = true
+		}
+	}
+	// (iii) same-country ASes.
+	for _, asn := range topo.ASesInCountry(as.Country) {
+		candidates[asn] = true
+	}
+	delete(candidates, origin)
+	list := make([]uint32, 0, len(candidates))
+	for asn := range candidates {
+		list = append(list, asn)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	rng.Shuffle(len(list), func(i, j int) { list[i], list[j] = list[j], list[i] })
+	if len(list) > max {
+		list = list[:max]
+	}
+	probes := make([]Probe, len(list))
+	for i, asn := range list {
+		probes[i] = Probe{ASN: asn}
+	}
+	return probes
+}
+
+// BlackholeState describes an active RTBH request: the set of ASes
+// enforcing the drop (typically the origin's transit providers that
+// accepted the blackhole community).
+type BlackholeState struct {
+	Prefix netip.Prefix
+	// Enforcers drop traffic toward Prefix at their border.
+	Enforcers map[uint32]bool
+}
+
+// TracerouteResult is the outcome of one simulated traceroute.
+type TracerouteResult struct {
+	ProbeASN uint32
+	// Path is the AS-level forward path walked (probe first).
+	Path []uint32
+	// ReachedOrigin reports whether the packet entered the origin AS.
+	ReachedOrigin bool
+	// ReachedDest reports whether the destination host answered.
+	ReachedDest bool
+	// DroppedAt is the AS that discarded the packet (0 if none).
+	DroppedAt uint32
+}
+
+// Tracer runs data-plane measurements over the topology.
+type Tracer struct {
+	Topo   *astopo.Topology
+	Engine *astopo.RoutingEngine
+}
+
+// NewTracer builds a tracer (sharing the routing engine's cache).
+func NewTracer(topo *astopo.Topology, eng *astopo.RoutingEngine) *Tracer {
+	if eng == nil {
+		eng = astopo.NewRoutingEngine(topo)
+	}
+	return &Tracer{Topo: topo, Engine: eng}
+}
+
+// Traceroute walks the valley-free forwarding path from the probe AS
+// toward the origin of dest, honouring black-holing state. destUp
+// models whether the destination host itself responds (false while a
+// DoS attack has taken it down, independent of RTBH).
+func (t *Tracer) Traceroute(probe uint32, origin uint32, bh *BlackholeState, destUp bool) TracerouteResult {
+	res := TracerouteResult{ProbeASN: probe}
+	route, ok := t.Engine.RoutesTo(origin)[probe]
+	if !ok {
+		return res
+	}
+	for i, hop := range route.Path {
+		res.Path = append(res.Path, hop)
+		if bh != nil && bh.Enforcers[hop] {
+			// The enforcing AS drops at its border; the probe's own AS
+			// only filters traffic it forwards for others, so a probe
+			// inside an enforcer still egresses (i > 0 check).
+			if i > 0 || hop != probe {
+				if hop != origin {
+					res.DroppedAt = hop
+					return res
+				}
+			}
+		}
+		if hop == origin {
+			res.ReachedOrigin = true
+			res.ReachedDest = destUp
+			return res
+		}
+	}
+	return res
+}
+
+// Campaign runs one measurement round against a destination from a
+// probe set and aggregates the two Figure 4 metrics.
+type Campaign struct {
+	// FracReachDest is the fraction of traceroutes answering from the
+	// destination (Figure 4a).
+	FracReachDest float64
+	// FracReachOrigin is the fraction entering the origin AS
+	// (Figure 4b).
+	FracReachOrigin float64
+	Results         []TracerouteResult
+}
+
+// Run measures dest from every probe.
+func (t *Tracer) Run(probes []Probe, origin uint32, bh *BlackholeState, destUp bool) Campaign {
+	var c Campaign
+	reachedD, reachedO := 0, 0
+	for _, p := range probes {
+		r := t.Traceroute(p.ASN, origin, bh, destUp)
+		c.Results = append(c.Results, r)
+		if r.ReachedDest {
+			reachedD++
+		}
+		if r.ReachedOrigin {
+			reachedO++
+		}
+	}
+	if len(probes) > 0 {
+		c.FracReachDest = float64(reachedD) / float64(len(probes))
+		c.FracReachOrigin = float64(reachedO) / float64(len(probes))
+	}
+	return c
+}
+
+// DefaultEnforcers returns the conventional RTBH enforcement set: the
+// origin's transit providers and peers, the parties a multi-homed
+// customer signals with black-holing communities (§4.3).
+func DefaultEnforcers(topo *astopo.Topology, origin uint32) map[uint32]bool {
+	out := make(map[uint32]bool)
+	as := topo.AS(origin)
+	if as == nil {
+		return out
+	}
+	for _, p := range as.Providers {
+		out[p] = true
+	}
+	for _, p := range as.Peers {
+		out[p] = true
+	}
+	return out
+}

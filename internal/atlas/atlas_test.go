@@ -1,0 +1,134 @@
+package atlas
+
+import (
+	"testing"
+
+	"github.com/bgpstream-go/bgpstream/internal/astopo"
+)
+
+func topo(t *testing.T) *astopo.Topology {
+	t.Helper()
+	p := astopo.DefaultParams(9)
+	p.TierOneCount = 4
+	p.TierTwoCount = 10
+	p.StubCount = 40
+	return astopo.Generate(p)
+}
+
+func TestSelectProbes(t *testing.T) {
+	tp := topo(t)
+	origin := tp.Stubs()[0]
+	probes := SelectProbes(tp, origin, 50, 1)
+	if len(probes) == 0 {
+		t.Fatal("no probes")
+	}
+	seen := map[uint32]bool{}
+	for _, p := range probes {
+		if p.ASN == origin {
+			t.Error("origin selected as probe")
+		}
+		if seen[p.ASN] {
+			t.Error("duplicate probe")
+		}
+		seen[p.ASN] = true
+		if tp.AS(p.ASN) == nil {
+			t.Error("phantom probe AS")
+		}
+	}
+	// Determinism.
+	again := SelectProbes(tp, origin, 50, 1)
+	if len(again) != len(probes) {
+		t.Error("probe selection nondeterministic")
+	}
+	for i := range again {
+		if again[i] != probes[i] {
+			t.Fatal("probe order nondeterministic")
+		}
+	}
+	// Cap respected.
+	few := SelectProbes(tp, origin, 3, 1)
+	if len(few) != 3 {
+		t.Errorf("cap: %d", len(few))
+	}
+}
+
+func TestTracerouteNormalReachability(t *testing.T) {
+	tp := topo(t)
+	tracer := NewTracer(tp, nil)
+	origin := tp.Stubs()[0]
+	probes := SelectProbes(tp, origin, 60, 2)
+	c := tracer.Run(probes, origin, nil, true)
+	if c.FracReachDest < 0.95 {
+		t.Errorf("baseline reachability %.2f", c.FracReachDest)
+	}
+	if c.FracReachOrigin < c.FracReachDest {
+		t.Errorf("origin reach %.2f < dest reach %.2f", c.FracReachOrigin, c.FracReachDest)
+	}
+}
+
+func TestTracerouteDuringRTBH(t *testing.T) {
+	tp := topo(t)
+	tracer := NewTracer(tp, nil)
+	origin := tp.Stubs()[0]
+	probes := SelectProbes(tp, origin, 60, 2)
+	bh := &BlackholeState{Enforcers: DefaultEnforcers(tp, origin)}
+	during := tracer.Run(probes, origin, bh, true)
+	after := tracer.Run(probes, origin, nil, true)
+	if during.FracReachDest >= after.FracReachDest {
+		t.Errorf("RTBH did not reduce reachability: %.2f vs %.2f",
+			during.FracReachDest, after.FracReachDest)
+	}
+	// Most upstream paths cross a provider: the drop should be strong.
+	if during.FracReachDest > 0.5 {
+		t.Errorf("during-RTBH reachability %.2f too high", during.FracReachDest)
+	}
+	// Drops must be attributed to enforcers.
+	for _, r := range during.Results {
+		if r.DroppedAt != 0 && !bh.Enforcers[r.DroppedAt] {
+			t.Errorf("dropped at non-enforcer %d", r.DroppedAt)
+		}
+	}
+}
+
+func TestCustomersStillReachDuringRTBH(t *testing.T) {
+	// The paper's manual verification: customers or peers of the
+	// origin can still reach it while upstream paths fail. Find a
+	// probe that is a direct peer/customer path not crossing the
+	// providers.
+	tp := topo(t)
+	tracer := NewTracer(tp, nil)
+	var origin uint32
+	var direct uint32
+	for _, s := range tp.Transits() {
+		as := tp.AS(s)
+		if len(as.Customers) > 0 && len(as.Providers) > 0 {
+			origin = s
+			direct = as.Customers[0]
+			break
+		}
+	}
+	if origin == 0 {
+		t.Skip("no suitable origin")
+	}
+	bh := &BlackholeState{Enforcers: DefaultEnforcers(tp, origin)}
+	r := tracer.Traceroute(direct, origin, bh, true)
+	if !r.ReachedDest {
+		t.Errorf("direct customer blocked: %+v", r)
+	}
+}
+
+func TestDoSDownDestination(t *testing.T) {
+	// Without RTBH but with the destination down (under attack),
+	// traceroutes reach the origin AS but not the host.
+	tp := topo(t)
+	tracer := NewTracer(tp, nil)
+	origin := tp.Stubs()[1]
+	probes := SelectProbes(tp, origin, 30, 3)
+	c := tracer.Run(probes, origin, nil, false)
+	if c.FracReachDest != 0 {
+		t.Errorf("down dest answered: %.2f", c.FracReachDest)
+	}
+	if c.FracReachOrigin < 0.95 {
+		t.Errorf("origin unreachable without RTBH: %.2f", c.FracReachOrigin)
+	}
+}

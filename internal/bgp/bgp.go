@@ -1,0 +1,152 @@
+// Package bgp implements the subset of the Border Gateway Protocol
+// (RFC 4271) wire format needed by a BGP measurement-data framework:
+// message framing, UPDATE messages, path attributes (including the
+// multiprotocol extensions of RFC 4760 and the four-octet AS number
+// extensions of RFC 6793), AS paths, and BGP communities (RFC 1997).
+//
+// The package provides both decoding and encoding so that higher layers
+// can parse archived routing data and a route-collector simulator can
+// produce byte-identical dumps. Decoding is strict about structural
+// invariants (lengths, truncation) but tolerant of unknown attribute
+// types, which are preserved as opaque bytes, mirroring the behaviour
+// of deployed BGP speakers.
+package bgp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Message type codes from RFC 4271 §4.1.
+const (
+	MsgOpen         = 1
+	MsgUpdate       = 2
+	MsgNotification = 3
+	MsgKeepalive    = 4
+)
+
+// HeaderLen is the fixed size of the BGP message header: a 16-octet
+// marker, a 2-octet length, and a 1-octet type.
+const HeaderLen = 19
+
+// MaxMessageLen is the maximum BGP message size permitted by RFC 4271.
+const MaxMessageLen = 4096
+
+// Origin attribute values (RFC 4271 §5.1.1).
+const (
+	OriginIGP        = 0
+	OriginEGP        = 1
+	OriginIncomplete = 2
+)
+
+// Path attribute type codes.
+const (
+	AttrOrigin          = 1
+	AttrASPath          = 2
+	AttrNextHop         = 3
+	AttrMED             = 4
+	AttrLocalPref       = 5
+	AttrAtomicAggregate = 6
+	AttrAggregator      = 7
+	AttrCommunities     = 8
+	AttrMPReachNLRI     = 14
+	AttrMPUnreachNLRI   = 15
+	AttrAS4Path         = 17
+	AttrAS4Aggregator   = 18
+	AttrLargeCommunity  = 32
+)
+
+// Path attribute flag bits (RFC 4271 §4.3).
+const (
+	FlagOptional   = 0x80
+	FlagTransitive = 0x40
+	FlagPartial    = 0x20
+	FlagExtended   = 0x10
+)
+
+// Address family identifiers (RFC 4760).
+const (
+	AFIIPv4 = 1
+	AFIIPv6 = 2
+)
+
+// Subsequent address family identifiers.
+const (
+	SAFIUnicast   = 1
+	SAFIMulticast = 2
+)
+
+// FSM state codes used by BGP4MP STATE_CHANGE records (RFC 4271 §8,
+// RFC 6396 §4.4.1).
+const (
+	StateIdle        = 1
+	StateConnect     = 2
+	StateActive      = 3
+	StateOpenSent    = 4
+	StateOpenConfirm = 5
+	StateEstablished = 6
+)
+
+// FSMState is a BGP finite-state-machine state as carried in MRT state
+// change records.
+type FSMState uint8
+
+// String returns the conventional name of the state ("Established",
+// "Idle", ...). Unknown values format as "State(n)".
+func (s FSMState) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateConnect:
+		return "Connect"
+	case StateActive:
+		return "Active"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateOpenConfirm:
+		return "OpenConfirm"
+	case StateEstablished:
+		return "Established"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Common decode errors. Decoders wrap these with positional context via
+// *WireError so callers can classify failures with errors.Is.
+var (
+	// ErrTruncated reports input that ended before a structurally
+	// required field.
+	ErrTruncated = errors.New("bgp: truncated input")
+	// ErrBadMarker reports a BGP header whose 16-octet marker is not
+	// all-ones.
+	ErrBadMarker = errors.New("bgp: invalid header marker")
+	// ErrBadLength reports a structurally impossible length field.
+	ErrBadLength = errors.New("bgp: invalid length field")
+	// ErrBadPrefix reports an NLRI prefix whose bit length exceeds the
+	// address family maximum.
+	ErrBadPrefix = errors.New("bgp: invalid prefix length")
+	// ErrBadAttr reports a malformed path attribute.
+	ErrBadAttr = errors.New("bgp: malformed path attribute")
+)
+
+// WireError describes a decoding failure with enough context to debug
+// corrupted archive data: the operation that failed, the byte offset
+// within the buffer handed to the decoder, and the underlying cause.
+type WireError struct {
+	Op     string // e.g. "update", "as-path", "nlri"
+	Offset int    // byte offset within the decoded buffer
+	Err    error  // underlying cause, matchable with errors.Is
+}
+
+// Error implements the error interface.
+func (e *WireError) Error() string {
+	return fmt.Sprintf("bgp: decoding %s at offset %d: %v", e.Op, e.Offset, e.Err)
+}
+
+// Unwrap returns the underlying cause.
+func (e *WireError) Unwrap() error { return e.Err }
+
+func wireErr(op string, off int, err error) error {
+	return &WireError{Op: op, Offset: off, Err: err}
+}

@@ -1,0 +1,107 @@
+// Package bgpdump renders BGPStream records and elems in the one-line
+// ASCII formats of the classic bgpdump tool (-m machine-readable
+// format), making BGPReader a drop-in replacement for bgpdump-based
+// pipelines (§4.1), plus the richer default BGPStream format that adds
+// project/collector provenance.
+package bgpdump
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+// FormatElem renders one elem in bgpdump -m style:
+//
+//	BGP4MP|<unix>|<A|W|S>|<peer-ip>|<peer-asn>|<prefix>|<as-path>|IGP|<next-hop>|0|0|<communities>|NAG||
+//
+// RIB elems use the TABLE_DUMP2 prefix and "B" type as bgpdump does.
+func FormatElem(r *core.Record, e *core.Elem) string {
+	var b strings.Builder
+	b.Grow(128)
+	proto := "BGP4MP"
+	typ := e.Type.String()
+	if e.Type == core.ElemRIB {
+		proto = "TABLE_DUMP2"
+		typ = "B"
+	}
+	b.WriteString(proto)
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(e.Timestamp.Unix(), 10))
+	b.WriteByte('|')
+	b.WriteString(typ)
+	b.WriteByte('|')
+	if e.PeerAddr.IsValid() {
+		b.WriteString(e.PeerAddr.String())
+	}
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(uint64(e.PeerASN), 10))
+	b.WriteByte('|')
+	switch e.Type {
+	case core.ElemPeerState:
+		b.WriteString(e.OldState.String())
+		b.WriteByte('|')
+		b.WriteString(e.NewState.String())
+	case core.ElemWithdrawal:
+		writePrefix(&b, e)
+	default:
+		writePrefix(&b, e)
+		b.WriteByte('|')
+		b.WriteString(e.ASPath.String())
+		b.WriteString("|IGP|")
+		if e.NextHop.IsValid() {
+			b.WriteString(e.NextHop.String())
+		}
+		b.WriteString("|0|0|")
+		b.WriteString(e.Communities.String())
+		b.WriteString("|NAG||")
+	}
+	return b.String()
+}
+
+func writePrefix(b *strings.Builder, e *core.Elem) {
+	if e.Prefix.IsValid() {
+		b.WriteString(e.Prefix.String())
+	}
+}
+
+// FormatElemVerbose renders the default BGPStream output format, which
+// prepends provenance: record type, dump position, project, collector
+// and status.
+//
+//	<type>|<position>|<unix>|<project>|<collector>|<status>|<elem...>
+func FormatElemVerbose(r *core.Record, e *core.Elem) string {
+	var b strings.Builder
+	b.Grow(160)
+	writeRecordPrefix(&b, r)
+	b.WriteByte('|')
+	b.WriteString(FormatElem(r, e))
+	return b.String()
+}
+
+// FormatRecord renders a record-level line (used for invalid records,
+// which carry no elems but must still be visible to operators).
+func FormatRecord(r *core.Record) string {
+	var b strings.Builder
+	writeRecordPrefix(&b, r)
+	return b.String()
+}
+
+func writeRecordPrefix(b *strings.Builder, r *core.Record) {
+	if r.DumpType == core.DumpRIB {
+		b.WriteString("R")
+	} else {
+		b.WriteString("U")
+	}
+	b.WriteByte('|')
+	b.WriteString(r.Position.String())
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(r.Time().Unix(), 10))
+	b.WriteByte('|')
+	b.WriteString(r.Project)
+	b.WriteByte('|')
+	b.WriteString(r.Collector)
+	b.WriteByte('|')
+	b.WriteString(r.Status.String())
+}

@@ -1,0 +1,106 @@
+package bgpdump
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+func sampleElem() *core.Elem {
+	return &core.Elem{
+		Type:        core.ElemAnnouncement,
+		Timestamp:   time.Unix(1438415400, 0).UTC(),
+		PeerAddr:    netip.MustParseAddr("192.0.2.10"),
+		PeerASN:     64501,
+		Prefix:      netip.MustParsePrefix("198.51.100.0/24"),
+		NextHop:     netip.MustParseAddr("192.0.2.1"),
+		ASPath:      bgp.SequencePath(64501, 701, 13335),
+		Communities: bgp.Communities{bgp.NewCommunity(701, 666)},
+	}
+}
+
+func sampleRecord() *core.Record {
+	return &core.Record{
+		Project:   "ris",
+		Collector: "rrc00",
+		DumpType:  core.DumpUpdates,
+		Status:    core.StatusValid,
+		Position:  core.PositionStart,
+	}
+}
+
+func TestFormatAnnouncement(t *testing.T) {
+	got := FormatElem(sampleRecord(), sampleElem())
+	want := "BGP4MP|1438415400|A|192.0.2.10|64501|198.51.100.0/24|64501 701 13335|IGP|192.0.2.1|0|0|701:666|NAG||"
+	if got != want {
+		t.Errorf("got  %q\nwant %q", got, want)
+	}
+}
+
+func TestFormatWithdrawal(t *testing.T) {
+	e := sampleElem()
+	e.Type = core.ElemWithdrawal
+	got := FormatElem(sampleRecord(), e)
+	want := "BGP4MP|1438415400|W|192.0.2.10|64501|198.51.100.0/24"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestFormatState(t *testing.T) {
+	e := sampleElem()
+	e.Type = core.ElemPeerState
+	e.OldState = bgp.StateEstablished
+	e.NewState = bgp.StateIdle
+	got := FormatElem(sampleRecord(), e)
+	if !strings.HasSuffix(got, "|Established|Idle") {
+		t.Errorf("got %q", got)
+	}
+	if !strings.Contains(got, "|S|") {
+		t.Errorf("missing S type: %q", got)
+	}
+}
+
+func TestFormatRIBUsesTableDump2(t *testing.T) {
+	e := sampleElem()
+	e.Type = core.ElemRIB
+	got := FormatElem(sampleRecord(), e)
+	if !strings.HasPrefix(got, "TABLE_DUMP2|") {
+		t.Errorf("got %q", got)
+	}
+	if !strings.Contains(got, "|B|") {
+		t.Errorf("RIB type must be B: %q", got)
+	}
+}
+
+func TestVerboseFormatCarriesProvenance(t *testing.T) {
+	got := FormatElemVerbose(sampleRecord(), sampleElem())
+	for _, part := range []string{"U|start|", "|ris|rrc00|valid|", "BGP4MP|"} {
+		if !strings.Contains(got, part) {
+			t.Errorf("verbose line %q missing %q", got, part)
+		}
+	}
+}
+
+func TestFormatRecordInvalid(t *testing.T) {
+	r := sampleRecord()
+	r.Status = core.StatusCorruptedDump
+	r.Position = core.PositionStart | core.PositionEnd
+	got := FormatRecord(r)
+	if !strings.Contains(got, "corrupted-dump") || !strings.Contains(got, "start|end") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFormatEmptyFields(t *testing.T) {
+	e := &core.Elem{Type: core.ElemAnnouncement, Timestamp: time.Unix(0, 0)}
+	got := FormatElem(sampleRecord(), e)
+	// Must not panic and must keep the field count stable.
+	if n := strings.Count(got, "|"); n != 14 {
+		t.Errorf("field separators = %d in %q", n, got)
+	}
+}

@@ -1,0 +1,242 @@
+package broker
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+)
+
+// DataProvider configures one archive the broker scrapes: the project
+// whose layout the archive follows and one or more mirror base URLs
+// (ending at the project root). The first mirror is scraped; all of
+// them are rotated through in responses for load balancing.
+type DataProvider struct {
+	Project string
+	Mirrors []string
+}
+
+// Server is the BGPStream Broker web service.
+type Server struct {
+	Index     *Index
+	Providers []DataProvider
+	// ScrapeInterval is how often the background scraper re-crawls
+	// providers; zero disables the background loop (Scrape can still
+	// be called manually).
+	ScrapeInterval time.Duration
+	// Client performs scrape requests; nil uses http.DefaultClient.
+	Client *http.Client
+	// Logf logs scraper events; nil uses log.Printf.
+	Logf func(format string, args ...any)
+
+	mirrorSeq uint64
+	stop      chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// Scrape crawls every provider once, adding newly published dump
+// files to the index. It returns the number of new files found.
+func (s *Server) Scrape() (int, error) {
+	total := 0
+	for _, p := range s.Providers {
+		if len(p.Mirrors) == 0 {
+			continue
+		}
+		metas, err := archive.Crawl(s.Client, p.Mirrors[0], p.Project)
+		if err != nil {
+			return total, fmt.Errorf("broker: scrape %s: %w", p.Project, err)
+		}
+		total += s.Index.Add(metas...)
+	}
+	return total, nil
+}
+
+// Start launches the background scrape loop (if ScrapeInterval > 0).
+func (s *Server) Start() {
+	if s.ScrapeInterval <= 0 {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		ticker := time.NewTicker(s.ScrapeInterval)
+		defer ticker.Stop()
+		for {
+			if _, err := s.Scrape(); err != nil {
+				s.logf("broker: scrape error: %v", err)
+			}
+			select {
+			case <-ticker.C:
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop terminates the background scraper.
+func (s *Server) Stop() {
+	if s.stop != nil {
+		s.stopOnce.Do(func() { close(s.stop) })
+		s.wg.Wait()
+	}
+}
+
+// rewriteMirror rotates the URL of a dump file across a provider's
+// mirrors.
+func (s *Server) rewriteMirror(m archive.DumpMeta) archive.DumpMeta {
+	for _, p := range s.Providers {
+		if p.Project != m.Project || len(p.Mirrors) <= 1 {
+			continue
+		}
+		primary := strings.TrimSuffix(p.Mirrors[0], "/")
+		if !strings.HasPrefix(m.URL, primary) {
+			continue
+		}
+		i := atomic.AddUint64(&s.mirrorSeq, 1)
+		mirror := strings.TrimSuffix(p.Mirrors[i%uint64(len(p.Mirrors))], "/")
+		m.URL = mirror + strings.TrimPrefix(m.URL, primary)
+	}
+	return m
+}
+
+// DumpFile is the JSON wire form of one dump file in a broker
+// response.
+type DumpFile struct {
+	URL         string `json:"url"`
+	Project     string `json:"project"`
+	Collector   string `json:"collector"`
+	Type        string `json:"type"`
+	InitialTime int64  `json:"initialTime"`
+	Duration    int64  `json:"duration"`
+}
+
+// Response is the JSON document returned by the /data endpoint.
+type Response struct {
+	QueryTime int64      `json:"queryTime"`
+	Error     string     `json:"error,omitempty"`
+	DumpFiles []DumpFile `json:"dumpFiles"`
+	// More reports that matching data beyond the response window
+	// exists; clients re-query with a later intervalStart.
+	More bool `json:"moreData"`
+	// MaxSeq is the arrival cursor for live polling (dataAddedSince).
+	MaxSeq uint64 `json:"maxSeq"`
+}
+
+// ServeHTTP implements the broker HTTP API:
+//
+//	GET /data?project=ris&collector=rrc00&type=updates
+//	        &intervalStart=<unix>&intervalEnd=<unix>
+//	        &dataAddedSince=<seq>&window=<seconds>
+//	GET /health
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/data":
+		s.serveData(w, r)
+	case "/health":
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, `{"status":"ok","files":%d}`, s.Index.Len())
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Server) serveData(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQuery(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, &Response{
+			QueryTime: time.Now().Unix(), Error: err.Error(),
+		})
+		return
+	}
+	files, more, maxSeq := s.Index.Query(q)
+	resp := &Response{
+		QueryTime: time.Now().Unix(),
+		DumpFiles: make([]DumpFile, 0, len(files)),
+		More:      more,
+		MaxSeq:    maxSeq,
+	}
+	for _, m := range files {
+		m = s.rewriteMirror(m)
+		resp.DumpFiles = append(resp.DumpFiles, DumpFile{
+			URL:         m.URL,
+			Project:     m.Project,
+			Collector:   m.Collector,
+			Type:        string(m.Type),
+			InitialTime: m.Time.Unix(),
+			Duration:    int64(m.Duration / time.Second),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func parseQuery(r *http.Request) (Query, error) {
+	vals := r.URL.Query()
+	q := Query{
+		Projects:   vals["project"],
+		Collectors: vals["collector"],
+	}
+	for _, t := range vals["type"] {
+		dt := archive.DumpType(t)
+		if !dt.Valid() {
+			return Query{}, fmt.Errorf("invalid dump type %q", t)
+		}
+		q.Types = append(q.Types, dt)
+	}
+	var err error
+	if q.IntervalStart, err = parseUnix(vals.Get("intervalStart")); err != nil {
+		return Query{}, err
+	}
+	if q.IntervalEnd, err = parseUnix(vals.Get("intervalEnd")); err != nil {
+		return Query{}, err
+	}
+	if v := vals.Get("dataAddedSince"); v != "" {
+		seq, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return Query{}, fmt.Errorf("invalid dataAddedSince %q", v)
+		}
+		q.AddedAfter = seq
+	}
+	if v := vals.Get("window"); v != "" {
+		sec, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || sec <= 0 {
+			return Query{}, fmt.Errorf("invalid window %q", v)
+		}
+		q.Window = time.Duration(sec) * time.Second
+	}
+	return q, nil
+}
+
+func parseUnix(v string) (time.Time, error) {
+	if v == "" {
+		return time.Time{}, nil
+	}
+	sec, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("invalid timestamp %q", v)
+	}
+	return time.Unix(sec, 0).UTC(), nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,172 @@
+package collector
+
+import (
+	"net/netip"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+)
+
+// Event is a scripted control-plane incident the simulator replays.
+// Each event expands into state transitions at its boundary times.
+type Event interface {
+	// transitions returns the state changes this event causes.
+	transitions() []transition
+}
+
+// Hijack announces the victim's prefixes from a second origin between
+// Start and End — the MOAS-style attack of Figure 6 (TehnoGrup
+// announcing GARR space).
+type Hijack struct {
+	Start, End time.Time
+	Attacker   uint32
+	Prefixes   []netip.Prefix
+}
+
+func (h Hijack) transitions() []transition {
+	return []transition{
+		{at: h.Start, apply: func(st *simState) []netip.Prefix {
+			for _, p := range h.Prefixes {
+				st.hijacks[p] = append(st.hijacks[p], h.Attacker)
+			}
+			return h.Prefixes
+		}},
+		{at: h.End, apply: func(st *simState) []netip.Prefix {
+			for _, p := range h.Prefixes {
+				st.hijacks[p] = removeASN(st.hijacks[p], h.Attacker)
+				if len(st.hijacks[p]) == 0 {
+					delete(st.hijacks, p)
+				}
+			}
+			return h.Prefixes
+		}},
+	}
+}
+
+// Outage takes a set of ASes offline between Start and End: all their
+// prefixes are withdrawn everywhere, the mechanism behind the
+// government-ordered shutdowns of Figure 10.
+type Outage struct {
+	Start, End time.Time
+	ASNs       []uint32
+}
+
+func (o Outage) transitions() []transition {
+	return []transition{
+		{at: o.Start, apply: func(st *simState) []netip.Prefix {
+			var affected []netip.Prefix
+			for _, asn := range o.ASNs {
+				st.asDown[asn] = true
+				affected = append(affected, st.prefixesOf(asn)...)
+			}
+			return affected
+		}},
+		{at: o.End, apply: func(st *simState) []netip.Prefix {
+			var affected []netip.Prefix
+			for _, asn := range o.ASNs {
+				delete(st.asDown, asn)
+				affected = append(affected, st.prefixesOf(asn)...)
+			}
+			return affected
+		}},
+	}
+}
+
+// RTBH announces Prefix from Origin tagged with black-holing
+// communities between Start and End (§4.3). The prefix is typically a
+// /32 inside the origin's space.
+type RTBH struct {
+	Start, End  time.Time
+	Origin      uint32
+	Prefix      netip.Prefix
+	Communities bgp.Communities
+}
+
+func (r RTBH) transitions() []transition {
+	return []transition{
+		{at: r.Start, apply: func(st *simState) []netip.Prefix {
+			st.rtbh[r.Prefix] = rtbhInfo{origin: r.Origin, communities: r.Communities}
+			return []netip.Prefix{r.Prefix}
+		}},
+		{at: r.End, apply: func(st *simState) []netip.Prefix {
+			delete(st.rtbh, r.Prefix)
+			return []netip.Prefix{r.Prefix}
+		}},
+	}
+}
+
+// Flap withdraws a prefix at At and re-announces it DownFor later —
+// the background churn of any live BGP feed.
+type Flap struct {
+	At      time.Time
+	DownFor time.Duration
+	Prefix  netip.Prefix
+}
+
+func (f Flap) transitions() []transition {
+	return []transition{
+		{at: f.At, apply: func(st *simState) []netip.Prefix {
+			st.down[f.Prefix] = true
+			return []netip.Prefix{f.Prefix}
+		}},
+		{at: f.At.Add(f.DownFor), apply: func(st *simState) []netip.Prefix {
+			delete(st.down, f.Prefix)
+			return []netip.Prefix{f.Prefix}
+		}},
+	}
+}
+
+// SessionReset tears down the BGP session between one VP and one
+// collector at At and re-establishes it DownFor later. RIPE RIS
+// collectors dump the FSM state messages; RouteViews collectors do
+// not (§6.2.1 footnote), which is exactly why the RT plugin needs its
+// staleness heuristics.
+type SessionReset struct {
+	At        time.Time
+	DownFor   time.Duration
+	Collector string
+	VP        uint32
+}
+
+func (s SessionReset) transitions() []transition {
+	key := sessionKey{collector: s.Collector, vp: s.VP}
+	return []transition{
+		{at: s.At, session: &sessionChange{key: key, down: true}},
+		{at: s.At.Add(s.DownFor), session: &sessionChange{key: key, down: false}},
+	}
+}
+
+// transition is one instantaneous state change plus the prefixes whose
+// routes it may affect. Session transitions are marked separately
+// because they affect a single (collector, VP) pair rather than a
+// prefix set.
+type transition struct {
+	at      time.Time
+	apply   func(st *simState) []netip.Prefix
+	session *sessionChange
+}
+
+type sessionKey struct {
+	collector string
+	vp        uint32
+}
+
+type sessionChange struct {
+	key  sessionKey
+	down bool
+}
+
+type rtbhInfo struct {
+	origin      uint32
+	communities bgp.Communities
+}
+
+func removeASN(xs []uint32, v uint32) []uint32 {
+	out := xs[:0]
+	for _, x := range xs {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,356 @@
+package collector
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+	"github.com/bgpstream-go/bgpstream/internal/astopo"
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+	"github.com/bgpstream-go/bgpstream/internal/mrt"
+)
+
+// GenerateArchive runs the simulation over [start, end) and writes
+// every collector's RIB and Updates dumps into store, with each
+// project's rotation cadence. It returns the meta-data of all written
+// dumps.
+//
+// The timeline is event-driven: scripted events plus generated churn
+// expand into state transitions; at each transition the affected
+// (collector, VP, prefix) routes are re-derived and diffs become
+// update messages in the current dump window. RIB dumps snapshot the
+// maintained tables at aligned boundaries.
+func (s *Simulator) GenerateArchive(store *archive.Store, start, end time.Time) ([]archive.DumpMeta, error) {
+	if !end.After(start) {
+		return nil, fmt.Errorf("collector: empty interval %v..%v", start, end)
+	}
+	start, end = start.UTC(), end.UTC()
+
+	trans := s.expandTransitions(start, end)
+
+	// Apply pre-start transitions silently to establish initial state.
+	i := 0
+	for ; i < len(trans) && !trans[i].at.After(start); i++ {
+		tr := trans[i]
+		if tr.session != nil {
+			s.sessUp[tr.session.key] = !tr.session.down
+			continue
+		}
+		tr.apply(s.state)
+	}
+	s.initTables()
+
+	buffers := make(map[string]*windowBuf) // collector name -> current window
+	var metas []archive.DumpMeta
+
+	flushWindow := func(c Collector, buf *windowBuf) error {
+		sort.SliceStable(buf.recs, func(a, b int) bool {
+			return buf.recs[a].Header.Timestamp < buf.recs[b].Header.Timestamp
+		})
+		m, err := store.WriteDump(c.Project, c.Name, archive.DumpUpdates, buf.start, buf.recs)
+		if err != nil {
+			return err
+		}
+		metas = append(metas, m)
+		return nil
+	}
+
+	// Boundary schedule: per collector, updates windows and RIB times.
+	type boundary struct {
+		at    time.Time
+		c     int // collector index
+		isRIB bool
+	}
+	var bounds []boundary
+	for ci, c := range s.cfg.Collectors {
+		period := c.Project.UpdatePeriod
+		w0 := start.Truncate(period)
+		if w0.Before(start) {
+			w0 = w0.Add(period)
+		}
+		// Window [t, t+period) flushes at t+period.
+		for t := w0; t.Before(end); t = t.Add(period) {
+			bounds = append(bounds, boundary{at: t.Add(period), c: ci})
+		}
+		buffers[c.Name] = &windowBuf{start: w0}
+		r0 := start.Truncate(c.Project.RIBPeriod)
+		if r0.Before(start) {
+			r0 = r0.Add(c.Project.RIBPeriod)
+		}
+		for t := r0; t.Before(end); t = t.Add(c.Project.RIBPeriod) {
+			bounds = append(bounds, boundary{at: t, c: ci, isRIB: true})
+		}
+	}
+	sort.SliceStable(bounds, func(a, b int) bool {
+		if !bounds[a].at.Equal(bounds[b].at) {
+			return bounds[a].at.Before(bounds[b].at)
+		}
+		// RIB snapshots before update-window flushes at the same time.
+		return bounds[a].isRIB && !bounds[b].isRIB
+	})
+
+	// Merge transitions and boundaries chronologically; at equal
+	// times, boundaries (dump rotation) happen first so a transition
+	// at t lands in the window starting at t.
+	bi := 0
+	for bi < len(bounds) || i < len(trans) {
+		var (
+			doBoundary bool
+		)
+		switch {
+		case bi >= len(bounds):
+			doBoundary = false
+		case i >= len(trans):
+			doBoundary = true
+		default:
+			doBoundary = !trans[i].at.Before(bounds[bi].at)
+		}
+		if doBoundary {
+			b := bounds[bi]
+			bi++
+			c := s.cfg.Collectors[b.c]
+			if b.isRIB {
+				m, err := store.WriteDump(c.Project, c.Name, archive.DumpRIB, b.at, s.ribRecords(c, b.at))
+				if err != nil {
+					return nil, err
+				}
+				metas = append(metas, m)
+				continue
+			}
+			buf := buffers[c.Name]
+			if err := flushWindow(c, buf); err != nil {
+				return nil, err
+			}
+			buffers[c.Name] = &windowBuf{start: b.at}
+			continue
+		}
+		tr := trans[i]
+		i++
+		if tr.at.After(end) || tr.at.Equal(end) {
+			continue
+		}
+		s.applyTransition(tr, buffers)
+	}
+	archive.SortMetas(metas)
+	return metas, nil
+}
+
+// applyTransition mutates state and appends resulting update records
+// to each collector's current window.
+func (s *Simulator) applyTransition(tr transition, buffers map[string]*windowBuf) {
+	ts := uint32(tr.at.Unix())
+	if tr.session != nil {
+		s.applySessionChange(ts, tr.session, buffers)
+		return
+	}
+	affected := tr.apply(s.state)
+	for _, c := range s.cfg.Collectors {
+		buf := buffers[c.Name]
+		for _, vp := range c.VPs {
+			key := sessionKey{collector: c.Name, vp: vp.ASN}
+			if !s.sessUp[key] {
+				continue
+			}
+			tbl := s.tables[key]
+			for _, p := range affected {
+				old := tbl[p]
+				now := s.routeFor(vp, p)
+				if old.equal(now) {
+					continue
+				}
+				if now == nil {
+					delete(tbl, p)
+				} else {
+					tbl[p] = now
+				}
+				buf.recs = append(buf.recs, updateRecordFor(ts, c, vp, p, now))
+			}
+		}
+	}
+}
+
+// applySessionChange handles a VP session going down or coming back:
+// RIPE RIS collectors record the FSM transition (RouteViews do not);
+// re-established sessions re-announce their full table.
+func (s *Simulator) applySessionChange(ts uint32, sc *sessionChange, buffers map[string]*windowBuf) {
+	for _, c := range s.cfg.Collectors {
+		if c.Name != sc.key.collector {
+			continue
+		}
+		for _, vp := range c.VPs {
+			if vp.ASN != sc.key.vp {
+				continue
+			}
+			key := sc.key
+			buf := buffers[c.Name]
+			if sc.down {
+				if !s.sessUp[key] {
+					return
+				}
+				s.sessUp[key] = false
+				s.tables[key] = make(map[netip.Prefix]*routeEntry)
+				if c.Project.Name == archive.RIPERIS.Name {
+					buf.recs = append(buf.recs, stateChangeRecord(ts, c, vp, bgp.StateEstablished, bgp.StateIdle))
+				}
+				return
+			}
+			if s.sessUp[key] {
+				return
+			}
+			s.sessUp[key] = true
+			if c.Project.Name == archive.RIPERIS.Name {
+				buf.recs = append(buf.recs, stateChangeRecord(ts, c, vp, bgp.StateIdle, bgp.StateConnect))
+				buf.recs = append(buf.recs, stateChangeRecord(ts, c, vp, bgp.StateConnect, bgp.StateEstablished))
+			}
+			// Full-table re-announcement.
+			tbl := s.tables[key]
+			for _, p := range s.allKnownPrefixes() {
+				if e := s.routeFor(vp, p); e != nil {
+					tbl[p] = e
+					buf.recs = append(buf.recs, updateRecordFor(ts, c, vp, p, e))
+				}
+			}
+			return
+		}
+	}
+}
+
+// windowBuf accumulates the update records of one collector's current
+// dump window.
+type windowBuf struct {
+	start time.Time
+	recs  []mrt.Record
+}
+
+// expandTransitions turns scripted events plus generated churn into a
+// time-sorted transition list.
+func (s *Simulator) expandTransitions(start, end time.Time) []transition {
+	var trans []transition
+	for _, ev := range s.cfg.Events {
+		trans = append(trans, ev.transitions()...)
+	}
+	// Background churn: flaps on stub prefixes. As on the real
+	// Internet, flapping concentrates on a small set of unstable
+	// prefixes, which is what makes update streams redundant at short
+	// time scales (Figure 9).
+	if s.cfg.ChurnFlapsPerHour > 0 {
+		hours := end.Sub(start).Hours()
+		n := int(hours * s.cfg.ChurnFlapsPerHour)
+		stubs := s.cfg.Topo.Stubs()
+		var flappy []netip.Prefix
+		for i := 0; i < len(stubs); i += 7 { // ~14% of stubs are unstable
+			ps := s.cfg.Topo.AS(stubs[i]).Prefixes
+			if len(ps) > 0 {
+				flappy = append(flappy, ps[0])
+			}
+		}
+		if len(flappy) > 0 {
+			for k := 0; k < n; k++ {
+				f := Flap{
+					At:      start.Add(time.Duration(s.rng.Int63n(int64(end.Sub(start))))).Truncate(time.Second),
+					DownFor: time.Duration(30+s.rng.Intn(150)) * time.Second,
+					Prefix:  flappy[s.rng.Intn(len(flappy))],
+				}
+				trans = append(trans, f.transitions()...)
+			}
+		}
+	}
+	sort.SliceStable(trans, func(i, j int) bool { return trans[i].at.Before(trans[j].at) })
+	return trans
+}
+
+// DefaultRTBH builds a canonical remotely-triggered black-holing
+// event: the first multi-homed stub announces a /32 inside its space
+// tagged with its first provider's conventional blackhole community
+// (provider:666). It returns the event and a human-readable summary.
+func DefaultRTBH(topo *astopo.Topology, start time.Time, dur time.Duration) (RTBH, string, error) {
+	for _, asn := range topo.Stubs() {
+		as := topo.AS(asn)
+		if len(as.Providers) == 0 || len(as.Prefixes) == 0 {
+			continue
+		}
+		target := as.Prefixes[0].Addr().Next()
+		blackhole, err := target.Prefix(32)
+		if err != nil {
+			continue
+		}
+		// Multi-homed customers set one black-holing community per
+		// provider (§4.3: communities differ across providers, so
+		// customers may need several).
+		var comms bgp.Communities
+		for _, provider := range as.Providers {
+			comms = append(comms, bgp.NewCommunity(uint16(provider), 666))
+		}
+		ev := RTBH{
+			Start:       start,
+			End:         start.Add(dur),
+			Origin:      asn,
+			Prefix:      blackhole,
+			Communities: comms,
+		}
+		desc := fmt.Sprintf("AS%d black-holes %s via %d provider(s) (%s)",
+			asn, blackhole, len(as.Providers), comms)
+		return ev, desc, nil
+	}
+	return RTBH{}, "", fmt.Errorf("collector: no stub suitable for RTBH")
+}
+
+// DefaultVPAddr synthesises a stable peering address for a VP.
+func DefaultVPAddr(asn uint32, idx int) netip.Addr {
+	return netip.AddrFrom4([4]byte{100, byte(64 + idx), byte(asn >> 8), byte(asn)})
+}
+
+// DefaultCollectors builds the canonical two-collector deployment used
+// across tests, examples and benches: a RIPE RIS collector (rrc00)
+// and a RouteViews collector (route-views2), each peering with a mix
+// of full- and partial-feed VPs drawn deterministically from the
+// topology's transit and stub tiers.
+func DefaultCollectors(topo *astopo.Topology, vpsPerCollector int) []Collector {
+	transits := topo.Transits()
+	stubs := topo.Stubs()
+	pick := func(base int) []VP {
+		var vps []VP
+		for i := 0; len(vps) < vpsPerCollector; i++ {
+			j := base + i
+			if j%3 == 2 && len(stubs) > 0 {
+				// every third VP is a partial-feed stub
+				asn := stubs[(base*7+i)%len(stubs)]
+				vps = append(vps, VP{ASN: asn, Addr: DefaultVPAddr(asn, base+i), FullFeed: false})
+			} else {
+				asn := transits[(base*5+i)%len(transits)]
+				dup := false
+				for _, v := range vps {
+					if v.ASN == asn {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				vps = append(vps, VP{ASN: asn, Addr: DefaultVPAddr(asn, base+i), FullFeed: true})
+			}
+		}
+		return vps
+	}
+	return []Collector{
+		{
+			Project:   archive.RIPERIS,
+			Name:      "rrc00",
+			BGPID:     netip.MustParseAddr("193.0.0.1"),
+			LocalAddr: netip.MustParseAddr("193.0.0.1"),
+			LocalASN:  12654,
+			VPs:       pick(0),
+		},
+		{
+			Project:   archive.RouteViews,
+			Name:      "route-views2",
+			BGPID:     netip.MustParseAddr("128.223.51.102"),
+			LocalAddr: netip.MustParseAddr("128.223.51.102"),
+			LocalASN:  6447,
+			VPs:       pick(1),
+		},
+	}
+}

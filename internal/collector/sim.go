@@ -1,0 +1,363 @@
+// Package collector simulates route collectors and their vantage
+// points: the data-collection process of Figure 1. Driven by an
+// astopo topology, it maintains each VP's Adj-RIB-out, replays
+// scripted events (hijacks, outages, remotely-triggered black-holing,
+// flaps, session resets) plus background churn, and rotates RIB and
+// Updates dumps into an archive.Store with each project's cadence and
+// formats — producing archives that are byte-level indistinguishable
+// from what libBGPStream expects of RouteViews and RIPE RIS.
+package collector
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+	"github.com/bgpstream-go/bgpstream/internal/astopo"
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+	"github.com/bgpstream-go/bgpstream/internal/mrt"
+)
+
+// VP is one vantage point peering with a collector.
+type VP struct {
+	ASN  uint32
+	Addr netip.Addr
+	// FullFeed VPs export their whole Loc-RIB; partial-feed VPs only
+	// customer and own routes (§2).
+	FullFeed bool
+}
+
+// Collector is one simulated route collector.
+type Collector struct {
+	Project   archive.Project
+	Name      string
+	BGPID     netip.Addr
+	LocalAddr netip.Addr
+	LocalASN  uint32
+	VPs       []VP
+}
+
+// Config assembles a simulation.
+type Config struct {
+	Topo       *astopo.Topology
+	Collectors []Collector
+	Events     []Event
+	// ChurnFlapsPerHour adds random background prefix flaps.
+	ChurnFlapsPerHour float64
+	Seed              int64
+}
+
+// simState is the dynamic control-plane state.
+type simState struct {
+	topo    *astopo.Topology
+	origins map[netip.Prefix]uint32
+	hijacks map[netip.Prefix][]uint32
+	down    map[netip.Prefix]bool
+	asDown  map[uint32]bool
+	rtbh    map[netip.Prefix]rtbhInfo
+}
+
+func (st *simState) prefixesOf(asn uint32) []netip.Prefix {
+	as := st.topo.AS(asn)
+	if as == nil {
+		return nil
+	}
+	out := make([]netip.Prefix, 0, len(as.Prefixes)+len(as.PrefixesV6))
+	out = append(out, as.Prefixes...)
+	out = append(out, as.PrefixesV6...)
+	return out
+}
+
+// routeEntry is one VP's exported route for one prefix.
+type routeEntry struct {
+	origin      uint32
+	path        []uint32
+	communities bgp.Communities
+	nextHop     netip.Addr
+}
+
+func (e *routeEntry) equal(o *routeEntry) bool {
+	if e == nil || o == nil {
+		return e == o
+	}
+	if e.origin != o.origin || e.nextHop != o.nextHop || len(e.path) != len(o.path) || len(e.communities) != len(o.communities) {
+		return false
+	}
+	for i := range e.path {
+		if e.path[i] != o.path[i] {
+			return false
+		}
+	}
+	for i := range e.communities {
+		if e.communities[i] != o.communities[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Simulator drives the collection process.
+type Simulator struct {
+	cfg    Config
+	eng    *astopo.RoutingEngine
+	state  *simState
+	rng    *rand.Rand
+	tables map[sessionKey]map[netip.Prefix]*routeEntry
+	sessUp map[sessionKey]bool
+}
+
+// NewSimulator builds a simulator; collectors must reference VPs whose
+// ASNs exist in the topology.
+func NewSimulator(cfg Config) (*Simulator, error) {
+	st := &simState{
+		topo:    cfg.Topo,
+		origins: make(map[netip.Prefix]uint32),
+		hijacks: make(map[netip.Prefix][]uint32),
+		down:    make(map[netip.Prefix]bool),
+		asDown:  make(map[uint32]bool),
+		rtbh:    make(map[netip.Prefix]rtbhInfo),
+	}
+	for _, op := range cfg.Topo.AllPrefixes() {
+		st.origins[op.Prefix] = op.Origin
+	}
+	s := &Simulator{
+		cfg:    cfg,
+		eng:    astopo.NewRoutingEngine(cfg.Topo),
+		state:  st,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		tables: make(map[sessionKey]map[netip.Prefix]*routeEntry),
+		sessUp: make(map[sessionKey]bool),
+	}
+	for _, c := range cfg.Collectors {
+		for _, vp := range c.VPs {
+			if cfg.Topo.AS(vp.ASN) == nil {
+				return nil, fmt.Errorf("collector: VP AS%d not in topology", vp.ASN)
+			}
+			key := sessionKey{collector: c.Name, vp: vp.ASN}
+			s.tables[key] = make(map[netip.Prefix]*routeEntry)
+			s.sessUp[key] = true
+		}
+	}
+	return s, nil
+}
+
+// routeFor computes the route VP vp would export for prefix, or nil.
+func (s *Simulator) routeFor(vp VP, prefix netip.Prefix) *routeEntry {
+	if s.state.down[prefix] {
+		return nil
+	}
+	var candidates []uint32
+	var extraComms bgp.Communities
+	if info, ok := s.state.rtbh[prefix]; ok {
+		candidates = []uint32{info.origin}
+		extraComms = info.communities
+	} else {
+		origin, ok := s.state.origins[prefix]
+		if !ok {
+			return nil
+		}
+		candidates = []uint32{origin}
+	}
+	candidates = append(candidates, s.state.hijacks[prefix]...)
+	alive := candidates[:0]
+	for _, o := range candidates {
+		if !s.state.asDown[o] {
+			alive = append(alive, o)
+		}
+	}
+	if len(alive) == 0 {
+		return nil
+	}
+	origin, route, ok := s.eng.BestOrigin(vp.ASN, alive)
+	if !ok {
+		return nil
+	}
+	if !vp.FullFeed && route.Type > astopo.RouteCustomer {
+		return nil
+	}
+	comms := s.cfg.Topo.PathCommunities(route)
+	if len(extraComms) > 0 {
+		comms = append(comms.Clone(), extraComms...)
+	}
+	return &routeEntry{
+		origin:      origin,
+		path:        route.Path,
+		communities: comms,
+		nextHop:     vp.Addr,
+	}
+}
+
+// updateRecordFor builds the BGP4MP record conveying a change from old
+// to new (either may be nil) for one prefix from one VP.
+func updateRecordFor(ts uint32, c Collector, vp VP, prefix netip.Prefix, entry *routeEntry) mrt.Record {
+	u := &bgp.Update{}
+	if entry == nil {
+		if prefix.Addr().Is4() {
+			u.Withdrawn = []netip.Prefix{prefix}
+		} else {
+			u.Attrs.MPUnreach = &bgp.MPUnreach{AFI: bgp.AFIIPv6, SAFI: bgp.SAFIUnicast, NLRI: []netip.Prefix{prefix}}
+		}
+	} else {
+		origin := uint8(bgp.OriginIGP)
+		u.Attrs.Origin = &origin
+		u.Attrs.ASPath = bgp.SequencePath(entry.path...)
+		u.Attrs.HasASPath = true
+		u.Attrs.Communities = entry.communities
+		if prefix.Addr().Is4() {
+			u.Attrs.NextHop = entry.nextHop
+			u.NLRI = []netip.Prefix{prefix}
+		} else {
+			nh := entry.nextHop
+			if nh.Is4() {
+				// Model a v6 next hop for v6 reachability.
+				b := nh.As4()
+				nh = netip.AddrFrom16([16]byte{0x20, 0x01, 0x0d, 0xb8, 0xff, 0xff, b[0], b[1], b[2], b[3]})
+			}
+			u.Attrs.MPReach = &bgp.MPReach{
+				AFI: bgp.AFIIPv6, SAFI: bgp.SAFIUnicast,
+				NextHop: nh,
+				NLRI:    []netip.Prefix{prefix},
+			}
+		}
+	}
+	return mrt.NewUpdateRecord(ts, vp.ASN, c.LocalASN, vp.Addr, c.LocalAddr, u)
+}
+
+// sortedPrefixes returns all prefixes in a table in wire-stable order.
+func sortedPrefixes(m map[netip.Prefix]*routeEntry) []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sortPrefixes(out)
+	return out
+}
+
+func sortPrefixes(ps []netip.Prefix) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		if a.Addr().Is4() != b.Addr().Is4() {
+			return a.Addr().Is4()
+		}
+		if c := a.Addr().Compare(b.Addr()); c != 0 {
+			return c < 0
+		}
+		return a.Bits() < b.Bits()
+	})
+}
+
+// allKnownPrefixes returns every prefix that could currently be in a
+// table: origin prefixes plus active RTBH prefixes.
+func (s *Simulator) allKnownPrefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(s.state.origins)+len(s.state.rtbh))
+	for p := range s.state.origins {
+		out = append(out, p)
+	}
+	for p := range s.state.rtbh {
+		if _, dup := s.state.origins[p]; !dup {
+			out = append(out, p)
+		}
+	}
+	sortPrefixes(out)
+	return out
+}
+
+// initTables fills every session's table from current state.
+func (s *Simulator) initTables() {
+	prefixes := s.allKnownPrefixes()
+	for _, c := range s.cfg.Collectors {
+		for _, vp := range c.VPs {
+			key := sessionKey{collector: c.Name, vp: vp.ASN}
+			if !s.sessUp[key] {
+				continue
+			}
+			tbl := s.tables[key]
+			for _, p := range prefixes {
+				if e := s.routeFor(vp, p); e != nil {
+					tbl[p] = e
+				}
+			}
+		}
+	}
+}
+
+// ribRecords snapshots one collector's view as a TABLE_DUMP_V2 dump.
+// Record timestamps spread across archive.RIBSpan, modelling the
+// multi-minute write-out of §6.2.1 (E2).
+func (s *Simulator) ribRecords(c Collector, at time.Time) []mrt.Record {
+	pit := &mrt.PeerIndexTable{
+		CollectorBGPID: c.BGPID,
+		ViewName:       c.Name,
+	}
+	for _, vp := range c.VPs {
+		pit.Peers = append(pit.Peers, mrt.Peer{
+			BGPID: vp.Addr, IP: vp.Addr, AS: vp.ASN,
+		})
+	}
+	base := uint32(at.Unix())
+	recs := []mrt.Record{mrt.NewPeerIndexRecord(base, pit)}
+
+	// prefix -> entries across VPs
+	merged := make(map[netip.Prefix][]mrt.RIBEntry)
+	for i, vp := range c.VPs {
+		key := sessionKey{collector: c.Name, vp: vp.ASN}
+		if !s.sessUp[key] {
+			continue
+		}
+		for p, e := range s.tables[key] {
+			attrs := s.encodeRIBAttrs(e, p)
+			merged[p] = append(merged[p], mrt.RIBEntry{
+				PeerIndex:      uint16(i),
+				OriginatedTime: base,
+				Attrs:          attrs,
+			})
+		}
+	}
+	prefixes := make([]netip.Prefix, 0, len(merged))
+	for p := range merged {
+		prefixes = append(prefixes, p)
+	}
+	sortPrefixes(prefixes)
+	// All records carry the snapshot instant: the table is captured
+	// atomically at the dump boundary. (Real collectors keep applying
+	// updates while writing, which is exactly the inconsistency the RT
+	// plugin's E2 handling and audit quantify; the simulator can also
+	// inject that skew explicitly via events.)
+	for seq, p := range prefixes {
+		recs = append(recs, mrt.NewRIBRecord(base, &mrt.RIB{
+			Sequence: uint32(seq),
+			Prefix:   p,
+			Entries:  merged[p],
+		}))
+	}
+	return recs
+}
+
+func (s *Simulator) encodeRIBAttrs(e *routeEntry, p netip.Prefix) []byte {
+	origin := uint8(bgp.OriginIGP)
+	attrs := bgp.PathAttributes{
+		Origin:      &origin,
+		ASPath:      bgp.SequencePath(e.path...),
+		HasASPath:   true,
+		Communities: e.communities,
+	}
+	if p.Addr().Is4() {
+		attrs.NextHop = e.nextHop
+	} else {
+		nh := e.nextHop
+		if nh.Is4() {
+			b := nh.As4()
+			nh = netip.AddrFrom16([16]byte{0x20, 0x01, 0x0d, 0xb8, 0xff, 0xff, b[0], b[1], b[2], b[3]})
+		}
+		attrs.MPReach = &bgp.MPReach{AFI: bgp.AFIIPv6, SAFI: bgp.SAFIUnicast, NextHop: nh}
+	}
+	return bgp.AppendAttributes(nil, &attrs, 4)
+}
+
+// stateChangeRecord emits a session FSM transition record.
+func stateChangeRecord(ts uint32, c Collector, vp VP, oldS, newS bgp.FSMState) mrt.Record {
+	return mrt.NewStateChangeRecord(ts, vp.ASN, c.LocalASN, vp.Addr, c.LocalAddr, oldS, newS)
+}

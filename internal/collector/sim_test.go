@@ -1,0 +1,484 @@
+package collector
+
+import (
+	"context"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+	"github.com/bgpstream-go/bgpstream/internal/astopo"
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+func smallTopo(seed int64) *astopo.Topology {
+	p := astopo.DefaultParams(seed)
+	p.TierOneCount = 4
+	p.TierTwoCount = 8
+	p.StubCount = 30
+	return astopo.Generate(p)
+}
+
+var simStart = time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func newSim(t *testing.T, topo *astopo.Topology, events []Event, churn float64) *Simulator {
+	t.Helper()
+	s, err := NewSimulator(Config{
+		Topo:              topo,
+		Collectors:        DefaultCollectors(topo, 6),
+		Events:            events,
+		ChurnFlapsPerHour: churn,
+		Seed:              42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func generate(t *testing.T, sim *Simulator, hours int) (*archive.Store, []archive.DumpMeta) {
+	t.Helper()
+	st, err := archive.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas, err := sim.GenerateArchive(st, simStart, simStart.Add(time.Duration(hours)*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, metas
+}
+
+func TestGenerateArchiveLayout(t *testing.T) {
+	topo := smallTopo(1)
+	sim := newSim(t, topo, nil, 2)
+	_, metas := generate(t, sim, 8)
+
+	// 8h of rrc00 (RIS): RIBs at 0h and 8h boundary? RIB at 0:00 only
+	// within [start,end) → 1; updates: 8h/5min = 96 files.
+	// route-views2: RIBs at 0,2,4,6 = 4; updates 8h/15min = 32.
+	counts := map[string]int{}
+	for _, m := range metas {
+		counts[m.Collector+"/"+string(m.Type)]++
+	}
+	if got := counts["rrc00/updates"]; got != 96 {
+		t.Errorf("rrc00 updates dumps = %d, want 96", got)
+	}
+	if got := counts["route-views2/updates"]; got != 32 {
+		t.Errorf("route-views2 updates dumps = %d, want 32", got)
+	}
+	if got := counts["rrc00/ribs"]; got != 1 {
+		t.Errorf("rrc00 rib dumps = %d, want 1", got)
+	}
+	if got := counts["route-views2/ribs"]; got != 4 {
+		t.Errorf("route-views2 rib dumps = %d, want 4", got)
+	}
+}
+
+func TestRIBDumpContents(t *testing.T) {
+	topo := smallTopo(2)
+	sim := newSim(t, topo, nil, 0)
+	st, _ := generate(t, sim, 2)
+
+	s := core.NewStream(context.Background(), &core.Directory{Dir: st.Root},
+		core.Filters{Collectors: []string{"route-views2"}, DumpTypes: []core.DumpType{core.DumpRIB}})
+	defer s.Close()
+	prefixes := map[netip.Prefix]bool{}
+	vps := map[uint32]bool{}
+	rib := 0
+	for {
+		_, e, err := s.NextElem()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Type != core.ElemRIB {
+			t.Fatalf("unexpected elem type %s in RIB stream", e.Type)
+		}
+		prefixes[e.Prefix] = true
+		vps[e.PeerASN] = true
+		rib++
+		if len(e.ASPath.Segments) == 0 {
+			t.Fatal("RIB elem without AS path")
+		}
+		if e.PeerASN != e.ASPath.Segments[0].ASNs[0] {
+			t.Fatalf("path %s does not start at VP %d", e.ASPath, e.PeerASN)
+		}
+	}
+	if rib == 0 {
+		t.Fatal("no RIB elems")
+	}
+	// Full-feed VPs should cover nearly all originated v4 prefixes.
+	total := 0
+	for _, op := range topo.AllPrefixes() {
+		if op.Prefix.Addr().Is4() {
+			total++
+		}
+	}
+	if len(prefixes) < total/2 {
+		t.Errorf("RIB covers %d of %d prefixes", len(prefixes), total)
+	}
+	if len(vps) < 4 {
+		t.Errorf("only %d VPs present", len(vps))
+	}
+}
+
+func TestPartialFeedSmaller(t *testing.T) {
+	topo := smallTopo(3)
+	sim := newSim(t, topo, nil, 0)
+	st, _ := generate(t, sim, 2)
+
+	s := core.NewStream(context.Background(), &core.Directory{Dir: st.Root},
+		core.Filters{DumpTypes: []core.DumpType{core.DumpRIB}})
+	defer s.Close()
+	perVP := map[uint32]int{}
+	for {
+		_, e, err := s.NextElem()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		perVP[e.PeerASN]++
+	}
+	full := make(map[uint32]bool)
+	partial := make(map[uint32]bool)
+	for _, c := range sim.cfg.Collectors {
+		for _, vp := range c.VPs {
+			if vp.FullFeed {
+				full[vp.ASN] = true
+			} else {
+				partial[vp.ASN] = true
+			}
+		}
+	}
+	var maxFull, maxPartial int
+	for asn, n := range perVP {
+		if full[asn] && n > maxFull {
+			maxFull = n
+		}
+		if partial[asn] && n > maxPartial {
+			maxPartial = n
+		}
+	}
+	if maxPartial >= maxFull/2 {
+		t.Errorf("partial-feed VP table (%d) not clearly smaller than full-feed (%d)", maxPartial, maxFull)
+	}
+}
+
+func TestHijackVisibleAsMOAS(t *testing.T) {
+	topo := smallTopo(4)
+	stubs := topo.Stubs()
+	// Pick a victim/attacker pair that splits the deployed VPs, so
+	// both origins are observable.
+	colls := DefaultCollectors(topo, 6)
+	eng := astopo.NewRoutingEngine(topo)
+	var vpASNs []uint32
+	for _, c := range colls {
+		for _, v := range c.VPs {
+			if v.FullFeed {
+				vpASNs = append(vpASNs, v.ASN)
+			}
+		}
+	}
+	var victim, attacker uint32
+search:
+	for _, v := range stubs {
+		for _, a := range stubs {
+			if a == v {
+				continue
+			}
+			wins := map[uint32]int{}
+			for _, w := range vpASNs {
+				if o, _, ok := eng.BestOrigin(w, []uint32{v, a}); ok {
+					wins[o]++
+				}
+			}
+			if wins[v] > 0 && wins[a] > 0 {
+				victim, attacker = v, a
+				break search
+			}
+		}
+	}
+	if victim == 0 {
+		t.Fatal("no VP-splitting pair found")
+	}
+	vp := topo.AS(victim).Prefixes[0]
+	ev := Hijack{
+		Start:    simStart.Add(20 * time.Minute),
+		End:      simStart.Add(80 * time.Minute),
+		Attacker: attacker,
+		Prefixes: []netip.Prefix{vp},
+	}
+	sim := newSim(t, topo, []Event{ev}, 0)
+	st, _ := generate(t, sim, 3)
+
+	s := core.NewStream(context.Background(), &core.Directory{Dir: st.Root},
+		core.Filters{
+			DumpTypes: []core.DumpType{core.DumpUpdates},
+			Prefixes:  []core.PrefixFilter{{Prefix: vp, Match: core.MatchExact}},
+		})
+	defer s.Close()
+	origins := map[uint32]bool{}
+	announcements := 0
+	for {
+		_, e, err := s.NextElem()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Type != core.ElemAnnouncement {
+			continue
+		}
+		announcements++
+		origins[e.OriginASN()] = true
+	}
+	if announcements == 0 {
+		t.Fatal("no announcements for hijacked prefix")
+	}
+	if !origins[attacker] {
+		t.Errorf("attacker origin never observed: %v", origins)
+	}
+	if !origins[victim] {
+		t.Errorf("victim origin never re-observed: %v", origins)
+	}
+}
+
+func TestOutageWithdrawals(t *testing.T) {
+	topo := smallTopo(5)
+	stub := topo.Stubs()[3]
+	prefixes := topo.AS(stub).Prefixes
+	ev := Outage{
+		Start: simStart.Add(30 * time.Minute),
+		End:   simStart.Add(90 * time.Minute),
+		ASNs:  []uint32{stub},
+	}
+	sim := newSim(t, topo, []Event{ev}, 0)
+	st, _ := generate(t, sim, 3)
+
+	s := core.NewStream(context.Background(), &core.Directory{Dir: st.Root},
+		core.Filters{
+			DumpTypes: []core.DumpType{core.DumpUpdates},
+			Prefixes:  []core.PrefixFilter{{Prefix: prefixes[0], Match: core.MatchExact}},
+		})
+	defer s.Close()
+	var seq []core.ElemType
+	var times []time.Time
+	for {
+		_, e, err := s.NextElem()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq = append(seq, e.Type)
+		times = append(times, e.Timestamp)
+	}
+	if len(seq) == 0 {
+		t.Fatal("no updates for outage prefix")
+	}
+	// First burst must be withdrawals at outage start, later burst
+	// announcements at outage end.
+	if seq[0] != core.ElemWithdrawal {
+		t.Errorf("first update is %s, want W", seq[0])
+	}
+	if times[0].Unix() != ev.Start.Unix() {
+		t.Errorf("withdrawal at %v, want %v", times[0], ev.Start)
+	}
+	last := seq[len(seq)-1]
+	if last != core.ElemAnnouncement {
+		t.Errorf("last update is %s, want A", last)
+	}
+	if times[len(times)-1].Unix() != ev.End.Unix() {
+		t.Errorf("recovery at %v, want %v", times[len(times)-1], ev.End)
+	}
+}
+
+func TestRTBHCommunitiesVisible(t *testing.T) {
+	topo := smallTopo(6)
+	stub := topo.Stubs()[1]
+	provider := topo.AS(stub).Providers[0]
+	target := topo.AS(stub).Prefixes[0].Addr().Next() // host inside
+	blackhole, err := target.Prefix(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := bgp.NewCommunity(uint16(provider), 666)
+	ev := RTBH{
+		Start:       simStart.Add(10 * time.Minute),
+		End:         simStart.Add(40 * time.Minute),
+		Origin:      stub,
+		Prefix:      blackhole,
+		Communities: bgp.Communities{comm},
+	}
+	sim := newSim(t, topo, []Event{ev}, 0)
+	st, _ := generate(t, sim, 1)
+
+	// Community-filtered live-style stream, as in §4.3.
+	s := core.NewStream(context.Background(), &core.Directory{Dir: st.Root},
+		core.Filters{
+			DumpTypes:   []core.DumpType{core.DumpUpdates},
+			Communities: []core.CommunityFilter{mustCF(t, "65535:65535", comm)},
+		})
+	defer s.Close()
+	n := 0
+	for {
+		_, e, err := s.NextElem()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Prefix != blackhole {
+			t.Errorf("community filter matched %s", e.Prefix)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("black-holed announcement not captured by community filter")
+	}
+}
+
+func mustCF(t *testing.T, _ string, c bgp.Community) core.CommunityFilter {
+	t.Helper()
+	asn, val := c.ASN(), c.Value()
+	return core.CommunityFilter{ASN: &asn, Value: &val}
+}
+
+func TestSessionResetStateMessages(t *testing.T) {
+	topo := smallTopo(7)
+	sim := newSim(t, topo, nil, 0)
+	risVP := sim.cfg.Collectors[0].VPs[0]
+	rvVP := sim.cfg.Collectors[1].VPs[0]
+	sim.cfg.Events = []Event{
+		SessionReset{At: simStart.Add(10 * time.Minute), DownFor: 10 * time.Minute, Collector: "rrc00", VP: risVP.ASN},
+		SessionReset{At: simStart.Add(10 * time.Minute), DownFor: 10 * time.Minute, Collector: "route-views2", VP: rvVP.ASN},
+	}
+	st, _ := generate(t, sim, 1)
+
+	// RIS stream must contain state elems; RouteViews must not.
+	for _, tc := range []struct {
+		collector string
+		wantState bool
+	}{
+		{"rrc00", true},
+		{"route-views2", false},
+	} {
+		s := core.NewStream(context.Background(), &core.Directory{Dir: st.Root},
+			core.Filters{Collectors: []string{tc.collector}, DumpTypes: []core.DumpType{core.DumpUpdates}})
+		states := 0
+		reannounce := 0
+		for {
+			_, e, err := s.NextElem()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Type == core.ElemPeerState {
+				states++
+				if e.PeerASN != risVP.ASN {
+					t.Errorf("state elem from unexpected VP %d", e.PeerASN)
+				}
+			}
+			if e.Type == core.ElemAnnouncement {
+				reannounce++
+			}
+		}
+		s.Close()
+		if tc.wantState && states < 3 {
+			t.Errorf("%s: %d state elems, want >=3", tc.collector, states)
+		}
+		if !tc.wantState && states != 0 {
+			t.Errorf("%s: %d state elems, want 0", tc.collector, states)
+		}
+		if reannounce == 0 {
+			t.Errorf("%s: no re-announcement burst after session restore", tc.collector)
+		}
+	}
+}
+
+func TestChurnGeneratesUpdates(t *testing.T) {
+	topo := smallTopo(8)
+	sim := newSim(t, topo, nil, 30)
+	st, _ := generate(t, sim, 2)
+	s := core.NewStream(context.Background(), &core.Directory{Dir: st.Root},
+		core.Filters{DumpTypes: []core.DumpType{core.DumpUpdates}})
+	defer s.Close()
+	ann, wd := 0, 0
+	for {
+		_, e, err := s.NextElem()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch e.Type {
+		case core.ElemAnnouncement:
+			ann++
+		case core.ElemWithdrawal:
+			wd++
+		}
+	}
+	if ann == 0 || wd == 0 {
+		t.Errorf("churn produced A=%d W=%d", ann, wd)
+	}
+}
+
+func TestDeterministicArchive(t *testing.T) {
+	gen := func() map[string]int {
+		topo := smallTopo(9)
+		p := astopo.DefaultParams(9)
+		_ = p
+		sim, err := NewSimulator(Config{
+			Topo:              topo,
+			Collectors:        DefaultCollectors(topo, 4),
+			ChurnFlapsPerHour: 10,
+			Seed:              7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := archive.NewStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.GenerateArchive(st, simStart, simStart.Add(time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+		s := core.NewStream(context.Background(), &core.Directory{Dir: st.Root}, core.Filters{})
+		defer s.Close()
+		counts := map[string]int{}
+		for {
+			rec, err := s.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[rec.Collector+"/"+string(rec.DumpType)]++
+		}
+		return counts
+	}
+	a, b := gen(), gen()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("nondeterministic %s: %d vs %d", k, v, b[k])
+		}
+	}
+}

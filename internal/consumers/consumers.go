@@ -1,0 +1,328 @@
+// Package consumers implements the final stage of the §6.2 pipeline:
+// applications that read reconstructed routing tables off the message
+// bus — paced by a sync server — and turn them into monitoring time
+// series. It provides the two consumers the paper deploys for
+// near-realtime outage detection (per-country and per-AS visible
+// prefix counts, Figure 10) plus a MOAS consumer for hijack
+// surveillance, all built on a shared diff-applying table
+// reconstructor (§6.2.2).
+package consumers
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"github.com/bgpstream-go/bgpstream/internal/geo"
+	"github.com/bgpstream-go/bgpstream/internal/mq"
+	"github.com/bgpstream-go/bgpstream/internal/rtables"
+	"github.com/bgpstream-go/bgpstream/internal/syncsrv"
+	"github.com/bgpstream-go/bgpstream/internal/timeseries"
+)
+
+// cell is the consumer-side view of one (VP, prefix) route.
+type cell struct {
+	origin uint32
+}
+
+// TableSet reconstructs full routing tables by applying the diff
+// batches published by the RT plugin: the consumer-side routines of
+// §6.2.2. Snapshots reset a collector's tables; diffs mutate them.
+type TableSet struct {
+	tables map[rtables.VPKey]map[netip.Prefix]cell
+}
+
+// NewTableSet creates an empty reconstructor.
+func NewTableSet() *TableSet {
+	return &TableSet{tables: make(map[rtables.VPKey]map[netip.Prefix]cell)}
+}
+
+func originOfPath(path string) uint32 {
+	fields := strings.Fields(path)
+	if len(fields) == 0 {
+		return 0
+	}
+	last := fields[len(fields)-1]
+	last = strings.Trim(last, "{}")
+	if i := strings.IndexByte(last, ','); i >= 0 {
+		last = last[:i]
+	}
+	v, err := strconv.ParseUint(last, 10, 32)
+	if err != nil {
+		return 0
+	}
+	return uint32(v)
+}
+
+// Apply folds one batch into the tables.
+func (ts *TableSet) Apply(batch *mq.DiffBatch) {
+	if batch.Snapshot {
+		// A snapshot replaces every table of the collector.
+		for key := range ts.tables {
+			if key.Collector == batch.Collector {
+				delete(ts.tables, key)
+			}
+		}
+	}
+	for _, d := range batch.Diffs {
+		tbl := ts.tables[d.VP]
+		if tbl == nil {
+			tbl = make(map[netip.Prefix]cell)
+			ts.tables[d.VP] = tbl
+		}
+		if d.Announced {
+			tbl[d.Prefix] = cell{origin: originOfPath(d.Path)}
+		} else {
+			delete(tbl, d.Prefix)
+		}
+	}
+}
+
+// VPCount returns the number of VPs with any routes.
+func (ts *TableSet) VPCount() int { return len(ts.tables) }
+
+// PrefixVisibility returns, per prefix, the number of VPs currently
+// announcing it.
+func (ts *TableSet) PrefixVisibility() map[netip.Prefix]int {
+	out := make(map[netip.Prefix]int)
+	for _, tbl := range ts.tables {
+		for p := range tbl {
+			out[p]++
+		}
+	}
+	return out
+}
+
+// PrefixOrigins returns, per prefix, the distinct origin ASNs VPs see
+// — the MOAS input.
+func (ts *TableSet) PrefixOrigins() map[netip.Prefix]map[uint32]bool {
+	out := make(map[netip.Prefix]map[uint32]bool)
+	for _, tbl := range ts.tables {
+		for p, c := range tbl {
+			if c.origin == 0 {
+				continue
+			}
+			set := out[p]
+			if set == nil {
+				set = make(map[uint32]bool)
+				out[p] = set
+			}
+			set[c.origin] = true
+		}
+	}
+	return out
+}
+
+// busReader pages Ready messages from a sync topic and loads the
+// referenced diff batches.
+type busReader struct {
+	broker      *mq.Broker
+	syncTopic   string
+	readyOffset int64
+}
+
+// next returns the next ready bin's batches, or nil when caught up.
+func (r *busReader) next() (*syncsrv.Ready, []*mq.DiffBatch, error) {
+	msgs, next := r.broker.Fetch(r.syncTopic, r.readyOffset, 1)
+	if len(msgs) == 0 {
+		return nil, nil, nil
+	}
+	r.readyOffset = next
+	ready, err := syncsrv.DecodeReady(msgs[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	var batches []*mq.DiffBatch
+	for collector, offset := range ready.Batches {
+		raw, _ := r.broker.Fetch(mq.DiffTopic(collector), offset, 1)
+		if len(raw) == 0 {
+			return nil, nil, fmt.Errorf("consumers: missing batch %s@%d", collector, offset)
+		}
+		batch, err := mq.DecodeDiffBatch(raw[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		batches = append(batches, batch)
+	}
+	return ready, batches, nil
+}
+
+// OutageConsumer computes per-country and per-AS visible-prefix
+// counts for every ready bin and appends them to a time-series store
+// under "country.<CC>" and "asn.<N>" (Figure 10).
+type OutageConsumer struct {
+	Broker *mq.Broker
+	// SyncName selects which sync server paces this consumer.
+	SyncName string
+	Geo      *geo.DB
+	Store    *timeseries.Store
+	// MinVPs is how many VPs must carry a prefix for it to count as
+	// visible (the paper restricts to full-feed VPs; the diff stream
+	// already reflects what VPs export).
+	MinVPs int
+
+	tables *TableSet
+	reader *busReader
+	// seenCountries and seenASNs remember every key that ever had a
+	// non-zero count, so later bins emit explicit zeros — without
+	// them an outage would be a gap in the series instead of a drop.
+	seenCountries map[string]bool
+	seenASNs      map[uint32]bool
+	// BinsProcessed counts consumed bins.
+	BinsProcessed int
+}
+
+func (c *OutageConsumer) init() {
+	if c.tables == nil {
+		c.tables = NewTableSet()
+		c.reader = &busReader{broker: c.Broker, syncTopic: syncsrv.ReadyTopic(c.SyncName)}
+		c.seenCountries = make(map[string]bool)
+		c.seenASNs = make(map[uint32]bool)
+		if c.MinVPs <= 0 {
+			c.MinVPs = 1
+		}
+	}
+}
+
+// Poll consumes every ready bin currently available and returns how
+// many were processed.
+func (c *OutageConsumer) Poll() (int, error) {
+	c.init()
+	n := 0
+	for {
+		ready, batches, err := c.reader.next()
+		if err != nil {
+			return n, err
+		}
+		if ready == nil {
+			return n, nil
+		}
+		for _, b := range batches {
+			c.tables.Apply(b)
+		}
+		if err := c.emit(ready.BinStart); err != nil {
+			return n, err
+		}
+		c.BinsProcessed++
+		n++
+	}
+}
+
+func (c *OutageConsumer) emit(bin int64) error {
+	vis := c.tables.PrefixVisibility()
+	origins := c.tables.PrefixOrigins()
+	countryCount := make(map[string]int)
+	asnCount := make(map[uint32]int)
+	for p, vps := range vis {
+		if vps < c.MinVPs {
+			continue
+		}
+		if cc, ok := c.Geo.CountryOfPrefix(p); ok {
+			countryCount[cc]++
+		}
+		for origin := range origins[p] {
+			asnCount[origin]++
+		}
+	}
+	for cc := range countryCount {
+		c.seenCountries[cc] = true
+	}
+	for asn := range asnCount {
+		c.seenASNs[asn] = true
+	}
+	for cc := range c.seenCountries {
+		if err := c.Store.Append("country."+cc, timeseries.Point{Unix: bin, Value: float64(countryCount[cc])}); err != nil {
+			return err
+		}
+	}
+	for asn := range c.seenASNs {
+		if err := c.Store.Append("asn."+strconv.FormatUint(uint64(asn), 10), timeseries.Point{Unix: bin, Value: float64(asnCount[asn])}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MOASConsumer tracks multi-origin prefixes per bin, the live
+// counterpart of the Figure 5b analysis and the trigger for hijack
+// investigation.
+type MOASConsumer struct {
+	Broker   *mq.Broker
+	SyncName string
+	Store    *timeseries.Store
+
+	tables *TableSet
+	reader *busReader
+	// Sets accumulates the distinct MOAS sets observed (key: sorted
+	// "a|b|c" origin list).
+	Sets map[string]bool
+	// Current maps prefixes in MOAS state to their origin sets.
+	Current map[netip.Prefix][]uint32
+}
+
+func (c *MOASConsumer) init() {
+	if c.tables == nil {
+		c.tables = NewTableSet()
+		c.reader = &busReader{broker: c.Broker, syncTopic: syncsrv.ReadyTopic(c.SyncName)}
+		c.Sets = make(map[string]bool)
+		c.Current = make(map[netip.Prefix][]uint32)
+	}
+}
+
+// Poll consumes all ready bins, updating MOAS state and appending the
+// per-bin MOAS prefix count to series "moas.prefixes".
+func (c *MOASConsumer) Poll() (int, error) {
+	c.init()
+	n := 0
+	for {
+		ready, batches, err := c.reader.next()
+		if err != nil {
+			return n, err
+		}
+		if ready == nil {
+			return n, nil
+		}
+		for _, b := range batches {
+			c.tables.Apply(b)
+		}
+		c.Current = make(map[netip.Prefix][]uint32)
+		for p, set := range c.tables.PrefixOrigins() {
+			if len(set) < 2 {
+				continue
+			}
+			origins := make([]uint32, 0, len(set))
+			for o := range set {
+				origins = append(origins, o)
+			}
+			sortASNs(origins)
+			c.Current[p] = origins
+			c.Sets[asnSetKey(origins)] = true
+		}
+		if c.Store != nil {
+			if err := c.Store.Append("moas.prefixes", timeseries.Point{Unix: ready.BinStart, Value: float64(len(c.Current))}); err != nil {
+				return n, err
+			}
+		}
+		n++
+	}
+}
+
+func sortASNs(xs []uint32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}
+
+func asnSetKey(xs []uint32) string {
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(strconv.FormatUint(uint64(x), 10))
+	}
+	return b.String()
+}

@@ -1,0 +1,333 @@
+package consumers
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+	"github.com/bgpstream-go/bgpstream/internal/astopo"
+	"github.com/bgpstream-go/bgpstream/internal/collector"
+	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/corsaro"
+	"github.com/bgpstream-go/bgpstream/internal/geo"
+	"github.com/bgpstream-go/bgpstream/internal/mq"
+	"github.com/bgpstream-go/bgpstream/internal/rtables"
+	"github.com/bgpstream-go/bgpstream/internal/syncsrv"
+	"github.com/bgpstream-go/bgpstream/internal/timeseries"
+)
+
+func TestOriginOfPath(t *testing.T) {
+	cases := map[string]uint32{
+		"64501 701 3356": 3356,
+		"64501":          64501,
+		"1 2 {3,4}":      3,
+		"":               0,
+		"garbage":        0,
+	}
+	for path, want := range cases {
+		if got := originOfPath(path); got != want {
+			t.Errorf("originOfPath(%q) = %d, want %d", path, got, want)
+		}
+	}
+}
+
+func diff(vpASN uint32, prefix string, announced bool, path string) rtables.Diff {
+	return rtables.Diff{
+		VP:        rtables.VPKey{Collector: "rrc00", Addr: netip.MustParseAddr("192.0.2.10"), ASN: vpASN},
+		Prefix:    netip.MustParsePrefix(prefix),
+		Announced: announced,
+		Path:      path,
+	}
+}
+
+func TestTableSetApply(t *testing.T) {
+	ts := NewTableSet()
+	ts.Apply(&mq.DiffBatch{Collector: "rrc00", Diffs: []rtables.Diff{
+		diff(64501, "10.0.0.0/8", true, "64501 701 3356"),
+		diff(64502, "10.0.0.0/8", true, "64502 174 3356"),
+		diff(64501, "192.0.2.0/24", true, "64501 9999"),
+	}})
+	vis := ts.PrefixVisibility()
+	if vis[netip.MustParsePrefix("10.0.0.0/8")] != 2 {
+		t.Errorf("visibility: %v", vis)
+	}
+	// Withdrawal removes.
+	ts.Apply(&mq.DiffBatch{Collector: "rrc00", Diffs: []rtables.Diff{
+		diff(64501, "10.0.0.0/8", false, ""),
+	}})
+	vis = ts.PrefixVisibility()
+	if vis[netip.MustParsePrefix("10.0.0.0/8")] != 1 {
+		t.Errorf("after withdrawal: %v", vis)
+	}
+	origins := ts.PrefixOrigins()
+	if len(origins[netip.MustParsePrefix("10.0.0.0/8")]) != 1 {
+		t.Errorf("origins: %v", origins)
+	}
+}
+
+func TestTableSetSnapshotResets(t *testing.T) {
+	ts := NewTableSet()
+	ts.Apply(&mq.DiffBatch{Collector: "rrc00", Diffs: []rtables.Diff{
+		diff(64501, "10.0.0.0/8", true, "64501 1"),
+	}})
+	ts.Apply(&mq.DiffBatch{Collector: "rrc00", Snapshot: true, Diffs: []rtables.Diff{
+		diff(64502, "192.0.2.0/24", true, "64502 2"),
+	}})
+	vis := ts.PrefixVisibility()
+	if len(vis) != 1 || vis[netip.MustParsePrefix("192.0.2.0/24")] != 1 {
+		t.Errorf("snapshot reset failed: %v", vis)
+	}
+}
+
+// TestOutagePipelineEndToEnd wires the complete §6.2 architecture:
+// simulator archive → stream → BGPCorsaro+RT → mq → sync server →
+// outage consumer → change-point detection, reproducing Figure 10 in
+// miniature with a scripted country-wide outage.
+func TestOutagePipelineEndToEnd(t *testing.T) {
+	p := astopo.DefaultParams(55)
+	p.TierOneCount = 4
+	p.TierTwoCount = 10
+	p.StubCount = 40
+	topo := astopo.Generate(p)
+
+	// Script a country-wide outage: every AS registered in the target
+	// country goes dark (the Iraq scenario of Figure 10).
+	target := "IQ"
+	victims := topo.ASesInCountry(target)
+	if len(victims) == 0 {
+		t.Fatal("seed produced no ASes in target country")
+	}
+	start := time.Date(2015, 6, 20, 0, 0, 0, 0, time.UTC)
+	outage := collector.Outage{
+		Start: start.Add(2 * time.Hour),
+		End:   start.Add(3 * time.Hour),
+		ASNs:  victims,
+	}
+	sim, err := collector.NewSimulator(collector.Config{
+		Topo:              topo,
+		Collectors:        collector.DefaultCollectors(topo, 6),
+		Events:            []collector.Event{outage},
+		ChurnFlapsPerHour: 5,
+		Seed:              11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := archive.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.GenerateArchive(st, start, start.Add(6*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	// RT pipeline into the bus.
+	bus := mq.NewBroker()
+	rt := rtables.New()
+	rt.Publisher = &mq.RTPublisher{Producer: mq.LocalProducer{Broker: bus}}
+	stream := core.NewStream(context.Background(), &core.Directory{Dir: st.Root}, core.Filters{})
+	runner := &corsaro.Runner{Source: stream, Interval: 5 * time.Minute, Plugins: []corsaro.Plugin{rt}}
+	if err := runner.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stream.Close()
+
+	// Sync server (completeness policy over both collectors).
+	sync := &syncsrv.Server{Name: "ioda", Broker: bus, Expected: []string{"rrc00", "route-views2"}}
+	if _, err := sync.Poll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Outage consumer.
+	store := timeseries.NewStore()
+	cons := &OutageConsumer{
+		Broker:   bus,
+		SyncName: "ioda",
+		Geo:      geo.FromTopology(topo),
+		Store:    store,
+		MinVPs:   2,
+	}
+	bins, err := cons.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bins < 60 {
+		t.Fatalf("consumed %d bins", bins)
+	}
+
+	series := store.Get("country." + target)
+	if len(series) < 60 {
+		t.Fatalf("country series has %d points", len(series))
+	}
+	cps := timeseries.Detect(series, timeseries.DetectorConfig{Window: 8, MinRelDelta: 0.25, MinAbsDelta: 2})
+	var onset, recovery bool
+	for _, cp := range cps {
+		if cp.Drop && cp.Unix >= outage.Start.Unix() && cp.Unix < outage.Start.Add(15*time.Minute).Unix() {
+			onset = true
+		}
+		if !cp.Drop && cp.Unix >= outage.End.Unix() && cp.Unix < outage.End.Add(15*time.Minute).Unix() {
+			recovery = true
+		}
+	}
+	if !onset {
+		t.Errorf("outage onset not detected; change points: %+v", cps)
+	}
+	if !recovery {
+		t.Errorf("outage recovery not detected; change points: %+v", cps)
+	}
+	// A non-affected country must show no change points.
+	for _, cc := range []string{"US", "DE", "JP"} {
+		other := store.Get("country." + cc)
+		if len(other) == 0 {
+			continue
+		}
+		if cps := timeseries.Detect(other, timeseries.DetectorConfig{Window: 8, MinRelDelta: 0.25, MinAbsDelta: 3}); len(cps) != 0 {
+			t.Errorf("false positives in %s: %+v", cc, cps)
+		}
+		break
+	}
+	// Per-AS series for a victim must dip.
+	victimSeries := store.Get("asn." + itoa(victims[0]))
+	if len(victimSeries) == 0 {
+		t.Fatal("no per-AS series")
+	}
+	var minV, maxV float64
+	for i, pt := range victimSeries {
+		if i == 0 || pt.Value < minV {
+			minV = pt.Value
+		}
+		if pt.Value > maxV {
+			maxV = pt.Value
+		}
+	}
+	if minV != 0 || maxV == 0 {
+		t.Errorf("victim AS series min=%v max=%v", minV, maxV)
+	}
+}
+
+func itoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestMOASConsumerDetectsHijack drives the same pipeline with a
+// hijack event and checks the MOAS consumer flags it.
+func TestMOASConsumerDetectsHijack(t *testing.T) {
+	p := astopo.DefaultParams(66)
+	p.TierOneCount = 4
+	p.TierTwoCount = 8
+	p.StubCount = 30
+	topo := astopo.Generate(p)
+	stubs := topo.Stubs()
+	colls := collector.DefaultCollectors(topo, 6)
+	// Pick a victim/attacker pair whose routes split the deployed VPs:
+	// some VPs must prefer each origin, otherwise no MOAS is visible.
+	eng := astopo.NewRoutingEngine(topo)
+	var vpASNs []uint32
+	for _, c := range colls {
+		for _, vp := range c.VPs {
+			if vp.FullFeed {
+				vpASNs = append(vpASNs, vp.ASN)
+			}
+		}
+	}
+	var victim, attacker uint32
+search:
+	for _, v := range stubs {
+		for _, a := range stubs {
+			if a == v {
+				continue
+			}
+			wins := map[uint32]int{}
+			for _, vp := range vpASNs {
+				if o, _, ok := eng.BestOrigin(vp, []uint32{v, a}); ok {
+					wins[o]++
+				}
+			}
+			if wins[v] > 0 && wins[a] > 0 {
+				victim, attacker = v, a
+				break search
+			}
+		}
+	}
+	if victim == 0 {
+		t.Fatal("no VP-splitting victim/attacker pair in topology")
+	}
+	start := time.Date(2015, 1, 5, 0, 0, 0, 0, time.UTC)
+	hijack := collector.Hijack{
+		Start:    start.Add(time.Hour),
+		End:      start.Add(2 * time.Hour),
+		Attacker: attacker,
+		Prefixes: topo.AS(victim).Prefixes[:1],
+	}
+	sim, err := collector.NewSimulator(collector.Config{
+		Topo:       topo,
+		Collectors: colls,
+		Events:     []collector.Event{hijack},
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := archive.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.GenerateArchive(st, start, start.Add(4*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	bus := mq.NewBroker()
+	rt := rtables.New()
+	rt.Publisher = &mq.RTPublisher{Producer: mq.LocalProducer{Broker: bus}}
+	stream := core.NewStream(context.Background(), &core.Directory{Dir: st.Root}, core.Filters{})
+	runner := &corsaro.Runner{Source: stream, Interval: 5 * time.Minute, Plugins: []corsaro.Plugin{rt}}
+	if err := runner.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stream.Close()
+	sync := &syncsrv.Server{Name: "hj", Broker: bus, Expected: []string{"rrc00", "route-views2"}}
+	if _, err := sync.Poll(); err != nil {
+		t.Fatal(err)
+	}
+
+	store := timeseries.NewStore()
+	cons := &MOASConsumer{Broker: bus, SyncName: "hj", Store: store}
+	if _, err := cons.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	// The victim/attacker pair must appear among the MOAS sets.
+	wantKey := asnSetKey(sorted2(victim, attacker))
+	if !cons.Sets[wantKey] {
+		t.Errorf("MOAS set %q not detected; sets: %v", wantKey, cons.Sets)
+	}
+	// The per-bin series must spike above zero during the hijack.
+	series := store.Get("moas.prefixes")
+	spiked := false
+	for _, pt := range series {
+		if pt.Unix >= hijack.Start.Unix() && pt.Unix < hijack.End.Unix() && pt.Value > 0 {
+			spiked = true
+		}
+	}
+	if !spiked {
+		t.Error("moas.prefixes never spiked during hijack")
+	}
+}
+
+func sorted2(a, b uint32) []uint32 {
+	if a > b {
+		a, b = b, a
+	}
+	return []uint32{a, b}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+	"github.com/bgpstream-go/bgpstream/internal/mrt"
+)
+
+// Elems decomposes the record into its BGPStream elems (§3.3.3): a
+// RIB record yields one elem per (VP, prefix) entry, an update message
+// one elem per announced or withdrawn prefix, a state change exactly
+// one elem. Invalid records and records carrying no route information
+// (peer index tables, OPEN/KEEPALIVE messages) yield none.
+//
+// Decoding failures inside an otherwise intact record return an error;
+// stream layers surface it without terminating.
+func (r *Record) Elems() ([]Elem, error) {
+	if r.Status != StatusValid {
+		return nil, nil
+	}
+	switch r.MRT.Header.Type {
+	case mrt.TypeBGP4MP, mrt.TypeBGP4MPET:
+		return r.bgp4mpElems()
+	case mrt.TypeTableDumpV2:
+		return r.tableDumpV2Elems()
+	case mrt.TypeTableDump:
+		return r.tableDumpElems()
+	default:
+		return nil, nil
+	}
+}
+
+func (r *Record) bgp4mpElems() ([]Elem, error) {
+	ts := r.Time()
+	switch r.MRT.Header.Subtype {
+	case mrt.SubtypeStateChange, mrt.SubtypeStateChangeAS4:
+		sc, err := mrt.DecodeBGP4MPStateChange(r.MRT.Body, r.MRT.Header.Subtype)
+		if err != nil {
+			return nil, err
+		}
+		return []Elem{{
+			Type:      ElemPeerState,
+			Timestamp: ts,
+			PeerAddr:  sc.PeerIP,
+			PeerASN:   sc.PeerAS,
+			OldState:  sc.OldState,
+			NewState:  sc.NewState,
+		}}, nil
+	case mrt.SubtypeMessage, mrt.SubtypeMessageAS4:
+		msg, err := mrt.DecodeBGP4MPMessage(r.MRT.Body, r.MRT.Header.Subtype)
+		if err != nil {
+			return nil, err
+		}
+		mt, err := msg.MessageType()
+		if err != nil {
+			return nil, err
+		}
+		if mt != bgp.MsgUpdate {
+			return nil, nil // OPEN/KEEPALIVE/NOTIFICATION carry no elems
+		}
+		u, err := msg.Update()
+		if err != nil {
+			return nil, err
+		}
+		return updateElems(ts, msg.PeerIP, msg.PeerAS, u), nil
+	default:
+		return nil, nil
+	}
+}
+
+func updateElems(ts time.Time, peerIP netip.Addr, peerAS uint32, u *bgp.Update) []Elem {
+	path := u.Attrs.EffectivePath()
+	withdrawn := u.AllWithdrawn()
+	announced := u.Announced()
+	elems := make([]Elem, 0, len(withdrawn)+len(announced))
+	for _, p := range withdrawn {
+		elems = append(elems, Elem{
+			Type:      ElemWithdrawal,
+			Timestamp: ts,
+			PeerAddr:  peerIP,
+			PeerASN:   peerAS,
+			Prefix:    p,
+		})
+	}
+	for _, p := range announced {
+		nh := u.Attrs.NextHop
+		if !p.Addr().Is4() && u.Attrs.MPReach != nil {
+			nh = u.Attrs.MPReach.NextHop
+		}
+		elems = append(elems, Elem{
+			Type:        ElemAnnouncement,
+			Timestamp:   ts,
+			PeerAddr:    peerIP,
+			PeerASN:     peerAS,
+			Prefix:      p,
+			NextHop:     nh,
+			ASPath:      path,
+			Communities: u.Attrs.Communities,
+		})
+	}
+	return elems
+}
+
+func (r *Record) tableDumpV2Elems() ([]Elem, error) {
+	switch r.MRT.Header.Subtype {
+	case mrt.SubtypePeerIndexTable:
+		return nil, nil
+	case mrt.SubtypeRIBIPv4Unicast, mrt.SubtypeRIBIPv4Multicast:
+		return r.ribElems(bgp.AFIIPv4)
+	case mrt.SubtypeRIBIPv6Unicast, mrt.SubtypeRIBIPv6Multicast:
+		return r.ribElems(bgp.AFIIPv6)
+	default:
+		return nil, nil
+	}
+}
+
+func (r *Record) ribElems(afi uint16) ([]Elem, error) {
+	rib, err := mrt.DecodeRIB(r.MRT.Body, afi)
+	if err != nil {
+		return nil, err
+	}
+	if r.peers == nil {
+		return nil, fmt.Errorf("core: RIB record without peer index table")
+	}
+	ts := r.Time()
+	elems := make([]Elem, 0, len(rib.Entries))
+	for _, entry := range rib.Entries {
+		if int(entry.PeerIndex) >= len(r.peers.Peers) {
+			return nil, fmt.Errorf("core: RIB entry references peer %d of %d", entry.PeerIndex, len(r.peers.Peers))
+		}
+		peer := r.peers.Peers[entry.PeerIndex]
+		attrs, err := entry.DecodeAttrs()
+		if err != nil {
+			return nil, err
+		}
+		nh := attrs.NextHop
+		if attrs.MPReach != nil && !nh.IsValid() {
+			nh = attrs.MPReach.NextHop
+		}
+		elems = append(elems, Elem{
+			Type:        ElemRIB,
+			Timestamp:   ts,
+			PeerAddr:    peer.IP,
+			PeerASN:     peer.AS,
+			Prefix:      rib.Prefix,
+			NextHop:     nh,
+			ASPath:      attrs.EffectivePath(),
+			Communities: attrs.Communities,
+		})
+	}
+	return elems, nil
+}
+
+func (r *Record) tableDumpElems() ([]Elem, error) {
+	td, err := mrt.DecodeTableDump(r.MRT.Body, r.MRT.Header.Subtype)
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := td.DecodeAttrs()
+	if err != nil {
+		return nil, err
+	}
+	nh := attrs.NextHop
+	if attrs.MPReach != nil && !nh.IsValid() {
+		nh = attrs.MPReach.NextHop
+	}
+	return []Elem{{
+		Type:        ElemRIB,
+		Timestamp:   r.Time(),
+		PeerAddr:    td.PeerIP,
+		PeerASN:     uint32(td.PeerAS),
+		Prefix:      td.Prefix,
+		NextHop:     nh,
+		ASPath:      attrs.EffectivePath(),
+		Communities: attrs.Communities,
+	}}, nil
+}

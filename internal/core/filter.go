@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+	"github.com/bgpstream-go/bgpstream/internal/prefixtrie"
+)
+
+// PrefixMatch selects how a prefix filter compares the elem prefix
+// against the filter prefix, following bgpreader's filter semantics.
+type PrefixMatch int
+
+// Prefix match modes.
+const (
+	// MatchAny accepts elems whose prefix overlaps the filter prefix
+	// in either direction (default; "-k" in bgpreader).
+	MatchAny PrefixMatch = iota
+	// MatchExact accepts only the identical prefix.
+	MatchExact
+	// MatchMoreSpecific accepts the filter prefix and anything inside
+	// it (sub-prefixes).
+	MatchMoreSpecific
+	// MatchLessSpecific accepts the filter prefix and anything
+	// containing it.
+	MatchLessSpecific
+)
+
+// PrefixFilter pairs a prefix with its match mode.
+type PrefixFilter struct {
+	Prefix netip.Prefix
+	Match  PrefixMatch
+}
+
+// Matches reports whether the elem prefix p satisfies the filter.
+func (f PrefixFilter) Matches(p netip.Prefix) bool {
+	fp := f.Prefix.Masked()
+	p = p.Masked()
+	if fp.Addr().Is4() != p.Addr().Is4() {
+		return false
+	}
+	covers := fp.Bits() <= p.Bits() && fp.Contains(p.Addr())
+	covered := p.Bits() <= fp.Bits() && p.Contains(fp.Addr())
+	switch f.Match {
+	case MatchExact:
+		return fp == p
+	case MatchMoreSpecific:
+		return covers
+	case MatchLessSpecific:
+		return covered
+	default:
+		return covers || covered
+	}
+}
+
+// CommunityFilter matches community values with optional wildcards on
+// either half, as in the paper's RTBH case study where filters like
+// "3356:9999" or "701:*" select black-holing communities.
+type CommunityFilter struct {
+	ASN   *uint16 // nil matches any AS half
+	Value *uint16 // nil matches any value half
+}
+
+// ParseCommunityFilter parses "asn:value" where either side may be
+// "*".
+func ParseCommunityFilter(s string) (CommunityFilter, error) {
+	a, v, ok := strings.Cut(s, ":")
+	if !ok {
+		return CommunityFilter{}, fmt.Errorf("core: bad community filter %q", s)
+	}
+	var f CommunityFilter
+	if a != "*" {
+		n, err := strconv.ParseUint(a, 10, 16)
+		if err != nil {
+			return CommunityFilter{}, fmt.Errorf("core: bad community filter %q: %w", s, err)
+		}
+		asn := uint16(n)
+		f.ASN = &asn
+	}
+	if v != "*" {
+		n, err := strconv.ParseUint(v, 10, 16)
+		if err != nil {
+			return CommunityFilter{}, fmt.Errorf("core: bad community filter %q: %w", s, err)
+		}
+		val := uint16(n)
+		f.Value = &val
+	}
+	return f, nil
+}
+
+// Matches reports whether community c satisfies the filter.
+func (f CommunityFilter) Matches(c bgp.Community) bool {
+	if f.ASN != nil && c.ASN() != *f.ASN {
+		return false
+	}
+	if f.Value != nil && c.Value() != *f.Value {
+		return false
+	}
+	return true
+}
+
+// MatchesAny reports whether any community in cs satisfies the filter.
+func (f CommunityFilter) MatchesAny(cs bgp.Communities) bool {
+	for _, c := range cs {
+		if f.Matches(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Filters defines a BGP data stream (§3.3.1): which collector
+// projects, collectors and dump types to read, the time interval, and
+// content predicates applied to individual elems. The zero value
+// matches everything historically unbounded; set Start/End (or Live)
+// to bound the interval.
+type Filters struct {
+	// Meta-data filters (select dump files).
+	Projects   []string
+	Collectors []string
+	DumpTypes  []DumpType
+	// Start and End bound the record timestamps. A zero End with
+	// Live=false means "up to the newest available data"; Live mode
+	// never ends (interval end -1 in the C API).
+	Start time.Time
+	End   time.Time
+	Live  bool
+	// Elem content filters.
+	ElemTypes      []ElemType
+	PeerASNs       []uint32
+	OriginASNs     []uint32
+	ASPathContains []uint32
+	Prefixes       []PrefixFilter
+	Communities    []CommunityFilter
+}
+
+// MatchMeta reports whether a dump file passes the meta-data filters,
+// including the interval test: a dump is relevant when its covered
+// interval intersects [Start, End].
+func (f *Filters) MatchMeta(m archive.DumpMeta) bool {
+	if len(f.Projects) > 0 && !containsString(f.Projects, m.Project) {
+		return false
+	}
+	if len(f.Collectors) > 0 && !containsString(f.Collectors, m.Collector) {
+		return false
+	}
+	if len(f.DumpTypes) > 0 {
+		ok := false
+		for _, t := range f.DumpTypes {
+			if t == m.Type {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if !f.Start.IsZero() && m.Time.Add(m.Duration).Before(f.Start) {
+		return false
+	}
+	if !f.End.IsZero() && !f.Live && m.Time.After(f.End) {
+		return false
+	}
+	return true
+}
+
+// MatchRecordTime reports whether a record timestamp falls inside the
+// configured interval.
+func (f *Filters) MatchRecordTime(ts time.Time) bool {
+	if !f.Start.IsZero() && ts.Before(f.Start) {
+		return false
+	}
+	if !f.End.IsZero() && !f.Live && ts.After(f.End) {
+		return false
+	}
+	return true
+}
+
+// compiledFilters holds the immutable, query-optimised form of
+// Filters used on the elem hot path: prefix filters indexed in radix
+// tables, scalar sets in maps.
+type compiledFilters struct {
+	src        Filters
+	elemTypes  map[ElemType]bool
+	peerASNs   map[uint32]bool
+	originASNs map[uint32]bool
+	pathASNs   map[uint32]bool
+	// One table per match mode; MatchAny entries live in both
+	// direction tables.
+	exact        *prefixtrie.Table[struct{}]
+	moreSpecific *prefixtrie.Table[struct{}] // filter covers elem
+	lessSpecific *prefixtrie.Table[struct{}] // elem covers filter
+	anyOverlap   *prefixtrie.Table[struct{}]
+	hasPrefix    bool
+	communities  []CommunityFilter
+}
+
+func compileFilters(f Filters) *compiledFilters {
+	c := &compiledFilters{src: f, communities: f.Communities}
+	if len(f.ElemTypes) > 0 {
+		c.elemTypes = make(map[ElemType]bool, len(f.ElemTypes))
+		for _, t := range f.ElemTypes {
+			c.elemTypes[t] = true
+		}
+	}
+	c.peerASNs = asnSet(f.PeerASNs)
+	c.originASNs = asnSet(f.OriginASNs)
+	c.pathASNs = asnSet(f.ASPathContains)
+	if len(f.Prefixes) > 0 {
+		c.hasPrefix = true
+		c.exact = prefixtrie.New[struct{}]()
+		c.moreSpecific = prefixtrie.New[struct{}]()
+		c.lessSpecific = prefixtrie.New[struct{}]()
+		c.anyOverlap = prefixtrie.New[struct{}]()
+		for _, pf := range f.Prefixes {
+			p := pf.Prefix.Masked()
+			switch pf.Match {
+			case MatchExact:
+				c.exact.Insert(p, struct{}{})
+			case MatchMoreSpecific:
+				c.moreSpecific.Insert(p, struct{}{})
+			case MatchLessSpecific:
+				c.lessSpecific.Insert(p, struct{}{})
+			default:
+				c.anyOverlap.Insert(p, struct{}{})
+			}
+		}
+	}
+	return c
+}
+
+func asnSet(asns []uint32) map[uint32]bool {
+	if len(asns) == 0 {
+		return nil
+	}
+	m := make(map[uint32]bool, len(asns))
+	for _, a := range asns {
+		m[a] = true
+	}
+	return m
+}
+
+// matchElem applies every elem-level predicate.
+func (c *compiledFilters) matchElem(e *Elem) bool {
+	if c.elemTypes != nil && !c.elemTypes[e.Type] {
+		return false
+	}
+	if c.peerASNs != nil && !c.peerASNs[e.PeerASN] {
+		return false
+	}
+	if c.originASNs != nil {
+		ok := false
+		for _, o := range e.Origins() {
+			if c.originASNs[o] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if c.pathASNs != nil {
+		ok := false
+	scan:
+		for _, seg := range e.ASPath.Segments {
+			for _, as := range seg.ASNs {
+				if c.pathASNs[as] {
+					ok = true
+					break scan
+				}
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if c.hasPrefix {
+		if !e.Prefix.IsValid() {
+			// State elems carry no prefix; prefix filters exclude them.
+			return false
+		}
+		if !c.matchPrefix(e.Prefix) {
+			return false
+		}
+	}
+	if len(c.communities) > 0 {
+		ok := false
+		for _, cf := range c.communities {
+			if cf.MatchesAny(e.Communities) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *compiledFilters) matchPrefix(p netip.Prefix) bool {
+	p = p.Masked()
+	if _, ok := c.exact.Get(p); ok {
+		return true
+	}
+	// moreSpecific: some filter prefix covers p.
+	if _, _, ok := c.moreSpecific.LookupPrefix(p); ok {
+		return true
+	}
+	// lessSpecific: p covers some filter prefix.
+	covered := false
+	c.lessSpecific.Covered(p, func(netip.Prefix, struct{}) bool {
+		covered = true
+		return false
+	})
+	if covered {
+		return true
+	}
+	return c.anyOverlap.OverlapsAny(p)
+}
+
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

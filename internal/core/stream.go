@@ -1,0 +1,188 @@
+package core
+
+import (
+	"context"
+	"io"
+	"sync"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+	"github.com/bgpstream-go/bgpstream/internal/merge"
+)
+
+// Stream is the user-facing BGP data stream of the libBGPStream API:
+// configure it with a DataInterface and Filters, then iterate records
+// with Next or flattened elems with NextElem until io.EOF (historical
+// mode) or forever (live mode).
+//
+// Records arrive sorted by MRT timestamp across all selected dumps.
+// Sorting follows §3.3.4: each batch of dump files is partitioned into
+// disjoint subsets of time-overlapping files and a multi-way merge is
+// applied per subset.
+type Stream struct {
+	di       DataInterface
+	filters  Filters
+	compiled *compiledFilters
+	ctx      context.Context
+
+	mu sync.Mutex // guards dynamic filter updates
+
+	seq    *merge.Sequence[*Record]
+	closed bool
+
+	// elem iteration state
+	curRecord *Record
+	curElems  []Elem
+	elemIdx   int
+}
+
+// NewStream builds a stream over the given data interface. The context
+// bounds blocking operations (live-mode polling); pass
+// context.Background() for unbounded historical runs.
+func NewStream(ctx context.Context, di DataInterface, filters Filters) *Stream {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Stream{
+		di:       di,
+		filters:  filters,
+		compiled: compileFilters(filters),
+		ctx:      ctx,
+	}
+}
+
+// Filters returns a copy of the stream's filter configuration.
+func (s *Stream) Filters() Filters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.filters
+}
+
+// AddPrefixFilter adds a prefix filter while the stream runs. This is
+// the mechanism the RTBH case study (§4.3) uses: the first stream
+// detects a black-holed prefix and registers it on the second stream
+// to capture its withdrawal.
+func (s *Stream) AddPrefixFilter(f PrefixFilter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.filters.Prefixes = append(s.filters.Prefixes, f)
+	s.compiled = compileFilters(s.filters)
+}
+
+// AddCommunityFilter adds a community filter while the stream runs.
+func (s *Stream) AddCommunityFilter(f CommunityFilter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.filters.Communities = append(s.filters.Communities, f)
+	s.compiled = compileFilters(s.filters)
+}
+
+func (s *Stream) currentCompiled() *compiledFilters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compiled
+}
+
+// buildSequence partitions a batch of dump metas into overlapping
+// subsets and stacks a merger per subset.
+func (s *Stream) buildSequence(metas []archive.DumpMeta) *merge.Sequence[*Record] {
+	intervals := make([]merge.Interval, len(metas))
+	for i, m := range metas {
+		start, end := m.Interval()
+		intervals[i] = merge.Interval{Start: start, End: end}
+	}
+	groups := merge.PartitionOverlapping(intervals)
+	srcGroups := make([][]merge.Source[*Record], 0, len(groups))
+	for _, g := range groups {
+		sources := make([]merge.Source[*Record], 0, len(g))
+		for _, idx := range g {
+			sources = append(sources, newDumpSource(metas[idx], &s.filters))
+		}
+		srcGroups = append(srcGroups, sources)
+	}
+	return merge.NewSequence(recordLess, srcGroups...)
+}
+
+// recordLess orders records by MRT timestamp. It compares raw numeric
+// keys rather than time.Time values: this runs O(log k) times per
+// record inside the merge heap and is the hot spot that would
+// otherwise make sorting cost comparable to reading (§3.3.4 requires
+// the opposite).
+func recordLess(a, b *Record) bool { return a.timeKey() < b.timeKey() }
+
+// Next returns the next record in time order, or io.EOF when the
+// stream is exhausted. Invalid records (corrupted dumps) are returned
+// with their status set so callers can account for them; they carry no
+// elems.
+func (s *Stream) Next() (*Record, error) {
+	if s.closed {
+		return nil, io.EOF
+	}
+	for {
+		if s.seq == nil {
+			metas, err := s.di.NextBatch(s.ctx)
+			if err == io.EOF {
+				s.closed = true
+				return nil, io.EOF
+			}
+			if err != nil {
+				return nil, err
+			}
+			selected := metas[:0:0]
+			for _, m := range metas {
+				if s.filters.MatchMeta(m) {
+					selected = append(selected, m)
+				}
+			}
+			if len(selected) == 0 {
+				continue
+			}
+			s.seq = s.buildSequence(selected)
+		}
+		rec, err := s.seq.Next()
+		if err == io.EOF {
+			s.seq = nil
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		return rec, nil
+	}
+}
+
+// NextElem iterates the stream elem by elem, applying the elem-level
+// filters. It returns the elem together with the record it came from;
+// io.EOF signals end of stream. Records whose payload fails to decode
+// are skipped (their count is available via Stats in higher layers).
+func (s *Stream) NextElem() (*Record, *Elem, error) {
+	for {
+		if s.curRecord != nil && s.elemIdx < len(s.curElems) {
+			e := &s.curElems[s.elemIdx]
+			s.elemIdx++
+			if s.currentCompiled().matchElem(e) {
+				return s.curRecord, e, nil
+			}
+			continue
+		}
+		rec, err := s.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		elems, err := rec.Elems()
+		if err != nil {
+			// Undecodable payload inside a structurally valid record:
+			// treat like a corrupted record and continue.
+			continue
+		}
+		s.curRecord = rec
+		s.curElems = elems
+		s.elemIdx = 0
+	}
+}
+
+// Close releases stream resources. Safe to call multiple times.
+func (s *Stream) Close() error {
+	s.closed = true
+	s.seq = nil
+	return nil
+}

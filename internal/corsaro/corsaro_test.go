@@ -1,0 +1,279 @@
+package corsaro
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+	"github.com/bgpstream-go/bgpstream/internal/astopo"
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+	"github.com/bgpstream-go/bgpstream/internal/collector"
+	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/mrt"
+)
+
+// fakeSource feeds canned records.
+type fakeSource struct {
+	recs []*core.Record
+	pos  int
+}
+
+func (f *fakeSource) Next() (*core.Record, error) {
+	if f.pos >= len(f.recs) {
+		return nil, io.EOF
+	}
+	r := f.recs[f.pos]
+	f.pos++
+	return r, nil
+}
+
+func announceRec(ts uint32, peerAS uint32, prefix string, path ...uint32) *core.Record {
+	origin := uint8(bgp.OriginIGP)
+	u := &bgp.Update{
+		Attrs: bgp.PathAttributes{
+			Origin: &origin, ASPath: bgp.SequencePath(path...), HasASPath: true,
+			NextHop: netip.MustParseAddr("192.0.2.1"),
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix(prefix)},
+	}
+	raw := mrt.NewUpdateRecord(ts, peerAS, 65000, netip.MustParseAddr("192.0.2.10"), netip.MustParseAddr("192.0.2.254"), u)
+	return &core.Record{Project: "ris", Collector: "rrc00", DumpType: core.DumpUpdates, Status: core.StatusValid, MRT: raw}
+}
+
+func withdrawRec(ts uint32, peerAS uint32, prefix string) *core.Record {
+	u := &bgp.Update{Withdrawn: []netip.Prefix{netip.MustParsePrefix(prefix)}}
+	raw := mrt.NewUpdateRecord(ts, peerAS, 65000, netip.MustParseAddr("192.0.2.10"), netip.MustParseAddr("192.0.2.254"), u)
+	return &core.Record{Project: "ris", Collector: "rrc00", DumpType: core.DumpUpdates, Status: core.StatusValid, MRT: raw}
+}
+
+// capturePlugin records bin boundaries and per-bin record counts.
+type capturePlugin struct {
+	bins    []Interval
+	perBin  []int
+	current int
+}
+
+func (c *capturePlugin) Name() string { return "capture" }
+func (c *capturePlugin) Process(ctx *Context) error {
+	c.current++
+	return nil
+}
+func (c *capturePlugin) EndInterval(bin Interval) error {
+	c.bins = append(c.bins, bin)
+	c.perBin = append(c.perBin, c.current)
+	c.current = 0
+	return nil
+}
+
+func TestRunnerBins(t *testing.T) {
+	src := &fakeSource{recs: []*core.Record{
+		announceRec(0, 64501, "10.0.0.0/8", 64501, 1),
+		announceRec(100, 64501, "10.0.0.0/8", 64501, 1),
+		announceRec(300, 64501, "10.0.0.0/8", 64501, 1), // new bin
+		announceRec(910, 64501, "10.0.0.0/8", 64501, 1), // skips a bin
+	}}
+	cap := &capturePlugin{}
+	r := &Runner{Source: src, Interval: 5 * time.Minute, Plugins: []Plugin{cap}}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Bins: [0,300) with 2, [300,600) with 1, [600,900) with 0, [900,1200) with 1.
+	if len(cap.bins) != 4 {
+		t.Fatalf("bins = %d (%v)", len(cap.bins), cap.bins)
+	}
+	want := []int{2, 1, 0, 1}
+	for i, w := range want {
+		if cap.perBin[i] != w {
+			t.Errorf("bin %d: %d records, want %d", i, cap.perBin[i], w)
+		}
+	}
+	if cap.bins[0].Start.Unix() != 0 || cap.bins[0].End.Unix() != 300 {
+		t.Errorf("bin0 = %v", cap.bins[0])
+	}
+}
+
+func TestRunnerRejectsZeroInterval(t *testing.T) {
+	r := &Runner{Source: &fakeSource{}, Interval: 0}
+	if err := r.Run(); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestPfxMonitorDetectsHijack(t *testing.T) {
+	target := netip.MustParsePrefix("20.5.0.0/16")
+	var buf bytes.Buffer
+	m := NewPfxMonitor([]netip.Prefix{netip.MustParsePrefix("20.5.0.0/16")}, &buf)
+	src := &fakeSource{recs: []*core.Record{
+		announceRec(10, 64501, target.String(), 64501, 100, 777),   // legit origin 777
+		announceRec(20, 64502, target.String(), 64502, 200, 777),   // second VP, same origin
+		announceRec(310, 64502, "20.5.9.0/24", 64502, 200, 666),    // hijacker announces sub-prefix
+		announceRec(650, 64502, "99.0.0.0/8", 64502, 1, 2),         // unrelated: ignored
+		withdrawRec(920, 64502, "20.5.9.0/24"),                     // hijack ends
+		announceRec(1210, 64501, target.String(), 64501, 100, 777), // steady state
+	}}
+	r := &Runner{Source: src, Interval: 5 * time.Minute, Plugins: []Plugin{m}}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Series) != 5 {
+		t.Fatalf("series: %+v", m.Series)
+	}
+	// Bin 0: one prefix, one origin. Bin 1: two prefixes, two origins
+	// (hijack visible). Bin 3: back to one origin.
+	if m.Series[0].Origins != 1 || m.Series[0].Prefixes != 1 {
+		t.Errorf("bin0 = %+v", m.Series[0])
+	}
+	if m.Series[1].Origins != 2 || m.Series[1].Prefixes != 2 {
+		t.Errorf("bin1 (hijack) = %+v", m.Series[1])
+	}
+	if m.Series[3].Origins != 1 {
+		t.Errorf("bin3 (post-withdraw) = %+v", m.Series[3])
+	}
+	if !strings.Contains(buf.String(), "|2|2") {
+		t.Errorf("output missing hijack bin: %q", buf.String())
+	}
+}
+
+func TestPfxMonitorIgnoresNonOverlapping(t *testing.T) {
+	m := NewPfxMonitor([]netip.Prefix{netip.MustParsePrefix("20.5.0.0/16")}, nil)
+	src := &fakeSource{recs: []*core.Record{
+		announceRec(10, 64501, "30.0.0.0/8", 64501, 777),
+	}}
+	r := &Runner{Source: src, Interval: time.Minute, Plugins: []Plugin{m}}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Series[0].Prefixes != 0 {
+		t.Errorf("unrelated prefix counted: %+v", m.Series[0])
+	}
+}
+
+func TestStatsPlugin(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStats(&buf)
+	src := &fakeSource{recs: []*core.Record{
+		announceRec(10, 64501, "10.0.0.0/8", 64501, 1),
+		withdrawRec(20, 64501, "10.0.0.0/8"),
+		{Project: "ris", Collector: "rrc00", Status: core.StatusCorruptedDump},
+	}}
+	r := &Runner{Source: src, Interval: time.Minute, Plugins: []Plugin{s}}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Series) != 1 {
+		t.Fatalf("series %+v", s.Series)
+	}
+	c := s.Series[0].PerCollector["ris.rrc00"]
+	if c == nil || c.Records != 3 || c.Announcements != 1 || c.Withdrawals != 1 || c.Invalid != 1 {
+		t.Errorf("counters: %+v", c)
+	}
+	if r.InvalidRecords != 1 {
+		t.Errorf("runner invalid = %d", r.InvalidRecords)
+	}
+	if !strings.Contains(buf.String(), "records=3") {
+		t.Errorf("output: %q", buf.String())
+	}
+}
+
+func TestMOASTagPlugin(t *testing.T) {
+	m := NewMOASTag()
+	tagged := 0
+	probe := pluginFunc{
+		name: "probe",
+		process: func(ctx *Context) error {
+			if _, ok := ctx.Tags["moas"]; ok {
+				tagged++
+			}
+			return nil
+		},
+	}
+	src := &fakeSource{recs: []*core.Record{
+		announceRec(10, 64501, "10.0.0.0/8", 64501, 777),
+		announceRec(20, 64502, "10.0.0.0/8", 64502, 777), // same origin: fine
+		announceRec(30, 64503, "10.0.0.0/8", 64503, 666), // origin conflict
+	}}
+	r := &Runner{Source: src, Interval: time.Minute, Plugins: []Plugin{m, probe}}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Conflicts != 1 || tagged != 1 {
+		t.Errorf("conflicts=%d tagged=%d", m.Conflicts, tagged)
+	}
+}
+
+type pluginFunc struct {
+	name    string
+	process func(*Context) error
+}
+
+func (p pluginFunc) Name() string               { return p.name }
+func (p pluginFunc) Process(c *Context) error   { return p.process(c) }
+func (p pluginFunc) EndInterval(Interval) error { return nil }
+
+// TestPfxMonitorEndToEnd reproduces the Figure 6 workflow on a
+// simulated archive: monitor a victim's IP ranges, observe origin
+// count spike during injected hijacks.
+func TestPfxMonitorEndToEnd(t *testing.T) {
+	p := astopo.DefaultParams(77)
+	p.TierOneCount = 4
+	p.TierTwoCount = 8
+	p.StubCount = 30
+	topo := astopo.Generate(p)
+	stubs := topo.Stubs()
+	victim, attacker := stubs[2], stubs[11]
+	start := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	var events []collector.Event
+	// Two one-hour hijacks of part of the victim's space.
+	for _, off := range []time.Duration{2 * time.Hour, 5 * time.Hour} {
+		events = append(events, collector.Hijack{
+			Start:    start.Add(off),
+			End:      start.Add(off + time.Hour),
+			Attacker: attacker,
+			Prefixes: topo.AS(victim).Prefixes[:1],
+		})
+	}
+	sim, err := collector.NewSimulator(collector.Config{
+		Topo:       topo,
+		Collectors: collector.DefaultCollectors(topo, 6),
+		Events:     events,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := archive.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.GenerateArchive(st, start, start.Add(8*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	stream := core.NewStream(context.Background(), &core.Directory{Dir: st.Root}, core.Filters{})
+	defer stream.Close()
+	mon := NewPfxMonitor(topo.AS(victim).Prefixes, nil)
+	r := &Runner{Source: stream, Interval: 5 * time.Minute, Plugins: []Plugin{mon}}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Count bins where >1 origin is visible; must cover the two
+	// hijack windows (roughly 24 bins) and nothing else.
+	spikes := 0
+	for _, pt := range mon.Series {
+		if pt.Origins > 1 {
+			spikes++
+		}
+	}
+	if spikes < 12 {
+		t.Errorf("hijack bins detected: %d (series len %d)", spikes, len(mon.Series))
+	}
+	if spikes > len(mon.Series)/2 {
+		t.Errorf("origin spike in %d of %d bins — too many", spikes, len(mon.Series))
+	}
+}

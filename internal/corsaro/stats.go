@@ -1,0 +1,139 @@
+package corsaro
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+// StatsPoint is one bin of the stats plugin: per-collector record and
+// elem counters.
+type StatsPoint struct {
+	BinStart int64
+	// PerCollector maps "project.collector" to counters.
+	PerCollector map[string]*StatsCounters
+}
+
+// StatsCounters aggregates one collector's activity within a bin.
+type StatsCounters struct {
+	Records       int
+	Invalid       int
+	RIBElems      int
+	Announcements int
+	Withdrawals   int
+	StateChanges  int
+}
+
+// Stats is a stateful plugin reporting per-bin, per-collector record
+// and elem counts — the bgpcorsaro "ascii stats" workhorse used for
+// monitoring feed liveness.
+type Stats struct {
+	// Out receives one line per collector per bin; nil suppresses.
+	Out io.Writer
+	// Series accumulates emitted points.
+	Series []StatsPoint
+
+	cur map[string]*StatsCounters
+}
+
+// NewStats builds the plugin.
+func NewStats(out io.Writer) *Stats {
+	return &Stats{Out: out, cur: make(map[string]*StatsCounters)}
+}
+
+// Name implements Plugin.
+func (s *Stats) Name() string { return "stats" }
+
+// Process implements Plugin.
+func (s *Stats) Process(ctx *Context) error {
+	key := ctx.Record.Project + "." + ctx.Record.Collector
+	c := s.cur[key]
+	if c == nil {
+		c = &StatsCounters{}
+		s.cur[key] = c
+	}
+	c.Records++
+	if ctx.Record.Status != core.StatusValid {
+		c.Invalid++
+		return nil
+	}
+	for i := range ctx.Elems {
+		switch ctx.Elems[i].Type {
+		case core.ElemRIB:
+			c.RIBElems++
+		case core.ElemAnnouncement:
+			c.Announcements++
+		case core.ElemWithdrawal:
+			c.Withdrawals++
+		case core.ElemPeerState:
+			c.StateChanges++
+		}
+	}
+	return nil
+}
+
+// EndInterval implements Plugin.
+func (s *Stats) EndInterval(bin Interval) error {
+	point := StatsPoint{BinStart: bin.Start.Unix(), PerCollector: s.cur}
+	s.Series = append(s.Series, point)
+	if s.Out != nil {
+		keys := make([]string, 0, len(s.cur))
+		for k := range s.cur {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			c := s.cur[k]
+			if _, err := fmt.Fprintf(s.Out, "%d|%s|records=%d invalid=%d R=%d A=%d W=%d S=%d\n",
+				point.BinStart, k, c.Records, c.Invalid, c.RIBElems, c.Announcements, c.Withdrawals, c.StateChanges); err != nil {
+				return err
+			}
+		}
+	}
+	s.cur = make(map[string]*StatsCounters)
+	return nil
+}
+
+// MOASTag is a stateless classification plugin: it tags records whose
+// elems reveal a prefix announced by an origin different from the one
+// previously seen, the building block of hijack detection (§6). Later
+// plugins in the pipeline read the "moas" tag.
+type MOASTag struct {
+	origins map[string]uint32 // prefix -> last seen origin
+	// Conflicts counts tagged records.
+	Conflicts int
+}
+
+// NewMOASTag builds the tagger.
+func NewMOASTag() *MOASTag {
+	return &MOASTag{origins: make(map[string]uint32)}
+}
+
+// Name implements Plugin.
+func (m *MOASTag) Name() string { return "moas-tag" }
+
+// Process implements Plugin.
+func (m *MOASTag) Process(ctx *Context) error {
+	for i := range ctx.Elems {
+		e := &ctx.Elems[i]
+		if e.Type != core.ElemAnnouncement && e.Type != core.ElemRIB {
+			continue
+		}
+		origin := e.OriginASN()
+		if origin == 0 {
+			continue
+		}
+		key := e.Prefix.String()
+		if prev, ok := m.origins[key]; ok && prev != origin {
+			ctx.Tag("moas", key)
+			m.Conflicts++
+		}
+		m.origins[key] = origin
+	}
+	return nil
+}
+
+// EndInterval implements Plugin (stateless: nothing to flush).
+func (m *MOASTag) EndInterval(bin Interval) error { return nil }

@@ -1,0 +1,167 @@
+package exabgp
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/corsaro"
+)
+
+const updateLine = `{"exabgp":"4.0.1","time":1438415400.5,"type":"update","neighbor":{"address":{"local":"10.0.0.2","peer":"10.0.0.1"},"asn":{"local":65000,"peer":64501},"message":{"update":{"attribute":{"origin":"igp","as-path":[64501,701,13335],"community":[[701,666]],"med":50},"announce":{"ipv4 unicast":{"192.0.2.1":[{"nlri":"198.51.100.0/24"},{"nlri":"198.51.101.0/24"}]}},"withdraw":{"ipv4 unicast":[{"nlri":"203.0.113.0/24"}]}}}}}`
+
+const v6Line = `{"exabgp":"4.0.1","time":1438415401,"type":"update","neighbor":{"address":{"local":"10.0.0.2","peer":"10.0.0.1"},"asn":{"local":65000,"peer":64501},"message":{"update":{"attribute":{"origin":"igp","as-path":[64501,6939]},"announce":{"ipv6 unicast":{"2001:db8::1":[{"nlri":"2001:db8:100::/48"}]}}}}}}`
+
+const stateLine = `{"exabgp":"4.0.1","time":1438415402,"type":"state","neighbor":{"address":{"local":"10.0.0.2","peer":"10.0.0.1"},"asn":{"local":65000,"peer":64501},"state":"down"}}`
+
+func TestParseUpdate(t *testing.T) {
+	m, err := Parse([]byte(updateLine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != "update" || m.PeerASN != 64501 || m.PeerIP.String() != "10.0.0.1" {
+		t.Fatalf("header: %+v", m)
+	}
+	if m.Time.Unix() != 1438415400 {
+		t.Errorf("time: %v", m.Time)
+	}
+	u := m.Update
+	if len(u.NLRI) != 2 || len(u.Withdrawn) != 1 {
+		t.Fatalf("nlri/withdrawn: %v %v", u.NLRI, u.Withdrawn)
+	}
+	if u.Attrs.ASPath.String() != "64501 701 13335" {
+		t.Errorf("path: %s", u.Attrs.ASPath)
+	}
+	if !u.Attrs.Communities.Contains(bgp.NewCommunity(701, 666)) {
+		t.Errorf("communities: %v", u.Attrs.Communities)
+	}
+	if u.Attrs.MED == nil || *u.Attrs.MED != 50 {
+		t.Errorf("med: %v", u.Attrs.MED)
+	}
+	if u.Attrs.NextHop.String() != "192.0.2.1" {
+		t.Errorf("next hop: %s", u.Attrs.NextHop)
+	}
+}
+
+func TestParseV6Update(t *testing.T) {
+	m, err := Parse([]byte(v6Line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := m.Update.Attrs.MPReach
+	if mp == nil || len(mp.NLRI) != 1 || mp.NLRI[0].String() != "2001:db8:100::/48" {
+		t.Fatalf("mp-reach: %+v", mp)
+	}
+	if mp.NextHop.String() != "2001:db8::1" {
+		t.Errorf("v6 next hop: %s", mp.NextHop)
+	}
+}
+
+func TestParseState(t *testing.T) {
+	m, err := Parse([]byte(stateLine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != "state" || m.State != "down" {
+		t.Fatalf("%+v", m)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"not json",
+		`{"type":"open"}`,
+		`{"type":"update","neighbor":{}}`,
+		`{"type":"update","neighbor":{"message":{"update":{"announce":{"ipv4 unicast":{"bad-nh":[{"nlri":"1.0.0.0/8"}]}}}}}}`,
+	} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestRecordRoundTripThroughElems(t *testing.T) {
+	m, err := Parse([]byte(updateLine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := m.Record("exabgp", "router1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Project != "exabgp" || rec.Collector != "router1" {
+		t.Fatalf("provenance: %+v", rec)
+	}
+	elems, err := rec.Elems()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 withdrawal + 2 announcements.
+	if len(elems) != 3 {
+		t.Fatalf("elems: %d", len(elems))
+	}
+	if elems[0].Type != core.ElemWithdrawal {
+		t.Errorf("elem0: %+v", elems[0])
+	}
+	a := elems[1]
+	if a.Type != core.ElemAnnouncement || a.PeerASN != 64501 || a.OriginASN() != 13335 {
+		t.Errorf("elem1: %+v", a)
+	}
+	if a.Timestamp.UTC() != time.Unix(1438415400, 0).UTC() {
+		t.Errorf("timestamp: %v", a.Timestamp)
+	}
+}
+
+func TestStateRecordElems(t *testing.T) {
+	m, err := Parse([]byte(stateLine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := m.Record("exabgp", "router1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems, err := rec.Elems()
+	if err != nil || len(elems) != 1 {
+		t.Fatalf("%v %v", elems, err)
+	}
+	if elems[0].Type != core.ElemPeerState || elems[0].NewState != bgp.StateIdle {
+		t.Errorf("state elem: %+v", elems[0])
+	}
+}
+
+func TestReaderStreamsIntoCorsaro(t *testing.T) {
+	// The ExaBGP reader plugs straight into a BGPCorsaro pipeline.
+	input := strings.Join([]string{updateLine, "", "garbage line", v6Line, stateLine}, "\n")
+	r := NewReader(strings.NewReader(input), "exabgp", "router1")
+	stats := corsaro.NewStats(nil)
+	runner := &corsaro.Runner{Source: r, Interval: time.Minute, Plugins: []corsaro.Plugin{stats}}
+	if err := runner.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if runner.InvalidRecords != 1 {
+		t.Errorf("invalid records: %d (garbage line should count)", runner.InvalidRecords)
+	}
+	total := 0
+	for _, pt := range stats.Series {
+		if c := pt.PerCollector["exabgp.router1"]; c != nil {
+			total += c.Announcements + c.Withdrawals + c.StateChanges
+		}
+	}
+	if total != 5 { // 2 A + 1 W + 1 v6 A + 1 S
+		t.Errorf("elem total: %d", total)
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""), "p", "c")
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("EOF must be sticky, got %v", err)
+	}
+}

@@ -1,0 +1,383 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+	"github.com/bgpstream-go/bgpstream/internal/asgraph"
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/merge"
+	"github.com/bgpstream-go/bgpstream/internal/mrt"
+)
+
+// runTable1 demonstrates the Table 1 record→elem decomposition: an
+// MRT record grouping several routes yields one elem per (VP, prefix),
+// with fields populated conditionally on elem type.
+func runTable1(cfg Config) (*Result, error) {
+	peer := netip.MustParseAddr("192.0.2.10")
+	local := netip.MustParseAddr("192.0.2.254")
+
+	origin := uint8(bgp.OriginIGP)
+	u := &bgp.Update{
+		Withdrawn: []netip.Prefix{netip.MustParsePrefix("203.0.113.0/24")},
+		Attrs: bgp.PathAttributes{
+			Origin: &origin, ASPath: bgp.SequencePath(64501, 701, 13335), HasASPath: true,
+			NextHop:     netip.MustParseAddr("192.0.2.1"),
+			Communities: bgp.Communities{bgp.NewCommunity(701, 666)},
+		},
+		NLRI: []netip.Prefix{
+			netip.MustParsePrefix("198.51.100.0/24"),
+			netip.MustParsePrefix("198.51.101.0/24"),
+		},
+	}
+	updRec := &core.Record{Status: core.StatusValid,
+		MRT: mrt.NewUpdateRecord(1000, 64501, 65000, peer, local, u)}
+
+	pit := &mrt.PeerIndexTable{CollectorBGPID: netip.MustParseAddr("198.51.100.1"),
+		Peers: []mrt.Peer{
+			{BGPID: peer, IP: peer, AS: 64501},
+			{BGPID: local, IP: netip.MustParseAddr("192.0.2.20"), AS: 64502},
+		}}
+	attrs := bgp.AppendAttributes(nil, &u.Attrs, 4)
+	ribRec := &core.Record{Status: core.StatusValid,
+		MRT: mrt.NewRIBRecord(1000, &mrt.RIB{Prefix: netip.MustParsePrefix("10.0.0.0/8"),
+			Entries: []mrt.RIBEntry{{PeerIndex: 0, Attrs: attrs}, {PeerIndex: 1, Attrs: attrs}}})}
+	ribRec.SetPeerIndex(pit)
+
+	stateRec := &core.Record{Status: core.StatusValid,
+		MRT: mrt.NewStateChangeRecord(1000, 64501, 65000, peer, local, bgp.StateEstablished, bgp.StateIdle)}
+
+	res := &Result{
+		Header: []string{"record", "elems", "type", "prefix", "next-hop", "as-path", "communities", "old/new state"},
+	}
+	describe := func(name string, rec *core.Record) error {
+		elems, err := rec.Elems()
+		if err != nil {
+			return err
+		}
+		for _, e := range elems {
+			res.Rows = append(res.Rows, []string{
+				name, itoa(len(elems)), e.Type.String(),
+				boolMark(e.Prefix.IsValid()), boolMark(e.NextHop.IsValid()),
+				boolMark(len(e.ASPath.Segments) > 0), boolMark(len(e.Communities) > 0),
+				boolMark(e.Type == core.ElemPeerState),
+			})
+		}
+		return nil
+	}
+	if err := describe("updates(2A+1W)", updRec); err != nil {
+		return nil, err
+	}
+	if err := describe("rib(2 VPs)", ribRec); err != nil {
+		return nil, err
+	}
+	if err := describe("state-change", stateRec); err != nil {
+		return nil, err
+	}
+	res.Notes = append(res.Notes,
+		"one elem per (VP, prefix); conditional fields match Table 1 (* rows)",
+	)
+	return res, nil
+}
+
+func boolMark(b bool) string {
+	if b {
+		return "set"
+	}
+	return "-"
+}
+
+// runFig3 reproduces the Figure 3 scenario: RIB and Updates dumps from
+// a RIPE RIS collector and a RouteViews collector interleave into one
+// time-sorted stream, after partitioning the files into overlapping
+// subsets.
+func runFig3(cfg Config) (*Result, error) {
+	dir, cleanup, err := cfg.workspace()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	e, err := buildEnv(cfg, dir, envOpts{hours: 1, vps: 6, churn: 30})
+	if err != nil {
+		return nil, err
+	}
+	metas, err := e.store.Scan()
+	if err != nil {
+		return nil, err
+	}
+	intervals := make([]merge.Interval, len(metas))
+	for i, m := range metas {
+		s, en := m.Interval()
+		intervals[i] = merge.Interval{Start: s, End: en}
+	}
+	groups := merge.PartitionOverlapping(intervals)
+	maxGroup := 0
+	for _, g := range groups {
+		if len(g) > maxGroup {
+			maxGroup = len(g)
+		}
+	}
+
+	stream := core.NewStream(context.Background(), &core.Directory{Dir: dir}, core.Filters{})
+	defer stream.Close()
+	var (
+		total      int
+		perSource  = map[string]int{}
+		sorted     = true
+		switches   int
+		lastSource string
+		last       time.Time
+	)
+	for {
+		rec, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		total++
+		key := rec.Collector + "/" + string(rec.DumpType)
+		perSource[key]++
+		if rec.Time().Before(last) {
+			sorted = false
+		}
+		last = rec.Time()
+		if lastSource != "" && lastSource != key {
+			switches++
+		}
+		lastSource = key
+	}
+	res := &Result{Header: []string{"metric", "value"}}
+	res.Rows = append(res.Rows,
+		[]string{"dump files", itoa(len(metas))},
+		[]string{"overlap subsets", itoa(len(groups))},
+		[]string{"largest subset (files merged at once)", itoa(maxGroup)},
+		[]string{"records emitted", itoa(total)},
+		[]string{"timestamp-sorted", fmt.Sprintf("%v", sorted)},
+		[]string{"source interleavings", itoa(switches)},
+	)
+	keys := make([]string, 0, len(perSource))
+	for k := range perSource {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		res.Rows = append(res.Rows, []string{"records from " + k, itoa(perSource[k])})
+	}
+	if !sorted {
+		return nil, fmt.Errorf("stream not sorted")
+	}
+	res.Notes = append(res.Notes,
+		"paper: records from different collectors and dump types interleave record-level; measured: sorted=true with multiple source interleavings",
+	)
+	return res, nil
+}
+
+// runSortingOverhead measures the §3.3.4 claim: the cost of the
+// multi-way merge is negligible compared to reading the records.
+func runSortingOverhead(cfg Config) (*Result, error) {
+	dir, cleanup, err := cfg.workspace()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	e, err := buildEnv(cfg, dir, envOpts{hours: cfg.scale(4), vps: 8, churn: 60})
+	if err != nil {
+		return nil, err
+	}
+	metas, err := e.store.Scan()
+	if err != nil {
+		return nil, err
+	}
+	// Warm the page cache so both pipelines read memory-resident
+	// files and the comparison isolates CPU cost.
+	for _, m := range metas {
+		if data, err := os.ReadFile(m.URL); err == nil {
+			_ = data
+		}
+	}
+	// Raw parse floor: sequential MRT decode with no stream machinery.
+	rawRecords := 0
+	rawDur := time.Duration(1 << 62)
+	for rep := 0; rep < 3; rep++ {
+		t0 := time.Now()
+		n := 0
+		for _, m := range metas {
+			f, err := os.Open(m.URL)
+			if err != nil {
+				return nil, err
+			}
+			r, err := mrt.NewReader(f)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			for {
+				if _, err := r.Next(); err != nil {
+					break
+				}
+				n++
+			}
+			r.Close()
+			f.Close()
+		}
+		if d := time.Since(t0); d < rawDur {
+			rawDur = d
+		}
+		rawRecords = n
+	}
+
+	// Baseline for the sorting comparison: the same stream pipeline
+	// (open, parse, materialise records) but one file at a time, so no
+	// multi-way merging happens. The delta against the sorted stream
+	// isolates the §3.3.4 merge cost.
+	baselineRecords := 0
+	baseline := time.Duration(1 << 62)
+	for rep := 0; rep < 3; rep++ {
+		t0 := time.Now()
+		n := 0
+		for _, m := range metas {
+			s := core.NewStream(context.Background(),
+				&core.SingleFiles{Metas: []archive.DumpMeta{m}}, core.Filters{})
+			for {
+				if _, err := s.Next(); err != nil {
+					break
+				}
+				n++
+			}
+			s.Close()
+		}
+		if d := time.Since(t0); d < baseline {
+			baseline = d
+		}
+		baselineRecords = n
+	}
+
+	// Full sorted stream, best of three.
+	streamRecords := 0
+	sortedDur := time.Duration(1 << 62)
+	for rep := 0; rep < 3; rep++ {
+		t1 := time.Now()
+		stream := core.NewStream(context.Background(),
+			&core.SingleFiles{Metas: metas}, core.Filters{})
+		n := 0
+		for {
+			if _, err := stream.Next(); err != nil {
+				break
+			}
+			n++
+		}
+		stream.Close()
+		if d := time.Since(t1); d < sortedDur {
+			sortedDur = d
+		}
+		streamRecords = n
+	}
+
+	// Sorted stream with broker-style response windowing (bounded
+	// merge fan-in, better decompressor locality).
+	windowedRecords := 0
+	windowedDur := time.Duration(1 << 62)
+	for rep := 0; rep < 3; rep++ {
+		t1 := time.Now()
+		stream := core.NewStream(context.Background(),
+			&core.Windowed{Inner: &core.SingleFiles{Metas: metas}, Window: 15 * time.Minute},
+			core.Filters{})
+		n := 0
+		for {
+			if _, err := stream.Next(); err != nil {
+				break
+			}
+			n++
+		}
+		stream.Close()
+		if d := time.Since(t1); d < windowedDur {
+			windowedDur = d
+		}
+		windowedRecords = n
+	}
+
+	overhead := float64(sortedDur-baseline) / float64(baseline)
+	res := &Result{Header: []string{"pipeline", "records", "duration", "records/s"}}
+	res.Rows = append(res.Rows,
+		[]string{"raw MRT parse (floor)", itoa(rawRecords), rawDur.Round(time.Millisecond).String(),
+			f2(float64(rawRecords) / rawDur.Seconds())},
+		[]string{"stream, per-file (no merge)", itoa(baselineRecords), baseline.Round(time.Millisecond).String(),
+			f2(float64(baselineRecords) / baseline.Seconds())},
+		[]string{"stream, sorted (k-way merge)", itoa(streamRecords), sortedDur.Round(time.Millisecond).String(),
+			f2(float64(streamRecords) / sortedDur.Seconds())},
+		[]string{"stream, sorted, 15m windows", itoa(windowedRecords), windowedDur.Round(time.Millisecond).String(),
+			f2(float64(windowedRecords) / windowedDur.Seconds())},
+	)
+	windowedOverhead := float64(windowedDur-baseline) / float64(baseline)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("paper: sorting cost negligible vs reading; measured merge overhead: %.1f%% unbounded fan-in, %.1f%% with broker-style response windows (the production configuration)",
+			overhead*100, windowedOverhead*100),
+	)
+	return res, nil
+}
+
+// runListing1 is the AS-path-inflation study: compare the minimum
+// observed BGP path length per (monitor, origin) pair to the shortest
+// path on the undirected AS graph built from the same RIB data.
+func runListing1(cfg Config) (*Result, error) {
+	dir, cleanup, err := cfg.workspace()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	// Dense edge peering deepens the policy/topology gap the analysis
+	// measures (on the real Internet this density exists naturally).
+	e, err := buildEnv(cfg, dir, envOpts{hours: 1, vps: 10, stubPeering: 0.2})
+	if err != nil {
+		return nil, err
+	}
+	_ = e
+	stream := core.NewStream(context.Background(), &core.Directory{Dir: dir},
+		core.Filters{DumpTypes: []core.DumpType{core.DumpRIB}})
+	defer stream.Close()
+	analysis := asgraph.NewInflationAnalysis()
+	for {
+		_, elem, err := stream.NextElem()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if elem.Type != core.ElemRIB || !elem.Prefix.Addr().Is4() {
+			continue
+		}
+		analysis.Observe(elem.PeerASN, elem.ASPath)
+	}
+	r := analysis.Result()
+	res := &Result{Header: []string{"extra hops", "pairs", "fraction"}}
+	maxKey := 0
+	for k := range r.ExtraHopHistogram {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	for k := 0; k <= maxKey; k++ {
+		n := r.ExtraHopHistogram[k]
+		res.Rows = append(res.Rows, []string{itoa(k), itoa(n), pct(float64(n) / float64(r.Pairs))})
+	}
+	res.Rows = append(res.Rows,
+		[]string{"total pairs", itoa(r.Pairs), ""},
+		[]string{"inflated", itoa(r.Inflated), pct(r.InflatedFraction())},
+		[]string{"max extra hops", itoa(r.MaxExtraHops), ""},
+	)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("paper: >30%% of 10M pairs inflated, up to 11 extra hops (real Internet); measured on synthetic topology: %s inflated, up to %d extra hops — policy routing inflates paths, magnitude scales with topology depth",
+			pct(r.InflatedFraction()), r.MaxExtraHops),
+	)
+	return res, nil
+}

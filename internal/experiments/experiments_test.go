@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun smoke-tests every registered experiment at
+// reduced scale: each must produce rows and at least one
+// paper-vs-measured note.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, id := range List() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, Config{Seed: 1, Scale: 0.4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			if len(res.Notes) == 0 {
+				t.Fatal("no paper-vs-measured note")
+			}
+			if res.ID != id || res.Title == "" {
+				t.Errorf("metadata: %q %q", res.ID, res.Title)
+			}
+			out := res.Format()
+			if !strings.Contains(out, id) || !strings.Contains(out, "note:") {
+				t.Errorf("Format missing pieces:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", Config{}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestListStable(t *testing.T) {
+	a, b := List(), List()
+	if len(a) != 14 {
+		t.Errorf("registry has %d experiments: %v", len(a), a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("List not stable")
+		}
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	// Same seed, same rows — experiments must be exactly reproducible.
+	for _, id := range []string{"listing1", "fig9"} {
+		r1, err := Run(id, Config{Seed: 5, Scale: 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(id, Config{Seed: 5, Scale: 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Format() != r2.Format() {
+			t.Errorf("%s nondeterministic:\n%s\nvs\n%s", id, r1.Format(), r2.Format())
+		}
+	}
+}

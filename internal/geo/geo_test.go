@@ -1,0 +1,67 @@
+package geo
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/bgpstream-go/bgpstream/internal/astopo"
+)
+
+func TestAddLookup(t *testing.T) {
+	db := New()
+	db.Add(netip.MustParsePrefix("20.0.0.0/12"), "US")
+	db.Add(netip.MustParsePrefix("20.5.0.0/16"), "DE")
+
+	cc, ok := db.CountryOfAddr(netip.MustParseAddr("20.5.1.1"))
+	if !ok || cc != "DE" {
+		t.Errorf("addr in more-specific: %q %v", cc, ok)
+	}
+	cc, ok = db.CountryOfAddr(netip.MustParseAddr("20.1.0.1"))
+	if !ok || cc != "US" {
+		t.Errorf("addr in covering: %q %v", cc, ok)
+	}
+	if _, ok := db.CountryOfAddr(netip.MustParseAddr("99.0.0.1")); ok {
+		t.Error("unregistered space located")
+	}
+}
+
+func TestCountryOfPrefix(t *testing.T) {
+	db := New()
+	db.Add(netip.MustParsePrefix("20.5.0.0/16"), "IQ")
+	// Sub-allocation announced as /24.
+	cc, ok := db.CountryOfPrefix(netip.MustParsePrefix("20.5.9.0/24"))
+	if !ok || cc != "IQ" {
+		t.Errorf("sub-prefix: %q %v", cc, ok)
+	}
+	// Exact.
+	cc, ok = db.CountryOfPrefix(netip.MustParsePrefix("20.5.0.0/16"))
+	if !ok || cc != "IQ" {
+		t.Errorf("exact: %q %v", cc, ok)
+	}
+	if _, ok := db.CountryOfPrefix(netip.MustParsePrefix("30.0.0.0/8")); ok {
+		t.Error("unregistered prefix located")
+	}
+}
+
+func TestFromTopologyGroundTruth(t *testing.T) {
+	p := astopo.DefaultParams(5)
+	p.TierOneCount = 3
+	p.TierTwoCount = 6
+	p.StubCount = 20
+	topo := astopo.Generate(p)
+	db := FromTopology(topo)
+	if db.Len() == 0 {
+		t.Fatal("empty db")
+	}
+	// Every originated prefix must geolocate to its AS's country.
+	for _, op := range topo.AllPrefixes() {
+		as := topo.AS(op.Origin)
+		cc, ok := db.CountryOfPrefix(op.Prefix)
+		if !ok || cc != as.Country {
+			t.Fatalf("prefix %s: got %q/%v, want %q", op.Prefix, cc, ok, as.Country)
+		}
+	}
+	if len(db.Countries()) == 0 {
+		t.Error("no countries listed")
+	}
+}

@@ -1,0 +1,140 @@
+// Package mq is the distributed-messaging substrate of the §6.2
+// monitoring architecture — the stand-in for Apache Kafka. It
+// provides named, offset-addressed, append-only message logs
+// (topics), an embedded broker for in-process pipelines, and a
+// length-prefixed binary TCP protocol so BGPCorsaro producers, sync
+// servers and consumers can run as separate processes, mirroring the
+// paper's deployment.
+package mq
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// Broker is an in-memory message broker: a set of topics, each an
+// append-only log addressed by offset. The zero value is not usable;
+// call NewBroker.
+type Broker struct {
+	mu     sync.RWMutex
+	topics map[string]*topic
+}
+
+type topic struct {
+	mu      sync.Mutex
+	msgs    [][]byte
+	waiters []chan struct{}
+}
+
+// NewBroker creates an empty broker.
+func NewBroker() *Broker {
+	return &Broker{topics: make(map[string]*topic)}
+}
+
+func (b *Broker) topicFor(name string, create bool) *topic {
+	b.mu.RLock()
+	t := b.topics[name]
+	b.mu.RUnlock()
+	if t != nil || !create {
+		return t
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t = b.topics[name]; t == nil {
+		t = &topic{}
+		b.topics[name] = t
+	}
+	return t
+}
+
+// Produce appends messages to a topic (created on first use) and
+// returns the offset of the first appended message.
+func (b *Broker) Produce(name string, msgs ...[]byte) int64 {
+	t := b.topicFor(name, true)
+	t.mu.Lock()
+	base := int64(len(t.msgs))
+	for _, m := range msgs {
+		t.msgs = append(t.msgs, append([]byte(nil), m...))
+	}
+	waiters := t.waiters
+	t.waiters = nil
+	t.mu.Unlock()
+	for _, w := range waiters {
+		close(w)
+	}
+	return base
+}
+
+// Fetch returns up to max messages starting at offset, plus the next
+// offset to fetch. It never blocks; an empty result means the
+// consumer is caught up.
+func (b *Broker) Fetch(name string, offset int64, max int) ([][]byte, int64) {
+	t := b.topicFor(name, false)
+	if t == nil {
+		return nil, offset
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= int64(len(t.msgs)) {
+		return nil, offset
+	}
+	end := offset + int64(max)
+	if max <= 0 || end > int64(len(t.msgs)) {
+		end = int64(len(t.msgs))
+	}
+	out := make([][]byte, 0, end-offset)
+	for _, m := range t.msgs[offset:end] {
+		out = append(out, m)
+	}
+	return out, end
+}
+
+// FetchWait behaves like Fetch but blocks until at least one message
+// is available past offset or the context is done.
+func (b *Broker) FetchWait(ctx context.Context, name string, offset int64, max int) ([][]byte, int64, error) {
+	for {
+		t := b.topicFor(name, true)
+		t.mu.Lock()
+		if offset < int64(len(t.msgs)) {
+			t.mu.Unlock()
+			msgs, next := b.Fetch(name, offset, max)
+			return msgs, next, nil
+		}
+		w := make(chan struct{})
+		t.waiters = append(t.waiters, w)
+		t.mu.Unlock()
+		select {
+		case <-w:
+		case <-ctx.Done():
+			return nil, offset, ctx.Err()
+		}
+	}
+}
+
+// EndOffset returns the offset one past the last message of the topic
+// (0 for unknown topics).
+func (b *Broker) EndOffset(name string) int64 {
+	t := b.topicFor(name, false)
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int64(len(t.msgs))
+}
+
+// Topics lists existing topic names, sorted.
+func (b *Broker) Topics() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.topics))
+	for name := range b.topics {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,87 @@
+package mq
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/rtables"
+)
+
+// TestRTPublisherOverTCP runs the §6.2 producer path across process
+// boundaries: the RT publisher produces through a TCP client into a
+// remote broker, and a consumer-side fetch reconstructs the batches.
+func TestRTPublisherOverTCP(t *testing.T) {
+	b := NewBroker()
+	srv := NewServer(b)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	producerConn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer producerConn.Close()
+	pub := &RTPublisher{Producer: producerConn}
+
+	bin := time.Unix(3000, 0)
+	diffs := []rtables.Diff{
+		{
+			VP:        rtables.VPKey{Collector: "rrc00", Addr: netip.MustParseAddr("192.0.2.10"), ASN: 64501},
+			Prefix:    netip.MustParsePrefix("10.0.0.0/8"),
+			Announced: true,
+			Path:      "64501 701 3356",
+			NextHop:   netip.MustParseAddr("192.0.2.1"),
+			Timestamp: 3000,
+		},
+	}
+	for i := 0; i < 3; i++ {
+		if err := pub.PublishDiffs("rrc00", bin.Add(time.Duration(i)*5*time.Minute), diffs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Consumer side: fetch over its own TCP connection.
+	consumerConn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumerConn.Close()
+
+	metaMsgs, _, err := consumerConn.Fetch(MetaTopic, 0, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metaMsgs) != 3 {
+		t.Fatalf("meta messages: %d", len(metaMsgs))
+	}
+	for i, raw := range metaMsgs {
+		meta, err := DecodeMeta(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meta.Collector != "rrc00" || meta.Offset != int64(i) {
+			t.Fatalf("meta %d: %+v", i, meta)
+		}
+		batchRaw, _, err := consumerConn.Fetch(DiffTopic("rrc00"), meta.Offset, 1, 0)
+		if err != nil || len(batchRaw) != 1 {
+			t.Fatalf("batch fetch %d: %v %d", i, err, len(batchRaw))
+		}
+		batch, err := DecodeDiffBatch(batchRaw[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch.BinStart != bin.Add(time.Duration(i)*5*time.Minute).Unix() {
+			t.Errorf("batch %d bin: %d", i, batch.BinStart)
+		}
+		if len(batch.Diffs) != 1 || batch.Diffs[0].Path != "64501 701 3356" {
+			t.Errorf("batch %d diffs: %+v", i, batch.Diffs)
+		}
+		if batch.Diffs[0].VP.Addr != netip.MustParseAddr("192.0.2.10") {
+			t.Errorf("netip survived gob+tcp wrong: %v", batch.Diffs[0].VP.Addr)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package mq
+
+import (
+	"context"
+	"net/netip"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/rtables"
+)
+
+func TestBrokerProduceFetch(t *testing.T) {
+	b := NewBroker()
+	base := b.Produce("t", []byte("a"), []byte("b"))
+	if base != 0 {
+		t.Errorf("base = %d", base)
+	}
+	if base := b.Produce("t", []byte("c")); base != 2 {
+		t.Errorf("second base = %d", base)
+	}
+	msgs, next := b.Fetch("t", 0, 10)
+	if len(msgs) != 3 || next != 3 {
+		t.Fatalf("fetch: %d msgs next %d", len(msgs), next)
+	}
+	if string(msgs[0]) != "a" || string(msgs[2]) != "c" {
+		t.Errorf("contents: %q", msgs)
+	}
+	// Partial fetch.
+	msgs, next = b.Fetch("t", 1, 1)
+	if len(msgs) != 1 || string(msgs[0]) != "b" || next != 2 {
+		t.Errorf("partial: %q next %d", msgs, next)
+	}
+	// Caught up.
+	msgs, next = b.Fetch("t", 3, 10)
+	if len(msgs) != 0 || next != 3 {
+		t.Errorf("caught up: %q next %d", msgs, next)
+	}
+	// Unknown topic.
+	msgs, next = b.Fetch("nope", 5, 10)
+	if msgs != nil || next != 5 {
+		t.Errorf("unknown topic: %q %d", msgs, next)
+	}
+}
+
+func TestBrokerMessagesAreCopied(t *testing.T) {
+	b := NewBroker()
+	m := []byte("mutate-me")
+	b.Produce("t", m)
+	m[0] = 'X'
+	msgs, _ := b.Fetch("t", 0, 1)
+	if string(msgs[0]) != "mutate-me" {
+		t.Error("broker aliased producer buffer")
+	}
+}
+
+func TestFetchWaitBlocksUntilProduce(t *testing.T) {
+	b := NewBroker()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(20 * time.Millisecond)
+		b.Produce("t", []byte("late"))
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	msgs, next, err := b.FetchWait(ctx, "t", 0, 10)
+	wg.Wait()
+	if err != nil || len(msgs) != 1 || next != 1 {
+		t.Fatalf("FetchWait: %q %d %v", msgs, next, err)
+	}
+}
+
+func TestFetchWaitContextCancel(t *testing.T) {
+	b := NewBroker()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := b.FetchWait(ctx, "t", 0, 10)
+	if err == nil {
+		t.Fatal("FetchWait returned without data or error")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	b := NewBroker()
+	srv := NewServer(b)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	base, err := cl.Produce("topic-a", []byte("one"), []byte("two"))
+	if err != nil || base != 0 {
+		t.Fatalf("produce: %d %v", base, err)
+	}
+	msgs, next, err := cl.Fetch("topic-a", 0, 10, 0)
+	if err != nil || len(msgs) != 2 || next != 2 {
+		t.Fatalf("fetch: %q %d %v", msgs, next, err)
+	}
+	if string(msgs[1]) != "two" {
+		t.Errorf("payload: %q", msgs[1])
+	}
+	end, err := cl.EndOffset("topic-a")
+	if err != nil || end != 2 {
+		t.Fatalf("end: %d %v", end, err)
+	}
+	topics, err := cl.Topics()
+	if err != nil || len(topics) != 1 || topics[0] != "topic-a" {
+		t.Fatalf("topics: %v %v", topics, err)
+	}
+}
+
+func TestTCPFetchBlocking(t *testing.T) {
+	b := NewBroker()
+	srv := NewServer(b)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		b.Produce("t", []byte("x"))
+	}()
+	start := time.Now()
+	msgs, _, err := cl.Fetch("t", 0, 1, 2*time.Second)
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("blocking fetch: %q %v", msgs, err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Error("fetch returned before produce")
+	}
+	// Timeout path: no data at offset 1.
+	msgs, next, err := cl.Fetch("t", 1, 1, 30*time.Millisecond)
+	if err != nil || len(msgs) != 0 || next != 1 {
+		t.Fatalf("timeout fetch: %q %d %v", msgs, next, err)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	b := NewBroker()
+	srv := NewServer(b)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			for j := 0; j < 50; j++ {
+				if _, err := cl.Produce("shared", []byte{byte(id), byte(j)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if end := b.EndOffset("shared"); end != n*50 {
+		t.Errorf("end offset = %d, want %d", end, n*50)
+	}
+}
+
+func sampleDiffs() []rtables.Diff {
+	return []rtables.Diff{
+		{
+			VP:        rtables.VPKey{Collector: "rrc00", Addr: netip.MustParseAddr("192.0.2.10"), ASN: 64501},
+			Prefix:    netip.MustParsePrefix("10.0.0.0/8"),
+			Announced: true,
+			Path:      "64501 701 3356",
+			NextHop:   netip.MustParseAddr("192.0.2.1"),
+			Timestamp: 1000,
+		},
+		{
+			VP:     rtables.VPKey{Collector: "rrc00", Addr: netip.MustParseAddr("192.0.2.10"), ASN: 64501},
+			Prefix: netip.MustParsePrefix("203.0.113.0/24"),
+		},
+	}
+}
+
+func TestDiffBatchCodec(t *testing.T) {
+	in := &DiffBatch{Collector: "rrc00", BinStart: 12345, Diffs: sampleDiffs()}
+	data, err := EncodeDiffBatch(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeDiffBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n%+v\n%+v", in, out)
+	}
+	if _, err := DecodeDiffBatch([]byte("garbage")); err == nil {
+		t.Error("garbage decoded")
+	}
+}
+
+func TestRTPublisherWritesTopicsAndMeta(t *testing.T) {
+	b := NewBroker()
+	pub := &RTPublisher{Producer: LocalProducer{Broker: b}}
+	bin := time.Unix(6000, 0)
+	if err := pub.PublishDiffs("rrc00", bin, sampleDiffs()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.PublishSnapshot("rrc00", bin, sampleDiffs()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	// Diff topic has two batches.
+	msgs, _ := b.Fetch(DiffTopic("rrc00"), 0, 10)
+	if len(msgs) != 2 {
+		t.Fatalf("diff topic: %d messages", len(msgs))
+	}
+	batch, err := DecodeDiffBatch(msgs[0])
+	if err != nil || batch.Snapshot || len(batch.Diffs) != 2 || batch.BinStart != 6000 {
+		t.Fatalf("batch0: %+v %v", batch, err)
+	}
+	snap, err := DecodeDiffBatch(msgs[1])
+	if err != nil || !snap.Snapshot {
+		t.Fatalf("batch1: %+v %v", snap, err)
+	}
+	// Meta topic mirrors both, with offsets pointing into the diff
+	// topic.
+	metaMsgs, _ := b.Fetch(MetaTopic, 0, 10)
+	if len(metaMsgs) != 2 {
+		t.Fatalf("meta topic: %d messages", len(metaMsgs))
+	}
+	m0, err := DecodeMeta(metaMsgs[0])
+	if err != nil || m0.Collector != "rrc00" || m0.Offset != 0 || m0.Count != 2 {
+		t.Fatalf("meta0: %+v %v", m0, err)
+	}
+	m1, _ := DecodeMeta(metaMsgs[1])
+	if !m1.Snapshot || m1.Offset != 1 {
+		t.Fatalf("meta1: %+v", m1)
+	}
+}
+
+func BenchmarkBrokerProduceFetch(b *testing.B) {
+	br := NewBroker()
+	msg := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Produce("bench", msg)
+		br.Fetch("bench", int64(i), 1)
+	}
+}

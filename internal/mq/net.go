@@ -1,0 +1,394 @@
+package mq
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Wire protocol: every frame is a 4-byte big-endian length followed by
+// the payload. Request payloads start with a 1-byte opcode.
+//
+//	PRODUCE:  op, topic, u32 count, count × message
+//	FETCH:    op, topic, i64 offset, u32 max, u32 waitMillis
+//	END:      op, topic
+//	TOPICS:   op
+//
+// Responses: u8 status (0 ok, 1 error), then op-specific body.
+// Strings are u16 length + bytes; messages u32 length + bytes.
+const (
+	opProduce = 1
+	opFetch   = 2
+	opEnd     = 3
+	opTopics  = 4
+)
+
+const maxFrame = 64 << 20
+
+// ErrProtocol reports a malformed frame.
+var ErrProtocol = errors.New("mq: protocol error")
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, ErrProtocol
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	if len(buf) < 2 {
+		return "", nil, ErrProtocol
+	}
+	n := int(binary.BigEndian.Uint16(buf))
+	if len(buf) < 2+n {
+		return "", nil, ErrProtocol
+	}
+	return string(buf[2 : 2+n]), buf[2+n:], nil
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+func readBytes(buf []byte) ([]byte, []byte, error) {
+	if len(buf) < 4 {
+		return nil, nil, ErrProtocol
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	if n > maxFrame || len(buf) < 4+n {
+		return nil, nil, ErrProtocol
+	}
+	return buf[4 : 4+n], buf[4+n:], nil
+}
+
+// Server exposes a Broker over TCP.
+type Server struct {
+	Broker *Broker
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer wraps a broker.
+func NewServer(b *Broker) *Server {
+	return &Server{Broker: b, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting connections on addr ("127.0.0.1:0" for an
+// ephemeral test port) and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("mq: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		req, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := writeFrame(bw, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func errResp(msg string) []byte {
+	out := []byte{1}
+	return appendString(out, msg)
+}
+
+func (s *Server) handle(req []byte) []byte {
+	if len(req) < 1 {
+		return errResp("empty request")
+	}
+	op, body := req[0], req[1:]
+	switch op {
+	case opProduce:
+		topic, rest, err := readString(body)
+		if err != nil {
+			return errResp("bad produce")
+		}
+		if len(rest) < 4 {
+			return errResp("bad produce count")
+		}
+		count := int(binary.BigEndian.Uint32(rest))
+		rest = rest[4:]
+		msgs := make([][]byte, 0, count)
+		for i := 0; i < count; i++ {
+			var m []byte
+			m, rest, err = readBytes(rest)
+			if err != nil {
+				return errResp("bad produce message")
+			}
+			msgs = append(msgs, m)
+		}
+		base := s.Broker.Produce(topic, msgs...)
+		out := []byte{0}
+		return binary.BigEndian.AppendUint64(out, uint64(base))
+	case opFetch:
+		topic, rest, err := readString(body)
+		if err != nil || len(rest) < 16 {
+			return errResp("bad fetch")
+		}
+		offset := int64(binary.BigEndian.Uint64(rest))
+		max := int(binary.BigEndian.Uint32(rest[8:]))
+		waitMs := int(binary.BigEndian.Uint32(rest[12:]))
+		var msgs [][]byte
+		var next int64
+		if waitMs > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(waitMs)*time.Millisecond)
+			msgs, next, _ = s.Broker.FetchWait(ctx, topic, offset, max)
+			if msgs == nil {
+				next = offset
+			}
+			cancel()
+		} else {
+			msgs, next = s.Broker.Fetch(topic, offset, max)
+		}
+		out := []byte{0}
+		out = binary.BigEndian.AppendUint64(out, uint64(next))
+		out = binary.BigEndian.AppendUint32(out, uint32(len(msgs)))
+		for _, m := range msgs {
+			out = appendBytes(out, m)
+		}
+		return out
+	case opEnd:
+		topic, _, err := readString(body)
+		if err != nil {
+			return errResp("bad end")
+		}
+		out := []byte{0}
+		return binary.BigEndian.AppendUint64(out, uint64(s.Broker.EndOffset(topic)))
+	case opTopics:
+		names := s.Broker.Topics()
+		out := []byte{0}
+		out = binary.BigEndian.AppendUint32(out, uint32(len(names)))
+		for _, n := range names {
+			out = appendString(out, n)
+		}
+		return out
+	default:
+		return errResp("unknown op")
+	}
+}
+
+// Client is a TCP client for a remote broker. It is safe for
+// sequential use; guard with a mutex (or use one per goroutine) for
+// concurrency.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a broker server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("mq: dial: %w", err)
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.bw, req); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 1 {
+		return nil, ErrProtocol
+	}
+	if resp[0] != 0 {
+		msg, _, _ := readString(resp[1:])
+		return nil, fmt.Errorf("mq: server error: %s", msg)
+	}
+	return resp[1:], nil
+}
+
+// Produce appends messages to a remote topic.
+func (c *Client) Produce(topic string, msgs ...[]byte) (int64, error) {
+	req := []byte{opProduce}
+	req = appendString(req, topic)
+	req = binary.BigEndian.AppendUint32(req, uint32(len(msgs)))
+	for _, m := range msgs {
+		req = appendBytes(req, m)
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) < 8 {
+		return 0, ErrProtocol
+	}
+	return int64(binary.BigEndian.Uint64(resp)), nil
+}
+
+// Fetch retrieves up to max messages from offset; wait > 0 blocks up
+// to that duration for new data.
+func (c *Client) Fetch(topic string, offset int64, max int, wait time.Duration) ([][]byte, int64, error) {
+	req := []byte{opFetch}
+	req = appendString(req, topic)
+	req = binary.BigEndian.AppendUint64(req, uint64(offset))
+	req = binary.BigEndian.AppendUint32(req, uint32(max))
+	req = binary.BigEndian.AppendUint32(req, uint32(wait/time.Millisecond))
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, offset, err
+	}
+	if len(resp) < 12 {
+		return nil, offset, ErrProtocol
+	}
+	next := int64(binary.BigEndian.Uint64(resp))
+	count := int(binary.BigEndian.Uint32(resp[8:]))
+	rest := resp[12:]
+	msgs := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		var m []byte
+		m, rest, err = readBytes(rest)
+		if err != nil {
+			return nil, offset, err
+		}
+		msgs = append(msgs, append([]byte(nil), m...))
+	}
+	return msgs, next, nil
+}
+
+// EndOffset returns the remote topic's end offset.
+func (c *Client) EndOffset(topic string) (int64, error) {
+	req := []byte{opEnd}
+	req = appendString(req, topic)
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) < 8 {
+		return 0, ErrProtocol
+	}
+	return int64(binary.BigEndian.Uint64(resp)), nil
+}
+
+// Topics lists remote topic names.
+func (c *Client) Topics() ([]string, error) {
+	resp, err := c.roundTrip([]byte{opTopics})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 4 {
+		return nil, ErrProtocol
+	}
+	count := int(binary.BigEndian.Uint32(resp))
+	rest := resp[4:]
+	out := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		var s string
+		s, rest, err = readString(rest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package mq
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/rtables"
+)
+
+// Topic layout of the §6.2 pipeline: one diff topic per collector,
+// plus a shared meta-data topic watched by sync servers.
+const (
+	// MetaTopic carries lightweight per-bin indexing meta-data.
+	MetaTopic = "rt.meta"
+)
+
+// DiffTopic returns the diff/snapshot topic for a collector.
+func DiffTopic(collector string) string { return "rt.diffs." + collector }
+
+// DiffBatch is the unit stored in a collector's diff topic: either
+// the changed cells of one time bin or a full snapshot.
+type DiffBatch struct {
+	Collector string
+	BinStart  int64
+	Snapshot  bool
+	Diffs     []rtables.Diff
+}
+
+// MetaMsg is the lightweight index record stored in MetaTopic for
+// every published batch; sync servers watch only these (§6.2.3:
+// "sync servers only handle lightweight meta-data").
+type MetaMsg struct {
+	Collector string
+	BinStart  int64
+	Snapshot  bool
+	Count     int
+	// Offset locates the batch in the collector's diff topic.
+	Offset int64
+}
+
+// EncodeDiffBatch serialises a batch with gob.
+func EncodeDiffBatch(b *DiffBatch) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(b); err != nil {
+		return nil, fmt.Errorf("mq: encode diff batch: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeDiffBatch deserialises a batch.
+func DecodeDiffBatch(data []byte) (*DiffBatch, error) {
+	var b DiffBatch
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&b); err != nil {
+		return nil, fmt.Errorf("mq: decode diff batch: %w", err)
+	}
+	return &b, nil
+}
+
+// EncodeMeta serialises a meta message.
+func EncodeMeta(m *MetaMsg) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("mq: encode meta: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeMeta deserialises a meta message.
+func DecodeMeta(data []byte) (*MetaMsg, error) {
+	var m MetaMsg
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("mq: decode meta: %w", err)
+	}
+	return &m, nil
+}
+
+// Producer abstracts produce access for the RT publisher: the
+// embedded Broker (via LocalProducer) or a TCP Client.
+type Producer interface {
+	Produce(topic string, msgs ...[]byte) (int64, error)
+}
+
+// LocalProducer adapts an embedded Broker to the Producer interface.
+type LocalProducer struct {
+	Broker *Broker
+}
+
+// Produce implements Producer.
+func (p LocalProducer) Produce(topic string, msgs ...[]byte) (int64, error) {
+	return p.Broker.Produce(topic, msgs...), nil
+}
+
+var _ Producer = (*Client)(nil)
+
+// RTPublisher bridges the RT plugin to the message bus, implementing
+// rtables.Publisher: diff batches go to the collector's topic, a meta
+// record to MetaTopic.
+type RTPublisher struct {
+	Producer Producer
+}
+
+var _ rtables.Publisher = (*RTPublisher)(nil)
+
+func (p *RTPublisher) publish(collector string, binStart time.Time, diffs []rtables.Diff, snapshot bool) error {
+	batch := &DiffBatch{
+		Collector: collector,
+		BinStart:  binStart.Unix(),
+		Snapshot:  snapshot,
+		Diffs:     diffs,
+	}
+	data, err := EncodeDiffBatch(batch)
+	if err != nil {
+		return err
+	}
+	offset, err := p.Producer.Produce(DiffTopic(collector), data)
+	if err != nil {
+		return err
+	}
+	meta, err := EncodeMeta(&MetaMsg{
+		Collector: collector,
+		BinStart:  batch.BinStart,
+		Snapshot:  snapshot,
+		Count:     len(diffs),
+		Offset:    offset,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = p.Producer.Produce(MetaTopic, meta)
+	return err
+}
+
+// PublishDiffs implements rtables.Publisher.
+func (p *RTPublisher) PublishDiffs(collector string, binStart time.Time, diffs []rtables.Diff) error {
+	return p.publish(collector, binStart, diffs, false)
+}
+
+// PublishSnapshot implements rtables.Publisher.
+func (p *RTPublisher) PublishSnapshot(collector string, binStart time.Time, cells []rtables.Diff) error {
+	return p.publish(collector, binStart, cells, true)
+}

@@ -1,0 +1,160 @@
+package mrt
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+// Reader reads MRT records sequentially from a stream, transparently
+// decompressing gzip input (detected from the magic bytes, matching
+// how archives publish .gz dump files).
+//
+// A corrupted record — impossible length field or a body cut short —
+// surfaces as an error wrapping ErrCorrupted from Next; the reader is
+// then positioned at end of stream, mirroring the paper's behaviour of
+// marking the remainder of a damaged dump invalid rather than crashing
+// a long-running stream.
+type Reader struct {
+	r       *bufio.Reader
+	gz      *gzip.Reader
+	hdr     [HeaderLen]byte
+	scratch []byte
+	err     error
+}
+
+// NewReader creates a Reader for raw or gzip-compressed MRT data.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic, err := br.Peek(2)
+	if err == nil && len(magic) == 2 && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, gerr := gzip.NewReader(br)
+		if gerr != nil {
+			return nil, corrupt("gzip", gerr)
+		}
+		return &Reader{r: bufio.NewReaderSize(gz, 1<<16), gz: gz}, nil
+	}
+	// Peek errors (e.g. empty input) are deferred to the first Next.
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next record, io.EOF at the end of the stream, or
+// an error wrapping ErrCorrupted for structurally damaged input. The
+// record body is valid until the next call to Next.
+func (r *Reader) Next() (Record, error) {
+	if r.err != nil {
+		return Record{}, r.err
+	}
+	rec, err := r.next()
+	if err != nil {
+		r.err = err
+	}
+	return rec, err
+}
+
+func (r *Reader) next() (Record, error) {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Record{}, corrupt("header", err)
+		}
+		return Record{}, err
+	}
+	h, err := DecodeHeader(r.hdr[:])
+	if err != nil {
+		return Record{}, err
+	}
+	if cap(r.scratch) < int(h.Length) {
+		r.scratch = make([]byte, h.Length)
+	}
+	body := r.scratch[:h.Length]
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		return Record{}, corrupt("body", err)
+	}
+	if h.Type == TypeBGP4MPET {
+		if len(body) < 4 {
+			return Record{}, corrupt("et timestamp", io.ErrUnexpectedEOF)
+		}
+		h.Microseconds = binary.BigEndian.Uint32(body)
+		body = body[4:]
+	}
+	return Record{Header: h, Body: body}, nil
+}
+
+// Close releases the decompressor, if any. The underlying reader is
+// not closed; the caller owns it.
+func (r *Reader) Close() error {
+	if r.gz != nil {
+		return r.gz.Close()
+	}
+	return nil
+}
+
+// Writer writes MRT records to a stream, optionally gzip-compressed.
+type Writer struct {
+	w   io.Writer
+	gz  *gzip.Writer
+	buf []byte
+}
+
+// NewWriter creates an uncompressed MRT writer.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// NewGzipWriter creates a writer producing a gzip-compressed dump, as
+// published by the RouteViews and RIPE RIS archives.
+func NewGzipWriter(w io.Writer) *Writer {
+	gz := gzip.NewWriter(w)
+	return &Writer{w: gz, gz: gz}
+}
+
+// WriteRecord writes one record, fixing up the header length to match
+// the body.
+func (w *Writer) WriteRecord(rec Record) error {
+	h := rec.Header
+	h.Length = uint32(len(rec.Body))
+	if h.Type == TypeBGP4MPET {
+		h.Length += 4
+	}
+	w.buf = AppendHeader(w.buf[:0], h)
+	if h.Type == TypeBGP4MPET {
+		w.buf = binary.BigEndian.AppendUint32(w.buf, h.Microseconds)
+	}
+	w.buf = append(w.buf, rec.Body...)
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// Close flushes and closes the compressor, if any.
+func (w *Writer) Close() error {
+	if w.gz != nil {
+		return w.gz.Close()
+	}
+	return nil
+}
+
+// ReadAll decodes every record from r until EOF. It is a convenience
+// for tests and small dumps; streaming callers should use Next. Record
+// bodies are copied so they remain valid after return.
+func ReadAll(r io.Reader) ([]Record, error) {
+	mr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	defer mr.Close()
+	var out []Record
+	for {
+		rec, err := mr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		rec.Body = append([]byte(nil), rec.Body...)
+		out = append(out, rec)
+	}
+}

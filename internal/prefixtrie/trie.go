@@ -1,0 +1,371 @@
+// Package prefixtrie provides a path-compressed binary radix trie
+// (Patricia trie) keyed by IP prefixes, the core lookup structure
+// behind BGPStream prefix filters, the pfxmonitor plugin's overlap
+// matching, and longest-prefix-match geolocation.
+//
+// A Table stores one value per distinct prefix and supports exact
+// lookup, longest-prefix match, enumeration of covered (more-specific)
+// and covering (less-specific) entries, and overlap tests. IPv4 and
+// IPv6 occupy independent tries inside the same Table; mixed-family
+// queries simply route to the right trie.
+package prefixtrie
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// node is a trie node. Invariant: a child's prefix is always contained
+// in (strictly longer than) its parent's prefix, and the child pointer
+// slot (left/right) equals the first bit after the parent's length.
+// Internal nodes created by splits carry no value.
+type node[T any] struct {
+	prefix   netip.Prefix
+	value    T
+	hasValue bool
+	left     *node[T] // next bit 0
+	right    *node[T] // next bit 1
+}
+
+// Table is a set of prefix→value bindings with radix lookups. The zero
+// value is an empty table ready for use. Table is not safe for
+// concurrent mutation; wrap it with a lock for shared use.
+type Table[T any] struct {
+	v4   *node[T]
+	v6   *node[T]
+	size int
+}
+
+// New returns an empty table. Equivalent to new(Table[T]).
+func New[T any]() *Table[T] { return &Table[T]{} }
+
+// Len returns the number of prefixes stored.
+func (t *Table[T]) Len() int { return t.size }
+
+func (t *Table[T]) root(is6 bool) **node[T] {
+	if is6 {
+		return &t.v6
+	}
+	return &t.v4
+}
+
+// bitAt returns bit i (0-indexed from the most significant bit) of the
+// address.
+func bitAt(a netip.Addr, i int) int {
+	if a.Is4() {
+		b := a.As4()
+		return int(b[i/8]>>(7-i%8)) & 1
+	}
+	b := a.As16()
+	return int(b[i/8]>>(7-i%8)) & 1
+}
+
+// commonBits returns the length of the longest common bit prefix of a
+// and b, capped at max.
+func commonBits(a, b netip.Addr, max int) int {
+	var ab, bb []byte
+	if a.Is4() {
+		a4, b4 := a.As4(), b.As4()
+		ab, bb = a4[:], b4[:]
+		return commonBytes(ab, bb, max)
+	}
+	a16, b16 := a.As16(), b.As16()
+	return commonBytes(a16[:], b16[:], max)
+}
+
+func commonBytes(a, b []byte, max int) int {
+	n := 0
+	for i := 0; i < len(a); i++ {
+		x := a[i] ^ b[i]
+		if x == 0 {
+			n += 8
+			if n >= max {
+				return max
+			}
+			continue
+		}
+		for bit := 7; bit >= 0; bit-- {
+			if x>>(uint(bit))&1 != 0 {
+				n += 7 - bit
+				break
+			}
+		}
+		break
+	}
+	if n > max {
+		return max
+	}
+	return n
+}
+
+func contains(outer, inner netip.Prefix) bool {
+	return outer.Bits() <= inner.Bits() && outer.Contains(inner.Addr())
+}
+
+// Insert binds value to prefix, replacing any existing binding, and
+// reports whether the prefix was newly added.
+func (t *Table[T]) Insert(prefix netip.Prefix, value T) bool {
+	if !prefix.IsValid() {
+		panic(fmt.Sprintf("prefixtrie: invalid prefix %v", prefix))
+	}
+	prefix = prefix.Masked()
+	slot := t.root(prefix.Addr().Is6())
+	for {
+		n := *slot
+		if n == nil {
+			*slot = &node[T]{prefix: prefix, value: value, hasValue: true}
+			t.size++
+			return true
+		}
+		if n.prefix == prefix {
+			added := !n.hasValue
+			n.value = value
+			n.hasValue = true
+			if added {
+				t.size++
+			}
+			return added
+		}
+		cb := commonBits(n.prefix.Addr(), prefix.Addr(), min(n.prefix.Bits(), prefix.Bits()))
+		if cb == n.prefix.Bits() {
+			// prefix is inside n; descend.
+			if bitAt(prefix.Addr(), n.prefix.Bits()) == 0 {
+				slot = &n.left
+			} else {
+				slot = &n.right
+			}
+			continue
+		}
+		// Split: create a common ancestor at cb bits.
+		ancestorPrefix, err := n.prefix.Addr().Prefix(cb)
+		if err != nil {
+			panic(fmt.Sprintf("prefixtrie: split failed: %v", err))
+		}
+		ancestor := &node[T]{prefix: ancestorPrefix}
+		if cb == prefix.Bits() {
+			// prefix IS the ancestor.
+			ancestor.value = value
+			ancestor.hasValue = true
+			if bitAt(n.prefix.Addr(), cb) == 0 {
+				ancestor.left = n
+			} else {
+				ancestor.right = n
+			}
+		} else {
+			leaf := &node[T]{prefix: prefix, value: value, hasValue: true}
+			if bitAt(prefix.Addr(), cb) == 0 {
+				ancestor.left, ancestor.right = leaf, n
+			} else {
+				ancestor.left, ancestor.right = n, leaf
+			}
+		}
+		*slot = ancestor
+		t.size++
+		return true
+	}
+}
+
+// Remove deletes the binding for prefix and reports whether it
+// existed. Structural nodes left childless or redundant are pruned.
+func (t *Table[T]) Remove(prefix netip.Prefix) bool {
+	prefix = prefix.Masked()
+	slot := t.root(prefix.Addr().Is6())
+	var path []**node[T]
+	for {
+		n := *slot
+		if n == nil || !contains(n.prefix, prefix) {
+			return false
+		}
+		path = append(path, slot)
+		if n.prefix == prefix {
+			if !n.hasValue {
+				return false
+			}
+			var zero T
+			n.value = zero
+			n.hasValue = false
+			t.size--
+			t.prune(path)
+			return true
+		}
+		if bitAt(prefix.Addr(), n.prefix.Bits()) == 0 {
+			slot = &n.left
+		} else {
+			slot = &n.right
+		}
+	}
+}
+
+// prune removes valueless nodes with fewer than two children, walking
+// back up the recorded path.
+func (t *Table[T]) prune(path []**node[T]) {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := *path[i]
+		if n == nil || n.hasValue {
+			return
+		}
+		switch {
+		case n.left == nil && n.right == nil:
+			*path[i] = nil
+		case n.left == nil:
+			*path[i] = n.right
+		case n.right == nil:
+			*path[i] = n.left
+		default:
+			return
+		}
+	}
+}
+
+// Get returns the value bound to exactly prefix.
+func (t *Table[T]) Get(prefix netip.Prefix) (T, bool) {
+	prefix = prefix.Masked()
+	n := *t.root(prefix.Addr().Is6())
+	for n != nil && contains(n.prefix, prefix) {
+		if n.prefix == prefix {
+			if n.hasValue {
+				return n.value, true
+			}
+			break
+		}
+		if bitAt(prefix.Addr(), n.prefix.Bits()) == 0 {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// Lookup performs a longest-prefix match for addr, returning the most
+// specific stored prefix containing it.
+func (t *Table[T]) Lookup(addr netip.Addr) (netip.Prefix, T, bool) {
+	n := *t.root(addr.Is6())
+	var (
+		best    *node[T]
+		maxBits = addr.BitLen()
+	)
+	for n != nil && n.prefix.Contains(addr) {
+		if n.hasValue {
+			best = n
+		}
+		if n.prefix.Bits() >= maxBits {
+			break
+		}
+		if bitAt(addr, n.prefix.Bits()) == 0 {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if best == nil {
+		var zero T
+		return netip.Prefix{}, zero, false
+	}
+	return best.prefix, best.value, true
+}
+
+// LookupPrefix performs a longest-prefix match for the network address
+// of p among stored prefixes at least as short as p, i.e. the most
+// specific stored prefix that covers all of p.
+func (t *Table[T]) LookupPrefix(p netip.Prefix) (netip.Prefix, T, bool) {
+	p = p.Masked()
+	n := *t.root(p.Addr().Is6())
+	var best *node[T]
+	for n != nil && contains(n.prefix, p) {
+		if n.hasValue {
+			best = n
+		}
+		if n.prefix.Bits() >= p.Bits() {
+			break
+		}
+		if bitAt(p.Addr(), n.prefix.Bits()) == 0 {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if best == nil {
+		var zero T
+		return netip.Prefix{}, zero, false
+	}
+	return best.prefix, best.value, true
+}
+
+// Covered calls fn for every stored prefix contained in p (including p
+// itself), stopping early if fn returns false.
+func (t *Table[T]) Covered(p netip.Prefix, fn func(netip.Prefix, T) bool) {
+	p = p.Masked()
+	n := *t.root(p.Addr().Is6())
+	// Descend while the node is strictly broader than p.
+	for n != nil && n.prefix.Bits() < p.Bits() {
+		if !n.prefix.Contains(p.Addr()) {
+			return
+		}
+		if bitAt(p.Addr(), n.prefix.Bits()) == 0 {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if n == nil || !contains(p, n.prefix) {
+		return
+	}
+	walk(n, fn)
+}
+
+func walk[T any](n *node[T], fn func(netip.Prefix, T) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.hasValue && !fn(n.prefix, n.value) {
+		return false
+	}
+	if !walk(n.left, fn) {
+		return false
+	}
+	return walk(n.right, fn)
+}
+
+// OverlapsAny reports whether any stored prefix overlaps p, i.e.
+// contains p or is contained in it. This is the pfxmonitor matching
+// predicate.
+func (t *Table[T]) OverlapsAny(p netip.Prefix) bool {
+	if _, _, ok := t.LookupPrefix(p); ok {
+		return true
+	}
+	found := false
+	t.Covered(p, func(netip.Prefix, T) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// All calls fn for every stored prefix in trie order (sorted for
+// lookups within a family, IPv4 before IPv6), stopping early if fn
+// returns false.
+func (t *Table[T]) All(fn func(netip.Prefix, T) bool) {
+	if !walk(t.v4, fn) {
+		return
+	}
+	walk(t.v6, fn)
+}
+
+// Prefixes returns all stored prefixes.
+func (t *Table[T]) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, t.size)
+	t.All(func(p netip.Prefix, _ T) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,364 @@
+package prefixtrie
+
+import (
+	"math/rand"
+	"net/netip"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func TestInsertGet(t *testing.T) {
+	tr := New[int]()
+	if !tr.Insert(pfx("10.0.0.0/8"), 1) {
+		t.Error("first insert should report new")
+	}
+	if tr.Insert(pfx("10.0.0.0/8"), 2) {
+		t.Error("re-insert should report existing")
+	}
+	v, ok := tr.Get(pfx("10.0.0.0/8"))
+	if !ok || v != 2 {
+		t.Errorf("Get = %d %v", v, ok)
+	}
+	if _, ok := tr.Get(pfx("10.0.0.0/9")); ok {
+		t.Error("phantom /9")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestLongestPrefixMatch(t *testing.T) {
+	tr := New[string]()
+	tr.Insert(pfx("0.0.0.0/0"), "default")
+	tr.Insert(pfx("10.0.0.0/8"), "ten")
+	tr.Insert(pfx("10.1.0.0/16"), "ten-one")
+	tr.Insert(pfx("10.1.2.0/24"), "ten-one-two")
+
+	cases := []struct {
+		addr string
+		want string
+	}{
+		{"10.1.2.3", "ten-one-two"},
+		{"10.1.99.1", "ten-one"},
+		{"10.200.0.1", "ten"},
+		{"192.0.2.1", "default"},
+	}
+	for _, c := range cases {
+		_, got, ok := tr.Lookup(netip.MustParseAddr(c.addr))
+		if !ok || got != c.want {
+			t.Errorf("Lookup(%s) = %q %v, want %q", c.addr, got, ok, c.want)
+		}
+	}
+}
+
+func TestLookupNoDefault(t *testing.T) {
+	tr := New[string]()
+	tr.Insert(pfx("10.0.0.0/8"), "ten")
+	if _, _, ok := tr.Lookup(netip.MustParseAddr("192.0.2.1")); ok {
+		t.Error("lookup outside any prefix must miss")
+	}
+}
+
+func TestLookupPrefix(t *testing.T) {
+	tr := New[string]()
+	tr.Insert(pfx("10.0.0.0/8"), "ten")
+	tr.Insert(pfx("10.1.0.0/16"), "ten-one")
+
+	p, v, ok := tr.LookupPrefix(pfx("10.1.2.0/24"))
+	if !ok || v != "ten-one" || p != pfx("10.1.0.0/16") {
+		t.Errorf("LookupPrefix(/24) = %s %q %v", p, v, ok)
+	}
+	// Exact match counts as covering.
+	_, v, ok = tr.LookupPrefix(pfx("10.1.0.0/16"))
+	if !ok || v != "ten-one" {
+		t.Errorf("exact LookupPrefix = %q %v", v, ok)
+	}
+	// A broader query than any entry gets no cover.
+	if _, _, ok := tr.LookupPrefix(pfx("10.0.0.0/7")); ok {
+		t.Error("/7 should not be covered by /8")
+	}
+}
+
+func TestCovered(t *testing.T) {
+	tr := New[int]()
+	for i, s := range []string{"10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "10.2.0.0/16", "192.0.2.0/24"} {
+		tr.Insert(pfx(s), i)
+	}
+	var got []string
+	tr.Covered(pfx("10.1.0.0/16"), func(p netip.Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	sort.Strings(got)
+	want := []string{"10.1.0.0/16", "10.1.2.0/24"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Covered = %v, want %v", got, want)
+	}
+
+	got = nil
+	tr.Covered(pfx("10.0.0.0/8"), func(p netip.Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	if len(got) != 4 {
+		t.Errorf("Covered(/8) = %v, want 4 entries", got)
+	}
+}
+
+func TestCoveredEarlyStop(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(pfx("10.0.0.0/8"), 0)
+	tr.Insert(pfx("10.1.0.0/16"), 1)
+	n := 0
+	tr.Covered(pfx("10.0.0.0/8"), func(netip.Prefix, int) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestOverlapsAny(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(pfx("10.1.0.0/16"), 1)
+
+	for _, c := range []struct {
+		q    string
+		want bool
+	}{
+		{"10.1.2.0/24", true},  // covered by entry
+		{"10.0.0.0/8", true},   // covers entry
+		{"10.1.0.0/16", true},  // equal
+		{"10.2.0.0/16", false}, // sibling
+		{"192.0.2.0/24", false},
+	} {
+		if got := tr.OverlapsAny(pfx(c.q)); got != c.want {
+			t.Errorf("OverlapsAny(%s) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tr := New[int]()
+	ps := []string{"10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "10.128.0.0/9"}
+	for i, s := range ps {
+		tr.Insert(pfx(s), i)
+	}
+	if !tr.Remove(pfx("10.1.0.0/16")) {
+		t.Fatal("remove existing failed")
+	}
+	if tr.Remove(pfx("10.1.0.0/16")) {
+		t.Fatal("double remove succeeded")
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	// Remaining entries still reachable.
+	if _, ok := tr.Get(pfx("10.1.2.0/24")); !ok {
+		t.Error("/24 lost after removing /16")
+	}
+	_, v, ok := tr.Lookup(netip.MustParseAddr("10.1.99.1"))
+	if !ok || v != 0 {
+		t.Errorf("lookup after remove = %d %v, want the /8", v, ok)
+	}
+	// Remove everything; table must be empty and lookups miss.
+	tr.Remove(pfx("10.0.0.0/8"))
+	tr.Remove(pfx("10.1.2.0/24"))
+	tr.Remove(pfx("10.128.0.0/9"))
+	if tr.Len() != 0 {
+		t.Errorf("Len after clear = %d", tr.Len())
+	}
+	if _, _, ok := tr.Lookup(netip.MustParseAddr("10.1.2.3")); ok {
+		t.Error("lookup in empty table hit")
+	}
+}
+
+func TestRemoveNonexistentSibling(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(pfx("10.1.0.0/16"), 1)
+	if tr.Remove(pfx("10.2.0.0/16")) {
+		t.Error("removed prefix that was never inserted")
+	}
+}
+
+func TestIPv6Independent(t *testing.T) {
+	tr := New[string]()
+	tr.Insert(pfx("::/0"), "v6-default")
+	tr.Insert(pfx("2001:db8::/32"), "doc")
+	tr.Insert(pfx("10.0.0.0/8"), "v4")
+
+	_, v, ok := tr.Lookup(netip.MustParseAddr("2001:db8::1"))
+	if !ok || v != "doc" {
+		t.Errorf("v6 lookup = %q %v", v, ok)
+	}
+	_, v, ok = tr.Lookup(netip.MustParseAddr("2001:4860::1"))
+	if !ok || v != "v6-default" {
+		t.Errorf("v6 default = %q %v", v, ok)
+	}
+	_, v, ok = tr.Lookup(netip.MustParseAddr("10.1.1.1"))
+	if !ok || v != "v4" {
+		t.Errorf("v4 lookup = %q %v", v, ok)
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestSlash32And128(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(pfx("192.0.2.1/32"), 1)
+	tr.Insert(pfx("2001:db8::1/128"), 2)
+	_, v, ok := tr.Lookup(netip.MustParseAddr("192.0.2.1"))
+	if !ok || v != 1 {
+		t.Errorf("/32 lookup = %d %v", v, ok)
+	}
+	if _, _, ok := tr.Lookup(netip.MustParseAddr("192.0.2.2")); ok {
+		t.Error("/32 must not match neighbour")
+	}
+	_, v, ok = tr.Lookup(netip.MustParseAddr("2001:db8::1"))
+	if !ok || v != 2 {
+		t.Errorf("/128 lookup = %d %v", v, ok)
+	}
+}
+
+func TestAllEnumerates(t *testing.T) {
+	tr := New[int]()
+	in := []string{"10.0.0.0/8", "192.0.2.0/24", "2001:db8::/32"}
+	for i, s := range in {
+		tr.Insert(pfx(s), i)
+	}
+	got := tr.Prefixes()
+	if len(got) != 3 {
+		t.Fatalf("Prefixes() = %v", got)
+	}
+}
+
+// reference is a brute-force map-based oracle.
+type reference struct {
+	entries map[netip.Prefix]int
+}
+
+func (r *reference) lookup(a netip.Addr) (netip.Prefix, int, bool) {
+	best := netip.Prefix{}
+	bv := 0
+	found := false
+	for p, v := range r.entries {
+		if p.Addr().Is4() != a.Is4() {
+			continue
+		}
+		if p.Contains(a) && (!found || p.Bits() > best.Bits()) {
+			best, bv, found = p, v, true
+		}
+	}
+	return best, bv, found
+}
+
+func TestQuickAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New[int]()
+		ref := &reference{entries: map[netip.Prefix]int{}}
+		// Cluster prefixes in 10.0.0.0/8 to force shared structure.
+		for i := 0; i < 60; i++ {
+			bits := 8 + r.Intn(25)
+			addr := netip.AddrFrom4([4]byte{10, byte(r.Intn(4)), byte(r.Intn(4)), byte(r.Intn(256))})
+			p, _ := addr.Prefix(bits)
+			if r.Intn(5) == 0 {
+				tr.Remove(p)
+				delete(ref.entries, p)
+			} else {
+				tr.Insert(p, i)
+				ref.entries[p] = i
+			}
+		}
+		if tr.Len() != len(ref.entries) {
+			return false
+		}
+		// Compare 40 random lookups against the oracle.
+		for i := 0; i < 40; i++ {
+			a := netip.AddrFrom4([4]byte{10, byte(r.Intn(4)), byte(r.Intn(4)), byte(r.Intn(256))})
+			wp, wv, wok := ref.lookup(a)
+			gp, gv, gok := tr.Lookup(a)
+			if wok != gok || (wok && (wp != gp || wv != gv)) {
+				return false
+			}
+		}
+		// Exact gets agree for every entry.
+		for p, v := range ref.entries {
+			gv, ok := tr.Get(p)
+			if !ok || gv != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCoveredAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New[int]()
+		ref := map[netip.Prefix]bool{}
+		for i := 0; i < 40; i++ {
+			bits := 8 + r.Intn(25)
+			addr := netip.AddrFrom4([4]byte{10, byte(r.Intn(2)), byte(r.Intn(4)), byte(r.Intn(256))})
+			p, _ := addr.Prefix(bits)
+			tr.Insert(p, i)
+			ref[p] = true
+		}
+		qbits := 8 + r.Intn(17)
+		qaddr := netip.AddrFrom4([4]byte{10, byte(r.Intn(2)), 0, 0})
+		q, _ := qaddr.Prefix(qbits)
+
+		want := map[netip.Prefix]bool{}
+		for p := range ref {
+			if q.Bits() <= p.Bits() && q.Contains(p.Addr()) {
+				want[p] = true
+			}
+		}
+		got := map[netip.Prefix]bool{}
+		tr.Covered(q, func(p netip.Prefix, _ int) bool {
+			got[p] = true
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for p := range want {
+			if !got[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tr := New[int]()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		bits := 8 + r.Intn(17)
+		addr := netip.AddrFrom4([4]byte{byte(r.Intn(223) + 1), byte(r.Intn(256)), byte(r.Intn(256)), 0})
+		p, _ := addr.Prefix(bits)
+		tr.Insert(p, i)
+	}
+	addrs := make([]netip.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = netip.AddrFrom4([4]byte{byte(r.Intn(223) + 1), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i%len(addrs)])
+	}
+}

@@ -1,0 +1,205 @@
+package rtables
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/corsaro"
+	"github.com/bgpstream-go/bgpstream/internal/mrt"
+)
+
+// naiveTable is the oracle: replay announcements/withdrawals/RIBs in
+// order with last-writer-wins semantics and strictly increasing
+// timestamps (the regime where the RT plugin must be exact).
+type naiveTable map[netip.Prefix]string // prefix -> path string ("" = withdrawn)
+
+// TestQuickRTMatchesNaiveReplay feeds random, monotonically-timestamped
+// record sequences (updates and complete RIB dumps) to the plugin and
+// compares the reconstructed table against the oracle after each RIB.
+func TestQuickRTMatchesNaiveReplay(t *testing.T) {
+	prefixes := []netip.Prefix{
+		netip.MustParsePrefix("10.0.0.0/8"),
+		netip.MustParsePrefix("10.1.0.0/16"),
+		netip.MustParsePrefix("192.0.2.0/24"),
+		netip.MustParsePrefix("198.51.100.0/24"),
+		netip.MustParsePrefix("203.0.113.0/24"),
+	}
+	paths := [][]uint32{
+		{64501, 701, 3356},
+		{64501, 174, 3356},
+		{64501, 701, 13335},
+		{64501, 6453, 2914},
+	}
+	// Run a fixed set of seeds directly for clearer failure output.
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rt := New()
+		oracle := naiveTable{}
+		ts := uint32(1000)
+		if !runScenario(rng, rt, oracle, prefixes, paths, &ts, nil) {
+			t.Fatalf("seed %d: RT table diverged from naive replay", seed)
+		}
+		// Final check after the run.
+		if !tablesAgree(rt, oracle) {
+			t.Fatalf("seed %d: final tables diverge", seed)
+		}
+	}
+}
+
+func runScenario(rng *rand.Rand, rt *RT, oracle naiveTable, prefixes []netip.Prefix, paths [][]uint32, ts *uint32, _ func(*core.Record) bool) bool {
+	feed := func(rec *core.Record) {
+		ctx := &corsaro.Context{Record: rec}
+		if rec.Status == core.StatusValid {
+			if elems, err := rec.Elems(); err == nil {
+				ctx.Elems = elems
+			}
+		}
+		rt.Process(ctx)
+	}
+	nops := 30 + rng.Intn(50)
+	for i := 0; i < nops; i++ {
+		*ts += uint32(1 + rng.Intn(30))
+		switch rng.Intn(10) {
+		case 0, 1: // full RIB dump of the oracle state
+			feedRIB(feed, oracle, *ts)
+			if !tablesAgree(rt, oracle) {
+				return false
+			}
+		case 2, 3, 4: // withdrawal
+			p := prefixes[rng.Intn(len(prefixes))]
+			oracle[p] = ""
+			feed(withdrawRecP(*ts, p))
+		default: // announcement
+			p := prefixes[rng.Intn(len(prefixes))]
+			path := paths[rng.Intn(len(paths))]
+			oracle[p] = bgp.SequencePath(path...).String()
+			feed(announceRecP(*ts, p, path))
+		}
+	}
+	// Close with a RIB so the table is consistent, then compare.
+	*ts += 10
+	feedRIB(feed, oracle, *ts)
+	return tablesAgree(rt, oracle)
+}
+
+func feedRIB(feed func(*core.Record), oracle naiveTable, ts uint32) {
+	pit := &mrt.PeerIndexTable{
+		CollectorBGPID: netip.MustParseAddr("198.51.100.1"),
+		Peers:          []mrt.Peer{{BGPID: peerIP, IP: peerIP, AS: peerAS}},
+	}
+	pitRec := &core.Record{Collector: "rrc00", DumpType: core.DumpRIB, Status: core.StatusValid,
+		Position: core.PositionStart, MRT: mrt.NewPeerIndexRecord(ts, pit)}
+	recs := []*core.Record{pitRec}
+	for p, path := range oracle {
+		if path == "" {
+			continue
+		}
+		parsed, err := bgp.ParseASPathString(path)
+		if err != nil {
+			panic(err)
+		}
+		origin := uint8(bgp.OriginIGP)
+		attrs := bgp.AppendAttributes(nil, &bgp.PathAttributes{
+			Origin: &origin, ASPath: parsed, HasASPath: true,
+			NextHop: netip.MustParseAddr("192.0.2.1"),
+		}, 4)
+		rr := mrt.NewRIBRecord(ts, &mrt.RIB{Prefix: p,
+			Entries: []mrt.RIBEntry{{PeerIndex: 0, OriginatedTime: ts, Attrs: attrs}}})
+		rec := &core.Record{Collector: "rrc00", DumpType: core.DumpRIB, Status: core.StatusValid, MRT: rr}
+		rec.SetPeerIndex(pit)
+		recs = append(recs, rec)
+	}
+	recs[len(recs)-1].Position |= core.PositionEnd
+	for _, r := range recs {
+		feed(r)
+	}
+}
+
+func announceRecP(ts uint32, p netip.Prefix, path []uint32) *core.Record {
+	origin := uint8(bgp.OriginIGP)
+	u := &bgp.Update{
+		Attrs: bgp.PathAttributes{Origin: &origin, ASPath: bgp.SequencePath(path...), HasASPath: true,
+			NextHop: netip.MustParseAddr("192.0.2.1")},
+		NLRI: []netip.Prefix{p},
+	}
+	raw := mrt.NewUpdateRecord(ts, peerAS, 65000, peerIP, localIP, u)
+	return &core.Record{Collector: "rrc00", DumpType: core.DumpUpdates, Status: core.StatusValid, MRT: raw}
+}
+
+func withdrawRecP(ts uint32, p netip.Prefix) *core.Record {
+	u := &bgp.Update{Withdrawn: []netip.Prefix{p}}
+	raw := mrt.NewUpdateRecord(ts, peerAS, 65000, peerIP, localIP, u)
+	return &core.Record{Collector: "rrc00", DumpType: core.DumpUpdates, Status: core.StatusValid, MRT: raw}
+}
+
+func tablesAgree(rt *RT, oracle naiveTable) bool {
+	tbl, _ := rt.Table(key())
+	announced := 0
+	for p, path := range oracle {
+		cell, ok := tbl[p]
+		if path == "" {
+			if ok {
+				return false
+			}
+			continue
+		}
+		announced++
+		if !ok || cell.Path.String() != path {
+			return false
+		}
+	}
+	return len(tbl) == announced
+}
+
+// TestQuickRTNeverPanics hammers the plugin with arbitrary record
+// soup — corrupted, unordered, duplicated — and requires graceful
+// handling.
+func TestQuickRTNeverPanics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rt := New()
+		feed := func(rec *core.Record) {
+			ctx := &corsaro.Context{Record: rec}
+			if rec.Status == core.StatusValid {
+				if elems, err := rec.Elems(); err == nil {
+					ctx.Elems = elems
+				}
+			}
+			if err := rt.Process(ctx); err != nil {
+				panic(err)
+			}
+		}
+		prefixes := []netip.Prefix{
+			netip.MustParsePrefix("10.0.0.0/8"),
+			netip.MustParsePrefix("192.0.2.0/24"),
+		}
+		for i := 0; i < 60; i++ {
+			ts := rng.Uint32() % 100000
+			switch rng.Intn(8) {
+			case 0:
+				feed(&core.Record{Collector: "c", DumpType: core.DumpUpdates, Status: core.StatusCorruptedRecord})
+			case 1:
+				feed(&core.Record{Collector: "c", DumpType: core.DumpRIB, Status: core.StatusCorruptedDump,
+					Position: core.PositionStart | core.PositionEnd})
+			case 2:
+				feed(stateRec(ts, bgp.FSMState(rng.Intn(7)), bgp.FSMState(rng.Intn(7))))
+			case 3:
+				oracle := naiveTable{prefixes[rng.Intn(2)]: "64501 1"}
+				feedRIB(feed, oracle, ts)
+			case 4:
+				feed(withdrawRecP(ts, prefixes[rng.Intn(2)]))
+			default:
+				feed(announceRecP(ts, prefixes[rng.Intn(2)], []uint32{64501, rng.Uint32() % 1000}))
+			}
+		}
+		return rt.EndInterval(corsaro.Interval{Start: time.Unix(0, 0), End: time.Unix(60, 0)}) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

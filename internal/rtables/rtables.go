@@ -1,0 +1,517 @@
+// Package rtables implements the routing-tables (RT) plugin of §6.2.1:
+// it reconstructs, for every vantage point of a collector, the
+// observable Loc-RIB ("routing table") at fine time granularity by
+// replaying RIB dumps and update messages, modelling per-VP session
+// state with the finite-state machine of Figure 8, and guarding
+// against the real-world failure modes the paper enumerates:
+//
+//	E1 — a corrupted record inside a RIB dump discards the whole dump;
+//	E2 — RIB records older than already-applied updates are skipped;
+//	E3 — a corrupted Updates record stops update application until the
+//	     next RIB dump;
+//	E4 — session state messages force FSM transitions.
+//
+// At the end of each time bin the plugin publishes diff cells — only
+// the changed portions of each table (§6.2.2) — plus periodic full
+// snapshots that let late consumers synchronise.
+package rtables
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/corsaro"
+)
+
+// VPState is the Figure 8 finite-state machine state of one VP.
+type VPState int
+
+// FSM states. The two "consistent routing table" macro-states are Up
+// and UpRIB; Down and DownRIB mean the table is unavailable.
+const (
+	VPDown VPState = iota
+	VPDownRIB
+	VPUp
+	VPUpRIB
+)
+
+// String names the state as in Figure 8.
+func (s VPState) String() string {
+	switch s {
+	case VPDown:
+		return "down"
+	case VPDownRIB:
+		return "down-RIB-application"
+	case VPUp:
+		return "up"
+	case VPUpRIB:
+		return "up-RIB-application"
+	default:
+		return fmt.Sprintf("vpstate(%d)", int(s))
+	}
+}
+
+// Consistent reports whether the routing table is usable in this
+// state.
+func (s VPState) Consistent() bool { return s == VPUp || s == VPUpRIB }
+
+// VPKey identifies a vantage point within a collector.
+type VPKey struct {
+	Collector string
+	Addr      netip.Addr
+	ASN       uint32
+}
+
+// Cell is one (prefix, VP) entry of the reconstructed table: the
+// reachability attributes, the timestamp of the last modification,
+// and the announced/withdrawn flag (§6.2.1 "A/W flag").
+type Cell struct {
+	Path         bgp.ASPath
+	Communities  bgp.Communities
+	NextHop      netip.Addr
+	LastModified time.Time
+	Announced    bool
+}
+
+func (c *Cell) equalRoute(o *Cell) bool {
+	if c == nil || o == nil {
+		return c == o
+	}
+	return c.Announced == o.Announced &&
+		c.NextHop == o.NextHop &&
+		c.Path.Equal(o.Path) &&
+		communitiesEqual(c.Communities, o.Communities)
+}
+
+func communitiesEqual(a, b bgp.Communities) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// vpTable is the per-VP state: FSM state, main cells, shadow cells.
+type vpTable struct {
+	state  VPState
+	cells  map[netip.Prefix]*Cell
+	shadow map[netip.Prefix]*Cell
+	// dirty marks prefixes changed since the last published bin.
+	dirty map[netip.Prefix]bool
+	// sawShadow reports whether the in-progress RIB dump contained
+	// this VP.
+	sawShadow bool
+	// frozen is set by E3 (corrupted updates): stop applying updates
+	// until the next RIB dump.
+	frozen bool
+}
+
+func newVPTable() *vpTable {
+	return &vpTable{
+		state:  VPDown,
+		cells:  make(map[netip.Prefix]*Cell),
+		shadow: make(map[netip.Prefix]*Cell),
+		dirty:  make(map[netip.Prefix]bool),
+	}
+}
+
+// Diff is one published cell change.
+type Diff struct {
+	VP        VPKey
+	Prefix    netip.Prefix
+	Announced bool
+	Path      string
+	NextHop   netip.Addr
+	Timestamp int64
+}
+
+// Publisher receives per-bin diff batches and periodic full
+// snapshots; internal/mq provides the Kafka-style implementation.
+type Publisher interface {
+	PublishDiffs(collector string, binStart time.Time, diffs []Diff) error
+	PublishSnapshot(collector string, binStart time.Time, cells []Diff) error
+}
+
+// BinStats captures the Figure 9 counters for one bin.
+type BinStats struct {
+	BinStart int64
+	// Elems is the number of BGP elems applied in the bin.
+	Elems int
+	// DiffCells is the number of changed cells published.
+	DiffCells int
+}
+
+// RT is the routing-tables plugin. It implements corsaro.Plugin.
+type RT struct {
+	// Publisher, when set, receives diffs and snapshots.
+	Publisher Publisher
+	// SnapshotEvery publishes a full table every N bins (0 = never).
+	SnapshotEvery int
+
+	// Stats accumulates per-bin elem/diff counters (Figure 9).
+	Stats []BinStats
+
+	// Accuracy counters from the RIB-merge audit (§6.2.1): cells where
+	// the update-maintained value disagreed with the RIB shadow value.
+	AuditMismatches int
+	AuditCells      int
+
+	vps map[VPKey]*vpTable
+	// collectors tracks every collector seen, so each publishes a
+	// batch every bin (consumers and sync servers rely on one batch
+	// per collector per bin, even when nothing changed).
+	collectors map[string]bool
+	// ribCorrupt tracks collectors whose in-progress RIB dump hit a
+	// corrupted record (E1).
+	ribCorrupt map[string]bool
+	binElems   int
+	binCount   int
+}
+
+// New creates the plugin.
+func New() *RT {
+	return &RT{
+		vps:        make(map[VPKey]*vpTable),
+		collectors: make(map[string]bool),
+		ribCorrupt: make(map[string]bool),
+	}
+}
+
+// Name implements corsaro.Plugin.
+func (rt *RT) Name() string { return "routing-tables" }
+
+// VPStates returns a snapshot of every known VP's FSM state.
+func (rt *RT) VPStates() map[VPKey]VPState {
+	out := make(map[VPKey]VPState, len(rt.vps))
+	for k, v := range rt.vps {
+		out[k] = v.state
+	}
+	return out
+}
+
+// Table returns the reconstructed, currently-announced routes of one
+// VP and whether the table is consistent (usable).
+func (rt *RT) Table(key VPKey) (map[netip.Prefix]Cell, bool) {
+	v, ok := rt.vps[key]
+	if !ok {
+		return nil, false
+	}
+	out := make(map[netip.Prefix]Cell, len(v.cells))
+	for p, c := range v.cells {
+		if c.Announced {
+			out[p] = *c
+		}
+	}
+	return out, v.state.Consistent()
+}
+
+func (rt *RT) vp(key VPKey) *vpTable {
+	v, ok := rt.vps[key]
+	if !ok {
+		v = newVPTable()
+		rt.vps[key] = v
+	}
+	return v
+}
+
+// Process implements corsaro.Plugin.
+func (rt *RT) Process(ctx *corsaro.Context) error {
+	rec := ctx.Record
+	rt.collectors[rec.Collector] = true
+	switch {
+	case rec.Status != core.StatusValid:
+		rt.processCorrupted(rec)
+		return nil
+	case rec.DumpType == core.DumpRIB:
+		rt.processRIBRecord(rec, ctx.Elems)
+		return nil
+	default:
+		rt.processUpdates(rec, ctx.Elems)
+		return nil
+	}
+}
+
+// processCorrupted implements E1 and E3.
+func (rt *RT) processCorrupted(rec *core.Record) {
+	if rec.DumpType == core.DumpRIB {
+		// E1: poison the in-progress RIB dump of this collector.
+		rt.ribCorrupt[rec.Collector] = true
+		return
+	}
+	// E3: stop applying updates for this collector's VPs, wait for
+	// the next RIB dump; tables become unavailable.
+	for key, v := range rt.vps {
+		if key.Collector != rec.Collector {
+			continue
+		}
+		v.frozen = true
+		rt.toDown(v)
+	}
+}
+
+func (rt *RT) toDown(v *vpTable) {
+	switch v.state {
+	case VPUp:
+		v.state = VPDown
+	case VPUpRIB:
+		v.state = VPDownRIB
+	}
+}
+
+// processRIBRecord routes RIB-dump records through the shadow-cell
+// machinery.
+func (rt *RT) processRIBRecord(rec *core.Record, elems []core.Elem) {
+	if rec.Position.IsStart() {
+		// New RIB dump begins: reset corruption flag and shadows.
+		rt.ribCorrupt[rec.Collector] = false
+		for key, v := range rt.vps {
+			if key.Collector != rec.Collector {
+				continue
+			}
+			v.shadow = make(map[netip.Prefix]*Cell)
+			v.sawShadow = false
+		}
+	}
+	ts := rec.Time()
+	for i := range elems {
+		e := &elems[i]
+		if e.Type != core.ElemRIB {
+			continue
+		}
+		rt.binElems++
+		key := VPKey{Collector: rec.Collector, Addr: e.PeerAddr, ASN: e.PeerASN}
+		v := rt.vp(key)
+		v.sawShadow = true
+		// Entering RIB application (Figure 8 transitions 2 and 4).
+		switch v.state {
+		case VPDown:
+			v.state = VPDownRIB
+		case VPUp:
+			v.state = VPUpRIB
+		}
+		// E2: skip RIB information not strictly newer than what
+		// updates already applied to the main cell (a same-second
+		// update is at least as fresh as the snapshot).
+		if main, ok := v.cells[e.Prefix]; ok && !ts.After(main.LastModified) {
+			continue
+		}
+		v.shadow[e.Prefix] = &Cell{
+			Path:         e.ASPath,
+			Communities:  e.Communities,
+			NextHop:      e.NextHop,
+			LastModified: ts,
+			Announced:    true,
+		}
+	}
+	if rec.Position.IsEnd() {
+		rt.mergeRIB(rec.Collector, ts)
+	}
+}
+
+// mergeRIB applies shadow cells at RIB-dump end: the Figure 8
+// up-RIB-application → up transition, plus the E1 discard and the
+// RouteViews staleness mitigation (a VP absent from the latest RIB is
+// declared down).
+func (rt *RT) mergeRIB(collector string, ts time.Time) {
+	corrupt := rt.ribCorrupt[collector]
+	for key, v := range rt.vps {
+		if key.Collector != collector {
+			continue
+		}
+		if corrupt {
+			// E1: ignore the whole dump.
+			v.shadow = make(map[netip.Prefix]*Cell)
+			v.sawShadow = false
+			continue
+		}
+		if !v.sawShadow {
+			// VP missing from the latest RIB: stale table, declare
+			// down (mitigation for projects without state messages).
+			if len(v.cells) > 0 {
+				for p := range v.cells {
+					v.dirty[p] = true
+				}
+				v.cells = make(map[netip.Prefix]*Cell)
+			}
+			v.state = VPDown
+			continue
+		}
+		// Audit (§6.2.1 accuracy): before replacing, compare announced
+		// main cells with their shadow counterparts.
+		for p, main := range v.cells {
+			if !main.Announced {
+				continue
+			}
+			rt.AuditCells++
+			if sh, ok := v.shadow[p]; !ok || !main.equalRoute(sh) {
+				rt.AuditMismatches++
+			}
+		}
+		// Replace: shadow wins except where updates are at least as
+		// new (E2 was applied at insert time; a main cell modified at
+		// or after the RIB record keeps priority).
+		newCells := make(map[netip.Prefix]*Cell, len(v.shadow))
+		for p, sh := range v.shadow {
+			if main, ok := v.cells[p]; ok && !sh.LastModified.After(main.LastModified) {
+				newCells[p] = main
+				if !main.equalRoute(sh) {
+					v.dirty[p] = true
+				}
+			} else {
+				if main, ok := v.cells[p]; !ok || !main.equalRoute(sh) {
+					v.dirty[p] = true
+				}
+				newCells[p] = sh
+			}
+		}
+		// Prefixes that vanished from the RIB and were not updated at
+		// or after the snapshot are withdrawn.
+		for p, main := range v.cells {
+			if _, ok := newCells[p]; ok {
+				continue
+			}
+			if !main.LastModified.Before(ts) {
+				newCells[p] = main
+				continue
+			}
+			if main.Announced {
+				v.dirty[p] = true
+			}
+		}
+		v.cells = newCells
+		v.shadow = make(map[netip.Prefix]*Cell)
+		v.sawShadow = false
+		v.frozen = false
+		v.state = VPUp
+	}
+}
+
+// processUpdates applies update-dump records: announcements,
+// withdrawals, and session state messages (E4).
+func (rt *RT) processUpdates(rec *core.Record, elems []core.Elem) {
+	for i := range elems {
+		e := &elems[i]
+		key := VPKey{Collector: rec.Collector, Addr: e.PeerAddr, ASN: e.PeerASN}
+		v := rt.vp(key)
+		switch e.Type {
+		case core.ElemPeerState:
+			rt.binElems++
+			if e.NewState == bgp.StateEstablished {
+				// E4: Established forces up.
+				v.state = VPUp
+				v.frozen = false
+			} else {
+				rt.toDown(v)
+				if v.state == VPDown && len(v.cells) > 0 {
+					// Session lost: routes no longer valid.
+					for p := range v.cells {
+						v.dirty[p] = true
+					}
+					v.cells = make(map[netip.Prefix]*Cell)
+				}
+			}
+		case core.ElemAnnouncement:
+			rt.binElems++
+			if v.frozen {
+				continue
+			}
+			cell := &Cell{
+				Path:         e.ASPath,
+				Communities:  e.Communities,
+				NextHop:      e.NextHop,
+				LastModified: e.Timestamp,
+				Announced:    true,
+			}
+			if old, ok := v.cells[e.Prefix]; !ok || !old.equalRoute(cell) {
+				v.dirty[e.Prefix] = true
+			}
+			v.cells[e.Prefix] = cell
+		case core.ElemWithdrawal:
+			rt.binElems++
+			if v.frozen {
+				continue
+			}
+			if old, ok := v.cells[e.Prefix]; ok && old.Announced {
+				old.Announced = false
+				old.LastModified = e.Timestamp
+				v.dirty[e.Prefix] = true
+			}
+		}
+	}
+}
+
+// EndInterval implements corsaro.Plugin: publish diff cells and
+// periodic snapshots, record Figure 9 counters.
+func (rt *RT) EndInterval(bin corsaro.Interval) error {
+	perCollector := make(map[string][]Diff, len(rt.collectors))
+	for c := range rt.collectors {
+		perCollector[c] = nil // every collector publishes every bin
+	}
+	for key, v := range rt.vps {
+		for p := range v.dirty {
+			d := Diff{VP: key, Prefix: p, Timestamp: bin.Start.Unix()}
+			if c, ok := v.cells[p]; ok && c.Announced {
+				d.Announced = true
+				d.Path = c.Path.String()
+				d.NextHop = c.NextHop
+				d.Timestamp = c.LastModified.Unix()
+			}
+			perCollector[key.Collector] = append(perCollector[key.Collector], d)
+		}
+		v.dirty = make(map[netip.Prefix]bool)
+	}
+	total := 0
+	for collector, diffs := range perCollector {
+		total += len(diffs)
+		if rt.Publisher != nil {
+			if err := rt.Publisher.PublishDiffs(collector, bin.Start, diffs); err != nil {
+				return err
+			}
+		}
+	}
+	rt.Stats = append(rt.Stats, BinStats{
+		BinStart:  bin.Start.Unix(),
+		Elems:     rt.binElems,
+		DiffCells: total,
+	})
+	rt.binElems = 0
+	rt.binCount++
+	if rt.Publisher != nil && rt.SnapshotEvery > 0 && rt.binCount%rt.SnapshotEvery == 0 {
+		if err := rt.publishSnapshots(bin.Start); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (rt *RT) publishSnapshots(binStart time.Time) error {
+	perCollector := make(map[string][]Diff)
+	for key, v := range rt.vps {
+		if !v.state.Consistent() {
+			continue
+		}
+		for p, c := range v.cells {
+			if !c.Announced {
+				continue
+			}
+			perCollector[key.Collector] = append(perCollector[key.Collector], Diff{
+				VP: key, Prefix: p, Announced: true,
+				Path: c.Path.String(), NextHop: c.NextHop,
+				Timestamp: c.LastModified.Unix(),
+			})
+		}
+	}
+	for collector, cells := range perCollector {
+		if err := rt.Publisher.PublishSnapshot(collector, binStart, cells); err != nil {
+			return err
+		}
+	}
+	return nil
+}

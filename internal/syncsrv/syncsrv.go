@@ -1,0 +1,178 @@
+// Package syncsrv implements the data-synchronisation servers of
+// §6.2.3. Different collectors publish their per-bin routing-table
+// diffs with variable delay; consumers differ in how they trade
+// latency against completeness. A sync server watches the lightweight
+// meta-data topic and, according to its policy, marks time bins as
+// ready for consumption by publishing Ready messages to its own
+// topic:
+//
+//   - the completeness policy waits for every expected collector
+//     (IODA-style: favour completeness, e.g. a 30-minute horizon);
+//   - the timeout policy releases a bin as soon as every collector has
+//     reported or the timeout since the bin's first arrival expires
+//     (hijack-detection-style: favour latency).
+//
+// Because sync servers handle only meta-data, they stay lightweight no
+// matter how large the tables are.
+package syncsrv
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/mq"
+)
+
+// Ready marks one time bin as consumable.
+type Ready struct {
+	BinStart int64
+	// Batches locates each collector's diff batch: collector name →
+	// offset in its diff topic.
+	Batches map[string]int64
+	// Complete reports whether every expected collector contributed.
+	Complete bool
+}
+
+// ReadyTopic names the output topic of a sync server.
+func ReadyTopic(name string) string { return "sync." + name }
+
+// EncodeReady serialises a Ready message.
+func EncodeReady(r *Ready) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, fmt.Errorf("syncsrv: encode ready: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeReady deserialises a Ready message.
+func DecodeReady(data []byte) (*Ready, error) {
+	var r Ready
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&r); err != nil {
+		return nil, fmt.Errorf("syncsrv: decode ready: %w", err)
+	}
+	return &r, nil
+}
+
+// Server is one sync server instance.
+type Server struct {
+	// Name selects the output topic (ReadyTopic(Name)).
+	Name string
+	// Broker is the message bus.
+	Broker *mq.Broker
+	// Expected lists the collectors a complete bin requires.
+	Expected []string
+	// Timeout, when positive, releases incomplete bins that many
+	// wall-clock units after their first batch arrived; zero waits for
+	// completeness indefinitely.
+	Timeout time.Duration
+	// Now is the clock (tests override); defaults to time.Now.
+	Now func() time.Time
+
+	offset  int64
+	pending map[int64]*binState
+}
+
+type binState struct {
+	batches map[string]int64
+	first   time.Time
+}
+
+func (s *Server) now() time.Time {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return time.Now()
+}
+
+// Poll ingests newly arrived meta-data and releases every bin that is
+// ready under the server's policy. It returns the number of Ready
+// messages published. Call it periodically, or use Run for a loop.
+func (s *Server) Poll() (int, error) {
+	if s.pending == nil {
+		s.pending = make(map[int64]*binState)
+	}
+	msgs, next := s.Broker.Fetch(mq.MetaTopic, s.offset, 0)
+	s.offset = next
+	for _, raw := range msgs {
+		meta, err := mq.DecodeMeta(raw)
+		if err != nil {
+			return 0, err
+		}
+		if meta.Snapshot {
+			continue // snapshots don't gate bin readiness
+		}
+		if !s.expects(meta.Collector) {
+			continue
+		}
+		st := s.pending[meta.BinStart]
+		if st == nil {
+			st = &binState{batches: make(map[string]int64), first: s.now()}
+			s.pending[meta.BinStart] = st
+		}
+		st.batches[meta.Collector] = meta.Offset
+	}
+	return s.release()
+}
+
+func (s *Server) expects(collector string) bool {
+	for _, c := range s.Expected {
+		if c == collector {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) release() (int, error) {
+	var readyBins []int64
+	now := s.now()
+	for bin, st := range s.pending {
+		complete := len(st.batches) == len(s.Expected)
+		expired := s.Timeout > 0 && now.Sub(st.first) >= s.Timeout
+		if complete || expired {
+			readyBins = append(readyBins, bin)
+		}
+	}
+	sort.Slice(readyBins, func(i, j int) bool { return readyBins[i] < readyBins[j] })
+	published := 0
+	for _, bin := range readyBins {
+		st := s.pending[bin]
+		r := &Ready{
+			BinStart: bin,
+			Batches:  st.batches,
+			Complete: len(st.batches) == len(s.Expected),
+		}
+		data, err := EncodeReady(r)
+		if err != nil {
+			return published, err
+		}
+		s.Broker.Produce(ReadyTopic(s.Name), data)
+		delete(s.pending, bin)
+		published++
+	}
+	return published, nil
+}
+
+// Run polls until the context is done.
+func (s *Server) Run(ctx context.Context, interval time.Duration) error {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		if _, err := s.Poll(); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package syncsrv
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/mq"
+	"github.com/bgpstream-go/bgpstream/internal/rtables"
+)
+
+func publishBin(t *testing.T, b *mq.Broker, collector string, bin int64) {
+	t.Helper()
+	pub := &mq.RTPublisher{Producer: mq.LocalProducer{Broker: b}}
+	if err := pub.PublishDiffs(collector, time.Unix(bin, 0), []rtables.Diff{{Path: "1 2"}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fetchReady(t *testing.T, b *mq.Broker, name string, offset int64) []*Ready {
+	t.Helper()
+	msgs, _ := b.Fetch(ReadyTopic(name), offset, 0)
+	var out []*Ready
+	for _, m := range msgs {
+		r, err := DecodeReady(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestCompletenessPolicy(t *testing.T) {
+	b := mq.NewBroker()
+	srv := &Server{Name: "ioda", Broker: b, Expected: []string{"rrc00", "route-views2"}}
+
+	publishBin(t, b, "rrc00", 600)
+	n, err := srv.Poll()
+	if err != nil || n != 0 {
+		t.Fatalf("incomplete bin released: %d %v", n, err)
+	}
+	publishBin(t, b, "route-views2", 600)
+	n, err = srv.Poll()
+	if err != nil || n != 1 {
+		t.Fatalf("complete bin not released: %d %v", n, err)
+	}
+	ready := fetchReady(t, b, "ioda", 0)
+	if len(ready) != 1 || !ready[0].Complete || ready[0].BinStart != 600 {
+		t.Fatalf("ready: %+v", ready)
+	}
+	if len(ready[0].Batches) != 2 {
+		t.Errorf("batches: %+v", ready[0].Batches)
+	}
+}
+
+func TestTimeoutPolicyReleasesIncomplete(t *testing.T) {
+	b := mq.NewBroker()
+	clock := time.Unix(0, 0)
+	srv := &Server{
+		Name: "hijacks", Broker: b,
+		Expected: []string{"rrc00", "route-views2"},
+		Timeout:  3 * time.Minute,
+		Now:      func() time.Time { return clock },
+	}
+	publishBin(t, b, "rrc00", 600)
+	if n, _ := srv.Poll(); n != 0 {
+		t.Fatal("released before timeout")
+	}
+	clock = clock.Add(4 * time.Minute)
+	n, err := srv.Poll()
+	if err != nil || n != 1 {
+		t.Fatalf("timeout release: %d %v", n, err)
+	}
+	ready := fetchReady(t, b, "hijacks", 0)
+	if ready[0].Complete {
+		t.Error("incomplete bin marked complete")
+	}
+	if len(ready[0].Batches) != 1 {
+		t.Errorf("batches: %+v", ready[0].Batches)
+	}
+}
+
+func TestBinsReleasedInOrder(t *testing.T) {
+	b := mq.NewBroker()
+	srv := &Server{Name: "s", Broker: b, Expected: []string{"rrc00"}}
+	publishBin(t, b, "rrc00", 1200)
+	publishBin(t, b, "rrc00", 600)
+	if _, err := srv.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	ready := fetchReady(t, b, "s", 0)
+	if len(ready) != 2 || ready[0].BinStart != 600 || ready[1].BinStart != 1200 {
+		t.Fatalf("order: %+v", ready)
+	}
+}
+
+func TestSnapshotsDoNotGate(t *testing.T) {
+	b := mq.NewBroker()
+	pub := &mq.RTPublisher{Producer: mq.LocalProducer{Broker: b}}
+	if err := pub.PublishSnapshot("rrc00", time.Unix(600, 0), nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Name: "s", Broker: b, Expected: []string{"rrc00"}}
+	if n, _ := srv.Poll(); n != 0 {
+		t.Fatal("snapshot alone released a bin")
+	}
+}
+
+func TestUnexpectedCollectorsIgnored(t *testing.T) {
+	b := mq.NewBroker()
+	srv := &Server{Name: "s", Broker: b, Expected: []string{"rrc00"}}
+	publishBin(t, b, "other", 600)
+	if n, _ := srv.Poll(); n != 0 {
+		t.Fatal("foreign collector released a bin")
+	}
+	publishBin(t, b, "rrc00", 600)
+	if n, _ := srv.Poll(); n != 1 {
+		t.Fatal("expected collector ignored")
+	}
+}
+
+func TestReadyCodec(t *testing.T) {
+	in := &Ready{BinStart: 99, Batches: map[string]int64{"a": 1}, Complete: true}
+	data, err := EncodeReady(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeReady(data)
+	if err != nil || out.BinStart != 99 || !out.Complete || out.Batches["a"] != 1 {
+		t.Fatalf("%+v %v", out, err)
+	}
+	if _, err := DecodeReady([]byte("junk")); err == nil {
+		t.Error("junk decoded")
+	}
+}

@@ -1,0 +1,155 @@
+// Package timeseries is the small time-series store behind the
+// monitoring consumers: named series of (timestamp, value) points in
+// regular bins, with the automated change-point detection used for
+// outage alerting (§6.2.4: "a time series monitoring system
+// supporting automated change-point detection").
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Point is one sample.
+type Point struct {
+	Unix  int64
+	Value float64
+}
+
+// Store holds named series. It is safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	series map[string][]Point
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{series: make(map[string][]Point)}
+}
+
+// Append adds a point to a series (created on first use). Points must
+// arrive in non-decreasing time order per series.
+func (s *Store) Append(name string, p Point) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pts := s.series[name]
+	if n := len(pts); n > 0 && p.Unix < pts[n-1].Unix {
+		return fmt.Errorf("timeseries: out-of-order point %d < %d in %s", p.Unix, pts[n-1].Unix, name)
+	}
+	s.series[name] = append(pts, p)
+	return nil
+}
+
+// Get returns a copy of the named series.
+func (s *Store) Get(name string) []Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Point(nil), s.series[name]...)
+}
+
+// Names lists the stored series, sorted.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.series))
+	for n := range s.series {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ChangePoint is one detected level shift.
+type ChangePoint struct {
+	Unix int64
+	// Value is the sample that triggered detection.
+	Value float64
+	// Baseline is the reference level it deviated from.
+	Baseline float64
+	// Drop is true for downward shifts (outages), false for upward
+	// ones (e.g. MOAS spikes).
+	Drop bool
+}
+
+// DetectorConfig tunes change-point detection.
+type DetectorConfig struct {
+	// Window is how many preceding points form the baseline.
+	Window int
+	// MinRelDelta is the minimum |v-baseline|/baseline to flag.
+	MinRelDelta float64
+	// MinAbsDelta additionally requires an absolute deviation, which
+	// suppresses noise on near-zero series.
+	MinAbsDelta float64
+}
+
+// DefaultDetector matches the per-country outage use: a 12-bin
+// baseline and a 30% level shift.
+func DefaultDetector() DetectorConfig {
+	return DetectorConfig{Window: 12, MinRelDelta: 0.3, MinAbsDelta: 5}
+}
+
+// Detect finds level shifts: points deviating from the median of the
+// preceding window by the configured margins. The baseline window
+// always tracks the raw history, so a sustained outage is reported at
+// its onset (and again at recovery).
+func Detect(points []Point, cfg DetectorConfig) []ChangePoint {
+	if cfg.Window <= 0 {
+		cfg.Window = 12
+	}
+	var out []ChangePoint
+	for i := cfg.Window; i < len(points); i++ {
+		base := median(points[i-cfg.Window : i])
+		v := points[i].Value
+		delta := v - base
+		abs := math.Abs(delta)
+		if abs < cfg.MinAbsDelta {
+			continue
+		}
+		if base > 0 && abs/base < cfg.MinRelDelta {
+			continue
+		}
+		if base == 0 && v == 0 {
+			continue
+		}
+		// Only report the first point of a shifted run: skip if the
+		// previous point already deviated in the same direction.
+		if i > cfg.Window {
+			prevDelta := points[i-1].Value - median(points[i-cfg.Window-1:i-1])
+			if sameSign(prevDelta, delta) && math.Abs(prevDelta) >= cfg.MinAbsDelta {
+				pb := median(points[i-cfg.Window-1 : i-1])
+				if pb == 0 || math.Abs(prevDelta)/pb >= cfg.MinRelDelta {
+					continue
+				}
+			}
+		}
+		out = append(out, ChangePoint{
+			Unix:     points[i].Unix,
+			Value:    v,
+			Baseline: base,
+			Drop:     delta < 0,
+		})
+	}
+	return out
+}
+
+func sameSign(a, b float64) bool {
+	return (a < 0) == (b < 0)
+}
+
+func median(pts []Point) float64 {
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = p.Value
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}

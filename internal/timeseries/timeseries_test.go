@@ -1,0 +1,105 @@
+package timeseries
+
+import (
+	"testing"
+)
+
+func flat(n int, v float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{Unix: int64(i * 60), Value: v}
+	}
+	return pts
+}
+
+func TestStoreAppendGet(t *testing.T) {
+	s := NewStore()
+	if err := s.Append("a", Point{Unix: 1, Value: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("a", Point{Unix: 2, Value: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("a", Point{Unix: 1, Value: 5}); err == nil {
+		t.Error("out-of-order accepted")
+	}
+	got := s.Get("a")
+	if len(got) != 2 || got[1].Value != 20 {
+		t.Errorf("got %v", got)
+	}
+	if names := s.Names(); len(names) != 1 || names[0] != "a" {
+		t.Errorf("names %v", names)
+	}
+	if pts := s.Get("missing"); len(pts) != 0 {
+		t.Errorf("missing series: %v", pts)
+	}
+}
+
+func TestDetectDrop(t *testing.T) {
+	pts := flat(20, 100)
+	// Outage: bins 20..25 at 10, recovery after.
+	for i := 20; i < 26; i++ {
+		pts = append(pts, Point{Unix: int64(i * 60), Value: 10})
+	}
+	for i := 26; i < 40; i++ {
+		pts = append(pts, Point{Unix: int64(i * 60), Value: 100})
+	}
+	cps := Detect(pts, DefaultDetector())
+	if len(cps) == 0 {
+		t.Fatal("no change points")
+	}
+	// First change point must be the onset at bin 20, a drop.
+	if cps[0].Unix != 20*60 || !cps[0].Drop {
+		t.Errorf("first cp: %+v", cps[0])
+	}
+	// Recovery (upward) must also appear.
+	sawUp := false
+	for _, cp := range cps {
+		if !cp.Drop {
+			sawUp = true
+		}
+	}
+	if !sawUp {
+		t.Error("recovery not detected")
+	}
+}
+
+func TestDetectIgnoresNoise(t *testing.T) {
+	pts := flat(30, 100)
+	// ±3% wiggle.
+	for i := range pts {
+		if i%2 == 0 {
+			pts[i].Value += 3
+		} else {
+			pts[i].Value -= 3
+		}
+	}
+	if cps := Detect(pts, DefaultDetector()); len(cps) != 0 {
+		t.Errorf("noise flagged: %+v", cps)
+	}
+}
+
+func TestDetectSpikeUp(t *testing.T) {
+	pts := flat(15, 1)
+	pts = append(pts, Point{Unix: 15 * 60, Value: 30})
+	cfg := DetectorConfig{Window: 10, MinRelDelta: 0.5, MinAbsDelta: 2}
+	cps := Detect(pts, cfg)
+	if len(cps) != 1 || cps[0].Drop {
+		t.Errorf("spike: %+v", cps)
+	}
+}
+
+func TestDetectShortSeries(t *testing.T) {
+	if cps := Detect(flat(3, 5), DefaultDetector()); cps != nil {
+		t.Errorf("short series flagged: %v", cps)
+	}
+}
+
+func TestDetectZeroBaseline(t *testing.T) {
+	pts := flat(15, 0)
+	pts = append(pts, Point{Unix: 15 * 60, Value: 50})
+	cps := Detect(pts, DefaultDetector())
+	if len(cps) != 1 || cps[0].Drop {
+		t.Errorf("zero-baseline spike: %+v", cps)
+	}
+}
