@@ -10,20 +10,25 @@ package bgpstream_test
 
 import (
 	"context"
+	"encoding/json"
 	"io"
+	"net/http/httptest"
 	"net/netip"
 	"os"
 	"sort"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/bgpstream-go/bgpstream/internal/archive"
 	"github.com/bgpstream-go/bgpstream/internal/astopo"
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
 	"github.com/bgpstream-go/bgpstream/internal/collector"
 	"github.com/bgpstream-go/bgpstream/internal/core"
 	"github.com/bgpstream-go/bgpstream/internal/experiments"
 	"github.com/bgpstream-go/bgpstream/internal/merge"
 	"github.com/bgpstream-go/bgpstream/internal/prefixtrie"
+	"github.com/bgpstream-go/bgpstream/internal/rislive"
 )
 
 // benchExperiment runs one experiment per iteration at bench scale.
@@ -204,6 +209,94 @@ func BenchmarkAblationTrieVsScan(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchLiveElem is a representative announcement for the push-feed
+// codec and fan-out benches.
+func benchLiveElem() core.Elem {
+	return core.Elem{
+		Type:        core.ElemAnnouncement,
+		Timestamp:   time.Date(2016, 3, 1, 0, 0, 0, 123456000, time.UTC),
+		PeerAddr:    netip.MustParseAddr("192.0.2.1"),
+		PeerASN:     65001,
+		Prefix:      netip.MustParsePrefix("203.0.113.0/24"),
+		NextHop:     netip.MustParseAddr("192.0.2.1"),
+		ASPath:      bgp.SequencePath(65001, 3356, 174, 64512),
+		Communities: bgp.Communities{bgp.NewCommunity(3356, 9999), bgp.NewCommunity(701, 666)},
+	}
+}
+
+// BenchmarkRISLiveEncodeDecode measures one full push-feed codec
+// cycle: elem -> JSON message -> elem + synthesised record, the
+// per-message cost on both ends of the wire.
+func BenchmarkRISLiveEncodeDecode(b *testing.B) {
+	e := benchLiveElem()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := json.Marshal(rislive.Message{Type: rislive.TypeMessage, Data: rislive.EncodeElem("ris", "rrc00", &e)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var msg rislive.Message
+		if err := json.Unmarshal(buf, &msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := msg.Data.Record(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRISLiveFanout measures server-side publish throughput
+// fanning out to subscribed SSE clients that drain concurrently,
+// reporting end-to-end delivered messages per publish.
+func BenchmarkRISLiveFanout(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "1client", 4: "4clients", 16: "16clients"}[clients], func(b *testing.B) {
+			srv := &rislive.Server{KeepAlive: time.Hour, BufferSize: 65536}
+			hs := httptest.NewServer(srv)
+			defer hs.Close()
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var delivered atomic.Uint64
+			for i := 0; i < clients; i++ {
+				c := rislive.NewClient(hs.URL, rislive.Subscription{})
+				defer c.Close()
+				go func() {
+					for {
+						if _, _, err := c.NextElem(ctx); err != nil {
+							return
+						}
+						delivered.Add(1)
+					}
+				}()
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for srv.Stats().Subscribers < clients {
+				if time.Now().After(deadline) {
+					b.Fatal("subscribers did not connect")
+				}
+				time.Sleep(time.Millisecond)
+			}
+
+			e := benchLiveElem()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				srv.Publish("ris", "rrc00", &e)
+			}
+			b.StopTimer()
+			// Drain window: count what actually reached the clients.
+			want := uint64(b.N * clients)
+			drainUntil := time.Now().Add(5 * time.Second)
+			for delivered.Load()+srv.Stats().Dropped < want && time.Now().Before(drainUntil) {
+				time.Sleep(time.Millisecond)
+			}
+			b.ReportMetric(float64(delivered.Load())/float64(b.N), "delivered/op")
+			b.ReportMetric(float64(srv.Stats().Dropped)/float64(b.N), "dropped/op")
+		})
+	}
 }
 
 // BenchmarkArchiveGeneration measures the simulator substrate itself.

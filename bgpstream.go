@@ -22,6 +22,29 @@
 // (the C API's interval end of -1). Data interfaces besides the
 // Broker: Directory (a local archive tree), CSVFile, and SingleFiles.
 //
+// # Push-based live streaming
+//
+// The broker-driven live mode above is pull-based: latency is bounded
+// by dump publication delay (minutes). For millisecond-latency
+// monitoring the framework also speaks a RIS Live-style push
+// protocol: per-elem JSON messages over a streaming HTTP feed
+// (Server-Sent Events), served by RISLiveServer (or the bgplivesrv
+// tool) and consumed by RISLiveClient — which implements ElemSource,
+// the push analogue of DataInterface. NewLiveStream adapts any
+// ElemSource into a regular *Stream, so the same NextElem loop works
+// on both latency classes:
+//
+//	client := bgpstream.NewRISLiveClient("http://host:8481/v1/stream",
+//		bgpstream.RISLiveSubscription{PeerASNs: []uint32{3356}})
+//	s := bgpstream.NewLiveStream(ctx, client, filters)
+//	defer s.Close()
+//	for { rec, elem, err := s.NextElem(); ... }
+//
+// The client reconnects with exponential backoff, applies read
+// timeouts, and optionally treats stale messages as connection
+// errors; the server enforces per-client subscription filters and a
+// bounded-buffer slow-client drop policy with drop counters.
+//
 // This package re-exports the user-facing types of the internal
 // implementation packages; power users building custom pipelines
 // (BGPCorsaro plugins, routing-table consumers) can depend on the
@@ -34,6 +57,7 @@ import (
 	"github.com/bgpstream-go/bgpstream/internal/archive"
 	"github.com/bgpstream-go/bgpstream/internal/broker"
 	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/rislive"
 )
 
 // Stream is a time-sorted stream of BGP records; see core.Stream.
@@ -81,6 +105,24 @@ type SingleFiles = core.SingleFiles
 // BrokerClient queries a BGPStream Broker.
 type BrokerClient = broker.Client
 
+// ElemSource is the push-feed analogue of DataInterface: it yields
+// already-decomposed (record, elem) pairs as they arrive.
+type ElemSource = core.ElemSource
+
+// RISLiveClient consumes a RIS Live-style SSE feed with automatic
+// reconnection; it implements ElemSource.
+type RISLiveClient = rislive.Client
+
+// RISLiveServer serves a RIS Live-style SSE feed; publish elems to it
+// from any producer.
+type RISLiveServer = rislive.Server
+
+// RISLiveSubscription is a per-client server-side feed filter.
+type RISLiveSubscription = rislive.Subscription
+
+// RISLiveMessage is the JSON envelope of feed messages.
+type RISLiveMessage = rislive.Message
+
 // Re-exported enum values.
 const (
 	DumpRIB     = core.DumpRIB
@@ -112,6 +154,18 @@ func NewStream(ctx context.Context, di DataInterface, filters Filters) *Stream {
 // to consume public archives.
 func NewBrokerClient(baseURL string, filters Filters) *BrokerClient {
 	return broker.NewClient(baseURL, filters)
+}
+
+// NewLiveStream builds a stream over an elem-level push source (a
+// RISLiveClient, or any ElemSource); the result is a regular *Stream.
+func NewLiveStream(ctx context.Context, src ElemSource, filters Filters) *Stream {
+	return core.NewLiveStream(ctx, src, filters)
+}
+
+// NewRISLiveClient builds a push-feed client for the given SSE
+// endpoint and subscription.
+func NewRISLiveClient(endpoint string, sub RISLiveSubscription) *RISLiveClient {
+	return rislive.NewClient(endpoint, sub)
 }
 
 // ParseCommunityFilter parses "asn:value" with "*" wildcards.

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"strings"
@@ -41,18 +42,33 @@ func (p *providerFlag) Set(v string) error {
 }
 
 func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "bgpbroker:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves the broker until the listener fails;
+// onListen (used by tests) receives the bound address, and its return
+// value — when non-nil — is closed to stop the server.
+func run(args []string, onListen func(net.Addr) <-chan struct{}) error {
+	fs := flag.NewFlagSet("bgpbroker", flag.ContinueOnError)
 	var (
-		listen    = flag.String("listen", ":8472", "HTTP listen address")
-		indexPath = flag.String("index", "", "persist meta-data to this JSON-line log")
-		interval  = flag.Duration("scrape", time.Minute, "archive scrape interval")
+		listen    = fs.String("listen", ":8472", "HTTP listen address")
+		indexPath = fs.String("index", "", "persist meta-data to this JSON-line log")
+		interval  = fs.Duration("scrape", time.Minute, "archive scrape interval")
 	)
 	var providers providerFlag
-	flag.Var(&providers, "provider", "project=url[,mirror...] (repeatable)")
-	flag.Parse()
+	fs.Var(&providers, "provider", "project=url[,mirror...] (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil // -h: usage already printed, exit clean
+		}
+		return err
+	}
 
 	if len(providers) == 0 {
-		fmt.Fprintln(os.Stderr, "bgpbroker: at least one -provider is required")
-		os.Exit(2)
+		return fmt.Errorf("at least one -provider is required")
 	}
 	var (
 		index *broker.Index
@@ -61,7 +77,7 @@ func main() {
 	if *indexPath != "" {
 		index, err = broker.OpenIndex(*indexPath)
 		if err != nil {
-			log.Fatalf("bgpbroker: %v", err)
+			return err
 		}
 		defer index.Close()
 	} else {
@@ -74,9 +90,24 @@ func main() {
 	}
 	srv.Start()
 	defer srv.Stop()
-	log.Printf("bgpbroker: serving on %s (%d providers, %d files indexed)",
-		*listen, len(providers), index.Len())
-	if err := http.ListenAndServe(*listen, srv); err != nil {
-		log.Fatalf("bgpbroker: %v", err)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
 	}
+	log.Printf("bgpbroker: serving on %s (%d providers, %d files indexed)",
+		ln.Addr(), len(providers), index.Len())
+	hs := &http.Server{Handler: srv}
+	if onListen != nil {
+		if stop := onListen(ln.Addr()); stop != nil {
+			go func() {
+				<-stop
+				hs.Close()
+			}()
+		}
+	}
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
 }

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+	"github.com/bgpstream-go/bgpstream/internal/astopo"
+	"github.com/bgpstream-go/bgpstream/internal/collector"
+)
+
+func TestProviderFlag(t *testing.T) {
+	var p providerFlag
+	if err := p.Set("ris=http://a/,http://b/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("routeviews=http://c/"); err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 2 || p[0].Project != "ris" || len(p[0].Mirrors) != 2 || p[0].Mirrors[1] != "http://b/" {
+		t.Fatalf("providerFlag = %+v", p)
+	}
+	if err := p.Set("missing-equals"); err == nil {
+		t.Fatal("bad provider spec accepted")
+	}
+	if p.String() == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{}, nil); err == nil {
+		t.Fatal("run without providers must fail")
+	}
+	if err := run([]string{"-provider", "bad"}, nil); err == nil {
+		t.Fatal("run with bad provider must fail")
+	}
+	if err := run([]string{"-nonsense"}, nil); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestRunEndToEnd runs the real command path — flags, index, scrape
+// loop, HTTP service — against a simulated archive and checks a
+// client-visible /data query.
+func TestRunEndToEnd(t *testing.T) {
+	start := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	topo := astopo.Generate(astopo.DefaultParams(5))
+	sim, err := collector.NewSimulator(collector.Config{
+		Topo:       topo,
+		Collectors: collector.DefaultCollectors(topo, 2),
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := archive.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.GenerateArchive(store, start, start.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	archSrv := httptest.NewServer(&archive.Server{Store: store})
+	defer archSrv.Close()
+
+	addrc := make(chan net.Addr, 1)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-scrape", "50ms",
+			"-provider", "ris=" + archSrv.URL + "/ris/",
+			"-provider", "routeviews=" + archSrv.URL + "/routeviews/",
+		}, func(a net.Addr) <-chan struct{} {
+			addrc <- a
+			return stop
+		})
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-addrc:
+	case err := <-errc:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("broker did not start")
+	}
+	base := "http://" + addr.String()
+
+	// Wait for the scrape loop to index the archive, then query it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/data?project=ris&type=updates&intervalStart=%d&intervalEnd=%d",
+			base, start.Unix(), start.Add(time.Hour).Unix()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			DumpFiles []struct {
+				Project   string `json:"project"`
+				Collector string `json:"collector"`
+				URL       string `json:"url"`
+			} `json:"dumpFiles"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err == nil && len(body.DumpFiles) > 0 {
+			for _, f := range body.DumpFiles {
+				if f.Project != "ris" {
+					t.Fatalf("project filter leak: %+v", f)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("broker never indexed the archive")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/health = %d", resp.StatusCode)
+	}
+
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not stop")
+	}
+}

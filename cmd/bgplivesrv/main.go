@@ -1,0 +1,141 @@
+// Command bgplivesrv serves a RIS Live-style push feed: it replays
+// BGP data from any pull source — a local archive directory, a CSV
+// dump index, or a BGPStream Broker — as per-elem JSON messages over
+// Server-Sent Events, with per-client subscription filters, keepalive
+// pings, and slow-client drop accounting. It turns the pull-based
+// archives of §3.2 into the millisecond-latency push feeds that
+// bgpreader's -ris-live flag (and any rislive.Client) consumes.
+//
+// Examples:
+//
+//	# replay a collectorsim archive at 60x real time, forever:
+//	bgplivesrv -listen :8481 -d ./archive -pace 60 -loop
+//
+//	# flood a one-shot replay as fast as it decodes:
+//	bgplivesrv -listen :8481 -d ./archive
+//
+// Endpoints: /v1/stream (SSE feed; see rislive.ParseSubscription for
+// the filter parameters) and /v1/stats (JSON counters).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/broker"
+	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/rislive"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "bgplivesrv:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds and serves the feed; onListen (used by tests) receives
+// the bound address before serving starts.
+func run(ctx context.Context, args []string, onListen func(net.Addr)) error {
+	fs := flag.NewFlagSet("bgplivesrv", flag.ContinueOnError)
+	var (
+		listen    = fs.String("listen", ":8481", "HTTP listen address")
+		dir       = fs.String("d", "", "local archive directory to replay")
+		csv       = fs.String("csv", "", "CSV dump-index to replay")
+		brokerURL = fs.String("broker", "", "BGPStream Broker URL to replay")
+		loop      = fs.Bool("loop", false, "restart the replay when the source is exhausted")
+		pace      = fs.Float64("pace", 0, "replay speed: 1 = real time, 60 = hour/minute, 0 = flat out")
+		maxGap    = fs.Duration("max-gap", 5*time.Second, "cap on any single pacing sleep")
+		keepalive = fs.Duration("keepalive", 15*time.Second, "SSE ping interval")
+		buffer    = fs.Int("buffer", 1024, "per-client message buffer (drop-newest beyond)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil // -h: usage already printed, exit clean
+		}
+		return err
+	}
+
+	newStream := func() (*core.Stream, error) {
+		var di core.DataInterface
+		switch {
+		case *dir != "":
+			di = &core.Directory{Dir: *dir}
+		case *csv != "":
+			di = &core.CSVFile{Path: *csv}
+		case *brokerURL != "":
+			di = broker.NewClient(*brokerURL, core.Filters{})
+		default:
+			return nil, fmt.Errorf("one of -d, -csv, -broker is required")
+		}
+		return core.NewStream(ctx, di, core.Filters{}), nil
+	}
+	if _, err := newStream(); err != nil {
+		return err // fail fast on missing source before binding
+	}
+
+	feed := &rislive.Server{
+		KeepAlive:  *keepalive,
+		BufferSize: *buffer,
+		Logf:       log.Printf,
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/stream", feed)
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(feed.Stats())
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+	log.Printf("bgplivesrv: serving SSE feed on %s/v1/stream (pace %gx, loop %v)",
+		ln.Addr(), *pace, *loop)
+
+	go func() {
+		opts := rislive.ReplayOptions{Pace: *pace, MaxGap: *maxGap}
+		for ctx.Err() == nil {
+			s, err := newStream()
+			if err != nil {
+				log.Printf("bgplivesrv: %v", err)
+				return
+			}
+			n, err := rislive.Replay(ctx, s, feed, opts)
+			s.Close()
+			if err != nil && ctx.Err() == nil {
+				log.Printf("bgplivesrv: replay ended after %d elems: %v", n, err)
+			} else {
+				log.Printf("bgplivesrv: replayed %d elems", n)
+			}
+			if !*loop || ctx.Err() != nil {
+				return
+			}
+		}
+	}()
+
+	srv := &http.Server{Handler: mux}
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+	}()
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+	"github.com/bgpstream-go/bgpstream/internal/astopo"
+	"github.com/bgpstream-go/bgpstream/internal/collector"
+	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/rislive"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, []string{"-nonsense"}, nil); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run(ctx, []string{}, nil); err == nil {
+		t.Fatal("run without a source must fail")
+	}
+}
+
+// TestRunEndToEnd serves a simulated archive through the command path
+// and consumes the feed with a rislive client via core.NewLiveStream.
+func TestRunEndToEnd(t *testing.T) {
+	start := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	topo := astopo.Generate(astopo.DefaultParams(9))
+	sim, err := collector.NewSimulator(collector.Config{
+		Topo:              topo,
+		Collectors:        collector.DefaultCollectors(topo, 2),
+		ChurnFlapsPerHour: 30,
+		Seed:              9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	store, err := archive.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.GenerateArchive(store, start, start.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	addrc := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{
+			"-listen", "127.0.0.1:0",
+			"-d", dir,
+			"-loop",
+			"-keepalive", "100ms",
+		}, func(a net.Addr) { addrc <- a })
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-addrc:
+	case err := <-errc:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start")
+	}
+	base := "http://" + addr.String()
+
+	client := rislive.NewClient(base+"/v1/stream", rislive.Subscription{
+		Projects: []string{"ris"},
+	})
+	client.Backoff = 20 * time.Millisecond
+	s := core.NewLiveStream(ctx, client, core.Filters{})
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		rec, elem, err := s.NextElem()
+		if err != nil {
+			t.Fatalf("after %d elems: %v", i, err)
+		}
+		if rec.Project != "ris" {
+			t.Fatalf("subscription filter leak: project %q", rec.Project)
+		}
+		if !rec.Time().Equal(elem.Timestamp) {
+			t.Fatalf("record/elem time mismatch: %v vs %v", rec.Time(), elem.Timestamp)
+		}
+	}
+
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats rislive.ServerStats
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Subscribers != 1 || stats.Published < 50 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil && err != context.Canceled {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not stop on context cancel")
+	}
+}

@@ -11,6 +11,10 @@
 //
 //	# historical window over a local archive, bgpdump -m output:
 //	bgpreader -d ./archive -w 1438415400,1438416600 -m
+//
+//	# follow a push feed (RIS Live-style SSE, e.g. bgplivesrv) with
+//	# millisecond latency instead of polling for dumps:
+//	bgpreader -ris-live http://localhost:8481/v1/stream -k 192.0.0.0/8
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"os/signal"
 	"strconv"
@@ -26,6 +31,7 @@ import (
 
 	"github.com/bgpstream-go/bgpstream/internal/bgpdump"
 	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/rislive"
 
 	bgpstream "github.com/bgpstream-go/bgpstream"
 )
@@ -50,6 +56,8 @@ func run() error {
 		brokerURL = flag.String("broker", "", "BGPStream Broker URL (default data interface)")
 		dir       = flag.String("d", "", "local archive directory data interface")
 		csv       = flag.String("csv", "", "CSV dump-index data interface")
+		risLive   = flag.String("ris-live", "", "RIS Live-style SSE feed URL (push data interface)")
+		risStale  = flag.Duration("ris-live-stale", 0, "reconnect when feed messages lag the clock by this much (0 disables; useless on historical replays)")
 		window    = flag.String("w", "", "time window: start[,end] unix seconds; omit end for live mode")
 		types     = flag.String("t", "", "dump type filter: ribs or updates")
 		machine   = flag.Bool("m", false, "bgpdump -m compatible output (elems only)")
@@ -117,25 +125,40 @@ func run() error {
 		}
 	}
 
-	var di core.DataInterface
-	switch {
-	case *dir != "":
-		di = &core.Directory{Dir: *dir}
-	case *csv != "":
-		di = &core.CSVFile{Path: *csv}
-	case *brokerURL != "":
-		di = bgpstream.NewBrokerClient(*brokerURL, filters)
-	default:
-		return fmt.Errorf("one of -broker, -d, -csv is required")
-	}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	stream := bgpstream.NewStream(ctx, di, filters)
+
+	var stream *bgpstream.Stream
+	if *risLive != "" {
+		// Push mode: subscribe upstream with the server-enforceable
+		// filter dimensions; the stream re-applies everything locally.
+		client := bgpstream.NewRISLiveClient(*risLive, rislive.SubscriptionFromFilters(filters))
+		client.Staleness = *risStale
+		// Surface connection lifecycle on stderr: without this a bad
+		// URL retries forever in silence.
+		client.Logf = log.Printf
+		stream = bgpstream.NewLiveStream(ctx, client, filters)
+	} else {
+		var di core.DataInterface
+		switch {
+		case *dir != "":
+			di = &core.Directory{Dir: *dir}
+		case *csv != "":
+			di = &core.CSVFile{Path: *csv}
+		case *brokerURL != "":
+			di = bgpstream.NewBrokerClient(*brokerURL, filters)
+		default:
+			return fmt.Errorf("one of -broker, -d, -csv, -ris-live is required")
+		}
+		stream = bgpstream.NewStream(ctx, di, filters)
+	}
 	defer stream.Close()
 
 	out := newBufferedStdout()
 	defer out.Flush()
+	// In live modes lines trickle in; flushing per line keeps output
+	// latency at the feed's latency instead of the buffer's fill time.
+	live := *risLive != "" || filters.Live
 	for {
 		if *records {
 			rec, err := stream.Next()
@@ -143,9 +166,15 @@ func run() error {
 				return nil
 			}
 			if err != nil {
+				if ctx.Err() != nil {
+					return nil // clean interrupt
+				}
 				return err
 			}
 			fmt.Fprintln(out, bgpdump.FormatRecord(rec))
+			if live {
+				out.Flush()
+			}
 			continue
 		}
 		rec, elem, err := stream.NextElem()
@@ -153,12 +182,18 @@ func run() error {
 			return nil
 		}
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
 			return err
 		}
 		if *machine {
 			fmt.Fprintln(out, bgpdump.FormatElem(rec, elem))
 		} else {
 			fmt.Fprintln(out, bgpdump.FormatElemVerbose(rec, elem))
+		}
+		if live {
+			out.Flush()
 		}
 	}
 }

@@ -27,28 +27,34 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "collectorsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string) error {
+	fs := flag.NewFlagSet("collectorsim", flag.ContinueOnError)
 	var (
-		out     = flag.String("out", "./archive", "archive output directory")
-		seed    = flag.Int64("seed", 1, "deterministic seed")
-		hours   = flag.Int("hours", 8, "simulated duration")
-		startS  = flag.String("start", "2016-03-01T00:00:00Z", "simulation start (RFC 3339)")
-		vps     = flag.Int("vps", 8, "vantage points per collector")
-		churn   = flag.Float64("churn", 10, "background flaps per hour")
-		stubs   = flag.Int("stubs", 200, "stub AS count")
-		serve   = flag.String("serve", "", "serve the archive over HTTP on this address after generating")
-		delay   = flag.Duration("publish-delay", 0, "publication delay when serving")
-		hijack  = flag.String("hijack", "", "inject a hijack: offset,duration (e.g. 2h,1h)")
-		outage  = flag.String("outage", "", "inject a country outage: country,offset,duration (e.g. IQ,2h,1h)")
-		rtbhArg = flag.String("rtbh", "", "inject an RTBH event: offset,duration")
+		out     = fs.String("out", "./archive", "archive output directory")
+		seed    = fs.Int64("seed", 1, "deterministic seed")
+		hours   = fs.Int("hours", 8, "simulated duration")
+		startS  = fs.String("start", "2016-03-01T00:00:00Z", "simulation start (RFC 3339)")
+		vps     = fs.Int("vps", 8, "vantage points per collector")
+		churn   = fs.Float64("churn", 10, "background flaps per hour")
+		stubs   = fs.Int("stubs", 200, "stub AS count")
+		serve   = fs.String("serve", "", "serve the archive over HTTP on this address after generating")
+		delay   = fs.Duration("publish-delay", 0, "publication delay when serving")
+		hijack  = fs.String("hijack", "", "inject a hijack: offset,duration (e.g. 2h,1h)")
+		outage  = fs.String("outage", "", "inject a country outage: country,offset,duration (e.g. IQ,2h,1h)")
+		rtbhArg = fs.String("rtbh", "", "inject an RTBH event: offset,duration")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil // -h: usage already printed, exit clean
+		}
+		return err
+	}
 
 	start, err := time.Parse(time.RFC3339, *startS)
 	if err != nil {

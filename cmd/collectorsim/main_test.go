@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+func TestParseOffsetDuration(t *testing.T) {
+	off, dur, err := parseOffsetDuration("2h,30m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 2*time.Hour || dur != 30*time.Minute {
+		t.Fatalf("got %v,%v", off, dur)
+	}
+	for _, bad := range []string{"", "2h", "x,1h", "1h,y"} {
+		if _, _, err := parseOffsetDuration(bad); err == nil {
+			t.Errorf("parseOffsetDuration(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-start", "not-a-time"}); err == nil {
+		t.Fatal("bad -start accepted")
+	}
+	if err := run([]string{"-hijack", "junk", "-out", t.TempDir()}); err == nil {
+		t.Fatal("bad -hijack accepted")
+	}
+}
+
+// TestRunEndToEnd generates a small archive through the real command
+// path and reads it back with a core stream.
+func TestRunEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "archive")
+	err := run([]string{
+		"-out", out,
+		"-hours", "1",
+		"-vps", "2",
+		"-stubs", "60",
+		"-churn", "30",
+		"-seed", "7",
+		"-rtbh", "10m,20m",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(out)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no archive written: %v", err)
+	}
+
+	s := core.NewStream(context.Background(), &core.Directory{Dir: out}, core.Filters{})
+	defer s.Close()
+	elems, rtbh := 0, 0
+	for {
+		_, e, err := s.NextElem()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		elems++
+		for _, c := range e.Communities {
+			if c.Value() == 666 {
+				rtbh++
+				break
+			}
+		}
+	}
+	if elems == 0 {
+		t.Fatal("archive produced no elems")
+	}
+	if rtbh == 0 {
+		t.Fatal("-rtbh event left no black-holing communities in the stream")
+	}
+}

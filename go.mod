@@ -1,0 +1,3 @@
+module github.com/bgpstream-go/bgpstream
+
+go 1.24

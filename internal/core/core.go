@@ -122,6 +122,10 @@ type Record struct {
 	// peers carries the TABLE_DUMP_V2 peer index context needed to
 	// resolve RIB entries to vantage points.
 	peers *mrt.PeerIndexTable
+
+	// synth holds pre-decomposed elems for records synthesised by
+	// elem-level sources (push feeds) that carry no MRT payload.
+	synth []Elem
 }
 
 // Time returns the record's MRT timestamp; invalid records fall back

@@ -18,6 +18,9 @@ import (
 // Decoding failures inside an otherwise intact record return an error;
 // stream layers surface it without terminating.
 func (r *Record) Elems() ([]Elem, error) {
+	if r.synth != nil {
+		return r.synth, nil
+	}
 	if r.Status != StatusValid {
 		return nil, nil
 	}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"context"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+)
+
+// fakeElemSource replays a fixed pair list, then EOF.
+type fakeElemSource struct {
+	pairs []struct {
+		rec  *Record
+		elem *Elem
+	}
+	i      int
+	closed bool
+}
+
+func (f *fakeElemSource) NextElem(ctx context.Context) (*Record, *Elem, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if f.i >= len(f.pairs) {
+		return nil, nil, io.EOF
+	}
+	p := f.pairs[f.i]
+	f.i++
+	return p.rec, p.elem, nil
+}
+
+func (f *fakeElemSource) Close() error {
+	f.closed = true
+	return nil
+}
+
+func synthPair(ts time.Time, elems []Elem) (*Record, []*Elem) {
+	rec := NewElemRecord("ris", "rrc00", DumpUpdates, ts, elems)
+	got, _ := rec.Elems()
+	out := make([]*Elem, len(got))
+	for i := range got {
+		out[i] = &got[i]
+	}
+	return rec, out
+}
+
+func TestNewElemRecord(t *testing.T) {
+	ts := time.Date(2016, 3, 1, 0, 0, 1, 250000*1000, time.UTC)
+	elems := []Elem{{
+		Type:      ElemAnnouncement,
+		Timestamp: ts,
+		PeerAddr:  netip.MustParseAddr("10.0.0.1"),
+		PeerASN:   65001,
+		Prefix:    netip.MustParsePrefix("192.0.2.0/24"),
+		ASPath:    bgp.SequencePath(65001, 65002),
+	}}
+	rec := NewElemRecord("ris", "rrc00", DumpUpdates, ts, elems)
+	if rec.Status != StatusValid {
+		t.Fatalf("status = %v", rec.Status)
+	}
+	if !rec.Time().Equal(ts) {
+		t.Fatalf("record time = %v, want %v", rec.Time(), ts)
+	}
+	got, err := rec.Elems()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Prefix != elems[0].Prefix {
+		t.Fatalf("Elems() = %+v", got)
+	}
+	// Empty synthesised records still answer Elems with no error.
+	empty := NewElemRecord("ris", "rrc00", DumpUpdates, ts, nil)
+	if got, err := empty.Elems(); err != nil || len(got) != 0 {
+		t.Fatalf("empty record Elems() = %v, %v", got, err)
+	}
+}
+
+func TestLiveStreamOverElemSource(t *testing.T) {
+	ts := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	var src fakeElemSource
+	// First record carries two elems (the source yields the shared
+	// record twice); second carries one withdrawal.
+	rec1, elems1 := synthPair(ts, []Elem{
+		{
+			Type: ElemAnnouncement, Timestamp: ts, PeerASN: 65001,
+			Prefix: netip.MustParsePrefix("192.0.2.0/24"),
+		},
+		{
+			Type: ElemAnnouncement, Timestamp: ts, PeerASN: 65002,
+			Prefix: netip.MustParsePrefix("198.51.100.0/24"),
+		},
+	})
+	rec2, elems2 := synthPair(ts.Add(time.Second), []Elem{{
+		Type: ElemWithdrawal, Timestamp: ts.Add(time.Second), PeerASN: 65001,
+		Prefix: netip.MustParsePrefix("192.0.2.0/24"),
+	}})
+	for _, e := range elems1 {
+		src.pairs = append(src.pairs, struct {
+			rec  *Record
+			elem *Elem
+		}{rec1, e})
+	}
+	src.pairs = append(src.pairs, struct {
+		rec  *Record
+		elem *Elem
+	}{rec2, elems2[0]})
+
+	// Elem filter: only peer 65001 passes.
+	s := NewLiveStream(context.Background(), &src, Filters{PeerASNs: []uint32{65001}})
+	var got []Elem
+	for {
+		rec, elem, err := s.NextElem()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Project != "ris" || rec.Collector != "rrc00" {
+			t.Fatalf("record tags %s/%s", rec.Project, rec.Collector)
+		}
+		got = append(got, *elem)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d elems, want 2 (filtered)", len(got))
+	}
+	if got[0].Type != ElemAnnouncement || got[1].Type != ElemWithdrawal {
+		t.Fatalf("elem types %v %v", got[0].Type, got[1].Type)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !src.closed {
+		t.Fatal("stream Close did not close the elem source")
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("Next after Close = %v, want EOF", err)
+	}
+}
+
+func TestLiveStreamNextDedupesSharedRecords(t *testing.T) {
+	ts := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	var src fakeElemSource
+	rec, elems := synthPair(ts, []Elem{
+		{Type: ElemAnnouncement, Timestamp: ts, PeerASN: 1, Prefix: netip.MustParsePrefix("192.0.2.0/24")},
+		{Type: ElemAnnouncement, Timestamp: ts, PeerASN: 2, Prefix: netip.MustParsePrefix("198.51.100.0/24")},
+	})
+	for _, e := range elems {
+		src.pairs = append(src.pairs, struct {
+			rec  *Record
+			elem *Elem
+		}{rec, e})
+	}
+	s := NewLiveStream(context.Background(), &src, Filters{})
+	defer s.Close()
+	n := 0
+	for {
+		r, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != rec {
+			t.Fatal("unexpected record")
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("Next returned the shared record %d times, want 1", n)
+	}
+}
+
+// TestLiveStreamMetaFilters checks that push-mode streams honour the
+// meta-data filter dimensions a feed cannot enforce upstream: the
+// time window, dump type, and project/collector tags.
+func TestLiveStreamMetaFilters(t *testing.T) {
+	ts := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(project, collector string, dt DumpType, at time.Time) struct {
+		rec  *Record
+		elem *Elem
+	} {
+		rec := NewElemRecord(project, collector, dt, at, []Elem{{
+			Type: ElemAnnouncement, Timestamp: at, PeerASN: 65001,
+			Prefix: netip.MustParsePrefix("192.0.2.0/24"),
+		}})
+		elems, _ := rec.Elems()
+		return struct {
+			rec  *Record
+			elem *Elem
+		}{rec, &elems[0]}
+	}
+	pairs := []struct {
+		rec  *Record
+		elem *Elem
+	}{
+		mk("ris", "rrc00", DumpUpdates, ts.Add(-time.Hour)),                // before window
+		mk("ris", "rrc00", DumpRIB, ts.Add(time.Minute)),                   // wrong dump type
+		mk("routeviews", "route-views2", DumpUpdates, ts.Add(time.Minute)), // wrong project
+		mk("ris", "rrc01", DumpUpdates, ts.Add(time.Minute)),               // wrong collector
+		mk("ris", "rrc00", DumpUpdates, ts.Add(2*time.Minute)),             // passes
+		mk("ris", "rrc00", DumpUpdates, ts.Add(2*time.Hour)),               // after window
+	}
+	src := &fakeElemSource{pairs: pairs}
+	s := NewLiveStream(context.Background(), src, Filters{
+		Projects:   []string{"ris"},
+		Collectors: []string{"rrc00"},
+		DumpTypes:  []DumpType{DumpUpdates},
+		Start:      ts,
+		End:        ts.Add(time.Hour),
+	})
+	defer s.Close()
+	var got []*Record
+	for {
+		rec, _, err := s.NextElem()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rec)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d records through meta filters, want 1", len(got))
+	}
+	if got[0] != pairs[4].rec {
+		t.Fatalf("wrong record passed the filters: %+v", got[0])
+	}
+}
+
+func TestLiveStreamContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var src fakeElemSource
+	s := NewLiveStream(ctx, &src, Filters{})
+	defer s.Close()
+	if _, _, err := s.NextElem(); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"github.com/bgpstream-go/bgpstream/internal/archive"
 	"github.com/bgpstream-go/bgpstream/internal/merge"
@@ -24,10 +25,15 @@ type Stream struct {
 	compiled *compiledFilters
 	ctx      context.Context
 
+	// elemSrc, when set, replaces the dump-file pipeline entirely: the
+	// stream is a thin filtering view over a push feed (NewLiveStream).
+	elemSrc ElemSource
+
 	mu sync.Mutex // guards dynamic filter updates
 
-	seq    *merge.Sequence[*Record]
-	closed bool
+	seq     *merge.Sequence[*Record]
+	lastSrc *Record     // last record handed out in push mode
+	closed  atomic.Bool // set by Close, possibly from another goroutine
 
 	// elem iteration state
 	curRecord *Record
@@ -102,6 +108,37 @@ func (s *Stream) buildSequence(metas []archive.DumpMeta) *merge.Sequence[*Record
 	return merge.NewSequence(recordLess, srcGroups...)
 }
 
+// matchSourceRecord applies the meta-data filters to a pushed record:
+// the dimensions the pull path checks per dump file (project,
+// collector, dump type) against the record's feed tags, and the time
+// window per record as in dumpfile.go. A well-behaved subscription
+// enforces most of this upstream; applying it locally keeps a stream's
+// filters authoritative regardless of what the feed sends.
+func (s *Stream) matchSourceRecord(rec *Record) bool {
+	s.mu.Lock()
+	f := s.filters
+	s.mu.Unlock()
+	if len(f.Projects) > 0 && !containsString(f.Projects, rec.Project) {
+		return false
+	}
+	if len(f.Collectors) > 0 && !containsString(f.Collectors, rec.Collector) {
+		return false
+	}
+	if len(f.DumpTypes) > 0 {
+		ok := false
+		for _, t := range f.DumpTypes {
+			if t == rec.DumpType {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return f.MatchRecordTime(rec.Time())
+}
+
 // recordLess orders records by MRT timestamp. It compares raw numeric
 // keys rather than time.Time values: this runs O(log k) times per
 // record inside the merge heap and is the hot spot that would
@@ -114,14 +151,36 @@ func recordLess(a, b *Record) bool { return a.timeKey() < b.timeKey() }
 // with their status set so callers can account for them; they carry no
 // elems.
 func (s *Stream) Next() (*Record, error) {
-	if s.closed {
+	if s.closed.Load() {
 		return nil, io.EOF
+	}
+	if s.elemSrc != nil {
+		// Push mode: a source may deliver several elems sharing one
+		// record; return each distinct record once so rec.Elems() (and
+		// the NextElem path below) sees every elem exactly once. The
+		// meta filters the pull path applies per dump file (dump type)
+		// or per record (time window, as in dumpfile.go) apply here
+		// per pushed record — feeds cannot enforce them upstream.
+		for {
+			rec, _, err := s.elemSrc.NextElem(s.ctx)
+			if err != nil {
+				return nil, err
+			}
+			if rec == nil || rec == s.lastSrc {
+				continue
+			}
+			s.lastSrc = rec
+			if !s.matchSourceRecord(rec) {
+				continue
+			}
+			return rec, nil
+		}
 	}
 	for {
 		if s.seq == nil {
 			metas, err := s.di.NextBatch(s.ctx)
 			if err == io.EOF {
-				s.closed = true
+				s.closed.Store(true)
 				return nil, io.EOF
 			}
 			if err != nil {
@@ -148,6 +207,22 @@ func (s *Stream) Next() (*Record, error) {
 		}
 		return rec, nil
 	}
+}
+
+// Close releases stream resources (including the elem source of a
+// push-mode stream). Safe to call multiple times, and — for push-mode
+// streams — from another goroutine: closing the source unblocks a
+// NextElem waiting on it. Pull-mode streams must not be closed
+// concurrently with an in-flight Next/NextElem.
+func (s *Stream) Close() error {
+	alreadyClosed := s.closed.Swap(true)
+	if s.elemSrc != nil {
+		return s.elemSrc.Close()
+	}
+	if !alreadyClosed {
+		s.seq = nil
+	}
+	return nil
 }
 
 // NextElem iterates the stream elem by elem, applying the elem-level
@@ -178,11 +253,4 @@ func (s *Stream) NextElem() (*Record, *Elem, error) {
 		s.curElems = elems
 		s.elemIdx = 0
 	}
-}
-
-// Close releases stream resources. Safe to call multiple times.
-func (s *Stream) Close() error {
-	s.closed = true
-	s.seq = nil
-	return nil
 }

@@ -1,0 +1,393 @@
+package rislive
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+// Client consumes a RIS Live-style SSE feed and implements
+// core.ElemSource, so core.NewLiveStream(ctx, client, filters) turns
+// any push feed into a regular *core.Stream.
+//
+// The client owns the connection lifecycle: it reconnects with capped
+// exponential backoff (plus jitter) on any transport error, bounds
+// the silence between messages with ReadTimeout, and — delay-err
+// style — treats messages older than Staleness as a broken upstream,
+// forcing a reconnect. Fields must be set before the first NextElem
+// call.
+type Client struct {
+	// URL is the SSE endpoint; Sub is appended to its query string.
+	URL string
+	Sub Subscription
+	// HTTPClient overrides the default client (tests, custom TLS). The
+	// default applies ConnectTimeout to dialing only, never to the
+	// stream itself.
+	HTTPClient *http.Client
+	// ConnectTimeout bounds dial/TLS/first-response (default 10s).
+	ConnectTimeout time.Duration
+	// ReadTimeout is the maximum silence between feed messages before
+	// the connection is considered dead (default 30s). Server pings
+	// reset it, so it should exceed the server's keepalive interval.
+	ReadTimeout time.Duration
+	// Staleness, when positive, treats a data message whose timestamp
+	// lags the local clock by more than this as a connection error
+	// (RIS Live's delay-err). Leave zero for historical replays, whose
+	// timestamps are arbitrarily old.
+	Staleness time.Duration
+	// Backoff is the initial reconnect delay (default 500ms), doubled
+	// per consecutive failure up to BackoffMax (default 30s), with
+	// ±25% jitter.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// RetryMax bounds consecutive failed connection attempts; 0 means
+	// retry forever.
+	RetryMax int
+	// Logf, when set, receives connection lifecycle logs.
+	Logf func(format string, args ...any)
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	pairs     chan pair
+
+	mu       sync.Mutex
+	terminal error
+
+	messages      atomic.Uint64
+	pings         atomic.Uint64
+	connects      atomic.Uint64
+	staleResets   atomic.Uint64
+	serverDropped atomic.Uint64
+}
+
+type pair struct {
+	rec  *core.Record
+	elem *core.Elem
+}
+
+// NewClient builds a client for the given endpoint and subscription.
+func NewClient(endpoint string, sub Subscription) *Client {
+	return &Client{URL: endpoint, Sub: sub}
+}
+
+// ClientStats is a snapshot of the client counters.
+type ClientStats struct {
+	// Messages counts delivered data messages; Pings counts keepalives.
+	Messages uint64
+	Pings    uint64
+	// Reconnects counts successful connections after the first.
+	Reconnects uint64
+	// StaleResets counts reconnects forced by staleness detection.
+	StaleResets uint64
+	// ServerDropped is the latest per-subscriber drop counter the
+	// server reported on a ping: messages this client missed because
+	// it consumed too slowly.
+	ServerDropped uint64
+}
+
+// Stats returns a snapshot of the client counters.
+func (c *Client) Stats() ClientStats {
+	s := ClientStats{
+		Messages:      c.messages.Load(),
+		Pings:         c.pings.Load(),
+		StaleResets:   c.staleResets.Load(),
+		ServerDropped: c.serverDropped.Load(),
+	}
+	if n := c.connects.Load(); n > 0 {
+		s.Reconnects = n - 1
+	}
+	return s
+}
+
+// NextElem implements core.ElemSource: it blocks until the next elem
+// arrives, ctx is cancelled (returning ctx.Err()), or the client is
+// closed or gives up (io.EOF / the terminal error). The first call
+// starts the connection-management goroutine.
+func (c *Client) NextElem(ctx context.Context) (*core.Record, *core.Elem, error) {
+	c.startOnce.Do(c.start)
+	select {
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	case p, ok := <-c.pairs:
+		if !ok {
+			c.mu.Lock()
+			err := c.terminal
+			c.mu.Unlock()
+			if err != nil {
+				return nil, nil, err
+			}
+			return nil, nil, io.EOF
+		}
+		return p.rec, p.elem, nil
+	}
+}
+
+// Close stops the client; blocked NextElem calls return io.EOF. Safe
+// to call multiple times.
+func (c *Client) Close() error {
+	c.startOnce.Do(c.start) // ensure run() exists so pairs gets closed
+	c.stopOnce.Do(func() { close(c.stop) })
+	return nil
+}
+
+func (c *Client) start() {
+	c.stop = make(chan struct{})
+	c.pairs = make(chan pair, 256)
+	go c.run()
+}
+
+func (c *Client) stopped() bool {
+	select {
+	case <-c.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// run is the connection-management loop: connect, stream, and on any
+// error back off and reconnect until Close or RetryMax.
+func (c *Client) run() {
+	defer close(c.pairs)
+	failures := 0 // consecutive attempts without a delivered message
+	step := 0     // backoff ladder position
+	for {
+		if c.stopped() {
+			return
+		}
+		if step > 0 {
+			select {
+			case <-time.After(c.backoff(step)):
+			case <-c.stop:
+				return
+			}
+		}
+		delivered, err := c.streamOnce()
+		if c.stopped() {
+			return
+		}
+		c.logf("rislive: stream ended after %d messages: %v", delivered, err)
+		if delivered > 0 {
+			// Productive connection: restart the ladder, but still
+			// back off one base step before reconnecting.
+			failures, step = 0, 1
+			continue
+		}
+		failures++
+		step = failures
+		if c.RetryMax > 0 && failures >= c.RetryMax {
+			c.fail(fmt.Errorf("rislive: giving up after %d failed connection attempts", failures))
+			return
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	c.terminal = err
+	c.mu.Unlock()
+}
+
+// backoff returns the capped exponential delay for the n-th
+// consecutive failure (n ≥ 1), with ±25% jitter to avoid thundering
+// herds against a restarting server.
+func (c *Client) backoff(n int) time.Duration {
+	base := c.Backoff
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	max := c.BackoffMax
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	d := base
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	jitter := time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+	return d + jitter
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	timeout := c.ConnectTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: timeout}).DialContext,
+			TLSHandshakeTimeout:   timeout,
+			ResponseHeaderTimeout: timeout,
+		},
+	}
+}
+
+// streamOnce establishes one connection and consumes it until error,
+// returning how many data messages it delivered.
+func (c *Client) streamOnce() (int, error) {
+	endpoint, err := c.buildURL()
+	if err != nil {
+		c.fail(err)
+		c.Close()
+		return 0, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-c.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint, nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return 0, fmt.Errorf("rislive: HTTP %s", resp.Status)
+	}
+	c.connects.Add(1)
+	c.logf("rislive: connected to %s", c.URL)
+
+	readTimeout := c.ReadTimeout
+	if readTimeout <= 0 {
+		readTimeout = 30 * time.Second
+	}
+	// The read timer cancels the request context, unblocking the
+	// scanner; it is paused while a message is being delivered so
+	// consumer backpressure is not mistaken for upstream silence.
+	rt := time.AfterFunc(readTimeout, cancel)
+	defer rt.Stop()
+
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(nil, 1<<20)
+	delivered := 0
+	var data []byte
+	for (rt.Reset(readTimeout) || true) && scanner.Scan() {
+		line := scanner.Bytes()
+		switch {
+		case len(bytes.TrimSpace(line)) == 0:
+			if len(data) == 0 {
+				continue // keepalive comment boundary
+			}
+			rt.Stop()
+			msg := data
+			data = nil
+			n, err := c.dispatch(msg)
+			delivered += n
+			if err != nil {
+				return delivered, err
+			}
+		case line[0] == ':':
+			// SSE comment: transport-level keepalive.
+		case bytes.HasPrefix(line, []byte("data:")):
+			payload := bytes.TrimPrefix(bytes.TrimPrefix(line, []byte("data:")), []byte(" "))
+			if len(data) > 0 {
+				data = append(data, '\n')
+			}
+			data = append(data, payload...)
+		default:
+			// Other SSE fields (event:, id:, retry:) are ignored.
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return delivered, err
+	}
+	return delivered, io.EOF
+}
+
+// dispatch handles one complete SSE event, returning how many data
+// messages it delivered and any error that must break the connection.
+func (c *Client) dispatch(payload []byte) (int, error) {
+	var msg Message
+	if err := json.Unmarshal(payload, &msg); err != nil {
+		c.logf("rislive: bad message %q: %v", payload, err)
+		return 0, nil // tolerate garbage; the stream may recover
+	}
+	switch msg.Type {
+	case TypePing:
+		c.pings.Add(1)
+		c.serverDropped.Store(msg.Dropped)
+		return 0, nil
+	case TypeError:
+		return 0, fmt.Errorf("rislive: server error: %s", msg.Error)
+	case TypeMessage:
+	default:
+		return 0, nil // unknown types are skipped, the protocol can grow
+	}
+	if msg.Data == nil {
+		return 0, nil
+	}
+	rec, elem, err := msg.Data.Record()
+	if err != nil {
+		c.logf("rislive: undecodable elem: %v", err)
+		return 0, nil
+	}
+	if c.Staleness > 0 {
+		if delay := time.Since(elem.Timestamp); delay > c.Staleness {
+			c.staleResets.Add(1)
+			return 0, fmt.Errorf("rislive: message delay %s exceeds staleness limit %s", delay.Round(time.Millisecond), c.Staleness)
+		}
+	}
+	select {
+	case c.pairs <- pair{rec: rec, elem: elem}:
+		c.messages.Add(1)
+		return 1, nil
+	case <-c.stop:
+		return 0, io.EOF
+	}
+}
+
+// buildURL merges the subscription parameters into the endpoint query.
+func (c *Client) buildURL() (string, error) {
+	u, err := url.Parse(c.URL)
+	if err != nil {
+		return "", fmt.Errorf("rislive: bad URL %q: %w", c.URL, err)
+	}
+	if !strings.HasPrefix(u.Scheme, "http") {
+		return "", fmt.Errorf("rislive: bad URL %q: need http(s)", c.URL)
+	}
+	q := u.Query()
+	for k, vs := range c.Sub.Values() {
+		for _, v := range vs {
+			q.Add(k, v)
+		}
+	}
+	u.RawQuery = q.Encode()
+	return u.String(), nil
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}

@@ -1,0 +1,141 @@
+package rislive
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+	"github.com/bgpstream-go/bgpstream/internal/astopo"
+	"github.com/bgpstream-go/bgpstream/internal/collector"
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+// TestEndToEndCollectorsimFeed is the acceptance path of the push
+// subsystem: a collectorsim-generated archive replays through the SSE
+// server; a rislive.Client consumes the feed as a core stream via
+// NextElem; timestamps and peer/collector tags survive byte-for-byte
+// (checked by re-encoding every received elem and matching it against
+// the set of published payloads); and the client rides out a forced
+// mid-stream disconnect via automatic reconnection.
+func TestEndToEndCollectorsimFeed(t *testing.T) {
+	start := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	topo := astopo.Generate(astopo.DefaultParams(21))
+	sim, err := collector.NewSimulator(collector.Config{
+		Topo:              topo,
+		Collectors:        collector.DefaultCollectors(topo, 4),
+		ChurnFlapsPerHour: 60,
+		Seed:              21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	store, err := archive.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.GenerateArchive(store, start, start.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := &Server{KeepAlive: 100 * time.Millisecond, BufferSize: 8192}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	// Publisher: replay the archive over and over, recording the exact
+	// payload of everything published so the receive side can verify
+	// full-fidelity round trips.
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	var mu sync.Mutex
+	published := make(map[string]struct{})
+	var pubWG sync.WaitGroup
+	pubWG.Add(1)
+	go func() {
+		defer pubWG.Done()
+		for ctx.Err() == nil {
+			s := core.NewStream(ctx, &core.Directory{Dir: dir}, core.Filters{})
+			for ctx.Err() == nil {
+				rec, elem, err := s.NextElem()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return
+				}
+				payload, err := json.Marshal(EncodeElem(rec.Project, rec.Collector, elem))
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				published[string(payload)] = struct{}{}
+				mu.Unlock()
+				srv.Publish(rec.Project, rec.Collector, elem)
+				// Light pacing keeps the consumer within the server
+				// buffer most of the time; drops are tolerated.
+				time.Sleep(50 * time.Microsecond)
+			}
+			s.Close()
+		}
+	}()
+	defer pubWG.Wait()
+	defer cancel()
+
+	client := NewClient(hs.URL, Subscription{})
+	client.Backoff = 20 * time.Millisecond
+	client.BackoffMax = 100 * time.Millisecond
+	client.Logf = t.Logf
+	stream := core.NewLiveStream(ctx, client, core.Filters{})
+	defer stream.Close()
+
+	const want = 1000
+	interval := archive.RIBSpan // slack for RIB write-out spread
+	got := 0
+	for got < want {
+		rec, elem, err := stream.NextElem()
+		if err != nil {
+			t.Fatalf("after %d elems: %v", got, err)
+		}
+		// Tags and timestamps must match something actually published.
+		payload, err := json.Marshal(EncodeElem(rec.Project, rec.Collector, elem))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		_, ok := published[string(payload)]
+		mu.Unlock()
+		if !ok {
+			t.Fatalf("elem %d not in published set: %s", got, payload)
+		}
+		if rec.Collector != "rrc00" && rec.Collector != "route-views2" {
+			t.Fatalf("unexpected collector %q", rec.Collector)
+		}
+		if rec.Project != "ris" && rec.Project != "routeviews" {
+			t.Fatalf("unexpected project %q", rec.Project)
+		}
+		if ts := elem.Timestamp; ts.Before(start.Add(-interval)) || ts.After(start.Add(time.Hour+interval)) {
+			t.Fatalf("timestamp %v outside archive interval", ts)
+		}
+		if !rec.Time().Equal(elem.Timestamp) {
+			t.Fatalf("record time %v != elem time %v", rec.Time(), elem.Timestamp)
+		}
+		got++
+		if got == want/2 {
+			// Forced mid-stream disconnect: the server hard-closes
+			// every subscriber; the client must reconnect and resume.
+			srv.DisconnectClients()
+		}
+	}
+	if got < want {
+		t.Fatalf("streamed %d elems, want >= %d", got, want)
+	}
+	if reconnects := client.Stats().Reconnects; reconnects < 1 {
+		t.Fatalf("reconnects = %d, want >= 1 after forced disconnect", reconnects)
+	}
+	t.Logf("server stats: %+v, client stats: %+v", srv.Stats(), client.Stats())
+}

@@ -1,0 +1,62 @@
+package rislive
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+// ReplayOptions controls Replay pacing.
+type ReplayOptions struct {
+	// Pace scales record-time gaps into wall-clock sleeps: 1 replays
+	// in real time, 60 replays an hour per minute, 0 (default) floods
+	// as fast as the stream decodes.
+	Pace float64
+	// MaxGap caps any single pacing sleep (default 5s), so multi-hour
+	// archive gaps do not stall a paced replay.
+	MaxGap time.Duration
+}
+
+// Replay publishes every elem of a stream to the server, turning any
+// pull source — a local archive directory, a broker-backed stream, a
+// collectorsim archive — into a push feed. It returns the number of
+// elems published and stops at stream EOF or context cancellation
+// (returning ctx's error in the latter case).
+func Replay(ctx context.Context, s *core.Stream, srv *Server, opts ReplayOptions) (int, error) {
+	maxGap := opts.MaxGap
+	if maxGap <= 0 {
+		maxGap = 5 * time.Second
+	}
+	var prev time.Time
+	published := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return published, err
+		}
+		rec, elem, err := s.NextElem()
+		if err == io.EOF {
+			return published, nil
+		}
+		if err != nil {
+			return published, err
+		}
+		if opts.Pace > 0 {
+			if !prev.IsZero() && elem.Timestamp.After(prev) {
+				gap := time.Duration(float64(elem.Timestamp.Sub(prev)) / opts.Pace)
+				if gap > maxGap {
+					gap = maxGap
+				}
+				select {
+				case <-time.After(gap):
+				case <-ctx.Done():
+					return published, ctx.Err()
+				}
+			}
+			prev = elem.Timestamp
+		}
+		srv.Publish(rec.Project, rec.Collector, elem)
+		published++
+	}
+}

@@ -1,0 +1,239 @@
+package rislive
+
+import (
+	"encoding/json"
+	"net/netip"
+	"net/url"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+func testElems() []core.Elem {
+	ts := time.Date(2016, 3, 1, 12, 34, 56, 789123*1000, time.UTC)
+	return []core.Elem{
+		{
+			Type:      core.ElemAnnouncement,
+			Timestamp: ts,
+			PeerAddr:  netip.MustParseAddr("192.0.2.1"),
+			PeerASN:   65001,
+			Prefix:    netip.MustParsePrefix("203.0.113.0/24"),
+			NextHop:   netip.MustParseAddr("192.0.2.1"),
+			ASPath: bgp.ASPath{Segments: []bgp.PathSegment{
+				{Type: bgp.SegmentASSequence, ASNs: []uint32{65001, 3356}},
+				{Type: bgp.SegmentASSet, ASNs: []uint32{4777, 9318}},
+			}},
+			Communities: bgp.Communities{bgp.NewCommunity(3356, 9999), bgp.NewCommunity(701, 666)},
+		},
+		{
+			Type:      core.ElemWithdrawal,
+			Timestamp: ts.Add(time.Second),
+			PeerAddr:  netip.MustParseAddr("2001:db8::1"),
+			PeerASN:   65002,
+			Prefix:    netip.MustParsePrefix("2001:db8:1::/48"),
+		},
+		{
+			Type:      core.ElemRIB,
+			Timestamp: ts.Add(2 * time.Second),
+			PeerAddr:  netip.MustParseAddr("192.0.2.9"),
+			PeerASN:   65003,
+			Prefix:    netip.MustParsePrefix("198.51.100.0/24"),
+			NextHop:   netip.MustParseAddr("192.0.2.9"),
+			ASPath:    bgp.SequencePath(65003, 174, 64512),
+		},
+		{
+			Type:      core.ElemPeerState,
+			Timestamp: ts.Add(3 * time.Second),
+			PeerAddr:  netip.MustParseAddr("192.0.2.7"),
+			PeerASN:   65004,
+			OldState:  bgp.StateEstablished,
+			NewState:  bgp.StateIdle,
+		},
+	}
+}
+
+// TestCodecRoundTrip checks EncodeElem/Elem are lossless for every
+// elem type, including AS_SET path structure, communities, IPv6 and
+// microsecond timestamps, through a real JSON marshal cycle.
+func TestCodecRoundTrip(t *testing.T) {
+	for _, e := range testElems() {
+		d := EncodeElem("ris", "rrc00", &e)
+		buf, err := json.Marshal(Message{Type: TypeMessage, Data: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var msg Message
+		if err := json.Unmarshal(buf, &msg); err != nil {
+			t.Fatal(err)
+		}
+		if msg.Type != TypeMessage || msg.Data == nil {
+			t.Fatalf("envelope %q", buf)
+		}
+		got, err := msg.Data.Elem()
+		if err != nil {
+			t.Fatalf("%s: %v", e.Type, err)
+		}
+		if !reflect.DeepEqual(*got, e) {
+			t.Errorf("%s round trip:\n got %+v\nwant %+v", e.Type, *got, e)
+		}
+		rec, elem, err := msg.Data.Record()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Project != "ris" || rec.Collector != "rrc00" {
+			t.Errorf("record tags %s/%s", rec.Project, rec.Collector)
+		}
+		if !rec.Time().Equal(e.Timestamp) {
+			t.Errorf("record time %v, want %v", rec.Time(), e.Timestamp)
+		}
+		wantType := core.DumpUpdates
+		if e.Type == core.ElemRIB {
+			wantType = core.DumpRIB
+		}
+		if rec.DumpType != wantType {
+			t.Errorf("%s: dump type %v", e.Type, rec.DumpType)
+		}
+		if elems, err := rec.Elems(); err != nil || len(elems) != 1 {
+			t.Errorf("record Elems = %v, %v", elems, err)
+		}
+		if !reflect.DeepEqual(*elem, e) {
+			t.Errorf("%s record elem mismatch", e.Type)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := []ElemData{
+		{ElemType: "X"},
+		{ElemType: "A", Peer: "not-an-ip"},
+		{ElemType: "A", Prefix: "not-a-prefix"},
+		{ElemType: "A", NextHop: "bad"},
+		{ElemType: "A", Path: "one two"},
+	}
+	for i, d := range cases {
+		if _, err := d.Elem(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestSubscriptionRoundTrip checks Values/ParseSubscription are
+// inverses across every filter dimension, including prefix match
+// modes and IPv6 prefixes.
+func TestSubscriptionRoundTrip(t *testing.T) {
+	sub := Subscription{
+		Collectors: []string{"rrc00", "route-views2"},
+		Projects:   []string{"ris"},
+		PeerASNs:   []uint32{65001, 3356},
+		ElemTypes:  []core.ElemType{core.ElemAnnouncement, core.ElemWithdrawal},
+		Prefixes: []core.PrefixFilter{
+			{Prefix: netip.MustParsePrefix("10.0.0.0/8"), Match: core.MatchAny},
+			{Prefix: netip.MustParsePrefix("192.0.2.0/24"), Match: core.MatchExact},
+			{Prefix: netip.MustParsePrefix("2001:db8::/32"), Match: core.MatchMoreSpecific},
+			{Prefix: netip.MustParsePrefix("198.51.0.0/16"), Match: core.MatchLessSpecific},
+		},
+	}
+	got, err := ParseSubscription(sub.Values())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sub) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, sub)
+	}
+
+	// Survives a URL encode/decode cycle too.
+	q, err := url.ParseQuery(sub.Values().Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = ParseSubscription(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sub) {
+		t.Fatalf("URL round trip:\n got %+v\nwant %+v", got, sub)
+	}
+
+	// Bare address becomes a host prefix.
+	got, err = ParseSubscription(url.Values{"prefix": {"192.0.2.1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Prefixes[0].Prefix.Bits() != 32 {
+		t.Fatalf("bare address bits = %d", got.Prefixes[0].Prefix.Bits())
+	}
+
+	for _, bad := range []url.Values{
+		{"peer_asn": {"abc"}},
+		{"type": {"Q"}},
+		{"prefix": {"exact:junk"}},
+	} {
+		if _, err := ParseSubscription(bad); err == nil {
+			t.Errorf("ParseSubscription(%v) accepted", bad)
+		}
+	}
+}
+
+func TestSubscriptionFromFilters(t *testing.T) {
+	f := core.Filters{
+		Projects:   []string{"ris"},
+		Collectors: []string{"rrc00"},
+		PeerASNs:   []uint32{65001},
+		ElemTypes:  []core.ElemType{core.ElemWithdrawal},
+		Prefixes:   []core.PrefixFilter{{Prefix: netip.MustParsePrefix("10.0.0.0/8")}},
+		// Dimensions the feed cannot enforce stay client-side.
+		OriginASNs:  []uint32{3356},
+		Communities: []core.CommunityFilter{{}},
+		Start:       time.Now(),
+	}
+	sub := SubscriptionFromFilters(f)
+	want := Subscription{
+		Projects:   []string{"ris"},
+		Collectors: []string{"rrc00"},
+		PeerASNs:   []uint32{65001},
+		ElemTypes:  []core.ElemType{core.ElemWithdrawal},
+		Prefixes:   []core.PrefixFilter{{Prefix: netip.MustParsePrefix("10.0.0.0/8")}},
+	}
+	if !reflect.DeepEqual(sub, want) {
+		t.Fatalf("got %+v\nwant %+v", sub, want)
+	}
+}
+
+func TestSubscriptionMatches(t *testing.T) {
+	elems := testElems()
+	ann := &elems[0] // peer 65001, prefix 203.0.113.0/24
+	state := &elems[3]
+
+	empty := &Subscription{}
+	if !empty.Matches("ris", "rrc00", ann) || !empty.Matches("routeviews", "rv2", state) {
+		t.Fatal("empty subscription must match everything")
+	}
+	byHost := &Subscription{Collectors: []string{"rrc00"}}
+	if !byHost.Matches("ris", "rrc00", ann) || byHost.Matches("ris", "rrc01", ann) {
+		t.Fatal("collector filter")
+	}
+	byProject := &Subscription{Projects: []string{"routeviews"}}
+	if byProject.Matches("ris", "rrc00", ann) {
+		t.Fatal("project filter leak")
+	}
+	byPeer := &Subscription{PeerASNs: []uint32{65001}}
+	if !byPeer.Matches("ris", "rrc00", ann) || byPeer.Matches("ris", "rrc00", state) {
+		t.Fatal("peer filter")
+	}
+	byType := &Subscription{ElemTypes: []core.ElemType{core.ElemPeerState}}
+	if byType.Matches("ris", "rrc00", ann) || !byType.Matches("ris", "rrc00", state) {
+		t.Fatal("type filter")
+	}
+	byPrefix := &Subscription{Prefixes: []core.PrefixFilter{
+		{Prefix: netip.MustParsePrefix("203.0.0.0/8"), Match: core.MatchMoreSpecific},
+	}}
+	if !byPrefix.Matches("ris", "rrc00", ann) {
+		t.Fatal("prefix filter should cover the announcement")
+	}
+	if byPrefix.Matches("ris", "rrc00", state) {
+		t.Fatal("prefix filters must exclude state elems")
+	}
+}

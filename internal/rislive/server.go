@@ -1,0 +1,205 @@
+package rislive
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+// Server fans out elems to SSE subscribers. It is an http.Handler:
+// every GET establishes one event stream whose subscription filter is
+// parsed from the query string (see Subscription). Producers call
+// Publish; the handler side drains per-client buffers.
+//
+// Slow clients do not stall the feed: each subscriber owns a bounded
+// buffer and messages that arrive while it is full are dropped for
+// that subscriber only (drop-newest), counted per client and globally,
+// and reported to the client on every keepalive ping. This is the
+// explicit policy choice of a live feed — late data is as good as no
+// data — in contrast to the archive path, where completeness wins.
+type Server struct {
+	// KeepAlive is the ping interval (default 15s). Pings double as
+	// liveness signals for client read timeouts and carry the
+	// subscriber's drop counter.
+	KeepAlive time.Duration
+	// BufferSize is the per-subscriber message buffer (default 1024).
+	BufferSize int
+	// Logf, when set, receives connection lifecycle logs.
+	Logf func(format string, args ...any)
+
+	mu          sync.RWMutex
+	subscribers map[*subscriber]struct{}
+
+	published atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// subscriber is one connected SSE client.
+type subscriber struct {
+	sub     Subscription
+	ch      chan []byte
+	done    chan struct{} // closed to force-disconnect
+	once    sync.Once
+	dropped atomic.Uint64
+}
+
+func (c *subscriber) disconnect() { c.once.Do(func() { close(c.done) }) }
+
+// ServerStats is a snapshot of the server counters.
+type ServerStats struct {
+	// Subscribers is the number of currently connected clients.
+	Subscribers int
+	// Published counts Publish calls; Dropped counts per-subscriber
+	// message drops due to full buffers (one publish reaching N slow
+	// clients counts N).
+	Published uint64
+	Dropped   uint64
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.RLock()
+	n := len(s.subscribers)
+	s.mu.RUnlock()
+	return ServerStats{
+		Subscribers: n,
+		Published:   s.published.Load(),
+		Dropped:     s.dropped.Load(),
+	}
+}
+
+// Publish fans one elem out to every subscriber whose filter matches.
+// It never blocks: subscribers with full buffers lose the message and
+// have their drop counter incremented. Safe for concurrent use.
+func (s *Server) Publish(project, collector string, e *core.Elem) {
+	s.published.Add(1)
+	var payload []byte // encoded lazily, once, on first match
+	// Iterate under the read lock: the sends below never block
+	// (select/default), so holding it costs subscribers only the
+	// brief register/unregister window and saves a slice copy per
+	// published elem on the fan-out hot path.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for c := range s.subscribers {
+		if !c.sub.Matches(project, collector, e) {
+			continue
+		}
+		if payload == nil {
+			msg := Message{Type: TypeMessage, Data: EncodeElem(project, collector, e)}
+			var err error
+			payload, err = json.Marshal(msg)
+			if err != nil {
+				return // cannot happen for our own types
+			}
+		}
+		select {
+		case c.ch <- payload:
+		default:
+			c.dropped.Add(1)
+			s.dropped.Add(1)
+		}
+	}
+}
+
+// DisconnectClients force-closes every current subscriber's stream,
+// as after a server restart. Clients with reconnection enabled come
+// back on their own; tests use this to exercise that path.
+func (s *Server) DisconnectClients() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for c := range s.subscribers {
+		c.disconnect()
+	}
+}
+
+// ServeHTTP implements the SSE endpoint.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	sub, err := ParseSubscription(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+
+	size := s.BufferSize
+	if size <= 0 {
+		size = 1024
+	}
+	c := &subscriber{
+		sub:  sub,
+		ch:   make(chan []byte, size),
+		done: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.subscribers == nil {
+		s.subscribers = make(map[*subscriber]struct{})
+	}
+	s.subscribers[c] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.subscribers, c)
+		s.mu.Unlock()
+		s.logf("rislive: client %s disconnected (dropped %d)", r.RemoteAddr, c.dropped.Load())
+	}()
+	s.logf("rislive: client %s subscribed %v", r.RemoteAddr, sub.Values())
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	keepAlive := s.KeepAlive
+	if keepAlive <= 0 {
+		keepAlive = 15 * time.Second
+	}
+	ticker := time.NewTicker(keepAlive)
+	defer ticker.Stop()
+
+	write := func(payload []byte) bool {
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", payload); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-c.done:
+			return
+		case payload := <-c.ch:
+			if !write(payload) {
+				return
+			}
+		case <-ticker.C:
+			ping, _ := json.Marshal(Message{Type: TypePing, Dropped: c.dropped.Load()})
+			if !write(ping) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}

@@ -1,0 +1,259 @@
+package rislive
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+// publishN publishes n announcements from alternating collectors.
+func publishN(srv *Server, n int) {
+	ts := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		project, collector := "ris", "rrc00"
+		if i%2 == 1 {
+			project, collector = "routeviews", "route-views2"
+		}
+		e := core.Elem{
+			Type:      core.ElemAnnouncement,
+			Timestamp: ts.Add(time.Duration(i) * time.Second),
+			PeerAddr:  netip.MustParseAddr("192.0.2.1"),
+			PeerASN:   uint32(65000 + i%4),
+			Prefix:    netip.MustParsePrefix(fmt.Sprintf("10.%d.0.0/16", i%200)),
+		}
+		srv.Publish(project, collector, &e)
+	}
+}
+
+// readEvents consumes SSE events from one subscription until the
+// context expires or n data messages arrived.
+func readEvents(ctx context.Context, t *testing.T, baseURL string, sub Subscription, n int) []Message {
+	t.Helper()
+	u := baseURL + "?" + sub.Values().Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var out []Message
+	scanner := bufio.NewScanner(resp.Body)
+	data := 0
+	for scanner.Scan() && data < n {
+		line := strings.TrimSpace(scanner.Text())
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var msg Message
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &msg); err != nil {
+			t.Fatalf("bad event %q: %v", line, err)
+		}
+		out = append(out, msg)
+		if msg.Type == TypeMessage {
+			data++
+		}
+	}
+	return out
+}
+
+// TestServerFanoutWithFilters delivers each published elem to exactly
+// the subscribers whose filters match.
+func TestServerFanoutWithFilters(t *testing.T) {
+	srv := &Server{KeepAlive: time.Hour}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	type result struct {
+		msgs []Message
+	}
+	all := make(chan result, 1)
+	rrcOnly := make(chan result, 1)
+	go func() { all <- result{readEvents(ctx, t, hs.URL, Subscription{}, 10)} }()
+	go func() {
+		rrcOnly <- result{readEvents(ctx, t, hs.URL, Subscription{Collectors: []string{"rrc00"}}, 5)}
+	}()
+
+	// Wait for both subscribers to register before publishing.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Subscribers < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscribers did not register")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	publishN(srv, 10)
+
+	a := <-all
+	if len(a.msgs) != 10 {
+		t.Fatalf("unfiltered subscriber got %d messages, want 10", len(a.msgs))
+	}
+	r := <-rrcOnly
+	if len(r.msgs) != 5 {
+		t.Fatalf("filtered subscriber got %d messages, want 5", len(r.msgs))
+	}
+	for _, m := range r.msgs {
+		if m.Data.Host != "rrc00" {
+			t.Fatalf("filter leak: host %q", m.Data.Host)
+		}
+	}
+	if got := srv.Stats().Published; got != 10 {
+		t.Fatalf("Published = %d", got)
+	}
+}
+
+// TestSlowClientDropPolicy exercises the bounded-buffer drop policy
+// deterministically against an unregistered handler-side subscriber:
+// messages beyond the buffer are dropped for that subscriber only and
+// counted per client and globally.
+func TestSlowClientDropPolicy(t *testing.T) {
+	srv := &Server{}
+	slow := &subscriber{ch: make(chan []byte, 2), done: make(chan struct{})}
+	fast := &subscriber{ch: make(chan []byte, 64), done: make(chan struct{})}
+	srv.subscribers = map[*subscriber]struct{}{slow: {}, fast: {}}
+
+	publishN(srv, 10)
+
+	if got := slow.dropped.Load(); got != 8 {
+		t.Fatalf("slow client dropped %d, want 8", got)
+	}
+	if got := fast.dropped.Load(); got != 0 {
+		t.Fatalf("fast client dropped %d, want 0", got)
+	}
+	if len(slow.ch) != 2 || len(fast.ch) != 10 {
+		t.Fatalf("buffers: slow %d fast %d", len(slow.ch), len(fast.ch))
+	}
+	stats := srv.Stats()
+	if stats.Published != 10 || stats.Dropped != 8 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// TestKeepalivePingsCarryDrops checks that an idle subscription
+// receives pings and that the ping reports the subscriber's drop
+// counter over the wire.
+func TestKeepalivePingsCarryDrops(t *testing.T) {
+	srv := &Server{KeepAlive: 20 * time.Millisecond}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, hs.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Simulate earlier slow-client drops on the live subscriber, then
+	// watch for a ping carrying the counter.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Subscribers < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber did not register")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.mu.Lock()
+	for c := range srv.subscribers {
+		c.dropped.Store(7)
+	}
+	srv.mu.Unlock()
+
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var msg Message
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &msg); err != nil {
+			t.Fatalf("bad event %q: %v", line, err)
+		}
+		if msg.Type != TypePing {
+			continue
+		}
+		if msg.Dropped == 7 {
+			return // ping carried the drop counter
+		}
+	}
+	t.Fatalf("stream ended without a ping reporting drops: %v", scanner.Err())
+}
+
+// TestDisconnectClients force-closes streams server-side.
+func TestDisconnectClients(t *testing.T) {
+	srv := &Server{KeepAlive: time.Hour}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		readEvents(ctx, t, hs.URL, Subscription{}, 100) // blocks until disconnect
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Subscribers < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber did not register")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.DisconnectClients()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client stream did not close after DisconnectClients")
+	}
+	for srv.Stats().Subscribers != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber not unregistered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	srv := &Server{}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	resp, err := http.Get(hs.URL + "?peer_asn=junk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad subscription: HTTP %d", resp.StatusCode)
+	}
+	resp, err = http.Post(hs.URL, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST: HTTP %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,208 @@
+package rislive
+
+import (
+	"fmt"
+	"net/netip"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+// Subscription is a per-client server-side filter, the moral
+// equivalent of RIS Live's ris_subscribe message expressed as URL
+// query parameters so it fits the one-request nature of SSE. Empty
+// fields match everything.
+type Subscription struct {
+	// Collectors selects collector names ("host" parameter).
+	Collectors []string
+	// Projects selects collector projects.
+	Projects []string
+	// PeerASNs selects vantage points.
+	PeerASNs []uint32
+	// ElemTypes selects elem types.
+	ElemTypes []core.ElemType
+	// Prefixes selects elem prefixes; state elems (which carry no
+	// prefix) are excluded whenever a prefix filter is set, mirroring
+	// core's filter semantics.
+	Prefixes []core.PrefixFilter
+}
+
+// SubscriptionFromFilters projects the server-enforceable dimensions
+// of a stream filter onto a subscription, so a tool configured with
+// core.Filters (bgpreader's flags) pushes as much filtering as
+// possible upstream to the feed. Dimensions the feed cannot evaluate
+// per elem-with-tags (time interval, origin/path ASNs, communities)
+// stay client-side in the stream's own filter pass.
+func SubscriptionFromFilters(f core.Filters) Subscription {
+	return Subscription{
+		Collectors: append([]string(nil), f.Collectors...),
+		Projects:   append([]string(nil), f.Projects...),
+		PeerASNs:   append([]uint32(nil), f.PeerASNs...),
+		ElemTypes:  append([]core.ElemType(nil), f.ElemTypes...),
+		Prefixes:   append([]core.PrefixFilter(nil), f.Prefixes...),
+	}
+}
+
+// matchNames are the wire names of the prefix match modes.
+var matchNames = map[core.PrefixMatch]string{
+	core.MatchAny:          "any",
+	core.MatchExact:        "exact",
+	core.MatchMoreSpecific: "more",
+	core.MatchLessSpecific: "less",
+}
+
+// Values encodes the subscription as URL query parameters, the inverse
+// of ParseSubscription. Prefix filters encode as "mode:prefix" with
+// the default ("any") mode elided.
+func (s Subscription) Values() url.Values {
+	v := url.Values{}
+	for _, c := range s.Collectors {
+		v.Add("host", c)
+	}
+	for _, p := range s.Projects {
+		v.Add("project", p)
+	}
+	for _, a := range s.PeerASNs {
+		v.Add("peer_asn", strconv.FormatUint(uint64(a), 10))
+	}
+	for _, t := range s.ElemTypes {
+		v.Add("type", t.String())
+	}
+	for _, pf := range s.Prefixes {
+		enc := pf.Prefix.String()
+		if pf.Match != core.MatchAny {
+			enc = matchNames[pf.Match] + ":" + enc
+		}
+		v.Add("prefix", enc)
+	}
+	return v
+}
+
+// ParseSubscription decodes the query-parameter form produced by
+// Values. Unknown parameters are ignored so the protocol can grow.
+func ParseSubscription(q url.Values) (Subscription, error) {
+	var s Subscription
+	s.Collectors = append(s.Collectors, q["host"]...)
+	s.Projects = append(s.Projects, q["project"]...)
+	for _, a := range q["peer_asn"] {
+		n, err := strconv.ParseUint(a, 10, 32)
+		if err != nil {
+			return s, fmt.Errorf("rislive: bad peer_asn %q", a)
+		}
+		s.PeerASNs = append(s.PeerASNs, uint32(n))
+	}
+	for _, t := range q["type"] {
+		switch strings.ToUpper(strings.TrimSpace(t)) {
+		case "A":
+			s.ElemTypes = append(s.ElemTypes, core.ElemAnnouncement)
+		case "W":
+			s.ElemTypes = append(s.ElemTypes, core.ElemWithdrawal)
+		case "R":
+			s.ElemTypes = append(s.ElemTypes, core.ElemRIB)
+		case "S":
+			s.ElemTypes = append(s.ElemTypes, core.ElemPeerState)
+		default:
+			return s, fmt.Errorf("rislive: bad elem type %q", t)
+		}
+	}
+	for _, enc := range q["prefix"] {
+		pf, err := parsePrefixParam(enc)
+		if err != nil {
+			return s, err
+		}
+		s.Prefixes = append(s.Prefixes, pf)
+	}
+	return s, nil
+}
+
+// parsePrefixParam parses "prefix" or "mode:prefix". The mode token
+// never parses as the start of an IPv6 address, so the first ":" is an
+// unambiguous separator when it is preceded by a mode name.
+func parsePrefixParam(enc string) (core.PrefixFilter, error) {
+	match := core.MatchAny
+	rest := enc
+	if mode, tail, ok := strings.Cut(enc, ":"); ok {
+		switch mode {
+		case "any":
+			match, rest = core.MatchAny, tail
+		case "exact":
+			match, rest = core.MatchExact, tail
+		case "more":
+			match, rest = core.MatchMoreSpecific, tail
+		case "less":
+			match, rest = core.MatchLessSpecific, tail
+		}
+	}
+	p, err := netip.ParsePrefix(rest)
+	if err != nil {
+		// Accept bare addresses as host prefixes, as bgpreader does.
+		addr, aerr := netip.ParseAddr(rest)
+		if aerr != nil {
+			return core.PrefixFilter{}, fmt.Errorf("rislive: bad prefix %q", enc)
+		}
+		p = netip.PrefixFrom(addr, addr.BitLen())
+	}
+	return core.PrefixFilter{Prefix: p, Match: match}, nil
+}
+
+// Matches reports whether an elem with the given tags passes the
+// subscription.
+func (s *Subscription) Matches(project, collector string, e *core.Elem) bool {
+	if len(s.Collectors) > 0 && !containsString(s.Collectors, collector) {
+		return false
+	}
+	if len(s.Projects) > 0 && !containsString(s.Projects, project) {
+		return false
+	}
+	if len(s.PeerASNs) > 0 {
+		ok := false
+		for _, a := range s.PeerASNs {
+			if a == e.PeerASN {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(s.ElemTypes) > 0 {
+		ok := false
+		for _, t := range s.ElemTypes {
+			if t == e.Type {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(s.Prefixes) > 0 {
+		if !e.Prefix.IsValid() {
+			return false
+		}
+		ok := false
+		for _, pf := range s.Prefixes {
+			if pf.Matches(e.Prefix) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
