@@ -330,3 +330,111 @@ func BenchmarkArchiveGeneration(b *testing.B) {
 		os.RemoveAll(dir)
 	}
 }
+
+// --- filter-language and compiled-filter hot-path benches ---
+//
+// The per-elem match benches measure the compiledFilters satellite of
+// PR 2: every string/scalar dimension is a hash-set probe and every
+// prefix filter a radix lookup, instead of slice scans per record.
+
+// benchFilterString is a representative medium-size query: several
+// alternatives per dimension, every term exercised.
+const benchFilterString = "project ris or routeviews and collector rrc00 or rrc01 or route-views2 " +
+	"and type updates and elemtype announcements or withdrawals " +
+	"and peer 3356 or 174 or 701 and origin 64500 or 64501 " +
+	"and aspath 1299 and prefix more 10.0.0.0/8 or exact 192.0.2.0/24 " +
+	"and community 65000:666 or 701:*"
+
+func BenchmarkFilterStringParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ParseFilterString(benchFilterString); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterStringRender(b *testing.B) {
+	f, err := core.ParseFilterString(benchFilterString)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if f.String() == "" {
+			b.Fatal("empty canonical form")
+		}
+	}
+}
+
+func BenchmarkFilterCompile(b *testing.B) {
+	f, err := core.ParseFilterString(benchFilterString)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if core.CompileFilters(f) == nil {
+			b.Fatal("nil compiled filters")
+		}
+	}
+}
+
+// benchElems builds a mixed workload: ~half the elems pass the
+// benchFilterString predicates, the rest fail at different stages.
+func benchElems() []core.Elem {
+	mk := func(peer uint32, pfx string, origin uint32, comm uint32) core.Elem {
+		return core.Elem{
+			Type:        core.ElemAnnouncement,
+			PeerASN:     peer,
+			Prefix:      netip.MustParsePrefix(pfx),
+			ASPath:      bgp.SequencePath(peer, 1299, origin),
+			Communities: bgp.Communities{bgp.Community(comm)},
+		}
+	}
+	return []core.Elem{
+		mk(3356, "10.1.0.0/16", 64500, 65000<<16|666),   // passes everything
+		mk(174, "192.0.2.0/24", 64501, 701<<16|1),       // passes via alternatives
+		mk(9999, "10.1.0.0/16", 64500, 65000<<16|666),   // fails peer set
+		mk(3356, "172.16.0.0/12", 64500, 65000<<16|666), // fails prefix tables
+		mk(3356, "10.1.0.0/16", 65535, 65000<<16|666),   // fails origin set
+		mk(3356, "10.1.0.0/16", 64500, 1),               // fails community sets
+		{Type: core.ElemWithdrawal, PeerASN: 701, Prefix: netip.MustParsePrefix("10.2.0.0/16")},
+	}
+}
+
+func BenchmarkFilterMatchElem(b *testing.B) {
+	f, err := core.ParseFilterString(benchFilterString)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := core.CompileFilters(f)
+	elems := benchElems()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &elems[i%len(elems)]
+		_ = c.MatchElem(e)
+	}
+}
+
+func BenchmarkFilterMatchMeta(b *testing.B) {
+	f, err := core.ParseFilterString(benchFilterString)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	f.Start, f.End = start, start.Add(2*time.Hour)
+	c := core.CompileFilters(f)
+	metas := []archive.DumpMeta{
+		{Project: "ris", Collector: "rrc00", Type: archive.DumpUpdates, Time: start, Duration: 5 * time.Minute},
+		{Project: "ris", Collector: "rrc12", Type: archive.DumpUpdates, Time: start, Duration: 5 * time.Minute},
+		{Project: "routeviews", Collector: "route-views2", Type: archive.DumpRIB, Time: start, Duration: 5 * time.Minute},
+		{Project: "nope", Collector: "rrc00", Type: archive.DumpUpdates, Time: start, Duration: 5 * time.Minute},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.MatchMeta(metas[i%len(metas)])
+	}
+}

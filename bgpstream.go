@@ -4,46 +4,55 @@
 // Software Framework for Live and Historical BGP Data Analysis"
 // (IMC 2016).
 //
-// The quickstart mirrors the paper's API (§3.3.1): configure a stream
-// with meta-data filters, then iterate records or elems:
+// The quickstart mirrors the paper's API (§3.3.1) in its BGPStream v2
+// form: pick a source by name, describe the stream with a declarative
+// filter string, and range over records or elems:
 //
-//	di := bgpstream.NewBrokerClient("http://localhost:8472", filters)
-//	s := bgpstream.NewStream(ctx, di, filters)
+//	s, err := bgpstream.Open(ctx,
+//		bgpstream.WithSource("broker", bgpstream.SourceOptions{"url": "http://localhost:8472"}),
+//		bgpstream.WithFilterString("collector rrc00 and prefix more 10.0.0.0/8 and elemtype announcements"),
+//		bgpstream.WithInterval(start, end))
+//	if err != nil { ... }
 //	defer s.Close()
-//	for {
-//		rec, elem, err := s.NextElem()
-//		if err == io.EOF {
-//			break
-//		}
+//	for rec, elem := range s.Elems() {
 //		// ... use elem.Prefix, elem.ASPath, elem.Communities ...
 //	}
+//	if err := s.Err(); err != nil { ... }
 //
-// Set Filters.Live to true to convert any program into a live monitor
-// (the C API's interval end of -1). Data interfaces besides the
-// Broker: Directory (a local archive tree), CSVFile, and SingleFiles.
+// WithLive converts any program into a live monitor (the C API's
+// interval end of -1). ParseFilterString documents the filter grammar;
+// Filters.String() renders any filter set back into its canonical
+// string, so every stream can report the query that defines it.
 //
-// # Push-based live streaming
+// # Sources
 //
-// The broker-driven live mode above is pull-based: latency is bounded
-// by dump publication delay (minutes). For millisecond-latency
-// monitoring the framework also speaks a RIS Live-style push
-// protocol: per-elem JSON messages over a streaming HTTP feed
-// (Server-Sent Events), served by RISLiveServer (or the bgplivesrv
-// tool) and consumed by RISLiveClient — which implements ElemSource,
-// the push analogue of DataInterface. NewLiveStream adapts any
-// ElemSource into a regular *Stream, so the same NextElem loop works
-// on both latency classes:
+// Sources() lists the registry (the Go form of the C API's
+// bgpstream_get_data_interfaces): "broker" (the meta-data service,
+// default for public archives), "directory" (a local archive tree),
+// "csvfile" (a CSV dump index), "singlefile" (explicit dump files),
+// and "rislive" (the push feed below). Each takes string options
+// mirroring bgpstream_set_data_interface_option; RegisterSource adds
+// custom transports. WithSourceInstance accepts an already-built
+// DataInterface or ElemSource when string options are not enough.
 //
-//	client := bgpstream.NewRISLiveClient("http://host:8481/v1/stream",
-//		bgpstream.RISLiveSubscription{PeerASNs: []uint32{3356}})
-//	s := bgpstream.NewLiveStream(ctx, client, filters)
-//	defer s.Close()
-//	for { rec, elem, err := s.NextElem(); ... }
+// # Pull vs push
 //
-// The client reconnects with exponential backoff, applies read
-// timeouts, and optionally treats stale messages as connection
-// errors; the server enforces per-client subscription filters and a
-// bounded-buffer slow-client drop policy with drop counters.
+// Pull sources follow §3.3.2: latency is bounded by dump publication
+// delay (minutes). For millisecond latency the framework also speaks a
+// RIS Live-style push protocol — per-elem JSON over Server-Sent
+// Events, served by RISLiveServer (or the bgplivesrv tool):
+//
+//	s, err := bgpstream.Open(ctx,
+//		bgpstream.WithSource("rislive", bgpstream.SourceOptions{"url": "http://host:8481/v1/stream"}),
+//		bgpstream.WithFilterString("peer 3356"))
+//
+// Both kinds satisfy the same Source abstraction and produce the same
+// *Stream, so NextElem loops, Elems ranges, BGPCorsaro plugins and
+// routing-table consumers run unchanged on either latency class. The
+// push client reconnects with backoff, applies read timeouts, and
+// optionally treats stale messages as connection errors; the server
+// enforces per-client subscription filters and a bounded-buffer
+// slow-client drop policy with drop counters.
 //
 // This package re-exports the user-facing types of the internal
 // implementation packages; power users building custom pipelines
@@ -69,8 +78,14 @@ type Record = core.Record
 // Elem is the per-(VP, prefix) element of Table 1.
 type Elem = core.Elem
 
-// Filters defines a stream (§3.3.1).
+// Filters defines a stream (§3.3.1). Build one from a filter string
+// with ParseFilterString, or field by field; String() renders the
+// canonical filter-string form.
 type Filters = core.Filters
+
+// FilterSyntaxError is the position-carrying error ParseFilterString
+// returns on bad input.
+type FilterSyntaxError = core.FilterSyntaxError
 
 // PrefixFilter matches elem prefixes with a PrefixMatch mode.
 type PrefixFilter = core.PrefixFilter
@@ -78,8 +93,17 @@ type PrefixFilter = core.PrefixFilter
 // CommunityFilter matches communities with optional wildcards.
 type CommunityFilter = core.CommunityFilter
 
-// DataInterface supplies dump-file meta-data to a stream.
+// Source is the unified stream source both pull DataInterfaces and
+// push ElemSources satisfy (via PullSource/PushSource); Open binds one
+// to filters. OpenSource builds registered sources by name.
+type Source = core.Source
+
+// DataInterface supplies dump-file meta-data to a stream (pull).
 type DataInterface = core.DataInterface
+
+// ElemSource is the push-feed analogue of DataInterface: it yields
+// already-decomposed (record, elem) pairs as they arrive.
+type ElemSource = core.ElemSource
 
 // DumpMeta describes one dump file.
 type DumpMeta = archive.DumpMeta
@@ -104,10 +128,6 @@ type SingleFiles = core.SingleFiles
 
 // BrokerClient queries a BGPStream Broker.
 type BrokerClient = broker.Client
-
-// ElemSource is the push-feed analogue of DataInterface: it yields
-// already-decomposed (record, elem) pairs as they arrive.
-type ElemSource = core.ElemSource
 
 // RISLiveClient consumes a RIS Live-style SSE feed with automatic
 // reconnection; it implements ElemSource.
@@ -144,26 +164,67 @@ const (
 	MatchLessSpecific = core.MatchLessSpecific
 )
 
+// ParseFilterString compiles a BGPStream v2 filter string to Filters.
+// The grammar combines terms with "and" and same-term alternatives
+// with "or"; values with spaces or keyword collisions are
+// double-quoted:
+//
+//	project    collector-project name ("ris", "routeviews")
+//	collector  collector name ("rrc00", "route-views2")
+//	type       dump type: ribs | updates
+//	elemtype   ribs | announcements | withdrawals | peerstates (or R/A/W/S)
+//	peer       vantage-point AS number
+//	origin     origin AS number
+//	aspath     AS number anywhere on the path ("path" is an alias)
+//	prefix     [exact|more|less|any] CIDR (default any = overlap)
+//	community  asn:value with "*" wildcards on either half
+//
+// Example: "collector rrc00 and prefix more 10.0.0.0/8 and elemtype
+// announcements". Errors are *FilterSyntaxError values carrying the
+// byte offset of the offending token. The inverse is Filters.String().
+func ParseFilterString(s string) (Filters, error) {
+	return core.ParseFilterString(s)
+}
+
+// PullSource adapts a DataInterface into a Source.
+func PullSource(di DataInterface) Source { return core.PullSource(di) }
+
+// PushSource adapts an ElemSource into a Source.
+func PushSource(es ElemSource) Source { return core.PushSource(es) }
+
 // NewStream builds a stream over a data interface; ctx bounds live
 // polling.
+//
+// Deprecated: use Open with WithSourceInstance (or a named source):
+// Open(ctx, WithSourceInstance(di), WithFilters(filters)).
 func NewStream(ctx context.Context, di DataInterface, filters Filters) *Stream {
 	return core.NewStream(ctx, di, filters)
 }
 
 // NewBrokerClient builds the Broker data interface, the default way
 // to consume public archives.
+//
+// Deprecated: use Open with the "broker" source: Open(ctx,
+// WithSource("broker", SourceOptions{"url": baseURL}), ...).
 func NewBrokerClient(baseURL string, filters Filters) *BrokerClient {
 	return broker.NewClient(baseURL, filters)
 }
 
 // NewLiveStream builds a stream over an elem-level push source (a
 // RISLiveClient, or any ElemSource); the result is a regular *Stream.
+//
+// Deprecated: use Open with WithSourceInstance (or the "rislive"
+// source): Open(ctx, WithSourceInstance(src), WithFilters(filters)).
 func NewLiveStream(ctx context.Context, src ElemSource, filters Filters) *Stream {
 	return core.NewLiveStream(ctx, src, filters)
 }
 
 // NewRISLiveClient builds a push-feed client for the given SSE
 // endpoint and subscription.
+//
+// Deprecated: use Open with the "rislive" source, which derives the
+// subscription from the stream filters: Open(ctx,
+// WithSource("rislive", SourceOptions{"url": endpoint}), ...).
 func NewRISLiveClient(endpoint string, sub RISLiveSubscription) *RISLiveClient {
 	return rislive.NewClient(endpoint, sub)
 }

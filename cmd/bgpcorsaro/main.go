@@ -12,6 +12,9 @@
 //
 //	bgpcorsaro -d ./archive -i 5m \
 //	    -plugin 'pfxmonitor:20.1.0.0/16;20.2.0.0/16' -plugin stats
+//
+// The stream is scoped with -c <collector> or a full BGPStream v2
+// filter string: -filter "collector rrc00 and type updates".
 package main
 
 import (
@@ -55,14 +58,20 @@ func run() error {
 		window    = flag.String("w", "", "time window start[,end] unix seconds")
 		mqAddr    = flag.String("mq", "", "message-bus address for the rt plugin")
 		collector = flag.String("c", "", "restrict to one collector")
+		filterStr = flag.String("filter", "", `BGPStream v2 filter string, e.g. "collector rrc00 and type updates" (exclusive with -c)`)
 	)
 	var pluginSpecs listFlag
 	flag.Var(&pluginSpecs, "plugin", "plugin spec (repeatable): stats | pfxmonitor:<p;p> | rt")
 	flag.Parse()
 
-	filters := core.Filters{}
-	if *collector != "" {
-		filters.Collectors = []string{*collector}
+	if *filterStr != "" && *collector != "" {
+		return fmt.Errorf("-filter cannot be combined with -c; add `collector %s` to the filter string instead", *collector)
+	}
+	var opts []bgpstream.Option
+	if *filterStr != "" {
+		opts = append(opts, bgpstream.WithFilterString(*filterStr))
+	} else if *collector != "" {
+		opts = append(opts, bgpstream.WithFilters(core.Filters{Collectors: []string{*collector}}))
 	}
 	if *window != "" {
 		parts := strings.SplitN(*window, ",", 2)
@@ -70,22 +79,21 @@ func run() error {
 		if _, err := fmt.Sscanf(parts[0], "%d", &startSec); err != nil {
 			return fmt.Errorf("invalid -w: %w", err)
 		}
-		filters.Start = time.Unix(startSec, 0).UTC()
+		start := time.Unix(startSec, 0).UTC()
 		if len(parts) == 2 {
 			if _, err := fmt.Sscanf(parts[1], "%d", &endSec); err != nil {
 				return fmt.Errorf("invalid -w end: %w", err)
 			}
-			filters.End = time.Unix(endSec, 0).UTC()
+			opts = append(opts, bgpstream.WithInterval(start, time.Unix(endSec, 0).UTC()))
 		} else {
-			filters.Live = true
+			opts = append(opts, bgpstream.WithLive(start))
 		}
 	}
-	var di core.DataInterface
 	switch {
 	case *dir != "":
-		di = &core.Directory{Dir: *dir}
+		opts = append(opts, bgpstream.WithSource("directory", bgpstream.SourceOptions{"path": *dir}))
 	case *brokerURL != "":
-		di = bgpstream.NewBrokerClient(*brokerURL, filters)
+		opts = append(opts, bgpstream.WithSource("broker", bgpstream.SourceOptions{"url": *brokerURL}))
 	default:
 		return fmt.Errorf("one of -broker, -d is required")
 	}
@@ -104,7 +112,10 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	stream := bgpstream.NewStream(ctx, di, filters)
+	stream, err := bgpstream.Open(ctx, opts...)
+	if err != nil {
+		return err
+	}
 	defer stream.Close()
 	runner := &corsaro.Runner{Source: stream, Interval: *interval, Plugins: plugins}
 	if err := runner.Run(); err != nil {

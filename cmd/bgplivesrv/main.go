@@ -30,9 +30,9 @@ import (
 	"os/signal"
 	"time"
 
-	"github.com/bgpstream-go/bgpstream/internal/broker"
-	"github.com/bgpstream-go/bgpstream/internal/core"
 	"github.com/bgpstream-go/bgpstream/internal/rislive"
+
+	bgpstream "github.com/bgpstream-go/bgpstream"
 )
 
 func main() {
@@ -66,22 +66,27 @@ func run(ctx context.Context, args []string, onListen func(net.Addr)) error {
 		return err
 	}
 
-	newStream := func() (*core.Stream, error) {
-		var di core.DataInterface
-		switch {
-		case *dir != "":
-			di = &core.Directory{Dir: *dir}
-		case *csv != "":
-			di = &core.CSVFile{Path: *csv}
-		case *brokerURL != "":
-			di = broker.NewClient(*brokerURL, core.Filters{})
-		default:
-			return nil, fmt.Errorf("one of -d, -csv, -broker is required")
-		}
-		return core.NewStream(ctx, di, core.Filters{}), nil
+	// The replayed stream comes from the unified source registry, so
+	// any registered pull transport can back the feed.
+	var srcName string
+	var srcOpts bgpstream.SourceOptions
+	switch {
+	case *dir != "":
+		srcName, srcOpts = "directory", bgpstream.SourceOptions{"path": *dir}
+	case *csv != "":
+		srcName, srcOpts = "csvfile", bgpstream.SourceOptions{"path": *csv}
+	case *brokerURL != "":
+		srcName, srcOpts = "broker", bgpstream.SourceOptions{"url": *brokerURL}
+	default:
+		return fmt.Errorf("one of -d, -csv, -broker is required")
 	}
-	if _, err := newStream(); err != nil {
-		return err // fail fast on missing source before binding
+	newStream := func() (*bgpstream.Stream, error) {
+		return bgpstream.Open(ctx, bgpstream.WithSource(srcName, srcOpts))
+	}
+	if s, err := newStream(); err != nil {
+		return err // fail fast on a bad source before binding
+	} else {
+		s.Close()
 	}
 
 	feed := &rislive.Server{

@@ -3,10 +3,18 @@
 // multi-file/multi-collector/multi-project reading, live mode, and
 // filters.
 //
+// Filters are given either as one declarative BGPStream v2 filter
+// string (-filter) or as the classic per-dimension flags; the two
+// styles cannot be mixed.
+//
 // Examples:
 //
 //	# all updates about sub-prefixes of 192.0.0.0/8 since a time,
 //	# following new data forever (live mode):
+//	bgpreader -broker http://localhost:8472 -w 1463011200 \
+//	    -filter "type updates and prefix 192.0.0.0/8"
+//
+//	# the same with classic flags:
 //	bgpreader -broker http://localhost:8472 -w 1463011200 -t updates -k 192.0.0.0/8
 //
 //	# historical window over a local archive, bgpdump -m output:
@@ -14,15 +22,13 @@
 //
 //	# follow a push feed (RIS Live-style SSE, e.g. bgplivesrv) with
 //	# millisecond latency instead of polling for dumps:
-//	bgpreader -ris-live http://localhost:8481/v1/stream -k 192.0.0.0/8
+//	bgpreader -ris-live http://localhost:8481/v1/stream -filter "prefix 192.0.0.0/8"
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
-	"log"
 	"os"
 	"os/signal"
 	"strconv"
@@ -31,7 +37,6 @@ import (
 
 	"github.com/bgpstream-go/bgpstream/internal/bgpdump"
 	"github.com/bgpstream-go/bgpstream/internal/core"
-	"github.com/bgpstream-go/bgpstream/internal/rislive"
 
 	bgpstream "github.com/bgpstream-go/bgpstream"
 )
@@ -51,65 +56,85 @@ func (l *listFlag) Set(v string) error {
 	return nil
 }
 
-func run() error {
-	var (
-		brokerURL = flag.String("broker", "", "BGPStream Broker URL (default data interface)")
-		dir       = flag.String("d", "", "local archive directory data interface")
-		csv       = flag.String("csv", "", "CSV dump-index data interface")
-		risLive   = flag.String("ris-live", "", "RIS Live-style SSE feed URL (push data interface)")
-		risStale  = flag.Duration("ris-live-stale", 0, "reconnect when feed messages lag the clock by this much (0 disables; useless on historical replays)")
-		window    = flag.String("w", "", "time window: start[,end] unix seconds; omit end for live mode")
-		types     = flag.String("t", "", "dump type filter: ribs or updates")
-		machine   = flag.Bool("m", false, "bgpdump -m compatible output (elems only)")
-		records   = flag.Bool("r", false, "print one line per record instead of per elem")
-		elemTypes = flag.String("e", "", "elem type filter: any of A,W,R,S (comma separated)")
-	)
-	var projects, collectors, prefixes, communities, peers listFlag
-	flag.Var(&projects, "p", "project filter (repeatable)")
-	flag.Var(&collectors, "c", "collector filter (repeatable)")
-	flag.Var(&prefixes, "k", "prefix filter, any overlap (repeatable)")
-	flag.Var(&communities, "y", "community filter asn:value with * wildcards (repeatable)")
-	flag.Var(&peers, "j", "peer ASN filter (repeatable)")
-	flag.Parse()
+// legacyFilterFlags collects the classic per-dimension flags so the
+// conflict with -filter can be reported precisely.
+type legacyFilterFlags struct {
+	types       string
+	elemTypes   string
+	projects    listFlag
+	collectors  listFlag
+	prefixes    listFlag
+	communities listFlag
+	peers       listFlag
+}
 
-	filters := core.Filters{Projects: projects, Collectors: collectors}
-	if *types != "" {
-		dt := core.DumpType(*types)
+// used returns the names of every legacy filter flag that was set.
+func (l *legacyFilterFlags) used() []string {
+	var names []string
+	if l.types != "" {
+		names = append(names, "-t")
+	}
+	if l.elemTypes != "" {
+		names = append(names, "-e")
+	}
+	for _, f := range []struct {
+		name string
+		vals listFlag
+	}{{"-p", l.projects}, {"-c", l.collectors}, {"-k", l.prefixes}, {"-y", l.communities}, {"-j", l.peers}} {
+		if len(f.vals) > 0 {
+			names = append(names, f.name)
+		}
+	}
+	return names
+}
+
+// checkFilterConflict rejects mixing -filter with legacy flags: the
+// filter string is authoritative and silently merging the two styles
+// would hide typos.
+func checkFilterConflict(filterStr string, legacy *legacyFilterFlags) error {
+	if filterStr == "" {
+		return nil
+	}
+	if used := legacy.used(); len(used) > 0 {
+		return fmt.Errorf("-filter cannot be combined with the per-dimension filter flags (%s); express the whole filter in one string",
+			strings.Join(used, ", "))
+	}
+	return nil
+}
+
+// filters builds core.Filters from the legacy flags.
+func (l *legacyFilterFlags) filters() (core.Filters, error) {
+	filters := core.Filters{Projects: l.projects, Collectors: l.collectors}
+	if l.types != "" {
+		dt := core.DumpType(l.types)
 		if !dt.Valid() {
-			return fmt.Errorf("invalid -t %q", *types)
+			return filters, fmt.Errorf("invalid -t %q", l.types)
 		}
 		filters.DumpTypes = []core.DumpType{dt}
 	}
-	if *window != "" {
-		start, end, live, err := parseWindow(*window)
-		if err != nil {
-			return err
-		}
-		filters.Start, filters.End, filters.Live = start, end, live
-	}
-	for _, p := range prefixes {
+	for _, p := range l.prefixes {
 		pf, err := parsePrefix(p)
 		if err != nil {
-			return err
+			return filters, err
 		}
 		filters.Prefixes = append(filters.Prefixes, pf)
 	}
-	for _, c := range communities {
+	for _, c := range l.communities {
 		cf, err := bgpstream.ParseCommunityFilter(c)
 		if err != nil {
-			return err
+			return filters, err
 		}
 		filters.Communities = append(filters.Communities, cf)
 	}
-	for _, p := range peers {
+	for _, p := range l.peers {
 		asn, err := strconv.ParseUint(p, 10, 32)
 		if err != nil {
-			return fmt.Errorf("invalid -j %q", p)
+			return filters, fmt.Errorf("invalid -j %q", p)
 		}
 		filters.PeerASNs = append(filters.PeerASNs, uint32(asn))
 	}
-	if *elemTypes != "" {
-		for _, tok := range strings.Split(*elemTypes, ",") {
+	if l.elemTypes != "" {
+		for _, tok := range strings.Split(l.elemTypes, ",") {
 			switch strings.TrimSpace(strings.ToUpper(tok)) {
 			case "A":
 				filters.ElemTypes = append(filters.ElemTypes, core.ElemAnnouncement)
@@ -120,82 +145,127 @@ func run() error {
 			case "S":
 				filters.ElemTypes = append(filters.ElemTypes, core.ElemPeerState)
 			default:
-				return fmt.Errorf("invalid -e token %q", tok)
+				return filters, fmt.Errorf("invalid -e token %q", tok)
 			}
 		}
 	}
+	return filters, nil
+}
+
+func run() error {
+	var (
+		brokerURL = flag.String("broker", "", "BGPStream Broker URL (default data interface)")
+		dir       = flag.String("d", "", "local archive directory data interface")
+		csv       = flag.String("csv", "", "CSV dump-index data interface")
+		risLive   = flag.String("ris-live", "", "RIS Live-style SSE feed URL (push data interface)")
+		risStale  = flag.Duration("ris-live-stale", 0, "reconnect when feed messages lag the clock by this much (0 disables; useless on historical replays)")
+		window    = flag.String("w", "", "time window: start[,end] unix seconds; omit end for live mode")
+		filterStr = flag.String("filter", "", `BGPStream v2 filter string, e.g. "collector rrc00 and prefix more 10.0.0.0/8 and elemtype announcements" (exclusive with -p/-c/-t/-e/-k/-y/-j)`)
+		machine   = flag.Bool("m", false, "bgpdump -m compatible output (elems only)")
+		records   = flag.Bool("r", false, "print one line per record instead of per elem")
+		verbose   = flag.Bool("v", false, "verbose: print the canonical filter string and source on stderr at startup")
+	)
+	var legacy legacyFilterFlags
+	flag.StringVar(&legacy.types, "t", "", "dump type filter: ribs or updates")
+	flag.StringVar(&legacy.elemTypes, "e", "", "elem type filter: any of A,W,R,S (comma separated)")
+	flag.Var(&legacy.projects, "p", "project filter (repeatable)")
+	flag.Var(&legacy.collectors, "c", "collector filter (repeatable)")
+	flag.Var(&legacy.prefixes, "k", "prefix filter, any overlap (repeatable)")
+	flag.Var(&legacy.communities, "y", "community filter asn:value with * wildcards (repeatable)")
+	flag.Var(&legacy.peers, "j", "peer ASN filter (repeatable)")
+	flag.Parse()
+
+	if err := checkFilterConflict(*filterStr, &legacy); err != nil {
+		return err
+	}
+	var filterOpt bgpstream.Option
+	if *filterStr != "" {
+		filterOpt = bgpstream.WithFilterString(*filterStr)
+	} else {
+		filters, err := legacy.filters()
+		if err != nil {
+			return err
+		}
+		filterOpt = bgpstream.WithFilters(filters)
+	}
+	opts := []bgpstream.Option{filterOpt}
+
+	if *window != "" {
+		start, end, live, err := parseWindow(*window)
+		if err != nil {
+			return err
+		}
+		if live {
+			opts = append(opts, bgpstream.WithLive(start))
+		} else {
+			opts = append(opts, bgpstream.WithInterval(start, end))
+		}
+	}
+
+	// Every transport goes through the unified source registry.
+	var srcName string
+	var srcOpts bgpstream.SourceOptions
+	switch {
+	case *risLive != "":
+		srcName = "rislive"
+		// "log" surfaces connection lifecycle on stderr: without it a
+		// bad URL retries forever in silence.
+		srcOpts = bgpstream.SourceOptions{"url": *risLive, "stale": risStale.String(), "log": "stderr"}
+	case *dir != "":
+		srcName, srcOpts = "directory", bgpstream.SourceOptions{"path": *dir}
+	case *csv != "":
+		srcName, srcOpts = "csvfile", bgpstream.SourceOptions{"path": *csv}
+	case *brokerURL != "":
+		srcName, srcOpts = "broker", bgpstream.SourceOptions{"url": *brokerURL}
+	default:
+		return fmt.Errorf("one of -broker, -d, -csv, -ris-live is required")
+	}
+	opts = append(opts, bgpstream.WithSource(srcName, srcOpts))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-
-	var stream *bgpstream.Stream
-	if *risLive != "" {
-		// Push mode: subscribe upstream with the server-enforceable
-		// filter dimensions; the stream re-applies everything locally.
-		client := bgpstream.NewRISLiveClient(*risLive, rislive.SubscriptionFromFilters(filters))
-		client.Staleness = *risStale
-		// Surface connection lifecycle on stderr: without this a bad
-		// URL retries forever in silence.
-		client.Logf = log.Printf
-		stream = bgpstream.NewLiveStream(ctx, client, filters)
-	} else {
-		var di core.DataInterface
-		switch {
-		case *dir != "":
-			di = &core.Directory{Dir: *dir}
-		case *csv != "":
-			di = &core.CSVFile{Path: *csv}
-		case *brokerURL != "":
-			di = bgpstream.NewBrokerClient(*brokerURL, filters)
-		default:
-			return fmt.Errorf("one of -broker, -d, -csv, -ris-live is required")
-		}
-		stream = bgpstream.NewStream(ctx, di, filters)
+	stream, err := bgpstream.Open(ctx, opts...)
+	if err != nil {
+		return err
 	}
 	defer stream.Close()
+
+	if *verbose {
+		canonical := stream.Filters().String()
+		if canonical == "" {
+			canonical = "<match everything>"
+		}
+		fmt.Fprintf(os.Stderr, "bgpreader: source %s, filter: %s\n", srcName, canonical)
+	}
 
 	out := newBufferedStdout()
 	defer out.Flush()
 	// In live modes lines trickle in; flushing per line keeps output
 	// latency at the feed's latency instead of the buffer's fill time.
-	live := *risLive != "" || filters.Live
-	for {
-		if *records {
-			rec, err := stream.Next()
-			if err == io.EOF {
-				return nil
-			}
-			if err != nil {
-				if ctx.Err() != nil {
-					return nil // clean interrupt
-				}
-				return err
-			}
+	live := *risLive != "" || stream.Filters().Live
+	if *records {
+		for rec := range stream.Records() {
 			fmt.Fprintln(out, bgpdump.FormatRecord(rec))
 			if live {
 				out.Flush()
 			}
-			continue
 		}
-		rec, elem, err := stream.NextElem()
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil
+	} else {
+		for rec, elem := range stream.Elems() {
+			if *machine {
+				fmt.Fprintln(out, bgpdump.FormatElem(rec, elem))
+			} else {
+				fmt.Fprintln(out, bgpdump.FormatElemVerbose(rec, elem))
 			}
-			return err
-		}
-		if *machine {
-			fmt.Fprintln(out, bgpdump.FormatElem(rec, elem))
-		} else {
-			fmt.Fprintln(out, bgpdump.FormatElemVerbose(rec, elem))
-		}
-		if live {
-			out.Flush()
+			if live {
+				out.Flush()
+			}
 		}
 	}
+	if err := stream.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil // clean EOF or interrupt
 }
 
 func parseWindow(s string) (start, end time.Time, live bool, err error) {

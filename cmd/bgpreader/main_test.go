@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -60,5 +61,53 @@ func TestListFlag(t *testing.T) {
 	l.Set("b")
 	if len(l) != 2 || l.String() != "a,b" {
 		t.Errorf("listFlag = %v", l)
+	}
+}
+
+func TestCheckFilterConflict(t *testing.T) {
+	// No -filter: legacy flags are fine.
+	legacy := &legacyFilterFlags{types: "updates", prefixes: listFlag{"10.0.0.0/8"}}
+	if err := checkFilterConflict("", legacy); err != nil {
+		t.Errorf("legacy-only flags rejected: %v", err)
+	}
+	// -filter alone is fine.
+	if err := checkFilterConflict("type updates", &legacyFilterFlags{}); err != nil {
+		t.Errorf("filter-only rejected: %v", err)
+	}
+	// Mixing is rejected, naming the offending flags.
+	err := checkFilterConflict("type updates", legacy)
+	if err == nil {
+		t.Fatal("mixing -filter with legacy flags accepted")
+	}
+	for _, want := range []string{"-t", "-k"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("conflict error %q does not name %s", err, want)
+		}
+	}
+}
+
+func TestLegacyFlagFilters(t *testing.T) {
+	legacy := &legacyFilterFlags{
+		types:       "updates",
+		elemTypes:   "A,W",
+		collectors:  listFlag{"rrc00"},
+		peers:       listFlag{"3356"},
+		communities: listFlag{"*:666"},
+		prefixes:    listFlag{"10.0.0.0/8"},
+	}
+	f, err := legacy.filters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "collector rrc00 and type updates and elemtype announcements or withdrawals " +
+		"and peer 3356 and prefix 10.0.0.0/8 and community *:666"
+	if got := f.String(); got != want {
+		t.Errorf("legacy filters canonical form\n got %q\nwant %q", got, want)
+	}
+	if _, err := (&legacyFilterFlags{types: "bogus"}).filters(); err == nil {
+		t.Error("bad -t accepted")
+	}
+	if _, err := (&legacyFilterFlags{elemTypes: "X"}).filters(); err == nil {
+		t.Error("bad -e accepted")
 	}
 }

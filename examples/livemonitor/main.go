@@ -2,10 +2,10 @@
 //
 // The program stands up the whole push pipeline in-process: a
 // simulated archive replays through an SSE server (the same machinery
-// as the bgplivesrv tool), and a RISLiveClient consumes it through
-// the identical NextElem loop every pull-mode example uses — the
-// point of the ElemSource abstraction. Against a real deployment,
-// delete the setup block and point NewRISLiveClient at the feed URL.
+// as the bgplivesrv tool), and the "rislive" source consumes it
+// through the identical Elems loop every pull-mode example uses — the
+// point of the unified Source abstraction. Against a real deployment,
+// delete the setup block and point the url option at the feed.
 //
 //	go run ./examples/livemonitor
 package main
@@ -73,18 +73,21 @@ func run() error {
 	}()
 
 	// --- the actual live monitor: subscribe, stream, alarm ---
-	client := bgpstream.NewRISLiveClient(hs.URL, bgpstream.RISLiveSubscription{
-		ElemTypes: []bgpstream.ElemType{bgpstream.ElemAnnouncement, bgpstream.ElemWithdrawal},
-	})
-	stream := bgpstream.NewLiveStream(ctx, client, bgpstream.Filters{})
+	// The elemtype filter travels upstream as the feed subscription
+	// (SubscriptionFromFilters) and is re-applied locally.
+	stream, err := bgpstream.Open(ctx,
+		bgpstream.WithSource("rislive", bgpstream.SourceOptions{"url": hs.URL}),
+		bgpstream.WithFilterString("elemtype announcements or withdrawals"))
+	if err != nil {
+		return err
+	}
 	defer stream.Close()
 
 	seen := map[string]uint32{} // prefix -> last origin
-	moves := 0
-	for n := 0; n < 2000; n++ {
-		rec, elem, err := stream.NextElem()
-		if err != nil {
-			return err
+	moves, n := 0, 0
+	for rec, elem := range stream.Elems() {
+		if n++; n > 2000 {
+			break
 		}
 		if elem.Type != bgpstream.ElemAnnouncement {
 			continue
@@ -99,7 +102,10 @@ func run() error {
 		}
 		seen[p] = origin
 	}
-	fmt.Printf("\nmonitored 2000 push-fed elems across %d prefixes (client stats: %+v)\n",
-		len(seen), client.Stats())
+	if err := stream.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("\nmonitored 2000 push-fed elems across %d prefixes (filter: %q)\n",
+		len(seen), stream.Filters().String())
 	return nil
 }

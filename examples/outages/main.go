@@ -82,8 +82,12 @@ func run() error {
 	for _, coll := range []string{"rrc00", "route-views2"} {
 		rt := rtables.New()
 		rt.Publisher = &mq.RTPublisher{Producer: mq.LocalProducer{Broker: bus}}
-		stream := bgpstream.NewStream(context.Background(), &bgpstream.Directory{Dir: dir},
-			bgpstream.Filters{Collectors: []string{coll}})
+		stream, err := bgpstream.Open(context.Background(),
+			bgpstream.WithSource("directory", bgpstream.SourceOptions{"path": dir}),
+			bgpstream.WithFilterString("collector "+coll))
+		if err != nil {
+			return err
+		}
 		runner := &corsaro.Runner{Source: stream, Interval: 5 * time.Minute,
 			Plugins: []corsaro.Plugin{rt}}
 		if err := runner.Run(); err != nil {

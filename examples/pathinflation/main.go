@@ -12,7 +12,6 @@ package main
 import (
 	"context"
 	"fmt"
-	"io"
 	"log"
 	"os"
 	"time"
@@ -57,22 +56,22 @@ func run() error {
 
 	// Listing 1, line for line: request RIB data, iterate elems,
 	// accumulate min path lengths and graph edges.
-	stream := bgpstream.NewStream(context.Background(), &bgpstream.Directory{Dir: dir},
-		bgpstream.Filters{DumpTypes: []bgpstream.DumpType{bgpstream.DumpRIB}})
+	stream, err := bgpstream.Open(context.Background(),
+		bgpstream.WithSource("directory", bgpstream.SourceOptions{"path": dir}),
+		bgpstream.WithFilterString("type ribs and elemtype ribs"))
+	if err != nil {
+		return err
+	}
 	defer stream.Close()
 	analysis := asgraph.NewInflationAnalysis()
-	for {
-		_, elem, err := stream.NextElem()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		if elem.Type != bgpstream.ElemRIB || !elem.Prefix.Addr().Is4() {
+	for _, elem := range stream.Elems() {
+		if !elem.Prefix.Addr().Is4() {
 			continue
 		}
 		analysis.Observe(elem.PeerASN, elem.ASPath)
+	}
+	if err := stream.Err(); err != nil {
+		return err
 	}
 	r := analysis.Result()
 	fmt.Printf("compared %d unique <VP, origin> AS pairs\n", r.Pairs)

@@ -70,7 +70,11 @@ func run() error {
 
 	fmt.Printf("monitoring %d prefixes of AS%d (attacker: AS%d)\n\n",
 		len(topo.AS(victim).Prefixes), victim, attacker)
-	stream := bgpstream.NewStream(context.Background(), &bgpstream.Directory{Dir: dir}, bgpstream.Filters{})
+	stream, err := bgpstream.Open(context.Background(),
+		bgpstream.WithSource("directory", bgpstream.SourceOptions{"path": dir}))
+	if err != nil {
+		return err
+	}
 	defer stream.Close()
 	mon := corsaro.NewPfxMonitor(topo.AS(victim).Prefixes, nil)
 	runner := &corsaro.Runner{Source: stream, Interval: 5 * time.Minute, Plugins: []corsaro.Plugin{mon}}

@@ -2,9 +2,10 @@
 //
 // The program generates a small self-contained archive with the
 // bundled route-collector simulator, then uses the public API the way
-// any analysis would: configure filters, open a stream, and iterate
-// elems. Swap the Directory data interface for NewBrokerClient to run
-// the identical code against a broker-served archive.
+// any analysis would: open a stream from a named source with a
+// declarative filter string, and range over elems. Swap the
+// "directory" source for "broker" (url option) to run the identical
+// code against a broker-served archive.
 //
 //	go run ./examples/quickstart
 package main
@@ -12,7 +13,6 @@ package main
 import (
 	"context"
 	"fmt"
-	"io"
 	"log"
 	"os"
 	"time"
@@ -57,26 +57,19 @@ func run() error {
 	}
 
 	// --- the actual BGPStream quickstart ---
-	filters := bgpstream.Filters{
-		Projects:  []string{"ris", "routeviews"},
-		DumpTypes: []bgpstream.DumpType{bgpstream.DumpUpdates},
-		Start:     start,
-		End:       start.Add(2 * time.Hour),
+	stream, err := bgpstream.Open(context.Background(),
+		bgpstream.WithSource("directory", bgpstream.SourceOptions{"path": dir}),
+		bgpstream.WithFilterString("project ris or routeviews and type updates"),
+		bgpstream.WithInterval(start, start.Add(2*time.Hour)))
+	if err != nil {
+		return err
 	}
-	stream := bgpstream.NewStream(context.Background(), &bgpstream.Directory{Dir: dir}, filters)
 	defer stream.Close()
 
 	counts := map[bgpstream.ElemType]int{}
 	peers := map[uint32]bool{}
 	shown := 0
-	for {
-		rec, elem, err := stream.NextElem()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
+	for rec, elem := range stream.Elems() {
 		counts[elem.Type]++
 		peers[elem.PeerASN] = true
 		if shown < 10 && elem.Type == bgpstream.ElemAnnouncement {
@@ -85,6 +78,9 @@ func run() error {
 				elem.PeerASN, elem.Prefix, elem.ASPath)
 			shown++
 		}
+	}
+	if err := stream.Err(); err != nil {
+		return err
 	}
 	fmt.Printf("\nannouncements=%d withdrawals=%d state-changes=%d from %d vantage points\n",
 		counts[bgpstream.ElemAnnouncement], counts[bgpstream.ElemWithdrawal],

@@ -73,32 +73,26 @@ func run() error {
 		return err
 	}
 
-	// Black-holing community list compiled from provider policies
-	// (the paper parsed IRRs of 30 ASes; here: every provider's
-	// conventional <asn>:666).
-	blackholeFilter, err := bgpstream.ParseCommunityFilter("*:666")
+	// Stream 1: updates tagged with a black-holing community — the
+	// community list compiled from provider policies (the paper parsed
+	// IRRs of 30 ASes; here: every provider's conventional <asn>:666).
+	detectStream, err := bgpstream.Open(context.Background(),
+		bgpstream.WithSource("directory", bgpstream.SourceOptions{"path": dir}),
+		bgpstream.WithFilterString("type updates and elemtype announcements and community *:666"))
 	if err != nil {
 		return err
 	}
-
-	// Stream 1: updates tagged with a black-holing community.
-	detectStream := bgpstream.NewStream(context.Background(), &bgpstream.Directory{Dir: dir},
-		bgpstream.Filters{
-			DumpTypes:   []bgpstream.DumpType{bgpstream.DumpUpdates},
-			ElemTypes:   []bgpstream.ElemType{bgpstream.ElemAnnouncement},
-			Communities: []bgpstream.CommunityFilter{blackholeFilter},
-		})
 	defer detectStream.Close()
 
-	// Stream 2: starts with no prefix filters; detection adds them.
-	withdrawStream := bgpstream.NewStream(context.Background(), &bgpstream.Directory{Dir: dir},
-		bgpstream.Filters{
-			DumpTypes: []bgpstream.DumpType{bgpstream.DumpUpdates},
-			ElemTypes: []bgpstream.ElemType{bgpstream.ElemWithdrawal},
-			// A placeholder filter that matches nothing until RTBH
-			// detection registers real targets.
-			Prefixes: []bgpstream.PrefixFilter{},
-		})
+	// Stream 2: starts with no prefix filters; detection adds them
+	// dynamically (AddPrefixFilter), so its filter string names only
+	// the static dimensions.
+	withdrawStream, err := bgpstream.Open(context.Background(),
+		bgpstream.WithSource("directory", bgpstream.SourceOptions{"path": dir}),
+		bgpstream.WithFilterString("type updates and elemtype withdrawals"))
+	if err != nil {
+		return err
+	}
 	defer withdrawStream.Close()
 
 	eng := astopo.NewRoutingEngine(topo)

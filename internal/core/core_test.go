@@ -201,24 +201,24 @@ func TestCompiledPrefixFilters(t *testing.T) {
 		{Prefix: netip.MustParsePrefix("10.1.0.0/16"), Match: MatchMoreSpecific},
 		{Prefix: netip.MustParsePrefix("192.0.2.0/24"), Match: MatchExact},
 	}}
-	c := compileFilters(f)
+	c := CompileFilters(f)
 	mk := func(p string) *Elem {
 		return &Elem{Type: ElemAnnouncement, Prefix: netip.MustParsePrefix(p)}
 	}
-	if !c.matchElem(mk("10.1.2.0/24")) {
+	if !c.MatchElem(mk("10.1.2.0/24")) {
 		t.Error("sub-prefix of /16 rejected")
 	}
-	if c.matchElem(mk("10.2.0.0/16")) {
+	if c.MatchElem(mk("10.2.0.0/16")) {
 		t.Error("sibling accepted")
 	}
-	if !c.matchElem(mk("192.0.2.0/24")) {
+	if !c.MatchElem(mk("192.0.2.0/24")) {
 		t.Error("exact rejected")
 	}
-	if c.matchElem(mk("192.0.2.0/25")) {
+	if c.MatchElem(mk("192.0.2.0/25")) {
 		t.Error("more-specific accepted by exact filter")
 	}
 	// State elems have no prefix: excluded under prefix filters.
-	if c.matchElem(&Elem{Type: ElemPeerState}) {
+	if c.MatchElem(&Elem{Type: ElemPeerState}) {
 		t.Error("state elem passed prefix filter")
 	}
 }
@@ -259,32 +259,32 @@ func TestElemContentFilters(t *testing.T) {
 		OriginASNs:     []uint32{13335},
 		ASPathContains: []uint32{701},
 	}
-	c := compileFilters(f)
+	c := CompileFilters(f)
 	good := &Elem{
 		Type: ElemAnnouncement, PeerASN: 64501,
 		ASPath: bgp.SequencePath(64501, 701, 13335),
 	}
-	if !c.matchElem(good) {
+	if !c.MatchElem(good) {
 		t.Error("matching elem rejected")
 	}
 	badType := *good
 	badType.Type = ElemWithdrawal
-	if c.matchElem(&badType) {
+	if c.MatchElem(&badType) {
 		t.Error("wrong type accepted")
 	}
 	badPeer := *good
 	badPeer.PeerASN = 9999
-	if c.matchElem(&badPeer) {
+	if c.MatchElem(&badPeer) {
 		t.Error("wrong peer accepted")
 	}
 	badOrigin := *good
 	badOrigin.ASPath = bgp.SequencePath(64501, 701, 3356)
-	if c.matchElem(&badOrigin) {
+	if c.MatchElem(&badOrigin) {
 		t.Error("wrong origin accepted")
 	}
 	badPath := *good
 	badPath.ASPath = bgp.SequencePath(64501, 174, 13335)
-	if c.matchElem(&badPath) {
+	if c.MatchElem(&badPath) {
 		t.Error("path without 701 accepted")
 	}
 }

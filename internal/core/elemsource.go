@@ -41,7 +41,7 @@ func NewLiveStream(ctx context.Context, src ElemSource, filters Filters) *Stream
 	}
 	return &Stream{
 		filters:  filters,
-		compiled: compileFilters(filters),
+		compiled: CompileFilters(filters),
 		ctx:      ctx,
 		elemSrc:  src,
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"net/netip"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -141,25 +142,31 @@ type Filters struct {
 
 // MatchMeta reports whether a dump file passes the meta-data filters,
 // including the interval test: a dump is relevant when its covered
-// interval intersects [Start, End].
+// interval intersects [Start, End]. A zero dump Time means "unknown"
+// (the single-file interface): such dumps always pass the interval
+// test and rely on per-record time filtering instead.
+//
+// This is the one-off convenience form; the stream layer, which
+// matches many dumps against fixed filters, uses CompileFilters once
+// and the compiled form's set-probing MatchMeta.
 func (f *Filters) MatchMeta(m archive.DumpMeta) bool {
-	if len(f.Projects) > 0 && !containsString(f.Projects, m.Project) {
+	if len(f.Projects) > 0 && !slices.Contains(f.Projects, m.Project) {
 		return false
 	}
-	if len(f.Collectors) > 0 && !containsString(f.Collectors, m.Collector) {
+	if len(f.Collectors) > 0 && !slices.Contains(f.Collectors, m.Collector) {
 		return false
 	}
-	if len(f.DumpTypes) > 0 {
-		ok := false
-		for _, t := range f.DumpTypes {
-			if t == m.Type {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			return false
-		}
+	if len(f.DumpTypes) > 0 && !slices.Contains(f.DumpTypes, m.Type) {
+		return false
+	}
+	return f.matchMetaInterval(m)
+}
+
+// matchMetaInterval is the interval half of MatchMeta, shared with the
+// compiled form.
+func (f *Filters) matchMetaInterval(m archive.DumpMeta) bool {
+	if m.Time.IsZero() {
+		return true
 	}
 	if !f.Start.IsZero() && m.Time.Add(m.Duration).Before(f.Start) {
 		return false
@@ -182,11 +189,16 @@ func (f *Filters) MatchRecordTime(ts time.Time) bool {
 	return true
 }
 
-// compiledFilters holds the immutable, query-optimised form of
-// Filters used on the elem hot path: prefix filters indexed in radix
-// tables, scalar sets in maps.
-type compiledFilters struct {
+// CompiledFilters is the immutable, query-optimised form of Filters
+// used on the stream hot paths (per dump meta, per pushed record, per
+// elem): string and scalar dimensions become hash sets, prefix filters
+// are indexed in radix tables. Compile once with CompileFilters and
+// reuse against any number of records.
+type CompiledFilters struct {
 	src        Filters
+	projects   map[string]bool
+	collectors map[string]bool
+	dumpTypes  map[DumpType]bool
 	elemTypes  map[ElemType]bool
 	peerASNs   map[uint32]bool
 	originASNs map[uint32]bool
@@ -198,11 +210,28 @@ type compiledFilters struct {
 	lessSpecific *prefixtrie.Table[struct{}] // elem covers filter
 	anyOverlap   *prefixtrie.Table[struct{}]
 	hasPrefix    bool
-	communities  []CommunityFilter
+	// Community filters split into exact (asn, value) pairs, one-sided
+	// wildcards, and the match-anything "*:*" flag, so per-elem
+	// matching is one set probe per community instead of a scan over
+	// every filter.
+	commExact map[bgp.Community]bool
+	commASN   map[uint16]bool // "asn:*"
+	commValue map[uint16]bool // "*:value"
+	commAll   bool            // "*:*"
+	hasComm   bool
 }
 
-func compileFilters(f Filters) *compiledFilters {
-	c := &compiledFilters{src: f, communities: f.Communities}
+// CompileFilters builds the query-optimised form of f.
+func CompileFilters(f Filters) *CompiledFilters {
+	c := &CompiledFilters{src: f}
+	c.projects = stringSet(f.Projects)
+	c.collectors = stringSet(f.Collectors)
+	if len(f.DumpTypes) > 0 {
+		c.dumpTypes = make(map[DumpType]bool, len(f.DumpTypes))
+		for _, t := range f.DumpTypes {
+			c.dumpTypes[t] = true
+		}
+	}
 	if len(f.ElemTypes) > 0 {
 		c.elemTypes = make(map[ElemType]bool, len(f.ElemTypes))
 		for _, t := range f.ElemTypes {
@@ -232,7 +261,67 @@ func compileFilters(f Filters) *compiledFilters {
 			}
 		}
 	}
+	if len(f.Communities) > 0 {
+		c.hasComm = true
+		for _, cf := range f.Communities {
+			switch {
+			case cf.ASN == nil && cf.Value == nil:
+				c.commAll = true
+			case cf.ASN != nil && cf.Value != nil:
+				if c.commExact == nil {
+					c.commExact = map[bgp.Community]bool{}
+				}
+				c.commExact[bgp.NewCommunity(*cf.ASN, *cf.Value)] = true
+			case cf.ASN != nil:
+				if c.commASN == nil {
+					c.commASN = map[uint16]bool{}
+				}
+				c.commASN[*cf.ASN] = true
+			default:
+				if c.commValue == nil {
+					c.commValue = map[uint16]bool{}
+				}
+				c.commValue[*cf.Value] = true
+			}
+		}
+	}
 	return c
+}
+
+func stringSet(xs []string) map[string]bool {
+	if len(xs) == 0 {
+		return nil
+	}
+	m := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}
+
+// MatchMeta reports whether a dump file passes the meta-data filters;
+// same semantics as Filters.MatchMeta but probing the precomputed
+// sets.
+func (c *CompiledFilters) MatchMeta(m archive.DumpMeta) bool {
+	if !c.matchTags(m.Project, m.Collector, m.Type) {
+		return false
+	}
+	return c.src.matchMetaInterval(m)
+}
+
+// matchTags applies the project/collector/dump-type sets; push-mode
+// streams use it per pushed record against the record's feed tags.
+func (c *CompiledFilters) matchTags(project, collector string, t DumpType) bool {
+	if c.projects != nil && !c.projects[project] {
+		return false
+	}
+	if c.collectors != nil && !c.collectors[collector] {
+		return false
+	}
+	if c.dumpTypes != nil && !c.dumpTypes[t] {
+		return false
+	}
+	return true
 }
 
 func asnSet(asns []uint32) map[uint32]bool {
@@ -246,8 +335,8 @@ func asnSet(asns []uint32) map[uint32]bool {
 	return m
 }
 
-// matchElem applies every elem-level predicate.
-func (c *compiledFilters) matchElem(e *Elem) bool {
+// MatchElem applies every elem-level predicate.
+func (c *CompiledFilters) MatchElem(e *Elem) bool {
 	if c.elemTypes != nil && !c.elemTypes[e.Type] {
 		return false
 	}
@@ -290,10 +379,10 @@ func (c *compiledFilters) matchElem(e *Elem) bool {
 			return false
 		}
 	}
-	if len(c.communities) > 0 {
+	if c.hasComm {
 		ok := false
-		for _, cf := range c.communities {
-			if cf.MatchesAny(e.Communities) {
+		for _, cm := range e.Communities {
+			if c.commAll || c.commExact[cm] || c.commASN[cm.ASN()] || c.commValue[cm.Value()] {
 				ok = true
 				break
 			}
@@ -305,7 +394,7 @@ func (c *compiledFilters) matchElem(e *Elem) bool {
 	return true
 }
 
-func (c *compiledFilters) matchPrefix(p netip.Prefix) bool {
+func (c *CompiledFilters) matchPrefix(p netip.Prefix) bool {
 	p = p.Masked()
 	if _, ok := c.exact.Get(p); ok {
 		return true
@@ -324,13 +413,4 @@ func (c *compiledFilters) matchPrefix(p netip.Prefix) bool {
 		return true
 	}
 	return c.anyOverlap.OverlapsAny(p)
-}
-
-func containsString(xs []string, s string) bool {
-	for _, x := range xs {
-		if x == s {
-			return true
-		}
-	}
-	return false
 }

@@ -1,0 +1,486 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// This file implements the BGPStream v2 filter-string language — the
+// declarative surface pybgpstream and the C API expose as
+// bgpstream_parse_filter_string — compiling it to Filters, and its
+// inverse, the canonical Filters.String() form.
+//
+// Grammar (terms combine with "and"; alternatives of the same term
+// combine with "or", optionally repeating the term):
+//
+//	filter  := clause ( "and" clause )*
+//	clause  := term value ( "or" [term] value )*
+//	term    := "project" | "collector" | "type" | "elemtype" | "peer"
+//	         | "origin" | "aspath" | "path" | "prefix" | "community"
+//	value   := word | quoted            (for prefix: [mode] word)
+//	mode    := "exact" | "more" | "less" | "any"
+//
+// Values containing whitespace or colliding with a keyword are written
+// in double quotes ("\"" and "\\" escape). Examples:
+//
+//	collector rrc00 and prefix more 10.0.0.0/8 and elemtype announcements
+//	project ris or routeviews and type updates
+//	peer 3356 and community 65000:666 or *:666
+//
+// The time interval is not part of the language — as in BGPStream v2,
+// it is configured separately (Filters.Start/End/Live, or the
+// WithInterval/WithLive options of the facade's Open).
+
+// FilterSyntaxError reports where in a filter string parsing failed.
+type FilterSyntaxError struct {
+	// Pos is the byte offset of the offending token in the input.
+	Pos int
+	// Token is the offending token ("" at end of input).
+	Token string
+	// Msg describes what the parser expected.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *FilterSyntaxError) Error() string {
+	if e.Token == "" {
+		return fmt.Sprintf("core: filter string: at offset %d: %s", e.Pos, e.Msg)
+	}
+	return fmt.Sprintf("core: filter string: at offset %d near %q: %s", e.Pos, e.Token, e.Msg)
+}
+
+// filterToken is one lexed word; quoted values never act as keywords.
+type filterToken struct {
+	text   string
+	pos    int
+	quoted bool
+}
+
+// filterTerms maps every term keyword to its canonical name.
+var filterTerms = map[string]string{
+	"project":   "project",
+	"collector": "collector",
+	"type":      "type",
+	"elemtype":  "elemtype",
+	"peer":      "peer",
+	"origin":    "origin",
+	"aspath":    "aspath",
+	"path":      "aspath",
+	"prefix":    "prefix",
+	"community": "community",
+}
+
+// filterKeywords holds every reserved word: a value spelled like one
+// of these must be quoted to round-trip unambiguously.
+var filterKeywords = map[string]bool{
+	"and": true, "or": true,
+	"project": true, "collector": true, "type": true, "elemtype": true,
+	"peer": true, "origin": true, "aspath": true, "path": true,
+	"prefix": true, "community": true,
+	"exact": true, "more": true, "less": true, "any": true,
+}
+
+func lexFilter(s string) ([]filterToken, error) {
+	var toks []filterToken
+	i := 0
+	for i < len(s) {
+		switch c := s[i]; {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '"':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(s) {
+				if s[i] == '\\' && i+1 < len(s) && (s[i+1] == '"' || s[i+1] == '\\') {
+					sb.WriteByte(s[i+1])
+					i += 2
+					continue
+				}
+				if s[i] == '"' {
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(s[i])
+				i++
+			}
+			if !closed {
+				return nil, &FilterSyntaxError{Pos: start, Token: s[start:], Msg: "unterminated quoted value"}
+			}
+			toks = append(toks, filterToken{text: sb.String(), pos: start, quoted: true})
+		default:
+			start := i
+			for i < len(s) && !isFilterSpace(s[i]) {
+				i++
+			}
+			toks = append(toks, filterToken{text: s[start:i], pos: start})
+		}
+	}
+	return toks, nil
+}
+
+func isFilterSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+type filterParser struct {
+	toks []filterToken
+	i    int
+	end  int // byte length of the input, for end-of-input errors
+}
+
+func (p *filterParser) done() bool { return p.i >= len(p.toks) }
+
+func (p *filterParser) next() filterToken {
+	t := p.toks[p.i]
+	p.i++
+	return t
+}
+
+func (p *filterParser) peek() (filterToken, bool) {
+	if p.done() {
+		return filterToken{}, false
+	}
+	return p.toks[p.i], true
+}
+
+// peekKeyword reports whether the next token is the given unquoted
+// keyword.
+func (p *filterParser) peekKeyword(kw string) bool {
+	t, ok := p.peek()
+	return ok && !t.quoted && strings.ToLower(t.text) == kw
+}
+
+func (p *filterParser) errHere(msg string) *FilterSyntaxError {
+	if t, ok := p.peek(); ok {
+		return &FilterSyntaxError{Pos: t.pos, Token: t.text, Msg: msg}
+	}
+	return &FilterSyntaxError{Pos: p.end, Msg: msg}
+}
+
+// ParseFilterString compiles a BGPStream v2 filter string to Filters.
+// An empty (or all-whitespace) string yields the zero Filters, which
+// matches everything. Errors are *FilterSyntaxError values carrying
+// the byte offset of the offending token.
+func ParseFilterString(s string) (Filters, error) {
+	var f Filters
+	toks, err := lexFilter(s)
+	if err != nil {
+		return Filters{}, err
+	}
+	p := &filterParser{toks: toks, end: len(s)}
+	if p.done() {
+		return f, nil
+	}
+	for {
+		if err := p.clause(&f); err != nil {
+			return Filters{}, err
+		}
+		if p.done() {
+			return f, nil
+		}
+		t := p.next()
+		if t.quoted || strings.ToLower(t.text) != "and" {
+			return Filters{}, &FilterSyntaxError{Pos: t.pos, Token: t.text,
+				Msg: `expected "and" between filter clauses`}
+		}
+		if p.done() {
+			return Filters{}, p.errHere(`dangling "and": expected a filter term`)
+		}
+	}
+}
+
+// clause parses one term and its or-separated alternatives into f.
+func (p *filterParser) clause(f *Filters) error {
+	t := p.next()
+	if t.quoted {
+		return &FilterSyntaxError{Pos: t.pos, Token: t.text, Msg: "expected a filter term, got a quoted value"}
+	}
+	term, ok := filterTerms[strings.ToLower(t.text)]
+	if !ok {
+		return &FilterSyntaxError{Pos: t.pos, Token: t.text,
+			Msg: "unknown filter term (want project, collector, type, elemtype, peer, origin, aspath, prefix or community)"}
+	}
+	for {
+		if err := p.value(term, f); err != nil {
+			return err
+		}
+		if !p.peekKeyword("or") {
+			return nil
+		}
+		p.next() // consume "or"
+		// An optional repeated term after "or" must match the clause's.
+		if t2, ok := p.peek(); ok && !t2.quoted {
+			if term2, isTerm := filterTerms[strings.ToLower(t2.text)]; isTerm {
+				if term2 != term {
+					return &FilterSyntaxError{Pos: t2.pos, Token: t2.text,
+						Msg: fmt.Sprintf(`"or" joins alternatives of the same term (in a %q clause); use "and" to combine different terms`, term)}
+				}
+				p.next()
+			}
+		}
+	}
+}
+
+// value parses one alternative of the given term and appends it to f.
+func (p *filterParser) value(term string, f *Filters) error {
+	t, ok := p.peek()
+	if !ok {
+		return p.errHere(fmt.Sprintf("term %q needs a value", term))
+	}
+	// Prefix values may start with a match-mode word.
+	if term == "prefix" {
+		return p.prefixValue(f)
+	}
+	if !t.quoted && (strings.ToLower(t.text) == "and" || strings.ToLower(t.text) == "or") {
+		return &FilterSyntaxError{Pos: t.pos, Token: t.text,
+			Msg: fmt.Sprintf("term %q needs a value (quote it if it is literally %q)", term, t.text)}
+	}
+	p.next()
+	switch term {
+	case "project":
+		f.Projects = append(f.Projects, t.text)
+	case "collector":
+		f.Collectors = append(f.Collectors, t.text)
+	case "type":
+		dt := DumpType(strings.ToLower(t.text))
+		if !dt.Valid() {
+			return &FilterSyntaxError{Pos: t.pos, Token: t.text, Msg: `bad dump type (want "ribs" or "updates")`}
+		}
+		f.DumpTypes = append(f.DumpTypes, dt)
+	case "elemtype":
+		et, err := parseElemTypeName(t.text)
+		if err != nil {
+			return &FilterSyntaxError{Pos: t.pos, Token: t.text,
+				Msg: `bad elem type (want "ribs", "announcements", "withdrawals" or "peerstates")`}
+		}
+		f.ElemTypes = append(f.ElemTypes, et)
+	case "peer", "origin", "aspath":
+		asn, err := parseFilterASN(t.text)
+		if err != nil {
+			return &FilterSyntaxError{Pos: t.pos, Token: t.text, Msg: "bad AS number"}
+		}
+		switch term {
+		case "peer":
+			f.PeerASNs = append(f.PeerASNs, asn)
+		case "origin":
+			f.OriginASNs = append(f.OriginASNs, asn)
+		default:
+			f.ASPathContains = append(f.ASPathContains, asn)
+		}
+	case "community":
+		cf, err := ParseCommunityFilter(t.text)
+		if err != nil {
+			return &FilterSyntaxError{Pos: t.pos, Token: t.text,
+				Msg: `bad community (want "asn:value" with optional "*" wildcards)`}
+		}
+		f.Communities = append(f.Communities, cf)
+	}
+	return nil
+}
+
+// prefixValue parses "[exact|more|less|any] <cidr>"; a bare address is
+// accepted as a host prefix, mirroring bgpreader's -k flag.
+func (p *filterParser) prefixValue(f *Filters) error {
+	match := MatchAny
+	t := p.next()
+	if !t.quoted {
+		switch strings.ToLower(t.text) {
+		case "exact", "more", "less", "any":
+			switch strings.ToLower(t.text) {
+			case "exact":
+				match = MatchExact
+			case "more":
+				match = MatchMoreSpecific
+			case "less":
+				match = MatchLessSpecific
+			}
+			if p.done() {
+				return p.errHere("prefix match mode needs a prefix after it")
+			}
+			t = p.next()
+		case "and", "or":
+			return &FilterSyntaxError{Pos: t.pos, Token: t.text, Msg: `term "prefix" needs a value`}
+		}
+	}
+	pfx, err := parseFilterPrefix(t.text)
+	if err != nil {
+		return &FilterSyntaxError{Pos: t.pos, Token: t.text, Msg: "bad prefix (want CIDR or a bare address)"}
+	}
+	f.Prefixes = append(f.Prefixes, PrefixFilter{Prefix: pfx, Match: match})
+	return nil
+}
+
+func parseFilterPrefix(s string) (netip.Prefix, error) {
+	if p, err := netip.ParsePrefix(s); err == nil {
+		return p, nil
+	}
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		return netip.Prefix{}, err
+	}
+	return netip.PrefixFrom(a, a.BitLen()), nil
+}
+
+// parseFilterASN accepts "3356" and the "AS3356" spelling.
+func parseFilterASN(s string) (uint32, error) {
+	t := strings.TrimPrefix(strings.TrimPrefix(s, "AS"), "as")
+	n, err := strconv.ParseUint(t, 10, 32)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(n), nil
+}
+
+// parseElemTypeName maps elemtype spellings (canonical plural names,
+// singular forms, and bgpdump single letters) to ElemType.
+func parseElemTypeName(s string) (ElemType, error) {
+	switch strings.ToLower(s) {
+	case "ribs", "rib", "r":
+		return ElemRIB, nil
+	case "announcements", "announcement", "a":
+		return ElemAnnouncement, nil
+	case "withdrawals", "withdrawal", "w":
+		return ElemWithdrawal, nil
+	case "peerstates", "peerstate", "state", "s":
+		return ElemPeerState, nil
+	}
+	return 0, fmt.Errorf("core: bad elem type %q", s)
+}
+
+// elemTypeFilterName is the canonical filter-language spelling of t.
+func elemTypeFilterName(t ElemType) string {
+	switch t {
+	case ElemRIB:
+		return "ribs"
+	case ElemAnnouncement:
+		return "announcements"
+	case ElemWithdrawal:
+		return "withdrawals"
+	case ElemPeerState:
+		return "peerstates"
+	default:
+		return t.String()
+	}
+}
+
+// String renders the filter in the canonical "a:v" form with "*"
+// wildcards, the inverse of ParseCommunityFilter.
+func (f CommunityFilter) String() string {
+	a, v := "*", "*"
+	if f.ASN != nil {
+		a = strconv.Itoa(int(*f.ASN))
+	}
+	if f.Value != nil {
+		v = strconv.Itoa(int(*f.Value))
+	}
+	return a + ":" + v
+}
+
+// quoteFilterValue renders a value token, quoting it whenever it would
+// not survive lexing as a bare word (whitespace, quotes, keyword
+// collisions, empty strings).
+func quoteFilterValue(s string) string {
+	needs := s == "" || filterKeywords[strings.ToLower(s)]
+	if !needs {
+		for i := 0; i < len(s); i++ {
+			if isFilterSpace(s[i]) || s[i] == '"' || s[i] == '\\' {
+				needs = true
+				break
+			}
+		}
+	}
+	if !needs {
+		return s
+	}
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' || s[i] == '\\' {
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(s[i])
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// prefixMatchName is the filter-language spelling of a match mode.
+func prefixMatchName(m PrefixMatch) string {
+	switch m {
+	case MatchExact:
+		return "exact"
+	case MatchMoreSpecific:
+		return "more"
+	case MatchLessSpecific:
+		return "less"
+	default:
+		return "any"
+	}
+}
+
+// String renders the filters as a canonical filter string that
+// ParseFilterString accepts and round-trips: terms in a fixed order
+// (project, collector, type, elemtype, peer, origin, aspath, prefix,
+// community) joined by "and", same-term alternatives joined by "or",
+// and values quoted only where the grammar requires it. The time
+// interval (Start/End/Live) is not part of the filter language and is
+// not rendered. The zero Filters renders as "".
+func (f Filters) String() string {
+	var clauses []string
+	add := func(term string, vals []string) {
+		if len(vals) > 0 {
+			clauses = append(clauses, term+" "+strings.Join(vals, " or "))
+		}
+	}
+	add("project", quoteEach(f.Projects))
+	add("collector", quoteEach(f.Collectors))
+	vals := make([]string, 0, len(f.DumpTypes))
+	for _, t := range f.DumpTypes {
+		vals = append(vals, string(t))
+	}
+	add("type", vals)
+	vals = vals[:0]
+	for _, t := range f.ElemTypes {
+		vals = append(vals, elemTypeFilterName(t))
+	}
+	add("elemtype", vals)
+	add("peer", formatASNs(f.PeerASNs))
+	add("origin", formatASNs(f.OriginASNs))
+	add("aspath", formatASNs(f.ASPathContains))
+	vals = vals[:0]
+	for _, pf := range f.Prefixes {
+		if pf.Match == MatchAny {
+			vals = append(vals, pf.Prefix.String())
+		} else {
+			vals = append(vals, prefixMatchName(pf.Match)+" "+pf.Prefix.String())
+		}
+	}
+	add("prefix", vals)
+	vals = vals[:0]
+	for _, cf := range f.Communities {
+		vals = append(vals, cf.String())
+	}
+	add("community", vals)
+	return strings.Join(clauses, " and ")
+}
+
+func quoteEach(vals []string) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = quoteFilterValue(v)
+	}
+	return out
+}
+
+func formatASNs(asns []uint32) []string {
+	out := make([]string, len(asns))
+	for i, a := range asns {
+		out[i] = strconv.FormatUint(uint64(a), 10)
+	}
+	return out
+}

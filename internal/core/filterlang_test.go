@@ -1,0 +1,340 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/bgp"
+)
+
+func u16p(v uint16) *uint16 { return &v }
+
+func mustPrefix(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseFilterStringGrammar(t *testing.T) {
+	p8 := netip.MustParsePrefix("10.0.0.0/8")
+	p16 := netip.MustParsePrefix("192.0.2.0/24")
+	v6 := netip.MustParsePrefix("2001:db8::/32")
+	cases := []struct {
+		name string
+		in   string
+		want Filters
+	}{
+		{"empty", "", Filters{}},
+		{"whitespace only", " \t\n ", Filters{}},
+		{"project", "project ris", Filters{Projects: []string{"ris"}}},
+		{"project alternatives", "project ris or routeviews",
+			Filters{Projects: []string{"ris", "routeviews"}}},
+		{"repeated term after or", "project ris or project routeviews",
+			Filters{Projects: []string{"ris", "routeviews"}}},
+		{"collector", "collector rrc00", Filters{Collectors: []string{"rrc00"}}},
+		{"collector quoted", `collector "route views"`, Filters{Collectors: []string{"route views"}}},
+		{"quoted keyword value", `collector "and"`, Filters{Collectors: []string{"and"}}},
+		{"quoted escape", `collector "a\"b\\c"`, Filters{Collectors: []string{`a"b\c`}}},
+		{"type ribs", "type ribs", Filters{DumpTypes: []DumpType{DumpRIB}}},
+		{"type updates", "type updates", Filters{DumpTypes: []DumpType{DumpUpdates}}},
+		{"elemtype plural", "elemtype announcements",
+			Filters{ElemTypes: []ElemType{ElemAnnouncement}}},
+		{"elemtype letters", "elemtype A or W or R or S",
+			Filters{ElemTypes: []ElemType{ElemAnnouncement, ElemWithdrawal, ElemRIB, ElemPeerState}}},
+		{"elemtype singular", "elemtype withdrawal or peerstate",
+			Filters{ElemTypes: []ElemType{ElemWithdrawal, ElemPeerState}}},
+		{"peer", "peer 3356", Filters{PeerASNs: []uint32{3356}}},
+		{"peer AS prefix spelling", "peer AS3356", Filters{PeerASNs: []uint32{3356}}},
+		{"origin", "origin 64500 or 64501", Filters{OriginASNs: []uint32{64500, 64501}}},
+		{"aspath", "aspath 701", Filters{ASPathContains: []uint32{701}}},
+		{"path alias", "path 701", Filters{ASPathContains: []uint32{701}}},
+		{"prefix default any", "prefix 10.0.0.0/8",
+			Filters{Prefixes: []PrefixFilter{{Prefix: p8, Match: MatchAny}}}},
+		{"prefix exact", "prefix exact 192.0.2.0/24",
+			Filters{Prefixes: []PrefixFilter{{Prefix: p16, Match: MatchExact}}}},
+		{"prefix more", "prefix more 10.0.0.0/8",
+			Filters{Prefixes: []PrefixFilter{{Prefix: p8, Match: MatchMoreSpecific}}}},
+		{"prefix less", "prefix less 10.0.0.0/8",
+			Filters{Prefixes: []PrefixFilter{{Prefix: p8, Match: MatchLessSpecific}}}},
+		{"prefix any explicit", "prefix any 10.0.0.0/8",
+			Filters{Prefixes: []PrefixFilter{{Prefix: p8, Match: MatchAny}}}},
+		{"prefix v6", "prefix more 2001:db8::/32",
+			Filters{Prefixes: []PrefixFilter{{Prefix: v6, Match: MatchMoreSpecific}}}},
+		{"prefix bare address", "prefix 192.0.2.1",
+			Filters{Prefixes: []PrefixFilter{{Prefix: netip.MustParsePrefix("192.0.2.1/32"), Match: MatchAny}}}},
+		{"prefix mixed-mode alternatives", "prefix exact 10.0.0.0/8 or more 192.0.2.0/24",
+			Filters{Prefixes: []PrefixFilter{
+				{Prefix: p8, Match: MatchExact},
+				{Prefix: p16, Match: MatchMoreSpecific}}}},
+		{"community exact", "community 65000:666",
+			Filters{Communities: []CommunityFilter{{ASN: u16p(65000), Value: u16p(666)}}}},
+		{"community asn wildcard", "community *:666",
+			Filters{Communities: []CommunityFilter{{Value: u16p(666)}}}},
+		{"community value wildcard", "community 701:*",
+			Filters{Communities: []CommunityFilter{{ASN: u16p(701)}}}},
+		{"community full wildcard", "community *:*",
+			Filters{Communities: []CommunityFilter{{}}}},
+		{"and combination", "collector rrc00 and type updates and peer 3356",
+			Filters{Collectors: []string{"rrc00"}, DumpTypes: []DumpType{DumpUpdates},
+				PeerASNs: []uint32{3356}}},
+		{"repeated term via and", "collector rrc00 and collector rrc01",
+			Filters{Collectors: []string{"rrc00", "rrc01"}}},
+		{"paper example", "collector rrc00 and prefix more 10.0.0.0/8 and elemtype announcements",
+			Filters{Collectors: []string{"rrc00"},
+				Prefixes:  []PrefixFilter{{Prefix: p8, Match: MatchMoreSpecific}},
+				ElemTypes: []ElemType{ElemAnnouncement}}},
+		{"case-insensitive keywords", "COLLECTOR rrc00 AND TYPE updates OR ribs",
+			Filters{Collectors: []string{"rrc00"}, DumpTypes: []DumpType{DumpUpdates, DumpRIB}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseFilterString(tc.in)
+			if err != nil {
+				t.Fatalf("ParseFilterString(%q): %v", tc.in, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("ParseFilterString(%q)\n got %#v\nwant %#v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseFilterStringErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		pos  int    // expected FilterSyntaxError.Pos
+		msg  string // substring of the error
+	}{
+		{"unknown term", "collectr rrc00", 0, "unknown filter term"},
+		{"missing value", "collector", 9, "needs a value"},
+		{"value is keyword", "collector and type updates", 10, "needs a value"},
+		{"dangling and", "collector rrc00 and", 19, `dangling "and"`},
+		{"missing and", "collector rrc00 type updates", 16, `expected "and"`},
+		{"or joins different terms", "collector rrc00 or type updates", 19, "alternatives of the same term"},
+		{"bad dump type", "type tabledumps", 5, "bad dump type"},
+		{"bad elemtype", "elemtype nope", 9, "bad elem type"},
+		{"bad asn", "peer banana", 5, "bad AS number"},
+		{"asn overflow", "peer 99999999999", 5, "bad AS number"},
+		{"bad prefix", "prefix 10.0.0.0/99", 7, "bad prefix"},
+		{"mode without prefix", "prefix more", 11, "needs a prefix"},
+		{"bad community", "community 65000", 10, "bad community"},
+		{"unterminated quote", `collector "rrc00`, 10, "unterminated"},
+		{"quoted term", `"collector" rrc00`, 0, "expected a filter term"},
+		{"bare or", "or", 0, "unknown filter term"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseFilterString(tc.in)
+			if err == nil {
+				t.Fatalf("ParseFilterString(%q) accepted", tc.in)
+			}
+			var se *FilterSyntaxError
+			if !errors.As(err, &se) {
+				t.Fatalf("error is %T, want *FilterSyntaxError: %v", err, err)
+			}
+			if se.Pos != tc.pos {
+				t.Errorf("Pos = %d, want %d (%v)", se.Pos, tc.pos, err)
+			}
+			if !strings.Contains(err.Error(), tc.msg) {
+				t.Errorf("error %q does not mention %q", err, tc.msg)
+			}
+		})
+	}
+}
+
+func TestFiltersStringCanonical(t *testing.T) {
+	f := Filters{
+		Projects:       []string{"ris", "route views"},
+		Collectors:     []string{"rrc00", "and"},
+		DumpTypes:      []DumpType{DumpUpdates},
+		ElemTypes:      []ElemType{ElemAnnouncement, ElemWithdrawal},
+		PeerASNs:       []uint32{3356},
+		OriginASNs:     []uint32{64500},
+		ASPathContains: []uint32{701},
+		Prefixes: []PrefixFilter{
+			{Prefix: netip.MustParsePrefix("10.0.0.0/8"), Match: MatchMoreSpecific},
+			{Prefix: netip.MustParsePrefix("192.0.2.0/24"), Match: MatchAny},
+		},
+		Communities: []CommunityFilter{{ASN: u16p(65000), Value: u16p(666)}, {Value: u16p(666)}},
+	}
+	want := `project ris or "route views" and collector rrc00 or "and" ` +
+		`and type updates and elemtype announcements or withdrawals ` +
+		`and peer 3356 and origin 64500 and aspath 701 ` +
+		`and prefix more 10.0.0.0/8 or 192.0.2.0/24 ` +
+		`and community 65000:666 or *:666`
+	if got := f.String(); got != want {
+		t.Errorf("String()\n got %q\nwant %q", got, want)
+	}
+	if got := (Filters{}).String(); got != "" {
+		t.Errorf("zero Filters String() = %q, want empty", got)
+	}
+	// The time interval is not part of the language.
+	tf := Filters{Start: time.Unix(1000, 0), End: time.Unix(2000, 0), Live: true}
+	if got := tf.String(); got != "" {
+		t.Errorf("interval-only Filters String() = %q, want empty", got)
+	}
+}
+
+// randomFilters generates a Filters value covering only the
+// grammar-expressible dimensions (the time interval is configured
+// outside the language).
+func randomFilters(rng *rand.Rand) Filters {
+	var f Filters
+	pick := func(n int) int { return rng.Intn(n) }
+	names := []string{"ris", "routeviews", "route views", "and", "or", "prefix", "a\"b", `back\slash`, "", "rrc00", "x"}
+	randNames := func() []string {
+		n := pick(3)
+		if n == 0 {
+			return nil
+		}
+		out := make([]string, n)
+		for i := range out {
+			out[i] = names[pick(len(names))]
+		}
+		return out
+	}
+	f.Projects = randNames()
+	f.Collectors = randNames()
+	for _, dt := range []DumpType{DumpRIB, DumpUpdates} {
+		if pick(3) == 0 {
+			f.DumpTypes = append(f.DumpTypes, dt)
+		}
+	}
+	for _, et := range []ElemType{ElemRIB, ElemAnnouncement, ElemWithdrawal, ElemPeerState} {
+		if pick(4) == 0 {
+			f.ElemTypes = append(f.ElemTypes, et)
+		}
+	}
+	randASNs := func() []uint32 {
+		n := pick(3)
+		if n == 0 {
+			return nil
+		}
+		out := make([]uint32, n)
+		for i := range out {
+			out[i] = rng.Uint32()
+		}
+		return out
+	}
+	f.PeerASNs = randASNs()
+	f.OriginASNs = randASNs()
+	f.ASPathContains = randASNs()
+	for i, n := 0, pick(3); i < n; i++ {
+		var p netip.Prefix
+		if pick(2) == 0 {
+			var b [4]byte
+			rng.Read(b[:])
+			p = netip.PrefixFrom(netip.AddrFrom4(b), pick(33))
+		} else {
+			var b [16]byte
+			rng.Read(b[:])
+			p = netip.PrefixFrom(netip.AddrFrom16(b), pick(129))
+		}
+		f.Prefixes = append(f.Prefixes, PrefixFilter{Prefix: p, Match: PrefixMatch(pick(4))})
+	}
+	for i, n := 0, pick(3); i < n; i++ {
+		var cf CommunityFilter
+		if pick(2) == 0 {
+			cf.ASN = u16p(uint16(rng.Uint32()))
+		}
+		if pick(2) == 0 {
+			cf.Value = u16p(uint16(rng.Uint32()))
+		}
+		f.Communities = append(f.Communities, cf)
+	}
+	return f
+}
+
+// TestFilterStringRoundTrip is the property test of the language:
+// for randomized Filters, ParseFilterString(f.String()) == f.
+func TestFilterStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20160314))
+	for i := 0; i < 500; i++ {
+		f := randomFilters(rng)
+		s := f.String()
+		got, err := ParseFilterString(s)
+		if err != nil {
+			t.Fatalf("iteration %d: ParseFilterString(%q): %v\nfilters: %#v", i, s, err, f)
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Fatalf("iteration %d: round trip through %q\n got %#v\nwant %#v", i, s, got, f)
+		}
+	}
+}
+
+// TestFilterStringParseStringFixpoint checks the complementary
+// property: String() of a parsed filter re-parses to the same value
+// (canonical form is a fixpoint).
+func TestFilterStringParseStringFixpoint(t *testing.T) {
+	inputs := []string{
+		"project ris or routeviews and type updates",
+		"collector rrc00 and prefix more 10.0.0.0/8 and elemtype announcements",
+		"peer AS3356 and community 701:* or *:666",
+		"path 174 and prefix exact 2001:db8::/32 or any 10.0.0.0/8",
+	}
+	for _, in := range inputs {
+		f1, err := ParseFilterString(in)
+		if err != nil {
+			t.Fatalf("parse %q: %v", in, err)
+		}
+		f2, err := ParseFilterString(f1.String())
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", f1.String(), in, err)
+		}
+		if !reflect.DeepEqual(f1, f2) {
+			t.Errorf("fixpoint failed for %q: %#v vs %#v", in, f1, f2)
+		}
+	}
+}
+
+// TestCompiledCommunitySets checks the precomputed community lookup
+// sets against the reference MatchesAny semantics.
+func TestCompiledCommunitySets(t *testing.T) {
+	mkElem := func(comms ...uint32) *Elem {
+		e := &Elem{Type: ElemAnnouncement}
+		for _, c := range comms {
+			e.Communities = append(e.Communities, bgp.Community(c))
+		}
+		return e
+	}
+	f := Filters{Communities: []CommunityFilter{
+		{ASN: u16p(65000), Value: u16p(666)}, // exact
+		{ASN: u16p(701)},                     // 701:*
+		{Value: u16p(9999)},                  // *:9999
+	}}
+	c := CompileFilters(f)
+	cases := []struct {
+		elem *Elem
+		want bool
+	}{
+		{mkElem(65000<<16 | 666), true},
+		{mkElem(65000<<16 | 667), false},
+		{mkElem(701<<16 | 1), true},
+		{mkElem(702<<16 | 9999), true},
+		{mkElem(702<<16 | 9998), false},
+		{mkElem(), false},
+		{mkElem(1, 65000<<16|666), true},
+	}
+	for i, tc := range cases {
+		if got := c.MatchElem(tc.elem); got != tc.want {
+			t.Errorf("case %d: MatchElem = %v, want %v", i, got, tc.want)
+		}
+	}
+	// "*:*" matches any elem that has at least one community.
+	all := CompileFilters(Filters{Communities: []CommunityFilter{{}}})
+	if !all.MatchElem(mkElem(42)) {
+		t.Error("*:* rejected an elem with communities")
+	}
+	if all.MatchElem(mkElem()) {
+		t.Error("*:* accepted an elem without communities")
+	}
+}

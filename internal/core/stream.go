@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"io"
+	"iter"
 	"sync"
 	"sync/atomic"
 
@@ -22,7 +23,7 @@ import (
 type Stream struct {
 	di       DataInterface
 	filters  Filters
-	compiled *compiledFilters
+	compiled *CompiledFilters
 	ctx      context.Context
 
 	// elemSrc, when set, replaces the dump-file pipeline entirely: the
@@ -34,6 +35,7 @@ type Stream struct {
 	seq     *merge.Sequence[*Record]
 	lastSrc *Record     // last record handed out in push mode
 	closed  atomic.Bool // set by Close, possibly from another goroutine
+	err     error       // terminal error recorded by the iterators (guarded by mu)
 
 	// elem iteration state
 	curRecord *Record
@@ -51,7 +53,7 @@ func NewStream(ctx context.Context, di DataInterface, filters Filters) *Stream {
 	return &Stream{
 		di:       di,
 		filters:  filters,
-		compiled: compileFilters(filters),
+		compiled: CompileFilters(filters),
 		ctx:      ctx,
 	}
 }
@@ -71,7 +73,7 @@ func (s *Stream) AddPrefixFilter(f PrefixFilter) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.filters.Prefixes = append(s.filters.Prefixes, f)
-	s.compiled = compileFilters(s.filters)
+	s.compiled = CompileFilters(s.filters)
 }
 
 // AddCommunityFilter adds a community filter while the stream runs.
@@ -79,10 +81,10 @@ func (s *Stream) AddCommunityFilter(f CommunityFilter) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.filters.Communities = append(s.filters.Communities, f)
-	s.compiled = compileFilters(s.filters)
+	s.compiled = CompileFilters(s.filters)
 }
 
-func (s *Stream) currentCompiled() *compiledFilters {
+func (s *Stream) currentCompiled() *CompiledFilters {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.compiled
@@ -113,30 +115,15 @@ func (s *Stream) buildSequence(metas []archive.DumpMeta) *merge.Sequence[*Record
 // collector, dump type) against the record's feed tags, and the time
 // window per record as in dumpfile.go. A well-behaved subscription
 // enforces most of this upstream; applying it locally keeps a stream's
-// filters authoritative regardless of what the feed sends.
+// filters authoritative regardless of what the feed sends. This runs
+// once per pushed record, so it probes the compiled lookup sets
+// instead of scanning the filter slices.
 func (s *Stream) matchSourceRecord(rec *Record) bool {
-	s.mu.Lock()
-	f := s.filters
-	s.mu.Unlock()
-	if len(f.Projects) > 0 && !containsString(f.Projects, rec.Project) {
+	c := s.currentCompiled()
+	if !c.matchTags(rec.Project, rec.Collector, rec.DumpType) {
 		return false
 	}
-	if len(f.Collectors) > 0 && !containsString(f.Collectors, rec.Collector) {
-		return false
-	}
-	if len(f.DumpTypes) > 0 {
-		ok := false
-		for _, t := range f.DumpTypes {
-			if t == rec.DumpType {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			return false
-		}
-	}
-	return f.MatchRecordTime(rec.Time())
+	return c.src.MatchRecordTime(rec.Time())
 }
 
 // recordLess orders records by MRT timestamp. It compares raw numeric
@@ -187,8 +174,9 @@ func (s *Stream) Next() (*Record, error) {
 				return nil, err
 			}
 			selected := metas[:0:0]
+			cc := s.currentCompiled()
 			for _, m := range metas {
-				if s.filters.MatchMeta(m) {
+				if cc.MatchMeta(m) {
 					selected = append(selected, m)
 				}
 			}
@@ -225,6 +213,73 @@ func (s *Stream) Close() error {
 	return nil
 }
 
+// Records returns a range-over-func iterator over the stream's
+// records, the Go-idiomatic form of the Next loop:
+//
+//	for rec := range s.Records() { ... }
+//	if err := s.Err(); err != nil { ... }
+//
+// The loop ends at end of stream or on error; Err reports which
+// (bufio.Scanner style: nil after a clean end). Breaking out of the
+// loop leaves the stream usable — iteration is a view over the same
+// cursor Next advances, so a later Records, Elems, Next or NextElem
+// call continues where the loop stopped.
+func (s *Stream) Records() iter.Seq[*Record] {
+	return func(yield func(*Record) bool) {
+		for {
+			rec, err := s.Next()
+			if err != nil {
+				s.setErr(err)
+				return
+			}
+			if !yield(rec) {
+				return
+			}
+		}
+	}
+}
+
+// Elems returns a range-over-func iterator over (record, elem) pairs,
+// applying the elem-level filters exactly as NextElem does:
+//
+//	for rec, elem := range s.Elems() { ... }
+//	if err := s.Err(); err != nil { ... }
+//
+// See Records for termination and resumption semantics.
+func (s *Stream) Elems() iter.Seq2[*Record, *Elem] {
+	return func(yield func(*Record, *Elem) bool) {
+		for {
+			rec, elem, err := s.NextElem()
+			if err != nil {
+				s.setErr(err)
+				return
+			}
+			if !yield(rec, elem) {
+				return
+			}
+		}
+	}
+}
+
+// Err returns the error that terminated a Records or Elems loop, or
+// nil when the stream ended cleanly (io.EOF) or no loop has finished.
+// Live streams cancelled through their context report the context's
+// error.
+func (s *Stream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *Stream) setErr(err error) {
+	if err == io.EOF {
+		err = nil
+	}
+	s.mu.Lock()
+	s.err = err
+	s.mu.Unlock()
+}
+
 // NextElem iterates the stream elem by elem, applying the elem-level
 // filters. It returns the elem together with the record it came from;
 // io.EOF signals end of stream. Records whose payload fails to decode
@@ -234,7 +289,7 @@ func (s *Stream) NextElem() (*Record, *Elem, error) {
 		if s.curRecord != nil && s.elemIdx < len(s.curElems) {
 			e := &s.curElems[s.elemIdx]
 			s.elemIdx++
-			if s.currentCompiled().matchElem(e) {
+			if s.currentCompiled().MatchElem(e) {
 				return s.curRecord, e, nil
 			}
 			continue

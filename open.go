@@ -1,0 +1,153 @@
+package bgpstream
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+// openConfig accumulates the functional options of Open.
+type openConfig struct {
+	src     Source
+	filters Filters
+}
+
+// Option configures Open.
+type Option func(*openConfig) error
+
+// WithSource selects a registered source by name with per-source
+// options — the unified replacement for the per-transport
+// constructors. See Sources() for the registry and each source's
+// options:
+//
+//	bgpstream.Open(ctx,
+//		bgpstream.WithSource("broker", bgpstream.SourceOptions{"url": "http://localhost:8472"}),
+//		bgpstream.WithFilterString("collector rrc00 and elemtype announcements"))
+func WithSource(name string, opts SourceOptions) Option {
+	return func(c *openConfig) error {
+		src, err := OpenSource(name, opts)
+		if err != nil {
+			return err
+		}
+		c.src = src
+		return nil
+	}
+}
+
+// WithSourceInstance supplies an already-constructed source: a Source,
+// any pull DataInterface (Directory, CSVFile, SingleFiles, a
+// BrokerClient), or any push ElemSource (a RISLiveClient). This is the
+// escape hatch for sources that need programmatic configuration beyond
+// string options.
+func WithSourceInstance(src any) Option {
+	return func(c *openConfig) error {
+		s, err := core.AsSource(src)
+		if err != nil {
+			return err
+		}
+		c.src = s
+		return nil
+	}
+}
+
+// WithFilters merges a Filters value into the stream configuration:
+// slice dimensions append, a non-zero Start/End overwrites, Live turns
+// on. Combines freely with WithFilterString.
+func WithFilters(f Filters) Option {
+	return func(c *openConfig) error {
+		mergeFilters(&c.filters, f)
+		return nil
+	}
+}
+
+// WithFilterString merges a BGPStream v2 filter string (see
+// ParseFilterString for the grammar) into the stream configuration:
+//
+//	bgpstream.WithFilterString("collector rrc00 and prefix more 10.0.0.0/8 and elemtype announcements")
+func WithFilterString(q string) Option {
+	return func(c *openConfig) error {
+		f, err := ParseFilterString(q)
+		if err != nil {
+			return err
+		}
+		mergeFilters(&c.filters, f)
+		return nil
+	}
+}
+
+// WithInterval bounds the stream to records in [start, end] — the
+// historical mode of §3.3.1. A zero end means "up to the newest
+// available data".
+func WithInterval(start, end time.Time) Option {
+	return func(c *openConfig) error {
+		c.filters.Start, c.filters.End, c.filters.Live = start, end, false
+		return nil
+	}
+}
+
+// WithLive starts at start and never ends — the C API's interval end
+// of -1, converting any program into a live monitor. Pass the zero
+// time to start at the newest available data.
+func WithLive(start time.Time) Option {
+	return func(c *openConfig) error {
+		c.filters.Start, c.filters.End, c.filters.Live = start, time.Time{}, true
+		return nil
+	}
+}
+
+// Open is the unified stream constructor: it binds a source (pull or
+// push, named or instance) to the accumulated filters and returns the
+// running stream. It replaces the NewStream / NewLiveStream /
+// NewBrokerClient / NewRISLiveClient constructor zoo, which remain as
+// deprecated wrappers.
+//
+//	s, err := bgpstream.Open(ctx,
+//		bgpstream.WithSource("directory", bgpstream.SourceOptions{"path": "./archive"}),
+//		bgpstream.WithFilterString("type updates and prefix more 10.0.0.0/8"),
+//		bgpstream.WithInterval(start, end))
+//	if err != nil { ... }
+//	defer s.Close()
+//	for rec, elem := range s.Elems() { ... }
+//	if err := s.Err(); err != nil { ... }
+//
+// The context bounds blocking operations (live polling, push feeds);
+// pass context.Background() for unbounded historical runs. Options
+// apply in order, so a later WithSource wins and filter options
+// accumulate.
+func Open(ctx context.Context, opts ...Option) (*Stream, error) {
+	cfg := &openConfig{}
+	for _, opt := range opts {
+		if err := opt(cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.src == nil {
+		return nil, errors.New("bgpstream: Open needs a source (use WithSource or WithSourceInstance)")
+	}
+	return cfg.src.OpenStream(ctx, cfg.filters)
+}
+
+// mergeFilters folds src into dst: slices append, interval fields
+// overwrite when set.
+func mergeFilters(dst *Filters, src Filters) {
+	dst.Projects = append(dst.Projects, src.Projects...)
+	dst.Collectors = append(dst.Collectors, src.Collectors...)
+	dst.DumpTypes = append(dst.DumpTypes, src.DumpTypes...)
+	dst.ElemTypes = append(dst.ElemTypes, src.ElemTypes...)
+	dst.PeerASNs = append(dst.PeerASNs, src.PeerASNs...)
+	dst.OriginASNs = append(dst.OriginASNs, src.OriginASNs...)
+	dst.ASPathContains = append(dst.ASPathContains, src.ASPathContains...)
+	dst.Prefixes = append(dst.Prefixes, src.Prefixes...)
+	dst.Communities = append(dst.Communities, src.Communities...)
+	if !src.Start.IsZero() {
+		dst.Start = src.Start
+	}
+	if !src.End.IsZero() {
+		dst.End = src.End
+	}
+	if src.Live {
+		dst.Live = true
+	}
+}

@@ -1,0 +1,376 @@
+package bgpstream_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+	"github.com/bgpstream-go/bgpstream/internal/astopo"
+	"github.com/bgpstream-go/bgpstream/internal/collector"
+	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/rislive"
+
+	bgpstream "github.com/bgpstream-go/bgpstream"
+)
+
+// generateArchive synthesises a small two-collector archive and
+// returns its directory.
+func generateArchive(t *testing.T, seed int64, hours int) (string, time.Time) {
+	t.Helper()
+	start := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	topo := astopo.Generate(astopo.DefaultParams(seed))
+	sim, err := collector.NewSimulator(collector.Config{
+		Topo:              topo,
+		Collectors:        collector.DefaultCollectors(topo, 4),
+		ChurnFlapsPerHour: 30,
+		Seed:              seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	store, err := archive.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.GenerateArchive(store, start, start.Add(time.Duration(hours)*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	return dir, start
+}
+
+// TestOpenPullEndToEnd drives the unified front end over a pull source
+// (the directory transport from the registry) with a filter string,
+// checking the filters bite and the range-over-func iterator works.
+func TestOpenPullEndToEnd(t *testing.T) {
+	dir, start := generateArchive(t, 14, 1)
+
+	s, err := bgpstream.Open(context.Background(),
+		bgpstream.WithSource("directory", bgpstream.SourceOptions{"path": dir}),
+		bgpstream.WithFilterString("project ris and type ribs and elemtype ribs"),
+		bgpstream.WithInterval(start, start.Add(time.Hour)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// The stream reports its canonical query.
+	if got := s.Filters().String(); got != "project ris and type ribs and elemtype ribs" {
+		t.Errorf("canonical filter = %q", got)
+	}
+
+	n := 0
+	for rec, elem := range s.Elems() {
+		if rec.Project != "ris" || elem.Type != bgpstream.ElemRIB {
+			t.Fatalf("filter leak: %s %s", rec.Project, elem.Type)
+		}
+		n++
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no RIB elems through Open")
+	}
+
+	// The same stream construction through the legacy constructor
+	// yields the same elem count (old and new front ends agree).
+	filters := bgpstream.Filters{
+		Projects:  []string{"ris"},
+		DumpTypes: []bgpstream.DumpType{bgpstream.DumpRIB},
+		ElemTypes: []bgpstream.ElemType{bgpstream.ElemRIB},
+		Start:     start,
+		End:       start.Add(time.Hour),
+	}
+	legacy := bgpstream.NewStream(context.Background(), &bgpstream.Directory{Dir: dir}, filters)
+	defer legacy.Close()
+	m := 0
+	for range legacy.Elems() {
+		m++
+	}
+	if err := legacy.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if m != n {
+		t.Fatalf("legacy constructor saw %d elems, Open saw %d", m, n)
+	}
+}
+
+// TestOpenCSVSource reaches the csvfile source through the registry.
+func TestOpenCSVSource(t *testing.T) {
+	dir, _ := generateArchive(t, 15, 1)
+	store := &archive.Store{Root: dir}
+	metas, err := store.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) == 0 {
+		t.Fatal("no dumps scanned")
+	}
+	csvPath := filepath.Join(t.TempDir(), "index.csv")
+	var sb strings.Builder
+	sb.WriteString("# test index\n")
+	for _, m := range metas {
+		fmt.Fprintf(&sb, "%s,%s,%s,%d,%d,%s\n", m.Project, m.Collector, string(m.Type),
+			m.Time.Unix(), int64(m.Duration/time.Second), m.URL)
+	}
+	if err := os.WriteFile(csvPath, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := bgpstream.Open(context.Background(),
+		bgpstream.WithSource("csvfile", bgpstream.SourceOptions{"path": csvPath}),
+		bgpstream.WithFilterString("type updates"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	n := 0
+	for rec := range s.Records() {
+		if rec.DumpType != bgpstream.DumpUpdates {
+			t.Fatalf("filter leak: %s", rec.DumpType)
+		}
+		n++
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no records through csvfile source")
+	}
+}
+
+// TestOpenPushEndToEnd drives the unified front end over the push
+// rislive source: an in-process SSE server replays a simulated
+// archive, Open consumes it through the same registry and filter
+// string surface as the pull path.
+func TestOpenPushEndToEnd(t *testing.T) {
+	dir, _ := generateArchive(t, 16, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	feed := &rislive.Server{KeepAlive: 100 * time.Millisecond}
+	hs := httptest.NewServer(feed)
+	defer hs.Close()
+	go func() {
+		for ctx.Err() == nil {
+			rs := core.NewStream(ctx, &core.Directory{Dir: dir}, core.Filters{})
+			rislive.Replay(ctx, rs, feed, rislive.ReplayOptions{})
+			rs.Close()
+		}
+	}()
+
+	s, err := bgpstream.Open(ctx,
+		bgpstream.WithSource("rislive", bgpstream.SourceOptions{"url": hs.URL}),
+		bgpstream.WithFilterString("elemtype announcements"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	n := 0
+	for _, elem := range s.Elems() {
+		if elem.Type != bgpstream.ElemAnnouncement {
+			t.Fatalf("filter leak: %s through push source", elem.Type)
+		}
+		if n++; n >= 500 {
+			break
+		}
+	}
+	if n < 500 {
+		t.Fatalf("only %d elems from push source (err: %v)", n, s.Err())
+	}
+}
+
+// TestOpenSourceInstance exercises the adapter path: an
+// already-constructed DataInterface flows through WithSourceInstance.
+func TestOpenSourceInstance(t *testing.T) {
+	dir, _ := generateArchive(t, 17, 1)
+	s, err := bgpstream.Open(context.Background(),
+		bgpstream.WithSourceInstance(&bgpstream.Directory{Dir: dir}),
+		bgpstream.WithFilterString("type updates"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	n := 0
+	for range s.Records() {
+		n++
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no records through WithSourceInstance")
+	}
+}
+
+// TestSourceRegistry checks the registry listing and its error paths.
+func TestSourceRegistry(t *testing.T) {
+	infos := bgpstream.Sources()
+	names := make([]string, len(infos))
+	for i, info := range infos {
+		names[i] = info.Name
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"broker", "csvfile", "directory", "rislive", "singlefile"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Sources() missing %q: %v", want, names)
+		}
+	}
+	if !sortedStrings(names) {
+		t.Errorf("Sources() not sorted: %v", names)
+	}
+
+	if _, err := bgpstream.OpenSource("nope", nil); err == nil ||
+		!strings.Contains(err.Error(), "registered:") {
+		t.Errorf("unknown source error = %v", err)
+	}
+	if _, err := bgpstream.OpenSource("directory", bgpstream.SourceOptions{"wrong": "x"}); err == nil ||
+		!strings.Contains(err.Error(), `no option "wrong"`) {
+		t.Errorf("unknown option error = %v", err)
+	}
+	if _, err := bgpstream.OpenSource("directory", nil); err == nil ||
+		!strings.Contains(err.Error(), `requires option "path"`) {
+		t.Errorf("missing required option error = %v", err)
+	}
+	if _, err := bgpstream.OpenSource("rislive", bgpstream.SourceOptions{"url": "http://x", "stale": "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "bad duration") {
+		t.Errorf("bad duration error = %v", err)
+	}
+	if _, err := bgpstream.OpenSource("singlefile", bgpstream.SourceOptions{}); err == nil {
+		t.Error("singlefile without files accepted")
+	}
+
+	// Open without a source is an error, as is a bad filter string.
+	if _, err := bgpstream.Open(context.Background()); err == nil {
+		t.Error("Open without source accepted")
+	}
+	if _, err := bgpstream.Open(context.Background(),
+		bgpstream.WithSource("directory", bgpstream.SourceOptions{"path": "/tmp"}),
+		bgpstream.WithFilterString("collectr rrc00")); err == nil {
+		t.Error("Open with bad filter string accepted")
+	}
+}
+
+// TestRegisterCustomSource registers a synthetic push source and opens
+// it through the same named path as the built-ins.
+func TestRegisterCustomSource(t *testing.T) {
+	bgpstream.RegisterSource(bgpstream.SourceInfo{
+		Name: "test-synthetic", Kind: "push",
+		Options: []bgpstream.SourceOption{{Name: "n", Description: "elems to emit"}},
+	}, func(opts bgpstream.SourceOptions) (bgpstream.Source, error) {
+		return bgpstream.PushSource(&syntheticSource{n: 3}), nil
+	})
+	s, err := bgpstream.Open(context.Background(),
+		bgpstream.WithSource("test-synthetic", bgpstream.SourceOptions{"n": "3"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	n := 0
+	for range s.Elems() {
+		n++
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("custom source yielded %d elems, want 3", n)
+	}
+}
+
+// syntheticSource is a minimal ElemSource for registry tests.
+type syntheticSource struct{ n, i int }
+
+func (s *syntheticSource) NextElem(ctx context.Context) (*bgpstream.Record, *bgpstream.Elem, error) {
+	if s.i >= s.n {
+		return nil, nil, io.EOF
+	}
+	s.i++
+	ts := time.Date(2016, 3, 1, 0, 0, s.i, 0, time.UTC)
+	elems := []core.Elem{{Type: core.ElemAnnouncement, Timestamp: ts}}
+	rec := core.NewElemRecord("test", "synth", core.DumpUpdates, ts, elems)
+	return rec, &elems[0], nil
+}
+
+func (s *syntheticSource) Close() error { return nil }
+
+func sortedStrings(xs []string) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestOpenSingleFileWithInterval regresses the interval/meta-filter
+// interaction: a singlefile source has no nominal dump time (zero
+// Time), so it must survive interval meta-filtering and be filtered
+// per record instead.
+func TestOpenSingleFileWithInterval(t *testing.T) {
+	dir, start := generateArchive(t, 18, 1)
+	store := &archive.Store{Root: dir}
+	metas, err := store.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var updURL string
+	for _, m := range metas {
+		if m.Type == archive.DumpUpdates {
+			updURL = m.URL
+			break
+		}
+	}
+	if updURL == "" {
+		t.Fatal("no updates dump in archive")
+	}
+	s, err := bgpstream.Open(context.Background(),
+		bgpstream.WithSource("singlefile", bgpstream.SourceOptions{"upd-file": updURL}),
+		bgpstream.WithInterval(start, start.Add(time.Hour)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	n := 0
+	for rec := range s.Records() {
+		if rec.Project != "singlefile" || rec.Collector != "singlefile" {
+			t.Fatalf("annotations = %s/%s", rec.Project, rec.Collector)
+		}
+		n++
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("singlefile source with interval yielded nothing")
+	}
+
+	// With an explicit nominal time outside the interval, the dump is
+	// meta-filtered away again.
+	s2, err := bgpstream.Open(context.Background(),
+		bgpstream.WithSource("singlefile", bgpstream.SourceOptions{
+			"upd-file": updURL,
+			"time":     "100", "duration": "5m", // ends long before start
+		}),
+		bgpstream.WithInterval(start, start.Add(time.Hour)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for range s2.Records() {
+		t.Fatal("out-of-interval singlefile dump yielded records")
+	}
+	if err := s2.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

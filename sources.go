@@ -1,0 +1,285 @@
+package bgpstream
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+	"github.com/bgpstream-go/bgpstream/internal/broker"
+	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/rislive"
+)
+
+// SourceOptions carries per-source configuration as string key/value
+// pairs, mirroring the C API's bgpstream_set_data_interface_option.
+// Every option a source supports is listed in its SourceInfo; unknown
+// keys are rejected by OpenSource.
+type SourceOptions map[string]string
+
+// SourceOption documents one option a registered source accepts.
+type SourceOption struct {
+	Name        string
+	Description string
+	// Default is the rendered default value ("" when none).
+	Default string
+	// Required marks options OpenSource refuses to proceed without.
+	Required bool
+}
+
+// SourceInfo describes a registered source, the Go form of the C
+// API's bgpstream_data_interface_info.
+type SourceInfo struct {
+	// Name is the registry key ("broker", "directory", ...).
+	Name        string
+	Description string
+	// Kind is "pull" (dump-file meta-data, minutes-latency) or "push"
+	// (per-elem messages, milliseconds-latency).
+	Kind    string
+	Options []SourceOption
+}
+
+// SourceFactory builds a Source from validated options. Factories
+// should validate option values eagerly and defer only the
+// filter-dependent construction to the returned Source's OpenStream.
+type SourceFactory func(opts SourceOptions) (Source, error)
+
+type sourceRegistration struct {
+	info    SourceInfo
+	factory SourceFactory
+}
+
+var sourceRegistry = struct {
+	sync.RWMutex
+	m map[string]sourceRegistration
+}{m: map[string]sourceRegistration{}}
+
+// RegisterSource adds a named source to the registry (replacing any
+// previous registration of the same name), making it reachable from
+// OpenSource and Open(WithSource(...)). The built-in sources register
+// themselves at init; embedders add their own transports the same way.
+func RegisterSource(info SourceInfo, factory SourceFactory) {
+	if info.Name == "" || factory == nil {
+		panic("bgpstream: RegisterSource needs a name and a factory")
+	}
+	sourceRegistry.Lock()
+	defer sourceRegistry.Unlock()
+	sourceRegistry.m[info.Name] = sourceRegistration{info: info, factory: factory}
+}
+
+// Sources lists every registered source sorted by name, the Go form
+// of bgpstream_get_data_interfaces.
+func Sources() []SourceInfo {
+	sourceRegistry.RLock()
+	defer sourceRegistry.RUnlock()
+	out := make([]SourceInfo, 0, len(sourceRegistry.m))
+	for _, reg := range sourceRegistry.m {
+		out = append(out, reg.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// OpenSource builds the named source from the registry with the given
+// options. Unknown source names, unknown option keys, and missing
+// required options are errors that name the valid alternatives. The
+// returned Source binds filters when opened (directly via OpenStream,
+// or through Open).
+func OpenSource(name string, opts SourceOptions) (Source, error) {
+	sourceRegistry.RLock()
+	reg, ok := sourceRegistry.m[name]
+	sourceRegistry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("bgpstream: unknown source %q (registered: %s)",
+			name, strings.Join(sourceNames(), ", "))
+	}
+	valid := make(map[string]bool, len(reg.info.Options))
+	var optNames []string
+	for _, o := range reg.info.Options {
+		valid[o.Name] = true
+		optNames = append(optNames, o.Name)
+	}
+	for k := range opts {
+		if !valid[k] {
+			return nil, fmt.Errorf("bgpstream: source %q has no option %q (options: %s)",
+				name, k, strings.Join(optNames, ", "))
+		}
+	}
+	for _, o := range reg.info.Options {
+		if o.Required && opts[o.Name] == "" {
+			return nil, fmt.Errorf("bgpstream: source %q requires option %q (%s)",
+				name, o.Name, o.Description)
+		}
+	}
+	return reg.factory(opts)
+}
+
+func sourceNames() []string {
+	sourceRegistry.RLock()
+	defer sourceRegistry.RUnlock()
+	names := make([]string, 0, len(sourceRegistry.m))
+	for n := range sourceRegistry.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// optDuration parses an optional duration-valued option ("10s",
+// "1m30s"); missing or empty means def.
+func optDuration(name string, opts SourceOptions, key string, def time.Duration) (time.Duration, error) {
+	v := opts[key]
+	if v == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("bgpstream: source %q option %q: bad duration %q", name, key, v)
+	}
+	return d, nil
+}
+
+// The built-in sources, mirroring the data interfaces of the C API
+// (§3.2: broker, single file, CSV file, local directory) plus the
+// push-based rislive transport of PR 1.
+func init() {
+	RegisterSource(SourceInfo{
+		Name:        "broker",
+		Description: "BGPStream Broker meta-data service (the default way to consume public archives)",
+		Kind:        "pull",
+		Options: []SourceOption{
+			{Name: "url", Description: "broker service root, e.g. http://localhost:8472", Required: true},
+			{Name: "poll", Description: "live-mode polling period", Default: "10s"},
+			{Name: "window", Description: "override the broker's response window", Default: "broker-chosen"},
+		},
+	}, func(opts SourceOptions) (Source, error) {
+		poll, err := optDuration("broker", opts, "poll", 0)
+		if err != nil {
+			return nil, err
+		}
+		window, err := optDuration("broker", opts, "window", 0)
+		if err != nil {
+			return nil, err
+		}
+		url := opts["url"]
+		return core.SourceFunc(func(ctx context.Context, f Filters) (*Stream, error) {
+			c := broker.NewClient(url, f)
+			if poll > 0 {
+				c.PollInterval = poll
+			}
+			c.Window = window
+			return core.NewStream(ctx, c, f), nil
+		}), nil
+	})
+
+	RegisterSource(SourceInfo{
+		Name:        "directory",
+		Description: "local archive tree in the collector-project on-disk layout",
+		Kind:        "pull",
+		Options: []SourceOption{
+			{Name: "path", Description: "archive root directory", Required: true},
+		},
+	}, func(opts SourceOptions) (Source, error) {
+		return PullSource(&core.Directory{Dir: opts["path"]}), nil
+	})
+
+	RegisterSource(SourceInfo{
+		Name:        "csvfile",
+		Description: "CSV dump index: project,collector,type,unix_start,duration_seconds,url per line",
+		Kind:        "pull",
+		Options: []SourceOption{
+			{Name: "path", Description: "CSV index file", Required: true},
+		},
+	}, func(opts SourceOptions) (Source, error) {
+		return PullSource(&core.CSVFile{Path: opts["path"]}), nil
+	})
+
+	RegisterSource(SourceInfo{
+		Name:        "singlefile",
+		Description: "explicit dump files, no meta-data service (the C API's single-file interface)",
+		Kind:        "pull",
+		Options: []SourceOption{
+			{Name: "rib-file", Description: "path or URL of a RIB dump (this or upd-file is required)"},
+			{Name: "upd-file", Description: "path or URL of an updates dump (this or rib-file is required)"},
+			{Name: "project", Description: "project annotation on the records", Default: "singlefile"},
+			{Name: "collector", Description: "collector annotation on the records", Default: "singlefile"},
+			{Name: "time", Description: "nominal dump start, unix seconds (zero = unknown: the dump always passes interval meta-filtering and records are time-filtered individually)", Default: "0"},
+			{Name: "duration", Description: "nominal dump duration, e.g. 8h", Default: "0s"},
+		},
+	}, func(opts SourceOptions) (Source, error) {
+		if opts["rib-file"] == "" && opts["upd-file"] == "" {
+			return nil, fmt.Errorf(`bgpstream: source "singlefile" requires option "rib-file" or "upd-file"`)
+		}
+		project, collector := opts["project"], opts["collector"]
+		if project == "" {
+			project = "singlefile"
+		}
+		if collector == "" {
+			collector = "singlefile"
+		}
+		var ts time.Time
+		if v := opts["time"]; v != "" && v != "0" {
+			sec, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf(`bgpstream: source "singlefile" option "time": bad unix seconds %q`, v)
+			}
+			ts = time.Unix(sec, 0).UTC()
+		}
+		dur, err := optDuration("singlefile", opts, "duration", 0)
+		if err != nil {
+			return nil, err
+		}
+		var metas []DumpMeta
+		if u := opts["rib-file"]; u != "" {
+			metas = append(metas, archive.DumpMeta{
+				Project: project, Collector: collector, Type: DumpRIB,
+				Time: ts, Duration: dur, URL: u,
+			})
+		}
+		if u := opts["upd-file"]; u != "" {
+			metas = append(metas, archive.DumpMeta{
+				Project: project, Collector: collector, Type: DumpUpdates,
+				Time: ts, Duration: dur, URL: u,
+			})
+		}
+		return PullSource(&core.SingleFiles{Metas: metas}), nil
+	})
+
+	RegisterSource(SourceInfo{
+		Name:        "rislive",
+		Description: "RIS Live-style SSE push feed (bgplivesrv, rislive.Server); millisecond latency",
+		Kind:        "push",
+		Options: []SourceOption{
+			{Name: "url", Description: "SSE endpoint, e.g. http://localhost:8481/v1/stream", Required: true},
+			{Name: "stale", Description: "reconnect when messages lag the clock by this much (0 disables)", Default: "0s"},
+			{Name: "log", Description: `"stderr" surfaces connection lifecycle logs`},
+		},
+	}, func(opts SourceOptions) (Source, error) {
+		stale, err := optDuration("rislive", opts, "stale", 0)
+		if err != nil {
+			return nil, err
+		}
+		switch opts["log"] {
+		case "", "stderr":
+		default:
+			return nil, fmt.Errorf(`bgpstream: source "rislive" option "log": want "stderr", got %q`, opts["log"])
+		}
+		url, logDest := opts["url"], opts["log"]
+		return core.SourceFunc(func(ctx context.Context, f Filters) (*Stream, error) {
+			// The subscription pushes the server-enforceable dimensions
+			// upstream; the stream re-applies every filter locally, so
+			// its configuration stays authoritative.
+			c := rislive.NewClient(url, rislive.SubscriptionFromFilters(f))
+			c.Staleness = stale
+			if logDest == "stderr" {
+				c.Logf = log.Printf
+			}
+			return core.NewLiveStream(ctx, c, f), nil
+		}), nil
+	})
+}
