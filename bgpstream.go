@@ -54,6 +54,14 @@
 // enforces per-client subscription filters and a bounded-buffer
 // slow-client drop policy with drop counters.
 //
+// Push feeds trade completeness for that latency: slow consumption and
+// reconnects lose elems. WithRepair (or the "repaired" source) heals
+// the trade-off — loss windows the push client detects are backfilled
+// from an archive-class source and spliced into the flow in time
+// order, deduplicated at the window boundaries, giving a third class:
+// push latency with pull completeness. Stream.SourceStats reports the
+// gap/repair counters.
+//
 // This package re-exports the user-facing types of the internal
 // implementation packages; power users building custom pipelines
 // (BGPCorsaro plugins, routing-table consumers) can depend on the
@@ -62,10 +70,12 @@ package bgpstream
 
 import (
 	"context"
+	"time"
 
 	"github.com/bgpstream-go/bgpstream/internal/archive"
 	"github.com/bgpstream-go/bgpstream/internal/broker"
 	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/gaprepair"
 	"github.com/bgpstream-go/bgpstream/internal/rislive"
 )
 
@@ -97,6 +107,26 @@ type CommunityFilter = core.CommunityFilter
 // push ElemSources satisfy (via PullSource/PushSource); Open binds one
 // to filters. OpenSource builds registered sources by name.
 type Source = core.Source
+
+// Gap is a window of feed time a push source knows it lost elems over;
+// see WithRepair and the "repaired" source for automatic backfill.
+type Gap = core.Gap
+
+// SourceStats carries the completeness counters of a (possibly
+// repaired) push source; Stream.SourceStats reports them and
+// `bgpreader -v` prints them at exit.
+type SourceStats = core.SourceStats
+
+// RepairedSource is the gap-repairing composite source behind
+// WithRepair and the "repaired" registry entry: a push Live source
+// whose loss windows are backfilled from an archive-class Backfill
+// source. Use it directly (via WithSourceInstance) when the halves
+// need programmatic configuration.
+type RepairedSource = gaprepair.Composite
+
+// RepairOptions tunes a RepairedSource (holdback bound, backfill
+// timeout, logging).
+type RepairOptions = gaprepair.Options
 
 // DataInterface supplies dump-file meta-data to a stream (pull).
 type DataInterface = core.DataInterface
@@ -191,6 +221,13 @@ func PullSource(di DataInterface) Source { return core.PullSource(di) }
 
 // PushSource adapts an ElemSource into a Source.
 func PushSource(es ElemSource) Source { return core.PushSource(es) }
+
+// NewElemRecord synthesises a valid Record carrying pre-decomposed
+// elems, the building block for custom push sources and tests: Elems
+// returns exactly elems and the record sorts by ts in merge layers.
+func NewElemRecord(project, collector string, t DumpType, ts time.Time, elems []Elem) *Record {
+	return core.NewElemRecord(project, collector, t, ts, elems)
+}
 
 // NewStream builds a stream over a data interface; ctx bounds live
 // polling.

@@ -23,12 +23,19 @@
 //	# follow a push feed (RIS Live-style SSE, e.g. bgplivesrv) with
 //	# millisecond latency instead of polling for dumps:
 //	bgpreader -ris-live http://localhost:8481/v1/stream -filter "prefix 192.0.0.0/8"
+//
+//	# the same feed with completeness restored: loss windows
+//	# (reconnects, server-side drops) are backfilled from the archive
+//	# and spliced in, in time order; -v prints the gap/repair counters:
+//	bgpreader -ris-live http://localhost:8481/v1/stream -repair -d ./archive -v
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -42,7 +49,7 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "bgpreader:", err)
 		os.Exit(1)
 	}
@@ -152,28 +159,37 @@ func (l *legacyFilterFlags) filters() (core.Filters, error) {
 	return filters, nil
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bgpreader", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		brokerURL = flag.String("broker", "", "BGPStream Broker URL (default data interface)")
-		dir       = flag.String("d", "", "local archive directory data interface")
-		csv       = flag.String("csv", "", "CSV dump-index data interface")
-		risLive   = flag.String("ris-live", "", "RIS Live-style SSE feed URL (push data interface)")
-		risStale  = flag.Duration("ris-live-stale", 0, "reconnect when feed messages lag the clock by this much (0 disables; useless on historical replays)")
-		window    = flag.String("w", "", "time window: start[,end] unix seconds; omit end for live mode")
-		filterStr = flag.String("filter", "", `BGPStream v2 filter string, e.g. "collector rrc00 and prefix more 10.0.0.0/8 and elemtype announcements" (exclusive with -p/-c/-t/-e/-k/-y/-j)`)
-		machine   = flag.Bool("m", false, "bgpdump -m compatible output (elems only)")
-		records   = flag.Bool("r", false, "print one line per record instead of per elem")
-		verbose   = flag.Bool("v", false, "verbose: print the canonical filter string and source on stderr at startup")
+		brokerURL = fs.String("broker", "", "BGPStream Broker URL (default data interface)")
+		dir       = fs.String("d", "", "local archive directory data interface")
+		csv       = fs.String("csv", "", "CSV dump-index data interface")
+		risLive   = fs.String("ris-live", "", "RIS Live-style SSE feed URL (push data interface)")
+		risStale  = fs.Duration("ris-live-stale", 0, "reconnect when feed messages lag the clock by this much (0 disables; useless on historical replays)")
+		repair    = fs.Bool("repair", false, "backfill push-feed loss windows (reconnects, server drops) from the pull source given by -broker/-d/-csv; requires -ris-live")
+		window    = fs.String("w", "", "time window: start[,end] unix seconds; omit end for live mode")
+		filterStr = fs.String("filter", "", `BGPStream v2 filter string, e.g. "collector rrc00 and prefix more 10.0.0.0/8 and elemtype announcements" (exclusive with -p/-c/-t/-e/-k/-y/-j)`)
+		machine   = fs.Bool("m", false, "bgpdump -m compatible output (elems only)")
+		records   = fs.Bool("r", false, "print one line per record instead of per elem")
+		stopAfter = fs.Int("n", 0, "stop after printing this many lines (0 = unbounded; bounds live runs)")
+		verbose   = fs.Bool("v", false, "verbose: print the canonical filter string and source on stderr at startup, and the source completeness counters at exit")
 	)
 	var legacy legacyFilterFlags
-	flag.StringVar(&legacy.types, "t", "", "dump type filter: ribs or updates")
-	flag.StringVar(&legacy.elemTypes, "e", "", "elem type filter: any of A,W,R,S (comma separated)")
-	flag.Var(&legacy.projects, "p", "project filter (repeatable)")
-	flag.Var(&legacy.collectors, "c", "collector filter (repeatable)")
-	flag.Var(&legacy.prefixes, "k", "prefix filter, any overlap (repeatable)")
-	flag.Var(&legacy.communities, "y", "community filter asn:value with * wildcards (repeatable)")
-	flag.Var(&legacy.peers, "j", "peer ASN filter (repeatable)")
-	flag.Parse()
+	fs.StringVar(&legacy.types, "t", "", "dump type filter: ribs or updates")
+	fs.StringVar(&legacy.elemTypes, "e", "", "elem type filter: any of A,W,R,S (comma separated)")
+	fs.Var(&legacy.projects, "p", "project filter (repeatable)")
+	fs.Var(&legacy.collectors, "c", "collector filter (repeatable)")
+	fs.Var(&legacy.prefixes, "k", "prefix filter, any overlap (repeatable)")
+	fs.Var(&legacy.communities, "y", "community filter asn:value with * wildcards (repeatable)")
+	fs.Var(&legacy.peers, "j", "peer ASN filter (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h printed usage; a help request is not a failure
+		}
+		return err
+	}
 
 	if err := checkFilterConflict(*filterStr, &legacy); err != nil {
 		return err
@@ -202,25 +218,41 @@ func run() error {
 		}
 	}
 
-	// Every transport goes through the unified source registry.
+	// Every transport goes through the unified source registry. The
+	// pull flags name the backfill source when -repair wraps a push
+	// feed, the main source otherwise.
+	pullName, pullOpts := "", bgpstream.SourceOptions(nil)
+	switch {
+	case *dir != "":
+		pullName, pullOpts = "directory", bgpstream.SourceOptions{"path": *dir}
+	case *csv != "":
+		pullName, pullOpts = "csvfile", bgpstream.SourceOptions{"path": *csv}
+	case *brokerURL != "":
+		pullName, pullOpts = "broker", bgpstream.SourceOptions{"url": *brokerURL}
+	}
 	var srcName string
-	var srcOpts bgpstream.SourceOptions
 	switch {
 	case *risLive != "":
 		srcName = "rislive"
 		// "log" surfaces connection lifecycle on stderr: without it a
 		// bad URL retries forever in silence.
-		srcOpts = bgpstream.SourceOptions{"url": *risLive, "stale": risStale.String(), "log": "stderr"}
-	case *dir != "":
-		srcName, srcOpts = "directory", bgpstream.SourceOptions{"path": *dir}
-	case *csv != "":
-		srcName, srcOpts = "csvfile", bgpstream.SourceOptions{"path": *csv}
-	case *brokerURL != "":
-		srcName, srcOpts = "broker", bgpstream.SourceOptions{"url": *brokerURL}
+		srcOpts := bgpstream.SourceOptions{"url": *risLive, "stale": risStale.String(), "log": "stderr"}
+		opts = append(opts, bgpstream.WithSource(srcName, srcOpts))
+		if *repair {
+			if pullName == "" {
+				return fmt.Errorf("-repair needs a pull source (-broker, -d or -csv) to backfill from")
+			}
+			srcName += "+" + pullName
+			opts = append(opts, bgpstream.WithRepair(pullName, pullOpts))
+		}
+	case *repair:
+		return fmt.Errorf("-repair wraps a push feed: it requires -ris-live")
+	case pullName != "":
+		srcName = pullName
+		opts = append(opts, bgpstream.WithSource(pullName, pullOpts))
 	default:
 		return fmt.Errorf("one of -broker, -d, -csv, -ris-live is required")
 	}
-	opts = append(opts, bgpstream.WithSource(srcName, srcOpts))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -235,37 +267,60 @@ func run() error {
 		if canonical == "" {
 			canonical = "<match everything>"
 		}
-		fmt.Fprintf(os.Stderr, "bgpreader: source %s, filter: %s\n", srcName, canonical)
+		fmt.Fprintf(stderr, "bgpreader: source %s, filter: %s\n", srcName, canonical)
 	}
 
-	out := newBufferedStdout()
+	out := newBufferedWriter(stdout)
 	defer out.Flush()
 	// In live modes lines trickle in; flushing per line keeps output
 	// latency at the feed's latency instead of the buffer's fill time.
 	live := *risLive != "" || stream.Filters().Live
+	printed := 0
+	emit := func(line string) bool {
+		fmt.Fprintln(out, line)
+		if live {
+			out.Flush()
+		}
+		printed++
+		return *stopAfter == 0 || printed < *stopAfter
+	}
 	if *records {
 		for rec := range stream.Records() {
-			fmt.Fprintln(out, bgpdump.FormatRecord(rec))
-			if live {
-				out.Flush()
+			if !emit(bgpdump.FormatRecord(rec)) {
+				break
 			}
 		}
 	} else {
 		for rec, elem := range stream.Elems() {
+			var line string
 			if *machine {
-				fmt.Fprintln(out, bgpdump.FormatElem(rec, elem))
+				line = bgpdump.FormatElem(rec, elem)
 			} else {
-				fmt.Fprintln(out, bgpdump.FormatElemVerbose(rec, elem))
+				line = bgpdump.FormatElemVerbose(rec, elem)
 			}
-			if live {
-				out.Flush()
+			if !emit(line) {
+				break
 			}
 		}
+	}
+	if *verbose {
+		printSourceStats(stderr, stream.SourceStats())
 	}
 	if err := stream.Err(); err != nil && ctx.Err() == nil {
 		return err
 	}
-	return nil // clean EOF or interrupt
+	return nil // clean EOF, -n bound, or interrupt
+}
+
+// printSourceStats reports the push-feed completeness counters at
+// shutdown (all zero on pull sources, which are complete by
+// construction).
+func printSourceStats(w io.Writer, st bgpstream.SourceStats) {
+	fmt.Fprintf(w,
+		"bgpreader: source stats: live=%d reconnects=%d upstream-dropped=%d gaps=%d "+
+			"repairs=%d repair-failures=%d backfilled=%d dup-dropped=%d holdback-overflows=%d\n",
+		st.LiveElems, st.Reconnects, st.UpstreamDropped, st.Gaps,
+		st.Repairs, st.RepairFailures, st.BackfilledElems, st.DuplicatesDropped, st.HoldbackOverflows)
 }
 
 func parseWindow(s string) (start, end time.Time, live bool, err error) {

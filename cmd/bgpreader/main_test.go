@@ -1,9 +1,18 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+	"github.com/bgpstream-go/bgpstream/internal/astopo"
+	"github.com/bgpstream-go/bgpstream/internal/collector"
+	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/rislive"
 )
 
 func TestParseWindow(t *testing.T) {
@@ -109,5 +118,120 @@ func TestLegacyFlagFilters(t *testing.T) {
 	}
 	if _, err := (&legacyFilterFlags{elemTypes: "X"}).filters(); err == nil {
 		t.Error("bad -e accepted")
+	}
+}
+
+// TestRunFlagErrors covers the arg-injectable command surface: flag
+// conflicts and -repair wiring errors must be reported before any
+// source is opened.
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{}, &out, &errb); err == nil {
+		t.Error("run without a source accepted")
+	}
+	if err := run([]string{"-nonsense"}, &out, &errb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-d", "/tmp", "-filter", "type updates", "-t", "ribs"}, &out, &errb); err == nil ||
+		!strings.Contains(err.Error(), "-filter cannot be combined") {
+		t.Errorf("filter conflict error = %v", err)
+	}
+	if err := run([]string{"-ris-live", "http://x", "-repair"}, &out, &errb); err == nil ||
+		!strings.Contains(err.Error(), "pull source") {
+		t.Errorf("-repair without backfill error = %v", err)
+	}
+	if err := run([]string{"-d", "/tmp", "-repair"}, &out, &errb); err == nil ||
+		!strings.Contains(err.Error(), "-ris-live") {
+		t.Errorf("-repair without push feed error = %v", err)
+	}
+}
+
+// TestRunRepairedFeed runs the real command path over a repaired push
+// feed: a replayed archive behind an SSE server with periodic forced
+// disconnects, backfilled from the same archive directory. The -v
+// counters must reach stderr and -n must bound the live run.
+func TestRunRepairedFeed(t *testing.T) {
+	start := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	topo := astopo.Generate(astopo.DefaultParams(7))
+	sim, err := collector.NewSimulator(collector.Config{
+		Topo:       topo,
+		Collectors: collector.DefaultCollectors(topo, 2),
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	store, err := archive.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.GenerateArchive(store, start, start.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	feed := &rislive.Server{KeepAlive: 100 * time.Millisecond, BufferSize: 1 << 16}
+	hs := httptest.NewServer(feed)
+	defer hs.Close()
+	go func() {
+		// One paced pass over the archive with an early forced
+		// disconnect, so the repair path runs inside the -n window;
+		// afterwards a synthetic heartbeat trickle keeps feed time
+		// advancing, guaranteeing the client can always close a gap
+		// and the -n bound is always reachable.
+		for feed.Stats().Subscribers == 0 && ctx.Err() == nil {
+			time.Sleep(5 * time.Millisecond)
+		}
+		rs := core.NewStream(ctx, &core.Directory{Dir: dir}, core.Filters{})
+		n := 0
+		last := start
+		for ctx.Err() == nil {
+			rec, elem, err := rs.NextElem()
+			if err != nil {
+				break
+			}
+			feed.Publish(rec.Project, rec.Collector, elem)
+			last = elem.Timestamp
+			if n++; n == 100 {
+				feed.DisconnectClients()
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		rs.Close()
+		hb := core.Elem{Type: core.ElemAnnouncement, Timestamp: last}
+		for ctx.Err() == nil {
+			hb.Timestamp = hb.Timestamp.Add(time.Second)
+			feed.Publish("ris", "rrc00", &hb)
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	var out, errb bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-ris-live", hs.URL, "-repair", "-d", dir,
+			"-m", "-v", "-n", "500",
+		}, &out, &errb)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+		}
+	case <-time.After(80 * time.Second):
+		t.Fatalf("run did not reach the -n bound (stdout %d bytes, stderr: %s)",
+			out.Len(), errb.String())
+	}
+	if lines := strings.Count(out.String(), "\n"); lines != 500 {
+		t.Fatalf("printed %d lines, want 500 (-n bound)", lines)
+	}
+	if !strings.Contains(errb.String(), "bgpreader: source rislive+directory") {
+		t.Errorf("verbose header missing composite source name: %s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "source stats: live=") {
+		t.Errorf("completeness counters missing from -v output: %s", errb.String())
 	}
 }

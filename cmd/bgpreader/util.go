@@ -2,8 +2,8 @@ package main
 
 import (
 	"bufio"
+	"io"
 	"net/netip"
-	"os"
 )
 
 // parseNetipPrefix parses a CIDR prefix, accepting bare addresses as
@@ -19,8 +19,8 @@ func parseNetipPrefix(s string) (netip.Prefix, error) {
 	return a.Prefix(a.BitLen())
 }
 
-// newBufferedStdout wraps stdout: bgpreader can emit millions of
-// lines, so write through a sizeable buffer.
-func newBufferedStdout() *bufio.Writer {
-	return bufio.NewWriterSize(os.Stdout, 1<<20)
+// newBufferedWriter wraps the output stream: bgpreader can emit
+// millions of lines, so write through a sizeable buffer.
+func newBufferedWriter(w io.Writer) *bufio.Writer {
+	return bufio.NewWriterSize(w, 1<<20)
 }

@@ -1,0 +1,134 @@
+package bgpstream_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	bgpstream "github.com/bgpstream-go/bgpstream"
+)
+
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+// announcementSource is a minimal in-memory push source: any type with
+// NextElem/Close is an ElemSource and plugs into Open via
+// WithSourceInstance. Real transports (the rislive SSE client) work
+// exactly the same way.
+type announcementSource struct {
+	elems []bgpstream.Elem
+	i     int
+}
+
+func (s *announcementSource) NextElem(ctx context.Context) (*bgpstream.Record, *bgpstream.Elem, error) {
+	if s.i >= len(s.elems) {
+		return nil, nil, io.EOF
+	}
+	e := s.elems[s.i]
+	s.i++
+	rec := bgpstream.NewElemRecord("ris", "rrc00", bgpstream.DumpUpdates, e.Timestamp, []bgpstream.Elem{e})
+	elems, _ := rec.Elems()
+	return rec, &elems[0], nil
+}
+
+func (s *announcementSource) Close() error { return nil }
+
+// exampleElems builds a tiny deterministic flow: two announcements and
+// one withdrawal.
+func exampleElems() []bgpstream.Elem {
+	ts := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(sec int, typ bgpstream.ElemType, prefix string) bgpstream.Elem {
+		return bgpstream.Elem{
+			Type:      typ,
+			Timestamp: ts.Add(time.Duration(sec) * time.Second),
+			PeerASN:   65000,
+			Prefix:    mustPrefix(prefix),
+		}
+	}
+	return []bgpstream.Elem{
+		mk(0, bgpstream.ElemAnnouncement, "203.0.113.0/24"),
+		mk(1, bgpstream.ElemWithdrawal, "198.51.100.0/24"),
+		mk(2, bgpstream.ElemAnnouncement, "192.0.2.0/24"),
+	}
+}
+
+// ExampleOpen is the quickstart: bind a source to a declarative filter
+// string and range over the elems. Swap WithSourceInstance for a named
+// source — WithSource("broker", ...), WithSource("rislive", ...) — and
+// the rest of the program is unchanged.
+func ExampleOpen() {
+	s, err := bgpstream.Open(context.Background(),
+		bgpstream.WithSourceInstance(&announcementSource{elems: exampleElems()}),
+		bgpstream.WithFilterString("elemtype announcements"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer s.Close()
+	for rec, elem := range s.Elems() {
+		fmt.Printf("%s %s/%s %s\n", elem.Type, rec.Project, rec.Collector, elem.Prefix)
+	}
+	if err := s.Err(); err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// A ris/rrc00 203.0.113.0/24
+	// A ris/rrc00 192.0.2.0/24
+}
+
+// ExampleParseFilterString compiles a BGPStream v2 filter string and
+// shows the structured result; errors carry the byte offset of the
+// offending token.
+func ExampleParseFilterString() {
+	f, err := bgpstream.ParseFilterString("collector rrc00 and prefix more 10.0.0.0/8 and elemtype announcements")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("collectors:", f.Collectors)
+	fmt.Println("prefixes:", len(f.Prefixes), "elemtypes:", len(f.ElemTypes))
+
+	if _, err := bgpstream.ParseFilterString("collectr rrc00"); err != nil {
+		fmt.Println("syntax errors carry positions:", err != nil)
+	}
+	// Output:
+	// collectors: [rrc00]
+	// prefixes: 1 elemtypes: 1
+	// syntax errors carry positions: true
+}
+
+// ExampleFilters_String renders a filter set back into its canonical
+// string — the exact inverse of ParseFilterString, so every stream can
+// report the query that defines it.
+func ExampleFilters_String() {
+	f, err := bgpstream.ParseFilterString(`type updates and peer 3356 or 174 and prefix exact 192.0.2.0/24`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(f.String())
+	// Output:
+	// type updates and peer 3356 or 174 and prefix exact 192.0.2.0/24
+}
+
+// ExampleStream_Elems shows the range-over-func iterator contract:
+// iterate with range, then check Err (bufio.Scanner style — nil after
+// a clean end of stream).
+func ExampleStream_Elems() {
+	s, err := bgpstream.Open(context.Background(),
+		bgpstream.WithSourceInstance(&announcementSource{elems: exampleElems()}))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer s.Close()
+	n := 0
+	for _, elem := range s.Elems() {
+		n++
+		_ = elem
+	}
+	fmt.Println("elems:", n, "err:", s.Err())
+	// Output:
+	// elems: 3 err: <nil>
+}

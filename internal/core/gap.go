@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Gap is a window of feed time over which a push source knows (or must
+// assume) it lost elems: the completeness signal of the live
+// architecture. Push feeds trade completeness for latency — servers
+// drop messages for slow clients and clients miss everything published
+// while they reconnect — and a Gap makes that loss explicit so higher
+// layers (internal/gaprepair) can backfill the window from an
+// archive-class source instead of silently analysing holes.
+//
+// The window is closed on both ends and conservative: every elem the
+// source may have missed has From <= Timestamp <= Until, but elems
+// inside the window may also have been delivered normally, so a
+// repairer must deduplicate the overlap.
+type Gap struct {
+	// From is the delivered-complete watermark when the loss began: the
+	// timestamp of the last elem known delivered with nothing missing
+	// behind it.
+	From time.Time
+	// Until is the timestamp of the first elem delivered after the
+	// loss, which closes the window.
+	Until time.Time
+	// Reason records what signalled the gap: "reconnect" (the transport
+	// dropped and the client re-subscribed) or "drops" (the server
+	// reported slow-client drops on a keepalive).
+	Reason string
+}
+
+// String renders the gap for logs.
+func (g Gap) String() string {
+	return fmt.Sprintf("gap[%s, %s] (%s)",
+		g.From.UTC().Format(time.RFC3339Nano), g.Until.UTC().Format(time.RFC3339Nano), g.Reason)
+}
+
+// GapReporter is implemented by push sources that detect their own
+// losses (rislive.Client). TakeGaps drains the pending gap windows;
+// each gap is returned exactly once. Sources guarantee ordering: a gap
+// is visible to TakeGaps before the elem that closed it (the one at
+// Until) is delivered through NextElem, so a consumer that checks
+// TakeGaps after every NextElem never emits the closing elem without
+// knowing about the hole in front of it.
+type GapReporter interface {
+	TakeGaps() []Gap
+}
+
+// SourceStats aggregates the completeness counters of a (possibly
+// repaired) push source. The zero value means "nothing to report" —
+// pull streams, which are complete by construction, return it.
+type SourceStats struct {
+	// LiveElems counts elems delivered by the push transport itself.
+	LiveElems uint64
+	// Reconnects counts successful re-subscriptions after the first
+	// connection; UpstreamDropped accumulates server-reported
+	// slow-client drops across all connections.
+	Reconnects      uint64
+	UpstreamDropped uint64
+	// Gaps counts detected loss windows (see Gap).
+	Gaps uint64
+	// Repairs counts gap windows successfully backfilled;
+	// RepairFailures counts windows abandoned (backfill error or
+	// timeout) and therefore still holey.
+	Repairs        uint64
+	RepairFailures uint64
+	// BackfilledElems counts archive elems spliced into the live flow;
+	// DuplicatesDropped counts backfill elems suppressed because the
+	// live feed had already delivered them (window-boundary overlap).
+	BackfilledElems   uint64
+	DuplicatesDropped uint64
+	// HoldbackOverflows counts repairs whose live-side reordering
+	// buffer filled before the window closed; the residual window is
+	// re-queued, so the count measures pressure, not loss.
+	HoldbackOverflows uint64
+}
+
+// StatsReporter is implemented by elem sources that track
+// SourceStats. Stream.SourceStats probes for it.
+type StatsReporter interface {
+	SourceStats() SourceStats
+}

@@ -65,6 +65,23 @@ func (s *Stream) Filters() Filters {
 	return s.filters
 }
 
+// ElemSource returns the push source feeding this stream, or nil for
+// pull (dump-file) streams. Compositors use it to re-wrap the source —
+// internal/gaprepair unwraps a push stream, interposes its repairer,
+// and builds a new stream over the result.
+func (s *Stream) ElemSource() ElemSource { return s.elemSrc }
+
+// SourceStats reports the completeness counters of the stream's
+// source. Pull streams are complete by construction and return the
+// zero value; push streams delegate to their elem source when it
+// implements StatsReporter (rislive.Client, gaprepair.Repairer).
+func (s *Stream) SourceStats() SourceStats {
+	if sr, ok := s.elemSrc.(StatsReporter); ok {
+		return sr.SourceStats()
+	}
+	return SourceStats{}
+}
+
 // AddPrefixFilter adds a prefix filter while the stream runs. This is
 // the mechanism the RTBH case study (§4.3) uses: the first stream
 // detects a black-holed prefix and registers it on the second stream

@@ -1,0 +1,70 @@
+package gaprepair
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+// Backfiller fetches one loss window from an archive-class source. The
+// returned stream must yield elems time-sorted (every core.Stream
+// does) and is closed by the repairer after draining.
+type Backfiller interface {
+	Backfill(ctx context.Context, from, until time.Time) (*core.Stream, error)
+}
+
+// SourceBackfiller backfills from any core.Source by re-opening it
+// with the stream's own filters narrowed to the window, so backfilled
+// elems pass exactly the predicate the live elems do. This is how the
+// paper's two live classes compose: the push feed supplies latency,
+// the archive path (broker, directory, …) supplies completeness, and
+// the shared elem semantics make the splice a merge problem rather
+// than a format problem.
+type SourceBackfiller struct {
+	// Source is the archive-class source (must be pull-based: opening
+	// a window of it has to terminate).
+	Source core.Source
+	// Filters is the base filter set of the repaired stream; the
+	// window interval overrides Start/End per fetch.
+	Filters core.Filters
+}
+
+// Backfill implements Backfiller.
+func (b SourceBackfiller) Backfill(ctx context.Context, from, until time.Time) (*core.Stream, error) {
+	f := b.Filters
+	f.Start, f.End, f.Live = from, until, false
+	return b.Source.OpenStream(ctx, f)
+}
+
+// Composite is a core.Source pairing a push live source with an
+// archive-class backfill source: opening it opens the live stream,
+// interposes a Repairer between its elem source and a fresh stream,
+// and returns the repaired stream. Every Open / Records / Elems
+// consumer gets completeness transparently; the facade registers this
+// as the "repaired" source and builds it from WithRepair.
+type Composite struct {
+	// Live is the push source to repair (its stream must expose an
+	// elem source, i.e. it must be push-based).
+	Live core.Source
+	// Backfill is the archive-class source windows are fetched from.
+	Backfill core.Source
+	// Options tunes the repairer.
+	Options Options
+}
+
+// OpenStream implements core.Source.
+func (c *Composite) OpenStream(ctx context.Context, f core.Filters) (*core.Stream, error) {
+	ls, err := c.Live.OpenStream(ctx, f)
+	if err != nil {
+		return nil, err
+	}
+	src := ls.ElemSource()
+	if src == nil {
+		ls.Close()
+		return nil, fmt.Errorf("gaprepair: live source %T is pull-based; repair wraps push feeds (pull sources are already complete)", c.Live)
+	}
+	rep := New(src, SourceBackfiller{Source: c.Backfill, Filters: f}, c.Options)
+	return core.NewLiveStream(ctx, rep, f), nil
+}

@@ -1,0 +1,563 @@
+// Package gaprepair turns a lossy push source into a complete one by
+// splicing archive backfill into the live elem flow.
+//
+// The framework's two live latency classes (§3.3.2 of the paper) trade
+// completeness for latency in opposite directions. The pull class
+// (broker polling for new dump files) is archive-complete but minutes
+// late; the push class (internal/rislive) is milliseconds late but
+// lossy by design — rislive.Server drops messages for slow subscribers
+// rather than backpressuring the feed, and a reconnecting client
+// misses everything published while it was away. Analyses are acutely
+// sensitive to missing vantage-point data, so this package makes
+// completeness a first-class property of the push path instead of a
+// silent caveat.
+//
+// The repair loop has three parts:
+//
+//   - Detection. The live source reports loss windows through
+//     core.GapReporter (rislive.Client derives them from reconnects
+//     and from server-reported drop counters on keepalive pings). A
+//     window [From, Until] is conservative: every missed elem falls
+//     inside it, but elems inside it may also have been delivered.
+//
+//   - Backfill. Each window is fetched from an archive-class
+//     core.Source — the broker, a local directory, any pull data
+//     interface — by re-opening it with the stream's own filters
+//     narrowed to the window interval, so the backfilled elems pass
+//     exactly the predicate the live elems do.
+//
+//   - Splice. Backfill and the held-back live flow are merged in time
+//     order with the k-way machinery of internal/merge, after
+//     deduplicating the window-boundary overlap by
+//     (project, collector, elem identity, timestamp) — live copies
+//     win, backfill fills only true holes. The live side is buffered
+//     in a bounded holdback while a window closes; if the holdback
+//     fills, the uncovered remainder of the window is re-queued as a
+//     fresh gap rather than held unboundedly, so memory stays bounded
+//     and completeness is eventually restored.
+//
+// Repairer implements core.ElemSource, so a repaired feed drops into
+// core.NewLiveStream — and therefore into every Open / Records / Elems
+// consumer — unchanged. Composite packages the pattern as a
+// core.Source wrapping any push+pull source pair; the facade registers
+// it as the "repaired" source and exposes it through WithRepair.
+// Counters (gaps seen, repairs, backfilled elems, duplicates dropped)
+// surface through core.SourceStats / Stream.SourceStats and
+// `bgpreader -v`.
+package gaprepair
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/merge"
+)
+
+// Options tunes a Repairer. The zero value picks sensible defaults.
+type Options struct {
+	// HoldbackLimit bounds the live elems buffered while a gap window
+	// closes (default 8192). On overflow the uncovered remainder of
+	// the window is re-queued instead of buffering further.
+	HoldbackLimit int
+	// Timeout bounds each backfill fetch (default 30s); a window whose
+	// fetch times out counts as a repair failure and stays holey.
+	Timeout time.Duration
+	// RecentWindow sizes the ring of recently delivered elems used to
+	// deduplicate the leading edge of a backfill window (default
+	// 4096). It should exceed the number of elems the feed delivers
+	// between the completeness watermark and a gap opening.
+	RecentWindow int
+	// Logf, when set, receives repair lifecycle logs.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) holdbackLimit() int {
+	if o.HoldbackLimit > 0 {
+		return o.HoldbackLimit
+	}
+	return 8192
+}
+
+func (o Options) timeout() time.Duration {
+	if o.Timeout > 0 {
+		return o.Timeout
+	}
+	return 30 * time.Second
+}
+
+func (o Options) recentWindow() int {
+	if o.RecentWindow > 0 {
+		return o.RecentWindow
+	}
+	return 4096
+}
+
+// pair is one (record, elem) unit of the elem flow.
+type pair struct {
+	rec  *core.Record
+	elem *core.Elem
+}
+
+// elemKey identifies an elem for window-boundary deduplication:
+// feed tags plus every elem field, at the fidelity the rislive codec
+// preserves (microsecond timestamps, textual AS paths with AS_SET
+// structure). Comparable, so multisets are plain maps.
+type elemKey struct {
+	project, collector string
+	typ                core.ElemType
+	tsMicro            int64
+	peer               netip.Addr
+	peerASN            uint32
+	prefix             netip.Prefix
+	nextHop            netip.Addr
+	path               string
+	comms              string
+	oldState, newState uint8
+}
+
+func keyOf(p pair) elemKey {
+	e := p.elem
+	k := elemKey{
+		project:   p.rec.Project,
+		collector: p.rec.Collector,
+		typ:       e.Type,
+		tsMicro:   e.Timestamp.UnixMicro(),
+		peer:      e.PeerAddr,
+		peerASN:   e.PeerASN,
+		prefix:    e.Prefix,
+		nextHop:   e.NextHop,
+		path:      e.ASPath.String(),
+		oldState:  uint8(e.OldState),
+		newState:  uint8(e.NewState),
+	}
+	if len(e.Communities) > 0 {
+		var b strings.Builder
+		for _, c := range e.Communities {
+			fmt.Fprintf(&b, "%d:%d,", c.ASN(), c.Value())
+		}
+		k.comms = b.String()
+	}
+	return k
+}
+
+type recentEntry struct {
+	p  pair
+	ts time.Time
+	// key is computed lazily on first dedup use: the ring is written
+	// once per delivered elem (hot path), but keys are only consulted
+	// for entries that fall inside a gap window.
+	key *elemKey
+}
+
+func (e *recentEntry) elemKey() elemKey {
+	if e.key == nil {
+		k := keyOf(e.p)
+		e.key = &k
+	}
+	return *e.key
+}
+
+// normalizePair re-materialises a live pair as its own single-elem
+// record when the source shares one record across consecutive elems.
+// The downstream push-mode stream enumerates records, not pairs —
+// splicing backfill between two pairs that share a record would
+// otherwise make it enumerate that record twice. Single-elem pairs
+// (the rislive codec's native shape, and fetch's output) pass through
+// untouched.
+func normalizePair(p pair) pair {
+	if es, err := p.rec.Elems(); err == nil && len(es) == 1 && &es[0] == p.elem {
+		return p
+	}
+	nr := core.NewElemRecord(p.rec.Project, p.rec.Collector, p.rec.DumpType, p.elem.Timestamp, []core.Elem{*p.elem})
+	ne, _ := nr.Elems()
+	return pair{rec: nr, elem: &ne[0]}
+}
+
+// Repairer wraps a lossy push source and emits a complete, time-ordered
+// elem flow: live elems pass through; whenever the source reports a
+// loss window, the window is backfilled from the archive source and
+// spliced in, deduplicated against what the live side already
+// delivered. It implements core.ElemSource (and core.StatsReporter),
+// so it slots into core.NewLiveStream like any other push source.
+//
+// Construct with New; fields are not safe to mutate after the first
+// NextElem call.
+type Repairer struct {
+	live     core.ElemSource
+	reporter core.GapReporter // nil when the live source reports no gaps
+	backfill Backfiller
+	opts     Options
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	cancel    context.CancelFunc
+	out       chan pair
+
+	mu       sync.Mutex
+	terminal error
+	requeued []core.Gap // residual windows from holdback overflows
+
+	// Ring of recently delivered elems, touched only by the pump
+	// goroutine.
+	recent    []recentEntry
+	recentPos int
+
+	liveElems  atomic.Uint64
+	gapsTaken  atomic.Uint64
+	repairs    atomic.Uint64
+	failures   atomic.Uint64
+	backfilled atomic.Uint64
+	duplicates atomic.Uint64
+	overflows  atomic.Uint64
+}
+
+// New builds a repairer over a live push source and a backfill
+// channel. If live implements core.GapReporter its windows drive the
+// repairs; otherwise the repairer is a transparent passthrough (it
+// still normalises and counts the flow).
+func New(live core.ElemSource, backfill Backfiller, opts Options) *Repairer {
+	r := &Repairer{live: live, backfill: backfill, opts: opts}
+	r.reporter, _ = live.(core.GapReporter)
+	return r
+}
+
+// NextElem implements core.ElemSource: it yields the spliced flow in
+// time order, blocking until the next elem, ctx cancellation, or
+// source close (io.EOF). The first call starts the repair goroutine.
+func (r *Repairer) NextElem(ctx context.Context) (*core.Record, *core.Elem, error) {
+	r.startOnce.Do(r.start)
+	select {
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	case p, ok := <-r.out:
+		if !ok {
+			r.mu.Lock()
+			err := r.terminal
+			r.mu.Unlock()
+			if err != nil {
+				return nil, nil, err
+			}
+			return nil, nil, io.EOF
+		}
+		return p.rec, p.elem, nil
+	}
+}
+
+// Close stops the repairer and the underlying live source; blocked
+// NextElem calls return io.EOF. Safe to call multiple times.
+func (r *Repairer) Close() error {
+	r.startOnce.Do(r.start) // ensure pump exists so out gets closed
+	var err error
+	r.stopOnce.Do(func() {
+		close(r.stop)
+		r.cancel()
+		err = r.live.Close()
+	})
+	return err
+}
+
+// SourceStats implements core.StatsReporter, layering the repair
+// counters over the live source's own transport counters.
+func (r *Repairer) SourceStats() core.SourceStats {
+	var s core.SourceStats
+	if sr, ok := r.live.(core.StatsReporter); ok {
+		s = sr.SourceStats()
+	} else {
+		s.LiveElems = r.liveElems.Load()
+		s.Gaps = r.gapsTaken.Load()
+	}
+	s.Repairs = r.repairs.Load()
+	s.RepairFailures = r.failures.Load()
+	s.BackfilledElems = r.backfilled.Load()
+	s.DuplicatesDropped = r.duplicates.Load()
+	s.HoldbackOverflows = r.overflows.Load()
+	return s
+}
+
+func (r *Repairer) start() {
+	r.stop = make(chan struct{})
+	r.out = make(chan pair, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancel = cancel
+	go r.pump(ctx)
+}
+
+// pump is the repair loop: forward live elems, and whenever the source
+// reports loss windows, switch into a repair cycle that backfills and
+// splices them.
+func (r *Repairer) pump(ctx context.Context) {
+	defer close(r.out)
+	for {
+		rec, elem, err := r.live.NextElem(ctx)
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		r.liveElems.Add(1)
+		p := normalizePair(pair{rec, elem})
+		gaps := r.takeGaps()
+		if len(gaps) == 0 {
+			if !r.deliver(p) {
+				return
+			}
+			continue
+		}
+		if !r.repair(ctx, gaps, p) {
+			return
+		}
+	}
+}
+
+func (r *Repairer) fail(err error) {
+	if err == io.EOF {
+		return
+	}
+	select {
+	case <-r.stop:
+		return // closing: surface io.EOF, not the cancellation
+	default:
+	}
+	r.mu.Lock()
+	r.terminal = err
+	r.mu.Unlock()
+}
+
+// takeGaps drains re-queued residual windows plus whatever the live
+// source reports.
+func (r *Repairer) takeGaps() []core.Gap {
+	r.mu.Lock()
+	gaps := r.requeued
+	r.requeued = nil
+	r.mu.Unlock()
+	if r.reporter != nil {
+		fresh := r.reporter.TakeGaps()
+		r.gapsTaken.Add(uint64(len(fresh)))
+		gaps = append(gaps, fresh...)
+	}
+	return gaps
+}
+
+func (r *Repairer) requeue(g core.Gap) {
+	r.mu.Lock()
+	r.requeued = append(r.requeued, g)
+	r.mu.Unlock()
+}
+
+// deliver emits one pair, recording it in the recent ring for later
+// deduplication. Returns false when the repairer is closing.
+func (r *Repairer) deliver(p pair) bool {
+	r.remember(p)
+	select {
+	case r.out <- p:
+		return true
+	case <-r.stop:
+		return false
+	}
+}
+
+func (r *Repairer) remember(p pair) {
+	n := r.opts.recentWindow()
+	e := recentEntry{p: p, ts: p.elem.Timestamp}
+	if len(r.recent) < n {
+		r.recent = append(r.recent, e)
+		return
+	}
+	r.recent[r.recentPos] = e
+	r.recentPos = (r.recentPos + 1) % n
+}
+
+// repair runs one repair cycle: hold back the live flow until it
+// passes the newest window end, backfill every window, then splice.
+// closing is the live pair whose dispatch surfaced the gap report (for
+// rislive feeds its timestamp is the window's Until).
+func (r *Repairer) repair(ctx context.Context, gaps []core.Gap, closing pair) bool {
+	windows := coalesce(nil, gaps)
+	hold := []pair{closing}
+	overflow := false
+	// Hold back until the live flow passes strictly beyond the newest
+	// window end: elems sharing the window-closing timestamp may still
+	// be in flight, and splicing before they are in hand would emit
+	// their backfill copies as duplicates. If the live source ends
+	// mid-hold (EOF, error), the splice still runs on what is in hand.
+	for !hold[len(hold)-1].elem.Timestamp.After(windows[len(windows)-1].Until) {
+		if len(hold) >= r.opts.holdbackLimit() {
+			overflow = true
+			r.overflows.Add(1)
+			break
+		}
+		rec, elem, err := r.live.NextElem(ctx)
+		if err != nil {
+			// Live source died mid-repair: splice what we have so the
+			// consumer still sees it, then surface the error.
+			r.splice(ctx, windows, hold)
+			r.fail(err)
+			return false
+		}
+		r.liveElems.Add(1)
+		hold = append(hold, normalizePair(pair{rec, elem}))
+		windows = coalesce(windows, r.takeGaps())
+	}
+	if overflow {
+		// Clamp the spliceable region to strictly before the holdback
+		// horizon — elems at the horizon timestamp itself may still be
+		// in flight, exactly like the window-end elems above — and
+		// re-queue the uncovered remainder as a fresh gap.
+		horizon := hold[len(hold)-1].elem.Timestamp
+		covered := windows[:0:0]
+		for _, w := range windows {
+			if !w.From.Before(horizon) {
+				r.requeue(w)
+				continue
+			}
+			if !w.Until.Before(horizon) {
+				r.requeue(core.Gap{From: horizon, Until: w.Until, Reason: w.Reason})
+				w.Until = horizon.Add(-time.Microsecond) // closed interval: exclude the horizon
+			}
+			covered = append(covered, w)
+		}
+		windows = covered
+	}
+	return r.splice(ctx, windows, hold)
+}
+
+// splice backfills each window, deduplicates against the live flow,
+// and emits the k-way time-ordered merge of backfill and holdback.
+func (r *Repairer) splice(ctx context.Context, windows []core.Gap, hold []pair) bool {
+	// Dedup multiset: a backfill elem is suppressed once per matching
+	// live delivery inside the windows — copies already delivered (the
+	// recent ring) or held back for delivery (the holdback). Live
+	// copies win; backfill fills only true holes.
+	seen := make(map[elemKey]int)
+	for i := range r.recent {
+		if e := &r.recent[i]; inWindows(windows, e.ts) {
+			seen[e.elemKey()]++
+		}
+	}
+	for _, p := range hold {
+		if inWindows(windows, p.elem.Timestamp) {
+			seen[keyOf(p)]++
+		}
+	}
+	sources := make([]merge.Source[pair], 0, len(windows)+1)
+	for _, w := range windows {
+		items, err := r.fetch(ctx, w)
+		if err != nil {
+			r.failures.Add(1)
+			r.logf("gaprepair: backfill of %s failed: %v", w, err)
+			continue
+		}
+		kept := items[:0]
+		for _, it := range items {
+			k := keyOf(it)
+			if seen[k] > 0 {
+				seen[k]--
+				r.duplicates.Add(1)
+				continue
+			}
+			kept = append(kept, it)
+		}
+		r.repairs.Add(1)
+		r.backfilled.Add(uint64(len(kept)))
+		sources = append(sources, &merge.SliceSource[pair]{Items: kept})
+	}
+	// Windows are disjoint and ordered, the holdback is feed-ordered,
+	// and backfill streams arrive time-sorted from the archive merge:
+	// a k-way merge over (window₁, …, windowₙ, holdback) restores one
+	// time-ordered flow. Ties keep source order, so equal-timestamp
+	// backfill precedes the live elems that closed the window.
+	sources = append(sources, &merge.SliceSource[pair]{Items: hold})
+	m := merge.NewMerger(func(a, b pair) bool {
+		return a.elem.Timestamp.Before(b.elem.Timestamp)
+	}, sources...)
+	for {
+		p, err := m.Next()
+		if err == io.EOF {
+			return true
+		}
+		if err != nil { // unreachable: slice sources never fail
+			r.fail(err)
+			return false
+		}
+		if !r.deliver(p) {
+			return false
+		}
+	}
+}
+
+// fetch drains one backfill window into normalised single-elem pairs.
+func (r *Repairer) fetch(ctx context.Context, w core.Gap) ([]pair, error) {
+	bctx, cancel := context.WithTimeout(ctx, r.opts.timeout())
+	defer cancel()
+	st, err := r.backfill.Backfill(bctx, w.From, w.Until)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	var items []pair
+	for {
+		rec, elem, err := st.NextElem()
+		if err == io.EOF {
+			r.logf("gaprepair: backfilled %d elems for %s", len(items), w)
+			return items, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if elem.Timestamp.Before(w.From) || elem.Timestamp.After(w.Until) {
+			continue
+		}
+		// Re-materialise as a single-elem record, the same shape the
+		// push codec produces, so the downstream stream treats spliced
+		// and live elems identically.
+		nr := core.NewElemRecord(rec.Project, rec.Collector, rec.DumpType, elem.Timestamp, []core.Elem{*elem})
+		ne, _ := nr.Elems()
+		items = append(items, pair{rec: nr, elem: &ne[0]})
+	}
+}
+
+func (r *Repairer) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+// coalesce folds more windows into ws, merging overlapping or touching
+// intervals; the result is sorted by From and pairwise disjoint.
+func coalesce(ws []core.Gap, more []core.Gap) []core.Gap {
+	ws = append(ws, more...)
+	if len(ws) < 2 {
+		return ws
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].From.Before(ws[j].From) })
+	out := ws[:1]
+	for _, w := range ws[1:] {
+		last := &out[len(out)-1]
+		if !w.From.After(last.Until) { // overlaps or touches
+			if w.Until.After(last.Until) {
+				last.Until = w.Until
+			}
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// inWindows reports whether ts falls in any (closed) window.
+func inWindows(ws []core.Gap, ts time.Time) bool {
+	for _, w := range ws {
+		if !ts.Before(w.From) && !ts.After(w.Until) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,384 @@
+package gaprepair
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+var t0 = time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// mkPair builds a distinct single-elem pair at t0+sec, distinguished
+// by peer ASN so equal-timestamp elems have different identities.
+func mkPair(sec int, asn uint32) pair {
+	e := core.Elem{
+		Type:      core.ElemAnnouncement,
+		Timestamp: t0.Add(time.Duration(sec) * time.Second),
+		PeerAddr:  netip.MustParseAddr("192.0.2.1"),
+		PeerASN:   asn,
+		Prefix:    netip.MustParsePrefix("203.0.113.0/24"),
+	}
+	rec := core.NewElemRecord("ris", "rrc00", core.DumpUpdates, e.Timestamp, []core.Elem{e})
+	elems, _ := rec.Elems()
+	return pair{rec: rec, elem: &elems[0]}
+}
+
+func gapAt(fromSec, untilSec int) core.Gap {
+	return core.Gap{
+		From:   t0.Add(time.Duration(fromSec) * time.Second),
+		Until:  t0.Add(time.Duration(untilSec) * time.Second),
+		Reason: "reconnect",
+	}
+}
+
+// fakeLive scripts an elem flow with embedded gap reports, honouring
+// the GapReporter ordering contract (a gap is visible before the elem
+// that follows it in the script is delivered).
+type fakeLive struct {
+	events []any // pair or core.Gap
+	i      int   // pump-goroutine-local
+
+	mu   sync.Mutex
+	gaps []core.Gap
+}
+
+func (f *fakeLive) NextElem(ctx context.Context) (*core.Record, *core.Elem, error) {
+	for f.i < len(f.events) {
+		ev := f.events[f.i]
+		f.i++
+		switch v := ev.(type) {
+		case core.Gap:
+			f.mu.Lock()
+			f.gaps = append(f.gaps, v)
+			f.mu.Unlock()
+		case pair:
+			return v.rec, v.elem, nil
+		}
+	}
+	return nil, nil, io.EOF
+}
+
+func (f *fakeLive) TakeGaps() []core.Gap {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	gaps := f.gaps
+	f.gaps = nil
+	return gaps
+}
+
+func (f *fakeLive) Close() error { return nil }
+
+// fakeBackfill serves windows of a time-ordered elem universe.
+type fakeBackfill struct {
+	universe []pair
+	fail     bool
+	calls    int
+}
+
+type slicePairs struct {
+	items []pair
+	i     int
+}
+
+func (s *slicePairs) NextElem(ctx context.Context) (*core.Record, *core.Elem, error) {
+	if s.i >= len(s.items) {
+		return nil, nil, io.EOF
+	}
+	p := s.items[s.i]
+	s.i++
+	return p.rec, p.elem, nil
+}
+
+func (s *slicePairs) Close() error { return nil }
+
+func (b *fakeBackfill) Backfill(ctx context.Context, from, until time.Time) (*core.Stream, error) {
+	b.calls++
+	if b.fail {
+		return nil, errors.New("backfill service down")
+	}
+	var sel []pair
+	for _, p := range b.universe {
+		if !p.elem.Timestamp.Before(from) && !p.elem.Timestamp.After(until) {
+			sel = append(sel, p)
+		}
+	}
+	return core.NewLiveStream(ctx, &slicePairs{items: sel}, core.Filters{}), nil
+}
+
+// drain reads the repairer to exhaustion, checking time order.
+func drain(t *testing.T, r *Repairer) []pair {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var out []pair
+	for {
+		rec, elem, err := r.NextElem(ctx)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("after %d elems: %v", len(out), err)
+		}
+		if n := len(out); n > 0 && elem.Timestamp.Before(out[n-1].elem.Timestamp) {
+			t.Fatalf("time order violated at elem %d: %v after %v", n, elem.Timestamp, out[n-1].elem.Timestamp)
+		}
+		out = append(out, pair{rec, elem})
+	}
+}
+
+func asns(ps []pair) []uint32 {
+	out := make([]uint32, len(ps))
+	for i, p := range ps {
+		out[i] = p.elem.PeerASN
+	}
+	return out
+}
+
+func eqASNs(got []uint32, want ...uint32) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRepairSplicesGapWindow is the core scenario: the live flow loses
+// seconds 3..5, reports the window, and the repairer splices them back
+// from the archive — deduplicating the boundary elems the live side
+// already delivered — in time order.
+func TestRepairSplicesGapWindow(t *testing.T) {
+	universe := make([]pair, 0, 10)
+	for s := 0; s < 10; s++ {
+		universe = append(universe, mkPair(s, uint32(65000+s)))
+	}
+	live := &fakeLive{events: []any{
+		universe[0], universe[1], universe[2],
+		gapAt(2, 6), // seconds 3..5 lost; boundaries 2 and 6 delivered
+		universe[6], universe[7],
+	}}
+	bf := &fakeBackfill{universe: universe}
+	r := New(live, bf, Options{})
+	defer r.Close()
+
+	out := drain(t, r)
+	if got := asns(out); !eqASNs(got, 65000, 65001, 65002, 65003, 65004, 65005, 65006, 65007) {
+		t.Fatalf("spliced flow = %v", got)
+	}
+	st := r.SourceStats()
+	if st.Gaps != 1 || st.Repairs != 1 || st.RepairFailures != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BackfilledElems != 3 {
+		t.Fatalf("backfilled = %d, want 3", st.BackfilledElems)
+	}
+	// Boundary copies 2 (recent ring) and 6 (holdback) were deduped.
+	if st.DuplicatesDropped != 2 {
+		t.Fatalf("duplicates dropped = %d, want 2", st.DuplicatesDropped)
+	}
+	if st.LiveElems != 5 {
+		t.Fatalf("live elems = %d, want 5", st.LiveElems)
+	}
+	if bf.calls != 1 {
+		t.Fatalf("backfill calls = %d, want 1", bf.calls)
+	}
+}
+
+// TestRepairDedupsEqualTimestampSiblings covers the in-flight sibling
+// hazard: several elems share the window-closing timestamp, only the
+// first closes the gap, and the rest must still dedup against their
+// backfill copies (multiset semantics, not set semantics).
+func TestRepairDedupsEqualTimestampSiblings(t *testing.T) {
+	a, b, c := mkPair(6, 65100), mkPair(6, 65101), mkPair(6, 65101) // b and c identical
+	universe := []pair{mkPair(2, 65000), mkPair(4, 65001), a, b, c}
+	live := &fakeLive{events: []any{
+		universe[0],
+		gapAt(2, 6),
+		a, b, c, // all three siblings delivered live, after the gap report
+		mkPair(7, 65200),
+	}}
+	bf := &fakeBackfill{universe: universe}
+	r := New(live, bf, Options{})
+	defer r.Close()
+
+	out := drain(t, r)
+	if got := asns(out); !eqASNs(got, 65000, 65001, 65100, 65101, 65101, 65200) {
+		t.Fatalf("spliced flow = %v", got)
+	}
+	st := r.SourceStats()
+	// Backfill window [2,6] = {2, 4, a, b, c}: 2 deduped against the
+	// ring, a/b/c against the holdback; only second 4 spliced.
+	if st.BackfilledElems != 1 || st.DuplicatesDropped != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestRepairBackfillFailureDegradesGracefully keeps the live flow
+// intact (original lossy behaviour) when the archive is unreachable.
+func TestRepairBackfillFailureDegradesGracefully(t *testing.T) {
+	live := &fakeLive{events: []any{
+		mkPair(0, 65000), mkPair(1, 65001),
+		gapAt(1, 5),
+		mkPair(5, 65005), mkPair(6, 65006),
+	}}
+	bf := &fakeBackfill{fail: true}
+	r := New(live, bf, Options{})
+	defer r.Close()
+
+	out := drain(t, r)
+	if got := asns(out); !eqASNs(got, 65000, 65001, 65005, 65006) {
+		t.Fatalf("flow = %v", got)
+	}
+	st := r.SourceStats()
+	if st.RepairFailures != 1 || st.Repairs != 0 || st.BackfilledElems != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestRepairMergesOverlappingWindows coalesces two overlapping gap
+// reports into one backfill fetch.
+func TestRepairMergesOverlappingWindows(t *testing.T) {
+	universe := make([]pair, 0, 10)
+	for s := 0; s < 10; s++ {
+		universe = append(universe, mkPair(s, uint32(65000+s)))
+	}
+	live := &fakeLive{events: []any{
+		universe[0], universe[1],
+		gapAt(1, 4),
+		universe[4], // closes window 1; immediately lost again
+		gapAt(4, 8),
+		universe[8], universe[9],
+	}}
+	bf := &fakeBackfill{universe: universe}
+	r := New(live, bf, Options{})
+	defer r.Close()
+
+	out := drain(t, r)
+	if got := asns(out); !eqASNs(got, 65000, 65001, 65002, 65003, 65004, 65005, 65006, 65007, 65008, 65009) {
+		t.Fatalf("flow = %v", got)
+	}
+	st := r.SourceStats()
+	if st.Gaps != 2 {
+		t.Fatalf("gaps = %d, want 2", st.Gaps)
+	}
+	// Live delivered 0,1,4,8,9; the splice must contribute exactly the
+	// five missing elems (2,3 and 5,6,7) and dedup the three delivered
+	// ones the coalesced [1,8] window re-fetches (1, 4, 8).
+	if st.BackfilledElems != 5 || st.DuplicatesDropped != 3 {
+		t.Fatalf("backfilled = %d dup = %d, want 5/3 (stats %+v, %d fetches)",
+			st.BackfilledElems, st.DuplicatesDropped, st, bf.calls)
+	}
+}
+
+// TestRepairPassthroughWithoutReporter leaves non-reporting sources
+// untouched.
+func TestRepairPassthroughWithoutReporter(t *testing.T) {
+	items := []pair{mkPair(0, 65000), mkPair(1, 65001)}
+	r := New(&slicePairs{items: items}, &fakeBackfill{}, Options{})
+	defer r.Close()
+	out := drain(t, r)
+	if got := asns(out); !eqASNs(got, 65000, 65001) {
+		t.Fatalf("flow = %v", got)
+	}
+	if st := r.SourceStats(); st.Gaps != 0 || st.LiveElems != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestRepairerCloseUnblocks releases a blocked NextElem with io.EOF.
+func TestRepairerCloseUnblocks(t *testing.T) {
+	blocked := core.ElemSource(blockingSource{})
+	r := New(blocked, &fakeBackfill{}, Options{})
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := r.NextElem(context.Background())
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	r.Close()
+	select {
+	case err := <-errc:
+		if err != io.EOF {
+			t.Fatalf("err = %v, want io.EOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("NextElem did not unblock after Close")
+	}
+}
+
+type blockingSource struct{}
+
+func (blockingSource) NextElem(ctx context.Context) (*core.Record, *core.Elem, error) {
+	<-ctx.Done()
+	return nil, nil, ctx.Err()
+}
+
+func (blockingSource) Close() error { return nil }
+
+// TestRepairNormalizesSharedRecords guards the record-granularity
+// contract: core.ElemSource allows consecutive pairs to share one
+// record, and the downstream push-mode stream enumerates records, not
+// pairs — so when a splice lands backfill between two pairs sharing a
+// record, the repairer must have re-materialised them as single-elem
+// records or the stream would enumerate the shared record twice.
+func TestRepairNormalizesSharedRecords(t *testing.T) {
+	ts2 := t0.Add(2 * time.Second)
+	a := core.Elem{Type: core.ElemAnnouncement, Timestamp: ts2, PeerASN: 65001,
+		Prefix: netip.MustParsePrefix("203.0.113.0/24")}
+	b := core.Elem{Type: core.ElemAnnouncement, Timestamp: ts2, PeerASN: 65002,
+		Prefix: netip.MustParsePrefix("203.0.113.0/24")}
+	shared := core.NewElemRecord("ris", "rrc00", core.DumpUpdates, ts2, []core.Elem{a, b})
+	es, _ := shared.Elems()
+
+	z, m, tail := mkPair(2, 65003), mkPair(4, 65004), mkPair(6, 65006)
+	live := &fakeLive{events: []any{
+		pair{shared, &es[0]}, // first half of the shared record
+		gapAt(2, 5),
+		pair{shared, &es[1]}, // second half closes the gap report
+		tail,
+	}}
+	// Backfill re-serves both shared elems (must dedup) plus the two
+	// genuinely lost ones; z ties with the shared record's timestamp,
+	// so the merge lands it between the two shared-record pairs.
+	bf := &fakeBackfill{universe: []pair{
+		{core.NewElemRecord("ris", "rrc00", core.DumpUpdates, ts2, []core.Elem{a}), &a},
+		{core.NewElemRecord("ris", "rrc00", core.DumpUpdates, ts2, []core.Elem{b}), &b},
+		z, m,
+	}}
+	r := New(live, bf, Options{})
+
+	// Drive the real downstream consumer: a push-mode core.Stream,
+	// whose record-pointer dedup is what shared records would break.
+	s := core.NewLiveStream(context.Background(), r, core.Filters{})
+	defer s.Close()
+	counts := map[uint32]int{}
+	total := 0
+	for {
+		_, elem, err := s.NextElem()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[elem.PeerASN]++
+		total++
+	}
+	for _, asn := range []uint32{65001, 65002, 65003, 65004, 65006} {
+		if counts[asn] != 1 {
+			t.Fatalf("elem %d seen %d times, want exactly 1 (all: %v)", asn, counts[asn], counts)
+		}
+	}
+	if total != 5 {
+		t.Fatalf("total elems = %d, want 5 (%v)", total, counts)
+	}
+}

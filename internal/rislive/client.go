@@ -72,6 +72,26 @@ type Client struct {
 	connects      atomic.Uint64
 	staleResets   atomic.Uint64
 	serverDropped atomic.Uint64
+	droppedTotal  atomic.Uint64
+	gapsSeen      atomic.Uint64
+
+	// gapMu guards the pending gap list drained by TakeGaps.
+	gapMu sync.Mutex
+	gaps  []core.Gap
+
+	// Gap-tracking state, touched only by the connection-management
+	// goroutine (run → streamOnce → dispatch). lastTs is the timestamp
+	// of the last delivered elem; stableTs is the delivered-complete
+	// watermark — the latest feed time T such that every subscribed
+	// elem with timestamp <= T is known delivered (advanced on pings
+	// whose drop counter shows no new loss).
+	lastTs        time.Time
+	stableTs      time.Time
+	gapFrom       time.Time
+	gapReason     string
+	gapPending    bool
+	everDelivered bool
+	connDropped   uint64 // server drop counter last reported this connection
 }
 
 type pair struct {
@@ -97,6 +117,11 @@ type ClientStats struct {
 	// server reported on a ping: messages this client missed because
 	// it consumed too slowly.
 	ServerDropped uint64
+	// DroppedTotal accumulates server-reported drops across every
+	// connection (ServerDropped resets when the client re-subscribes).
+	DroppedTotal uint64
+	// Gaps counts loss windows detected so far (see TakeGaps).
+	Gaps uint64
 }
 
 // Stats returns a snapshot of the client counters.
@@ -106,11 +131,75 @@ func (c *Client) Stats() ClientStats {
 		Pings:         c.pings.Load(),
 		StaleResets:   c.staleResets.Load(),
 		ServerDropped: c.serverDropped.Load(),
+		DroppedTotal:  c.droppedTotal.Load(),
+		Gaps:          c.gapsSeen.Load(),
 	}
 	if n := c.connects.Load(); n > 0 {
 		s.Reconnects = n - 1
 	}
 	return s
+}
+
+// SourceStats implements core.StatsReporter, surfacing the client's
+// completeness counters through Stream.SourceStats.
+func (c *Client) SourceStats() core.SourceStats {
+	s := c.Stats()
+	return core.SourceStats{
+		LiveElems:       s.Messages,
+		Reconnects:      s.Reconnects,
+		UpstreamDropped: s.DroppedTotal,
+		Gaps:            s.Gaps,
+	}
+}
+
+// TakeGaps implements core.GapReporter: it drains the loss windows
+// detected since the last call. A gap becomes visible here before the
+// elem that closes it (the one at Gap.Until) is delivered through
+// NextElem, so a consumer that drains gaps after every NextElem always
+// learns about a hole before streaming past it.
+//
+// Two signals open a gap. A reconnect opens one at the last delivered
+// timestamp — everything published while the client was away is
+// missing. A keepalive ping whose drop counter grew opens one at the
+// delivered-complete watermark (the last delivered timestamp as of the
+// previous clean ping), because the dropped elems interleave
+// arbitrarily with the ones delivered since then. Either way the gap
+// closes at the next delivered elem's timestamp. Windows are
+// conservative: they may cover elems that did arrive, so splicing a
+// backfill requires deduplication (internal/gaprepair).
+func (c *Client) TakeGaps() []core.Gap {
+	c.gapMu.Lock()
+	defer c.gapMu.Unlock()
+	gaps := c.gaps
+	c.gaps = nil
+	return gaps
+}
+
+// openGap starts a loss window unless one is already pending (the
+// window only widens; the earliest From stays authoritative).
+func (c *Client) openGap(reason string) {
+	if !c.everDelivered || c.gapPending {
+		return
+	}
+	from := c.stableTs
+	if from.IsZero() {
+		from = c.lastTs
+	}
+	c.gapFrom, c.gapReason, c.gapPending = from, reason, true
+}
+
+// closeGap records the pending window, ending at the elem about to be
+// delivered. It must run before that elem is enqueued so TakeGaps
+// ordering holds.
+func (c *Client) closeGap(until time.Time) {
+	g := core.Gap{From: c.gapFrom, Until: until, Reason: c.gapReason}
+	c.gapPending = false
+	c.stableTs = until // complete up to here, modulo the reported gap
+	c.gapsSeen.Add(1)
+	c.gapMu.Lock()
+	c.gaps = append(c.gaps, g)
+	c.gapMu.Unlock()
+	c.logf("rislive: detected %s", g)
 }
 
 // NextElem implements core.ElemSource: it blocks until the next elem
@@ -181,6 +270,10 @@ func (c *Client) run() {
 			return
 		}
 		c.logf("rislive: stream ended after %d messages: %v", delivered, err)
+		// Anything published while we reconnect is lost; open a loss
+		// window at the delivered watermark (closed by the first elem
+		// of the next connection).
+		c.openGap("reconnect")
 		if delivered > 0 {
 			// Productive connection: restart the ladder, but still
 			// back off one base step before reconnecting.
@@ -276,6 +369,7 @@ func (c *Client) streamOnce() (int, error) {
 		return 0, fmt.Errorf("rislive: HTTP %s", resp.Status)
 	}
 	c.connects.Add(1)
+	c.connDropped = 0 // the server's drop counter is per-subscription
 	c.logf("rislive: connected to %s", c.URL)
 
 	readTimeout := c.ReadTimeout
@@ -337,6 +431,16 @@ func (c *Client) dispatch(payload []byte) (int, error) {
 	case TypePing:
 		c.pings.Add(1)
 		c.serverDropped.Store(msg.Dropped)
+		switch {
+		case msg.Dropped > c.connDropped:
+			c.droppedTotal.Add(msg.Dropped - c.connDropped)
+			c.connDropped = msg.Dropped
+			c.openGap("drops")
+		case !c.gapPending:
+			// All drops accounted for: delivery is complete up to the
+			// last delivered elem.
+			c.stableTs = c.lastTs
+		}
 		return 0, nil
 	case TypeError:
 		return 0, fmt.Errorf("rislive: server error: %s", msg.Error)
@@ -358,6 +462,14 @@ func (c *Client) dispatch(payload []byte) (int, error) {
 			return 0, fmt.Errorf("rislive: message delay %s exceeds staleness limit %s", delay.Round(time.Millisecond), c.Staleness)
 		}
 	}
+	if c.gapPending {
+		// Record the window before enqueueing its closing elem, so a
+		// consumer draining TakeGaps after each NextElem learns about
+		// the hole before streaming past it.
+		c.closeGap(elem.Timestamp)
+	}
+	c.lastTs = elem.Timestamp
+	c.everDelivered = true
 	select {
 	case c.pairs <- pair{rec: rec, elem: elem}:
 		c.messages.Add(1)

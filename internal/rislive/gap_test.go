@@ -1,0 +1,195 @@
+package rislive
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+var gapT0 = time.Date(2016, 5, 12, 0, 0, 0, 0, time.UTC)
+
+// feedMsg builds a data message at gapT0+sec.
+func feedMsg(sec int) Message {
+	return Message{Type: TypeMessage, Data: &ElemData{
+		Timestamp: float64(gapT0.Add(time.Duration(sec) * time.Second).Unix()),
+		Peer:      "192.0.2.1",
+		PeerASN:   65000,
+		Host:      "rrc00",
+		Project:   "ris",
+		ElemType:  "A",
+		Prefix:    "203.0.113.0/24",
+	}}
+}
+
+func pingMsg(dropped uint64) Message {
+	return Message{Type: TypePing, Dropped: dropped}
+}
+
+// scriptedSSE serves one fixed message script per connection; the last
+// script's connection is held open so the client does not reconnect
+// past the end of the scenario.
+func scriptedSSE(t *testing.T, scripts [][]Message) *httptest.Server {
+	t.Helper()
+	var conn atomic.Int32
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(conn.Add(1)) - 1
+		if n >= len(scripts) {
+			n = len(scripts) - 1
+		}
+		fl := w.(http.Flusher)
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+		for _, m := range scripts[n] {
+			b, err := json.Marshal(m)
+			if err != nil {
+				t.Errorf("marshal: %v", err)
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", b)
+			fl.Flush()
+		}
+		if int(conn.Load()) >= len(scripts) {
+			<-r.Context().Done() // hold the final connection open
+		}
+	}))
+}
+
+// readElems consumes n elems, returning their timestamps.
+func readElems(t *testing.T, c *Client, n int) []time.Time {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	out := make([]time.Time, 0, n)
+	for len(out) < n {
+		_, elem, err := c.NextElem(ctx)
+		if err != nil {
+			t.Fatalf("after %d elems: %v", len(out), err)
+		}
+		out = append(out, elem.Timestamp)
+	}
+	return out
+}
+
+func wantGap(t *testing.T, gaps []core.Gap, fromSec, untilSec int, reason string) {
+	t.Helper()
+	if len(gaps) != 1 {
+		t.Fatalf("gaps = %v, want exactly one", gaps)
+	}
+	g := gaps[0]
+	if want := gapT0.Add(time.Duration(fromSec) * time.Second); !g.From.Equal(want) {
+		t.Errorf("gap From = %v, want %v", g.From, want)
+	}
+	if want := gapT0.Add(time.Duration(untilSec) * time.Second); !g.Until.Equal(want) {
+		t.Errorf("gap Until = %v, want %v", g.Until, want)
+	}
+	if g.Reason != reason {
+		t.Errorf("gap Reason = %q, want %q", g.Reason, reason)
+	}
+}
+
+// TestClientReconnectGapWindow pins the exact loss window of a forced
+// disconnect: from the last elem delivered before the connection died
+// to the first elem delivered after reconnecting.
+func TestClientReconnectGapWindow(t *testing.T) {
+	hs := scriptedSSE(t, [][]Message{
+		{feedMsg(100), feedMsg(101)}, // connection closes after two elems
+		{feedMsg(200)},               // post-reconnect, held open
+	})
+	defer hs.Close()
+
+	c := fastClient(hs.URL)
+	defer c.Close()
+	readElems(t, c, 3)
+
+	wantGap(t, c.TakeGaps(), 101, 200, "reconnect")
+	if got := c.TakeGaps(); len(got) != 0 {
+		t.Fatalf("TakeGaps did not drain: %v", got)
+	}
+	st := c.Stats()
+	if st.Gaps != 1 || st.Reconnects != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestClientReconnectGapSpansFailedRetries keeps one window open
+// across a reconnect attempt that delivers nothing: the gap runs from
+// the last delivery before the first disconnect to the first delivery
+// after the last.
+func TestClientReconnectGapSpansFailedRetries(t *testing.T) {
+	hs := scriptedSSE(t, [][]Message{
+		{feedMsg(100), feedMsg(101)},
+		{}, // reconnect delivers nothing and closes again
+		{feedMsg(300)},
+	})
+	defer hs.Close()
+
+	c := fastClient(hs.URL)
+	defer c.Close()
+	readElems(t, c, 3)
+
+	wantGap(t, c.TakeGaps(), 101, 300, "reconnect")
+	if st := c.Stats(); st.Gaps != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestClientDropsGapWindow pins the loss window of server-reported
+// slow-client drops: from the delivered-complete watermark (the last
+// delivery as of the previous clean ping — dropped elems interleave
+// arbitrarily with later deliveries) to the first delivery after the
+// report.
+func TestClientDropsGapWindow(t *testing.T) {
+	hs := scriptedSSE(t, [][]Message{{
+		feedMsg(100),
+		pingMsg(0), // clean ping: complete through 100
+		feedMsg(101),
+		pingMsg(5), // five elems lost somewhere after the clean ping
+		feedMsg(102),
+	}})
+	defer hs.Close()
+
+	c := fastClient(hs.URL)
+	defer c.Close()
+	readElems(t, c, 3)
+
+	wantGap(t, c.TakeGaps(), 100, 102, "drops")
+	st := c.Stats()
+	if st.Gaps != 1 || st.DroppedTotal != 5 || st.Reconnects != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	src := c.SourceStats()
+	if src.Gaps != 1 || src.UpstreamDropped != 5 || src.LiveElems != 3 {
+		t.Fatalf("source stats = %+v", src)
+	}
+}
+
+// TestClientDropCounterResetAcrossReconnect ensures the per-connection
+// server counter does not double-count after a re-subscription resets
+// it to zero.
+func TestClientDropCounterResetAcrossReconnect(t *testing.T) {
+	hs := scriptedSSE(t, [][]Message{
+		{feedMsg(100), pingMsg(0), feedMsg(101), pingMsg(3), feedMsg(102)},
+		{feedMsg(200), pingMsg(0), feedMsg(201), pingMsg(2), feedMsg(202)},
+	})
+	defer hs.Close()
+
+	c := fastClient(hs.URL)
+	defer c.Close()
+	readElems(t, c, 6)
+
+	gaps := c.TakeGaps()
+	if len(gaps) != 3 { // drops@conn1, reconnect, drops@conn2
+		t.Fatalf("gaps = %v, want 3", gaps)
+	}
+	if st := c.Stats(); st.DroppedTotal != 5 {
+		t.Fatalf("dropped total = %d, want 3+2=5 (stats %+v)", st.DroppedTotal, st)
+	}
+}

@@ -19,6 +19,13 @@
 //     implements core.ElemSource so a core.NewLiveStream over it feeds
 //     every existing NextElem consumer unchanged.
 //
+// Loss is explicit rather than silent: the client derives loss
+// windows (core.Gap) from its reconnects and from the server's
+// per-subscriber drop counters, reporting them through
+// core.GapReporter (see Client.TakeGaps). internal/gaprepair consumes
+// those windows to backfill a lossy feed from the archive path and
+// splice the result into a complete stream.
+//
 // The wire format follows RIS Live's envelope ({"type": "ris_message",
 // "data": {...}}) with elem-level granularity: one message per
 // BGPStream elem, tagged with peer, collector and project metadata.

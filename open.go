@@ -6,11 +6,13 @@ import (
 	"time"
 
 	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/gaprepair"
 )
 
 // openConfig accumulates the functional options of Open.
 type openConfig struct {
 	src     Source
+	repair  Source // backfill source; non-nil wraps src in gap repair
 	filters Filters
 }
 
@@ -48,6 +50,46 @@ func WithSourceInstance(src any) Option {
 			return err
 		}
 		c.src = s
+		return nil
+	}
+}
+
+// WithRepair turns a lossy push stream into a complete one: loss
+// windows the live source reports (reconnects, server-side slow-client
+// drops) are backfilled from the named archive-class source and
+// spliced into the flow in time order, deduplicated against what the
+// live side already delivered. The stream's own filters — narrowed to
+// each loss window — drive the backfill, so spliced elems pass exactly
+// the predicate live elems do:
+//
+//	bgpstream.Open(ctx,
+//		bgpstream.WithSource("rislive", bgpstream.SourceOptions{"url": feedURL}),
+//		bgpstream.WithRepair("broker", bgpstream.SourceOptions{"url": brokerURL}))
+//
+// The wrapped source must be push-based (pull sources are already
+// complete). Gap and repair counters surface through
+// Stream.SourceStats. The equivalent registry form is the "repaired"
+// source, which names both halves as options.
+func WithRepair(backfillName string, opts SourceOptions) Option {
+	return func(c *openConfig) error {
+		b, err := OpenSource(backfillName, opts)
+		if err != nil {
+			return err
+		}
+		c.repair = b
+		return nil
+	}
+}
+
+// WithRepairInstance is WithRepair for an already-constructed backfill
+// source (a Source or pull DataInterface).
+func WithRepairInstance(backfill any) Option {
+	return func(c *openConfig) error {
+		b, err := core.AsSource(backfill)
+		if err != nil {
+			return err
+		}
+		c.repair = b
 		return nil
 	}
 }
@@ -126,7 +168,11 @@ func Open(ctx context.Context, opts ...Option) (*Stream, error) {
 	if cfg.src == nil {
 		return nil, errors.New("bgpstream: Open needs a source (use WithSource or WithSourceInstance)")
 	}
-	return cfg.src.OpenStream(ctx, cfg.filters)
+	src := cfg.src
+	if cfg.repair != nil {
+		src = &gaprepair.Composite{Live: src, Backfill: cfg.repair}
+	}
+	return src.OpenStream(ctx, cfg.filters)
 }
 
 // mergeFilters folds src into dst: slices append, interval fields

@@ -2,6 +2,7 @@ package bgpstream_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http/httptest"
@@ -372,5 +373,177 @@ func TestOpenSingleFileWithInterval(t *testing.T) {
 	}
 	if err := s2.Err(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestOpenRepairedEndToEnd drives the gap-repaired composite through
+// the registry: a push feed is force-disconnected while replaying an
+// archive exactly once, and the "repaired" source — rislive live half,
+// directory backfill half, options forwarded through the live.*/
+// backfill.* prefixes — must deliver the exact elem multiset of the
+// uninterrupted replay, with the repair counters visible on the
+// stream.
+func TestOpenRepairedEndToEnd(t *testing.T) {
+	dir, _ := generateArchive(t, 19, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Reference: the elem multiset of an uninterrupted archive read.
+	refStream, err := bgpstream.Open(ctx,
+		bgpstream.WithSource("directory", bgpstream.SourceOptions{"path": dir}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference := make(map[string]int)
+	refN := 0
+	for rec, elem := range refStream.Elems() {
+		b, err := json.Marshal(rislive.EncodeElem(rec.Project, rec.Collector, elem))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference[string(b)]++
+		refN++
+	}
+	if err := refStream.Err(); err != nil {
+		t.Fatal(err)
+	}
+	refStream.Close()
+	if refN == 0 {
+		t.Fatal("empty reference run")
+	}
+
+	feed := &rislive.Server{KeepAlive: 100 * time.Millisecond, BufferSize: 1 << 17}
+	hs := httptest.NewServer(feed)
+	defer hs.Close()
+	go func() {
+		// One pass over the archive with a forced disconnect at 40%:
+		// completeness must come from the repair path. Publishing
+		// starts only once the consumer is subscribed — elems
+		// published before the first subscription are not a repairable
+		// loss (the client has no watermark yet), they are simply
+		// before the stream began.
+		for feed.Stats().Subscribers == 0 && ctx.Err() == nil {
+			time.Sleep(5 * time.Millisecond)
+		}
+		rs := core.NewStream(ctx, &core.Directory{Dir: dir}, core.Filters{})
+		defer rs.Close()
+		n := 0
+		for ctx.Err() == nil {
+			rec, elem, err := rs.NextElem()
+			if err != nil {
+				return
+			}
+			feed.Publish(rec.Project, rec.Collector, elem)
+			if n++; n == 2*refN/5 {
+				feed.DisconnectClients()
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}()
+
+	s, err := bgpstream.Open(ctx,
+		bgpstream.WithSource("repaired", bgpstream.SourceOptions{
+			"backfill":      "directory",
+			"backfill.path": dir,
+			"live.url":      hs.URL,
+			"live.backoff":  "20ms", // reconnect fast relative to the replay pace
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	got := make(map[string]int)
+	n := 0
+	for rec, elem := range s.Elems() {
+		b, err := json.Marshal(rislive.EncodeElem(rec.Project, rec.Collector, elem))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[string(b)]++
+		if got[string(b)] > reference[string(b)] {
+			t.Fatalf("duplicate elem at %d: %s", n, b)
+		}
+		if n++; n >= refN {
+			break
+		}
+	}
+	if n < refN {
+		t.Fatalf("only %d/%d elems through repaired source (err: %v, stats: %+v, feed: %+v)",
+			n, refN, s.Err(), s.SourceStats(), feed.Stats())
+	}
+	// refN elems received and none in excess of the reference count:
+	// the multisets are identical — no duplicates, no holes.
+	st := s.SourceStats()
+	if st.LiveElems == 0 {
+		t.Fatalf("SourceStats not wired through the repaired stream: %+v", st)
+	}
+	if st.Gaps < 1 || st.Repairs < 1 {
+		t.Fatalf("forced disconnect repaired without gap accounting: %+v", st)
+	}
+}
+
+// TestOpenWithRepairOption exercises the WithRepair form over
+// WithSource, plus the composite error paths: repairing a pull source
+// is rejected, and composite sub-options are validated.
+func TestOpenWithRepairOption(t *testing.T) {
+	dir, _ := generateArchive(t, 20, 1)
+
+	if _, err := bgpstream.Open(context.Background(),
+		bgpstream.WithSource("directory", bgpstream.SourceOptions{"path": dir}),
+		bgpstream.WithRepair("directory", bgpstream.SourceOptions{"path": dir})); err == nil ||
+		!strings.Contains(err.Error(), "push") {
+		t.Errorf("repairing a pull source accepted (err = %v)", err)
+	}
+
+	if _, err := bgpstream.OpenSource("repaired", bgpstream.SourceOptions{
+		"backfill": "directory", "backfill.path": dir, "live.url": "http://x", "bogus": "y",
+	}); err == nil || !strings.Contains(err.Error(), `no option "bogus"`) {
+		t.Errorf("unknown composite option error = %v", err)
+	}
+	if _, err := bgpstream.OpenSource("repaired", bgpstream.SourceOptions{
+		"backfill": "directory", "backfill.bogus": dir, "live.url": "http://x",
+	}); err == nil || !strings.Contains(err.Error(), `no option "bogus"`) {
+		t.Errorf("unknown forwarded option error = %v", err)
+	}
+	if _, err := bgpstream.OpenSource("repaired", bgpstream.SourceOptions{
+		"live.url": "http://x",
+	}); err == nil || !strings.Contains(err.Error(), `requires option "backfill"`) {
+		t.Errorf("missing backfill error = %v", err)
+	}
+
+	// The WithRepair happy path over an in-process feed: spot-check
+	// that elems flow and stats surface.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	feed := &rislive.Server{KeepAlive: 100 * time.Millisecond}
+	hs := httptest.NewServer(feed)
+	defer hs.Close()
+	go func() {
+		for ctx.Err() == nil {
+			rs := core.NewStream(ctx, &core.Directory{Dir: dir}, core.Filters{})
+			rislive.Replay(ctx, rs, feed, rislive.ReplayOptions{})
+			rs.Close()
+		}
+	}()
+	s, err := bgpstream.Open(ctx,
+		bgpstream.WithSource("rislive", bgpstream.SourceOptions{"url": hs.URL}),
+		bgpstream.WithRepair("directory", bgpstream.SourceOptions{"path": dir}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	n := 0
+	for range s.Elems() {
+		if n++; n >= 200 {
+			break
+		}
+	}
+	if n < 200 {
+		t.Fatalf("only %d elems through WithRepair (err: %v)", n, s.Err())
+	}
+	if st := s.SourceStats(); st.LiveElems == 0 {
+		t.Fatalf("SourceStats empty through WithRepair: %+v", st)
 	}
 }

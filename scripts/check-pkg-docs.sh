@@ -1,0 +1,32 @@
+#!/bin/sh
+# check-pkg-docs.sh — fail the build when a package lacks a package
+# doc comment ("// Package <name> ..."). Architecture documentation is
+# a build artifact here: every internal package must say what it
+# implements and, where applicable, which paper section it reproduces.
+#
+# Usage: scripts/check-pkg-docs.sh  (from the repository root)
+set -eu
+
+status=0
+for dir in internal/*/ .; do
+    # Package name = directory basename; the root package is "bgpstream".
+    if [ "$dir" = "." ]; then
+        pkg=bgpstream
+    else
+        pkg=$(basename "$dir")
+    fi
+    found=0
+    for f in "$dir"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in *_test.go) continue ;; esac
+        if grep -q "^// Package $pkg " "$f"; then
+            found=1
+            break
+        fi
+    done
+    if [ "$found" -eq 0 ]; then
+        echo "missing package doc comment: $dir (want '// Package $pkg ...')" >&2
+        status=1
+    fi
+done
+exit $status

@@ -13,6 +13,7 @@ import (
 	"github.com/bgpstream-go/bgpstream/internal/archive"
 	"github.com/bgpstream-go/bgpstream/internal/broker"
 	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/gaprepair"
 	"github.com/bgpstream-go/bgpstream/internal/rislive"
 )
 
@@ -99,16 +100,23 @@ func OpenSource(name string, opts SourceOptions) (Source, error) {
 			name, strings.Join(sourceNames(), ", "))
 	}
 	valid := make(map[string]bool, len(reg.info.Options))
-	var optNames []string
+	var optNames, prefixes []string
 	for _, o := range reg.info.Options {
 		valid[o.Name] = true
 		optNames = append(optNames, o.Name)
+		// An option named "live.*" accepts any "live."-prefixed key;
+		// composite sources use this to forward options to the
+		// sources they wrap.
+		if strings.HasSuffix(o.Name, ".*") {
+			prefixes = append(prefixes, strings.TrimSuffix(o.Name, "*"))
+		}
 	}
 	for k := range opts {
-		if !valid[k] {
-			return nil, fmt.Errorf("bgpstream: source %q has no option %q (options: %s)",
-				name, k, strings.Join(optNames, ", "))
+		if valid[k] || matchesPrefix(k, prefixes) {
+			continue
 		}
+		return nil, fmt.Errorf("bgpstream: source %q has no option %q (options: %s)",
+			name, k, strings.Join(optNames, ", "))
 	}
 	for _, o := range reg.info.Options {
 		if o.Required && opts[o.Name] == "" {
@@ -117,6 +125,27 @@ func OpenSource(name string, opts SourceOptions) (Source, error) {
 		}
 	}
 	return reg.factory(opts)
+}
+
+func matchesPrefix(key string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(key, p) && len(key) > len(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// subOptions extracts the options under one composite prefix
+// ("live." → {"live.url": v} becomes {"url": v}).
+func subOptions(opts SourceOptions, prefix string) SourceOptions {
+	sub := SourceOptions{}
+	for k, v := range opts {
+		if strings.HasPrefix(k, prefix) && len(k) > len(prefix) {
+			sub[strings.TrimPrefix(k, prefix)] = v
+		}
+	}
+	return sub
 }
 
 func sourceNames() []string {
@@ -128,6 +157,20 @@ func sourceNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// optInt parses an optional integer-valued option; missing or empty
+// means def.
+func optInt(name string, opts SourceOptions, key string, def int) (int, error) {
+	v := opts[key]
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bgpstream: source %q option %q: bad count %q", name, key, v)
+	}
+	return n, nil
 }
 
 // optDuration parses an optional duration-valued option ("10s",
@@ -257,10 +300,15 @@ func init() {
 		Options: []SourceOption{
 			{Name: "url", Description: "SSE endpoint, e.g. http://localhost:8481/v1/stream", Required: true},
 			{Name: "stale", Description: "reconnect when messages lag the clock by this much (0 disables)", Default: "0s"},
+			{Name: "backoff", Description: "initial reconnect delay, doubled per consecutive failure", Default: "500ms"},
 			{Name: "log", Description: `"stderr" surfaces connection lifecycle logs`},
 		},
 	}, func(opts SourceOptions) (Source, error) {
 		stale, err := optDuration("rislive", opts, "stale", 0)
+		if err != nil {
+			return nil, err
+		}
+		backoff, err := optDuration("rislive", opts, "backoff", 0)
 		if err != nil {
 			return nil, err
 		}
@@ -276,10 +324,61 @@ func init() {
 			// its configuration stays authoritative.
 			c := rislive.NewClient(url, rislive.SubscriptionFromFilters(f))
 			c.Staleness = stale
+			c.Backoff = backoff
 			if logDest == "stderr" {
 				c.Logf = log.Printf
 			}
 			return core.NewLiveStream(ctx, c, f), nil
 		}), nil
+	})
+
+	RegisterSource(SourceInfo{
+		Name: "repaired",
+		Description: "gap-repaired composite: a push feed backfilled from an archive-class source " +
+			"(push latency, pull completeness)",
+		Kind: "push",
+		Options: []SourceOption{
+			{Name: "live", Description: "name of the push source to repair", Default: "rislive"},
+			{Name: "backfill", Description: "name of the pull source gaps are backfilled from", Required: true},
+			{Name: "live.*", Description: "options forwarded to the live source (live.url, ...)"},
+			{Name: "backfill.*", Description: "options forwarded to the backfill source (backfill.url, backfill.path, ...)"},
+			{Name: "holdback", Description: "max live elems buffered while a gap window closes", Default: "8192"},
+			{Name: "timeout", Description: "per-window backfill timeout", Default: "30s"},
+			{Name: "log", Description: `"stderr" surfaces repair lifecycle logs`},
+		},
+	}, func(opts SourceOptions) (Source, error) {
+		liveName := opts["live"]
+		if liveName == "" {
+			liveName = "rislive"
+		}
+		live, err := OpenSource(liveName, subOptions(opts, "live."))
+		if err != nil {
+			return nil, err
+		}
+		backfill, err := OpenSource(opts["backfill"], subOptions(opts, "backfill."))
+		if err != nil {
+			return nil, err
+		}
+		holdback, err := optInt("repaired", opts, "holdback", 0)
+		if err != nil {
+			return nil, err
+		}
+		timeout, err := optDuration("repaired", opts, "timeout", 0)
+		if err != nil {
+			return nil, err
+		}
+		var logf func(string, ...any)
+		switch opts["log"] {
+		case "":
+		case "stderr":
+			logf = log.Printf
+		default:
+			return nil, fmt.Errorf(`bgpstream: source "repaired" option "log": want "stderr", got %q`, opts["log"])
+		}
+		return &gaprepair.Composite{
+			Live:     live,
+			Backfill: backfill,
+			Options:  gaprepair.Options{HoldbackLimit: holdback, Timeout: timeout, Logf: logf},
+		}, nil
 	})
 }
