@@ -16,6 +16,7 @@ import (
 	"net/netip"
 	"os"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"github.com/bgpstream-go/bgpstream/internal/collector"
 	"github.com/bgpstream-go/bgpstream/internal/core"
 	"github.com/bgpstream-go/bgpstream/internal/experiments"
+	"github.com/bgpstream-go/bgpstream/internal/gaprepair"
 	"github.com/bgpstream-go/bgpstream/internal/merge"
 	"github.com/bgpstream-go/bgpstream/internal/prefixtrie"
 	"github.com/bgpstream-go/bgpstream/internal/rislive"
@@ -437,4 +439,319 @@ func BenchmarkFilterMatchMeta(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = c.MatchMeta(metas[i%len(metas)])
 	}
+}
+
+// --- gap-repair pipeline: pump-stall / delivery-gap benches ---
+//
+// The scenario: a paced feed loses three windows in quick succession,
+// each backfill fetch takes repairFetchDelay. The pipelined repairer
+// (internal/gaprepair) keeps draining the feed while workers fetch
+// concurrently; the blocking baseline below reproduces the PR 3
+// repair loop — hold the flow, fetch synchronously, splice — whose
+// pump stalls for the whole fetch and whose fetches serialise.
+// Reported metrics:
+//
+//	p99-delivery-ms — p99 gap between consecutive delivered elems
+//	max-stall-ms    — longest pause between live-source reads (the
+//	                  pump stall that turns into upstream drops)
+
+const (
+	repairFetchDelay = 100 * time.Millisecond
+	repairFeedN      = 3000
+	repairFeedPace   = 20 * time.Microsecond
+)
+
+// repairBenchPair is one scripted feed elem.
+type repairBenchPair struct {
+	rec  *core.Record
+	elem *core.Elem
+}
+
+func repairBenchUniverse() []repairBenchPair {
+	t0 := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]repairBenchPair, repairFeedN)
+	for i := range out {
+		e := core.Elem{
+			Type:      core.ElemAnnouncement,
+			Timestamp: t0.Add(time.Duration(i) * time.Millisecond),
+			PeerAddr:  netip.MustParseAddr("192.0.2.1"),
+			PeerASN:   uint32(65000 + i),
+			Prefix:    netip.MustParsePrefix("203.0.113.0/24"),
+		}
+		rec := core.NewElemRecord("ris", "rrc00", core.DumpUpdates, e.Timestamp, []core.Elem{e})
+		es, _ := rec.Elems()
+		out[i] = repairBenchPair{rec: rec, elem: &es[0]}
+	}
+	return out
+}
+
+// repairBenchFeed scripts a lossy paced push feed: the index ranges in
+// lost are skipped, and the corresponding loss window becomes visible
+// to TakeGaps just before the elem that closes it — the rislive
+// ordering contract. It records the longest pause between reads, the
+// pump-stall metric.
+type repairBenchFeed struct {
+	universe []repairBenchPair
+	lost     [][2]int // half-open index ranges, ascending
+	pace     time.Duration
+	i        int
+
+	mu       sync.Mutex
+	pending  []core.Gap
+	lastRet  time.Time
+	maxStall time.Duration
+}
+
+func (f *repairBenchFeed) NextElem(ctx context.Context) (*core.Record, *core.Elem, error) {
+	f.mu.Lock()
+	if !f.lastRet.IsZero() {
+		if d := time.Since(f.lastRet); d > f.maxStall {
+			f.maxStall = d
+		}
+	}
+	f.mu.Unlock()
+	for len(f.lost) > 0 && f.i == f.lost[0][0] {
+		r := f.lost[0]
+		f.lost = f.lost[1:]
+		f.mu.Lock()
+		f.pending = append(f.pending, core.Gap{
+			From:   f.universe[r[0]-1].elem.Timestamp,
+			Until:  f.universe[r[1]].elem.Timestamp,
+			Reason: "bench",
+		})
+		f.mu.Unlock()
+		f.i = r[1]
+	}
+	if f.i >= len(f.universe) {
+		return nil, nil, io.EOF
+	}
+	p := f.universe[f.i]
+	f.i++
+	if f.pace > 0 {
+		time.Sleep(f.pace)
+	}
+	f.mu.Lock()
+	f.lastRet = time.Now()
+	f.mu.Unlock()
+	return p.rec, p.elem, nil
+}
+
+func (f *repairBenchFeed) TakeGaps() []core.Gap {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	g := f.pending
+	f.pending = nil
+	return g
+}
+
+func (f *repairBenchFeed) Close() error { return nil }
+
+func (f *repairBenchFeed) stall() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.maxStall
+}
+
+// repairBenchBackfill serves any window of the universe after a fixed
+// delay, the "slow archive".
+type repairBenchBackfill struct {
+	universe []repairBenchPair
+	delay    time.Duration
+}
+
+func (b repairBenchBackfill) window(from, until time.Time) []repairBenchPair {
+	var sel []repairBenchPair
+	for _, p := range b.universe {
+		if !p.elem.Timestamp.Before(from) && !p.elem.Timestamp.After(until) {
+			sel = append(sel, p)
+		}
+	}
+	return sel
+}
+
+func (b repairBenchBackfill) Backfill(ctx context.Context, from, until time.Time) (*core.Stream, error) {
+	select {
+	case <-time.After(b.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	sel := b.window(from, until)
+	elems := make([]core.Elem, 0, len(sel))
+	for _, p := range sel {
+		elems = append(elems, *p.elem)
+	}
+	src := &repairBenchSliceSource{elems: elems}
+	return core.NewLiveStream(ctx, src, core.Filters{}), nil
+}
+
+type repairBenchSliceSource struct {
+	elems []core.Elem
+	i     int
+}
+
+func (s *repairBenchSliceSource) NextElem(ctx context.Context) (*core.Record, *core.Elem, error) {
+	if s.i >= len(s.elems) {
+		return nil, nil, io.EOF
+	}
+	e := s.elems[s.i]
+	s.i++
+	rec := core.NewElemRecord("ris", "rrc00", core.DumpUpdates, e.Timestamp, []core.Elem{e})
+	es, _ := rec.Elems()
+	return rec, &es[0], nil
+}
+
+func (s *repairBenchSliceSource) Close() error { return nil }
+
+// Three loss windows in quick succession: close enough that a
+// concurrent repairer overlaps their fetches, far enough apart that
+// each is reported separately.
+func repairBenchLost() [][2]int {
+	return [][2]int{{500, 800}, {850, 1150}, {1200, 1500}}
+}
+
+// p99 of the recorded inter-delivery gaps.
+func repairBenchP99(gaps []time.Duration) time.Duration {
+	if len(gaps) == 0 {
+		return 0
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	return gaps[len(gaps)-1-len(gaps)/100]
+}
+
+func repairBenchMax(gaps []time.Duration) time.Duration {
+	var m time.Duration
+	for _, g := range gaps {
+		if g > m {
+			m = g
+		}
+	}
+	return m
+}
+
+// BenchmarkRepairConcurrentPipeline measures the pipelined repairer:
+// fetches overlap the live flow (and each other), so the pump never
+// stalls and the delivery pause is bounded by roughly one fetch
+// latency regardless of how many windows are in flight.
+func BenchmarkRepairConcurrentPipeline(b *testing.B) {
+	universe := repairBenchUniverse()
+	var worstStall, worstP99, worstMax time.Duration
+	for i := 0; i < b.N; i++ {
+		feed := &repairBenchFeed{universe: universe, lost: repairBenchLost(), pace: repairFeedPace}
+		rep := gaprepair.New(feed, repairBenchBackfill{universe: universe, delay: repairFetchDelay},
+			gaprepair.Options{Concurrency: 3, PollInterval: 10 * time.Millisecond})
+		var gaps []time.Duration
+		last := time.Now()
+		n := 0
+		for {
+			_, _, err := rep.NextElem(context.Background())
+			if err != nil {
+				break
+			}
+			now := time.Now()
+			gaps = append(gaps, now.Sub(last))
+			last = now
+			n++
+		}
+		rep.Close()
+		if n != repairFeedN {
+			b.Fatalf("delivered %d elems, want %d", n, repairFeedN)
+		}
+		if s := feed.stall(); s > worstStall {
+			worstStall = s
+		}
+		if p := repairBenchP99(gaps); p > worstP99 {
+			worstP99 = p
+		}
+		if m := repairBenchMax(gaps); m > worstMax {
+			worstMax = m
+		}
+	}
+	b.ReportMetric(float64(worstStall.Microseconds())/1e3, "max-stall-ms")
+	b.ReportMetric(float64(worstP99.Microseconds())/1e3, "p99-delivery-ms")
+	b.ReportMetric(float64(worstMax.Microseconds())/1e3, "max-delivery-ms")
+}
+
+// BenchmarkRepairBlockingBaseline reproduces the pre-pipeline repair
+// loop for comparison: on a gap report the single loop holds the live
+// flow, fetches the window synchronously (stalling the pump for the
+// whole fetch), splices, and only then resumes reading. Its pump
+// stall and delivery pause both sit at one fetch latency per window,
+// and windows serialise.
+func BenchmarkRepairBlockingBaseline(b *testing.B) {
+	universe := repairBenchUniverse()
+	bf := repairBenchBackfill{universe: universe, delay: repairFetchDelay}
+	var worstStall, worstP99, worstMax time.Duration
+	for i := 0; i < b.N; i++ {
+		feed := &repairBenchFeed{universe: universe, lost: repairBenchLost(), pace: repairFeedPace}
+		var gaps []time.Duration
+		last := time.Now()
+		deliver := func(p repairBenchPair) {
+			now := time.Now()
+			gaps = append(gaps, now.Sub(last))
+			last = now
+		}
+		n := 0
+		ctx := context.Background()
+		for {
+			rec, elem, err := feed.NextElem(ctx)
+			if err != nil {
+				break
+			}
+			pending := feed.TakeGaps()
+			if len(pending) == 0 {
+				deliver(repairBenchPair{rec, elem})
+				n++
+				continue
+			}
+			// Blocking repair cycle: hold until the flow passes the
+			// window, then fetch synchronously and splice.
+			w := pending[0]
+			hold := []repairBenchPair{{rec, elem}}
+			for !hold[len(hold)-1].elem.Timestamp.After(w.Until) {
+				hrec, helem, herr := feed.NextElem(ctx)
+				if herr != nil {
+					break
+				}
+				hold = append(hold, repairBenchPair{hrec, helem})
+			}
+			select {
+			case <-time.After(bf.delay): // the synchronous fetch
+			case <-ctx.Done():
+			}
+			items := bf.window(w.From, w.Until)
+			// Merge items+hold in time order (both already sorted).
+			ii, hi := 0, 0
+			for ii < len(items) || hi < len(hold) {
+				if hi >= len(hold) || (ii < len(items) && !items[ii].elem.Timestamp.After(hold[hi].elem.Timestamp)) {
+					// Skip the backfill copies of the boundary elems
+					// (delivered live before/after the window; feed
+					// timestamps are unique in this scenario).
+					if ts := items[ii].elem.Timestamp; !ts.Equal(w.From) && !ts.Equal(w.Until) {
+						deliver(items[ii])
+						n++
+					}
+					ii++
+					continue
+				}
+				deliver(hold[hi])
+				n++
+				hi++
+			}
+		}
+		if n != repairFeedN {
+			b.Fatalf("delivered %d elems, want %d", n, repairFeedN)
+		}
+		if s := feed.stall(); s > worstStall {
+			worstStall = s
+		}
+		if p := repairBenchP99(gaps); p > worstP99 {
+			worstP99 = p
+		}
+		if m := repairBenchMax(gaps); m > worstMax {
+			worstMax = m
+		}
+	}
+	b.ReportMetric(float64(worstStall.Microseconds())/1e3, "max-stall-ms")
+	b.ReportMetric(float64(worstP99.Microseconds())/1e3, "p99-delivery-ms")
+	b.ReportMetric(float64(worstMax.Microseconds())/1e3, "max-delivery-ms")
 }

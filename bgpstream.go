@@ -124,8 +124,9 @@ type SourceStats = core.SourceStats
 // need programmatic configuration.
 type RepairedSource = gaprepair.Composite
 
-// RepairOptions tunes a RepairedSource (holdback bound, backfill
-// timeout, logging).
+// RepairOptions tunes a RepairedSource (backfill concurrency and
+// retry budget, holdback bound, fetch timeout, poll cadence, restart
+// cursor path, logging). See WithRepairOptions.
 type RepairOptions = gaprepair.Options
 
 // DataInterface supplies dump-file meta-data to a stream (pull).

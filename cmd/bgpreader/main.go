@@ -163,18 +163,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bgpreader", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		brokerURL = fs.String("broker", "", "BGPStream Broker URL (default data interface)")
-		dir       = fs.String("d", "", "local archive directory data interface")
-		csv       = fs.String("csv", "", "CSV dump-index data interface")
-		risLive   = fs.String("ris-live", "", "RIS Live-style SSE feed URL (push data interface)")
-		risStale  = fs.Duration("ris-live-stale", 0, "reconnect when feed messages lag the clock by this much (0 disables; useless on historical replays)")
-		repair    = fs.Bool("repair", false, "backfill push-feed loss windows (reconnects, server drops) from the pull source given by -broker/-d/-csv; requires -ris-live")
-		window    = fs.String("w", "", "time window: start[,end] unix seconds; omit end for live mode")
-		filterStr = fs.String("filter", "", `BGPStream v2 filter string, e.g. "collector rrc00 and prefix more 10.0.0.0/8 and elemtype announcements" (exclusive with -p/-c/-t/-e/-k/-y/-j)`)
-		machine   = fs.Bool("m", false, "bgpdump -m compatible output (elems only)")
-		records   = fs.Bool("r", false, "print one line per record instead of per elem")
-		stopAfter = fs.Int("n", 0, "stop after printing this many lines (0 = unbounded; bounds live runs)")
-		verbose   = fs.Bool("v", false, "verbose: print the canonical filter string and source on stderr at startup, and the source completeness counters at exit")
+		brokerURL  = fs.String("broker", "", "BGPStream Broker URL (default data interface)")
+		dir        = fs.String("d", "", "local archive directory data interface")
+		csv        = fs.String("csv", "", "CSV dump-index data interface")
+		risLive    = fs.String("ris-live", "", "RIS Live-style SSE feed URL (push data interface)")
+		risStale   = fs.Duration("ris-live-stale", 0, "reconnect when feed messages lag the clock by this much (0 disables; useless on historical replays)")
+		repair     = fs.Bool("repair", false, "backfill push-feed loss windows (reconnects, server drops) from the pull source given by -broker/-d/-csv; requires -ris-live")
+		repairCur  = fs.String("repair-cursor", "", "repair cursor file: persist the completeness watermark and unrepaired windows so repairs survive restarts (requires -repair)")
+		repairConc = fs.Int("repair-concurrency", 0, "backfill fetches in flight at once (0 = default 2; requires -repair)")
+		window     = fs.String("w", "", "time window: start[,end] unix seconds; omit end for live mode")
+		filterStr  = fs.String("filter", "", `BGPStream v2 filter string, e.g. "collector rrc00 and prefix more 10.0.0.0/8 and elemtype announcements" (exclusive with -p/-c/-t/-e/-k/-y/-j)`)
+		machine    = fs.Bool("m", false, "bgpdump -m compatible output (elems only)")
+		records    = fs.Bool("r", false, "print one line per record instead of per elem")
+		stopAfter  = fs.Int("n", 0, "stop after printing this many lines (0 = unbounded; bounds live runs)")
+		verbose    = fs.Bool("v", false, "verbose: print the canonical filter string and source on stderr at startup, and the source completeness counters at exit")
 	)
 	var legacy legacyFilterFlags
 	fs.StringVar(&legacy.types, "t", "", "dump type filter: ribs or updates")
@@ -193,6 +195,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if err := checkFilterConflict(*filterStr, &legacy); err != nil {
 		return err
+	}
+	if !*repair && (*repairCur != "" || *repairConc != 0) {
+		return fmt.Errorf("-repair-cursor and -repair-concurrency tune the repair pipeline: they require -repair")
 	}
 	var filterOpt bgpstream.Option
 	if *filterStr != "" {
@@ -243,7 +248,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 				return fmt.Errorf("-repair needs a pull source (-broker, -d or -csv) to backfill from")
 			}
 			srcName += "+" + pullName
-			opts = append(opts, bgpstream.WithRepair(pullName, pullOpts))
+			opts = append(opts,
+				bgpstream.WithRepair(pullName, pullOpts),
+				bgpstream.WithRepairOptions(bgpstream.RepairOptions{
+					Concurrency: *repairConc,
+					CursorPath:  *repairCur,
+				}))
 		}
 	case *repair:
 		return fmt.Errorf("-repair wraps a push feed: it requires -ris-live")
@@ -318,9 +328,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 func printSourceStats(w io.Writer, st bgpstream.SourceStats) {
 	fmt.Fprintf(w,
 		"bgpreader: source stats: live=%d reconnects=%d upstream-dropped=%d gaps=%d "+
-			"repairs=%d repair-failures=%d backfilled=%d dup-dropped=%d holdback-overflows=%d\n",
+			"repairs=%d repair-failures=%d repairs-abandoned=%d repairs-queued=%d repairs-in-flight=%d "+
+			"backfilled=%d dup-dropped=%d holdback-overflows=%d\n",
 		st.LiveElems, st.Reconnects, st.UpstreamDropped, st.Gaps,
-		st.Repairs, st.RepairFailures, st.BackfilledElems, st.DuplicatesDropped, st.HoldbackOverflows)
+		st.Repairs, st.RepairFailures, st.RepairsAbandoned, st.RepairsQueued, st.RepairsInFlight,
+		st.BackfilledElems, st.DuplicatesDropped, st.HoldbackOverflows)
 }
 
 func parseWindow(s string) (start, end time.Time, live bool, err error) {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -144,6 +146,14 @@ func TestRunFlagErrors(t *testing.T) {
 		!strings.Contains(err.Error(), "-ris-live") {
 		t.Errorf("-repair without push feed error = %v", err)
 	}
+	if err := run([]string{"-d", "/tmp", "-repair-cursor", "/tmp/c.json"}, &out, &errb); err == nil ||
+		!strings.Contains(err.Error(), "require -repair") {
+		t.Errorf("-repair-cursor without -repair error = %v", err)
+	}
+	if err := run([]string{"-d", "/tmp", "-repair-concurrency", "4"}, &out, &errb); err == nil ||
+		!strings.Contains(err.Error(), "require -repair") {
+		t.Errorf("-repair-concurrency without -repair error = %v", err)
+	}
 }
 
 // TestRunRepairedFeed runs the real command path over a repaired push
@@ -208,11 +218,13 @@ func TestRunRepairedFeed(t *testing.T) {
 		}
 	}()
 
+	cursor := filepath.Join(t.TempDir(), "cursor.json")
 	var out, errb bytes.Buffer
 	done := make(chan error, 1)
 	go func() {
 		done <- run([]string{
 			"-ris-live", hs.URL, "-repair", "-d", dir,
+			"-repair-cursor", cursor, "-repair-concurrency", "2",
 			"-m", "-v", "-n", "500",
 		}, &out, &errb)
 	}()
@@ -233,5 +245,15 @@ func TestRunRepairedFeed(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "source stats: live=") {
 		t.Errorf("completeness counters missing from -v output: %s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "repairs-abandoned=") {
+		t.Errorf("repair pipeline counters missing from -v output: %s", errb.String())
+	}
+	cb, err := os.ReadFile(cursor)
+	if err != nil {
+		t.Fatalf("-repair-cursor wrote no cursor: %v", err)
+	}
+	if !strings.Contains(string(cb), `"watermark"`) {
+		t.Errorf("cursor file missing watermark: %s", cb)
 	}
 }

@@ -43,9 +43,28 @@ func (g Gap) String() string {
 // is visible to TakeGaps before the elem that closed it (the one at
 // Until) is delivered through NextElem, so a consumer that checks
 // TakeGaps after every NextElem never emits the closing elem without
-// knowing about the hole in front of it.
+// knowing about the hole in front of it. Gaps closed by feed time
+// alone (keepalive watermarks, see FeedClock) have no closing elem;
+// for those the source guarantees only that every elem it reads from
+// the feed after the gap became visible has a timestamp >= Until —
+// elems already buffered for delivery when the gap closed may still
+// arrive with earlier timestamps, so consumers splicing a backfill
+// must deduplicate against late live copies (internal/gaprepair
+// does).
 type GapReporter interface {
 	TakeGaps() []Gap
+}
+
+// FeedClock is implemented by push sources that can report feed time
+// independently of elem delivery — rislive.Client advances it on
+// keepalive pings carrying the server's publish watermark. A repairer
+// uses it to decide that the live flow has passed a loss window even
+// when the feed is quiet, so repairs are time-driven rather than
+// starved until the next elem happens to arrive. FeedTime returns the
+// zero time when no feed-time signal has been seen yet; it is safe for
+// concurrent use.
+type FeedClock interface {
+	FeedTime() time.Time
 }
 
 // SourceStats aggregates the completeness counters of a (possibly
@@ -62,10 +81,19 @@ type SourceStats struct {
 	// Gaps counts detected loss windows (see Gap).
 	Gaps uint64
 	// Repairs counts gap windows successfully backfilled;
-	// RepairFailures counts windows abandoned (backfill error or
-	// timeout) and therefore still holey.
-	Repairs        uint64
-	RepairFailures uint64
+	// RepairFailures counts failed backfill fetch attempts (errors or
+	// timeouts — a window is retried with backoff, so one window can
+	// account for several failures); RepairsAbandoned counts windows
+	// dropped after exhausting their retry budget, and therefore still
+	// holey.
+	Repairs          uint64
+	RepairFailures   uint64
+	RepairsAbandoned uint64
+	// RepairsQueued and RepairsInFlight are gauges: loss windows
+	// waiting for a backfill worker, and backfill fetches currently
+	// running. Together they measure repair backlog under pressure.
+	RepairsQueued   uint64
+	RepairsInFlight uint64
 	// BackfilledElems counts archive elems spliced into the live flow;
 	// DuplicatesDropped counts backfill elems suppressed because the
 	// live feed had already delivered them (window-boundary overlap).
@@ -81,4 +109,14 @@ type SourceStats struct {
 // SourceStats. Stream.SourceStats probes for it.
 type StatsReporter interface {
 	SourceStats() SourceStats
+}
+
+// MaxTime returns the later of two times — the recurring watermark
+// merge of gap tracking (feed clocks, delivery edges only move
+// forward).
+func MaxTime(a, b time.Time) time.Time {
+	if b.After(a) {
+		return b
+	}
+	return a
 }

@@ -1,0 +1,118 @@
+package gaprepair
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+// cursorState is the on-disk repair cursor: one small JSON object
+// holding the completeness watermark — delivery is complete (or
+// knowingly abandoned) through this feed time; it is the delivered
+// edge lowered to the start of the earliest outstanding loss window,
+// since that window's missing elems may interleave below the edge —
+// plus every loss window not yet spliced. On restart the windows
+// re-queue as ordinary gaps, and the watermark bounds a "restart" gap
+// up to the first feed signal of the new process, so both in-flight
+// repairs and the downtime itself are backfilled. Elems the previous
+// process delivered above the watermark may be re-delivered (the
+// dedup ring does not survive a restart): across restarts,
+// completeness wins over exactness. Timestamps are RFC 3339 with
+// sub-second digits (Go's time.Time JSON encoding).
+//
+//	{
+//	  "watermark": "2016-03-01T00:10:07.000132Z",
+//	  "windows": [
+//	    {"from": "...", "until": "...", "reason": "reconnect"}
+//	  ]
+//	}
+type cursorState struct {
+	Watermark time.Time      `json:"watermark"`
+	Windows   []cursorWindow `json:"windows,omitempty"`
+}
+
+// cursorWindow is one persisted unrepaired loss window.
+type cursorWindow struct {
+	From   time.Time `json:"from"`
+	Until  time.Time `json:"until"`
+	Reason string    `json:"reason,omitempty"`
+}
+
+// gaps converts the persisted windows back into loss windows.
+func (st cursorState) gaps() []core.Gap {
+	out := make([]core.Gap, 0, len(st.Windows))
+	for _, w := range st.Windows {
+		if w.Until.Before(w.From) {
+			continue // tolerate a hand-edited or corrupt entry
+		}
+		out = append(out, core.Gap{From: w.From, Until: w.Until, Reason: w.Reason})
+	}
+	return out
+}
+
+// cursor reads and atomically writes one cursor file.
+type cursor struct {
+	path string
+}
+
+// load reads the cursor; a missing file is a fresh start, not an
+// error.
+func (c *cursor) load() (cursorState, error) {
+	var st cursorState
+	b, err := os.ReadFile(c.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return st, nil
+	}
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(b, &st); err != nil {
+		return cursorState{}, fmt.Errorf("gaprepair: cursor %s: %w", c.path, err)
+	}
+	return st, nil
+}
+
+// save writes the cursor atomically (temp file + rename), so a crash
+// mid-write leaves the previous cursor intact.
+func (c *cursor) save(st cursorState) error {
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(c.path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(append(b, '\n'))
+	// Sync before rename: on journalling filesystems with delayed
+	// allocation, renaming an unsynced file can survive a power loss
+	// as an empty cursor — exactly the crash this dance guards.
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -166,5 +167,199 @@ func TestEndToEndSpliceCompleteness(t *testing.T) {
 	}
 	if stats.LiveElems+stats.BackfilledElems < uint64(refN) {
 		t.Fatalf("accounting: live %d + backfilled %d < %d", stats.LiveElems, stats.BackfilledElems, refN)
+	}
+}
+
+// slowBackfiller delays every fetch, simulating a slow archive — the
+// scenario where a blocking repair loop would stall the live pump for
+// the whole fetch.
+type slowBackfiller struct {
+	inner gaprepair.Backfiller
+	delay time.Duration
+}
+
+func (s slowBackfiller) Backfill(ctx context.Context, from, until time.Time) (*core.Stream, error) {
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return s.inner.Backfill(ctx, from, until)
+}
+
+// clockedSource wraps the live client and records the longest pause
+// between one NextElem return and the next call — the pump-stall
+// metric. Time spent blocked inside NextElem (waiting for the feed) is
+// upstream latency, not a stall, and is deliberately not counted.
+type clockedSource struct {
+	c *rislive.Client
+
+	mu      sync.Mutex
+	lastRet time.Time
+	maxGap  time.Duration
+}
+
+func (s *clockedSource) NextElem(ctx context.Context) (*core.Record, *core.Elem, error) {
+	s.mu.Lock()
+	if !s.lastRet.IsZero() {
+		if d := time.Since(s.lastRet); d > s.maxGap {
+			s.maxGap = d
+		}
+	}
+	s.mu.Unlock()
+	rec, elem, err := s.c.NextElem(ctx)
+	s.mu.Lock()
+	s.lastRet = time.Now()
+	s.mu.Unlock()
+	return rec, elem, err
+}
+
+func (s *clockedSource) TakeGaps() []core.Gap          { return s.c.TakeGaps() }
+func (s *clockedSource) FeedTime() time.Time           { return s.c.FeedTime() }
+func (s *clockedSource) SourceStats() core.SourceStats { return s.c.SourceStats() }
+func (s *clockedSource) Close() error                  { return s.c.Close() }
+
+func (s *clockedSource) maxStall() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxGap
+}
+
+// TestEndToEndConcurrentBackfillKeepsPumping is the concurrency
+// acceptance path: the client is force-disconnected mid-stream and the
+// backfill archive is slow (>= 1s per fetch) while the feed keeps
+// publishing. The spliced flow must still be the exact elem multiset
+// of an uninterrupted run, and — the point of the pipelined repairer —
+// the live pump must keep draining the feed throughout: its longest
+// stall stays far below the backfill latency a blocking repair loop
+// would impose.
+func TestEndToEndConcurrentBackfillKeepsPumping(t *testing.T) {
+	const backfillDelay = 1500 * time.Millisecond
+	start := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	topo := astopo.Generate(astopo.DefaultParams(77))
+	sim, err := collector.NewSimulator(collector.Config{
+		Topo:              topo,
+		Collectors:        collector.DefaultCollectors(topo, 4),
+		ChurnFlapsPerHour: 60,
+		Seed:              77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	store, err := archive.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.GenerateArchive(store, start, start.Add(15*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	reference := make(map[string]int)
+	refN := 0
+	rs := core.NewStream(ctx, &core.Directory{Dir: dir}, core.Filters{})
+	for {
+		rec, elem, err := rs.NextElem()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference[elemFingerprint(t, rec, elem)]++
+		refN++
+	}
+	rs.Close()
+	if refN < 300 {
+		t.Fatalf("reference run too small: %d elems", refN)
+	}
+
+	srv := &rislive.Server{KeepAlive: 100 * time.Millisecond, BufferSize: 1 << 17}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	client := rislive.NewClient(hs.URL, rislive.Subscription{})
+	client.Backoff = 20 * time.Millisecond
+	client.BackoffMax = 100 * time.Millisecond
+	clocked := &clockedSource{c: client}
+	rep := gaprepair.New(clocked, slowBackfiller{
+		inner: gaprepair.SourceBackfiller{Source: core.PullSource(&core.Directory{Dir: dir})},
+		delay: backfillDelay,
+	}, gaprepair.Options{
+		HoldbackLimit: 1 << 17, // the pump must never be the bottleneck here
+		RecentWindow:  refN,
+		PollInterval:  20 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+	stream := core.NewLiveStream(ctx, rep, core.Filters{})
+	defer stream.Close()
+
+	// Publish the archive exactly once, paced so the feed keeps
+	// flowing for several backfill latencies, force-disconnecting the
+	// subscriber at 40%. Publishing waits for the subscription (the
+	// consumer loop below triggers the connect), so nothing is
+	// unrepairably "before the stream".
+	pace := 5 * time.Second / time.Duration(refN)
+	go func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for srv.Stats().Subscribers < 1 {
+			if time.Now().After(deadline) {
+				t.Error("client never subscribed")
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		n := 0
+		s := core.NewStream(ctx, &core.Directory{Dir: dir}, core.Filters{})
+		defer s.Close()
+		for {
+			rec, elem, err := s.NextElem()
+			if err != nil {
+				return
+			}
+			srv.Publish(rec.Project, rec.Collector, elem)
+			n++
+			if n == 2*refN/5 {
+				srv.DisconnectClients()
+			}
+			time.Sleep(pace)
+		}
+	}()
+
+	got := make(map[string]int)
+	var last time.Time
+	for n := 0; n < refN; n++ {
+		rec, elem, err := stream.NextElem()
+		if err != nil {
+			t.Fatalf("after %d/%d elems: %v (stats %+v)", n, refN, err, rep.SourceStats())
+		}
+		if elem.Timestamp.Before(last) {
+			t.Fatalf("time order violated at elem %d: %v after %v", n, elem.Timestamp, last)
+		}
+		last = elem.Timestamp
+		fp := elemFingerprint(t, rec, elem)
+		got[fp]++
+		if got[fp] > reference[fp] {
+			t.Fatalf("duplicate elem at %d: %s", n, fp)
+		}
+	}
+	for fp, want := range reference {
+		if got[fp] != want {
+			t.Fatalf("hole: elem seen %d times, want %d: %s", got[fp], want, fp)
+		}
+	}
+
+	stats := rep.SourceStats()
+	t.Logf("repair stats: %+v, max pump stall: %s", stats, clocked.maxStall())
+	if stats.Reconnects < 1 || stats.Repairs < 1 || stats.BackfilledElems < 1 {
+		t.Fatalf("no concurrent repair happened: %+v", stats)
+	}
+	// The blocking baseline stalls the pump for at least the backfill
+	// latency; the pipeline must stay well under it.
+	if stall := clocked.maxStall(); stall >= backfillDelay/2 {
+		t.Fatalf("pump stalled %s during a %s backfill — the pipeline is blocking", stall, backfillDelay)
 	}
 }

@@ -12,42 +12,58 @@
 // completeness a first-class property of the push path instead of a
 // silent caveat.
 //
-// The repair loop has three parts:
+// The repairer is a three-stage concurrent pipeline, so a backfill
+// fetch never stalls the intake of the live feed (a stall is itself a
+// drop risk: an undrained client buffer overflows upstream):
 //
-//   - Detection. The live source reports loss windows through
-//     core.GapReporter (rislive.Client derives them from reconnects
-//     and from server-reported drop counters on keepalive pings). A
-//     window [From, Until] is conservative: every missed elem falls
-//     inside it, but elems inside it may also have been delivered.
+//   - Pump. A dedicated goroutine drains the live source continuously
+//     into the pipeline, no matter what repairs are in progress.
 //
-//   - Backfill. Each window is fetched from an archive-class
-//     core.Source — the broker, a local directory, any pull data
-//     interface — by re-opening it with the stream's own filters
-//     narrowed to the window interval, so the backfilled elems pass
-//     exactly the predicate the live elems do.
+//   - Backfill workers. Loss windows the source reports through
+//     core.GapReporter — or that are restored from the on-disk cursor
+//     after a restart — are fetched from an archive-class core.Source
+//     by a bounded worker pool, with bounded retries and exponential
+//     backoff per window. A window [From, Until] is conservative:
+//     every missed elem falls inside it, but elems inside it may also
+//     have been delivered. Windows whose retry budget is exhausted
+//     are abandoned (counted, logged) rather than retried forever.
 //
-//   - Splice. Backfill and the held-back live flow are merged in time
-//     order with the k-way machinery of internal/merge, after
-//     deduplicating the window-boundary overlap by
-//     (project, collector, elem identity, timestamp) — live copies
-//     win, backfill fills only true holes. The live side is buffered
-//     in a bounded holdback while a window closes; if the holdback
-//     fills, the uncovered remainder of the window is re-queued as a
-//     fresh gap rather than held unboundedly, so memory stays bounded
-//     and completeness is eventually restored.
+//   - Splice. A coordinator holds back the live flow behind the
+//     earliest outstanding window (bounded; on overflow the covered
+//     part of the window is spliced and the remainder re-queued),
+//     deduplicates each completed backfill against what the live side
+//     already delivered by (project, collector, elem identity, µs
+//     timestamp) — live copies win, backfill fills only true holes —
+//     and k-way merges backfill and holdback back into one
+//     time-ordered flow (internal/merge).
+//
+// Repairs are time-driven, not elem-driven: a poll ticker drains gap
+// reports and re-checks splice readiness against the source's
+// core.FeedClock (rislive ping watermarks), so a quiet feed repairs
+// its holes without waiting for the next elem to happen along.
+//
+// With Options.CursorPath set, the repairer persists a small cursor —
+// the delivered watermark plus every unrepaired window — and on
+// restart re-queues the persisted windows and bridges the downtime
+// itself as a "restart" gap from the persisted watermark to the first
+// feed signal of the new process. Completeness thereby survives
+// process restarts, in the spirit of Isolario's durable per-session
+// feeds.
 //
 // Repairer implements core.ElemSource, so a repaired feed drops into
 // core.NewLiveStream — and therefore into every Open / Records / Elems
 // consumer — unchanged. Composite packages the pattern as a
 // core.Source wrapping any push+pull source pair; the facade registers
 // it as the "repaired" source and exposes it through WithRepair.
-// Counters (gaps seen, repairs, backfilled elems, duplicates dropped)
+// Counters (gaps seen, repairs, failed attempts, abandoned windows,
+// backfilled elems, duplicates dropped, queued/in-flight gauges)
 // surface through core.SourceStats / Stream.SourceStats and
 // `bgpreader -v`.
 package gaprepair
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/netip"
@@ -64,17 +80,39 @@ import (
 // Options tunes a Repairer. The zero value picks sensible defaults.
 type Options struct {
 	// HoldbackLimit bounds the live elems buffered while a gap window
-	// closes (default 8192). On overflow the uncovered remainder of
-	// the window is re-queued instead of buffering further.
+	// closes (default 8192). On overflow, intake pauses until the
+	// earliest window's fetch resolves (the one stall the pipeline
+	// accepts, to keep memory bounded), then the covered part of the
+	// window is spliced and the uncovered remainder re-queued. Size it
+	// above feed-rate × worst-case fetch latency to keep the pump
+	// stall-free.
 	HoldbackLimit int
-	// Timeout bounds each backfill fetch (default 30s); a window whose
-	// fetch times out counts as a repair failure and stays holey.
+	// Timeout bounds each backfill fetch attempt (default 30s).
 	Timeout time.Duration
 	// RecentWindow sizes the ring of recently delivered elems used to
 	// deduplicate the leading edge of a backfill window (default
 	// 4096). It should exceed the number of elems the feed delivers
 	// between the completeness watermark and a gap opening.
 	RecentWindow int
+	// Concurrency bounds the backfill fetches in flight at once
+	// (default 2). Fetches run in worker goroutines, so the live pump
+	// keeps draining regardless.
+	Concurrency int
+	// RetryMax bounds fetch attempts per window (default 3); a window
+	// still failing after that is abandoned — counted in
+	// SourceStats.RepairsAbandoned — and its hole stays.
+	RetryMax int
+	// RetryBackoff is the delay before the second attempt, doubled per
+	// further retry (default 500ms).
+	RetryBackoff time.Duration
+	// PollInterval is the cadence of time-driven repair checks:
+	// draining gap reports and re-checking splice readiness against
+	// the source's feed clock even when no elem arrives (default 1s).
+	PollInterval time.Duration
+	// CursorPath, when non-empty, persists the repair cursor (the
+	// delivered watermark plus unrepaired windows) to this file, and
+	// restores it on start so repairs survive process restarts.
+	CursorPath string
 	// Logf, when set, receives repair lifecycle logs.
 	Logf func(format string, args ...any)
 }
@@ -98,6 +136,34 @@ func (o Options) recentWindow() int {
 		return o.RecentWindow
 	}
 	return 4096
+}
+
+func (o Options) concurrency() int {
+	if o.Concurrency > 0 {
+		return o.Concurrency
+	}
+	return 2
+}
+
+func (o Options) retryMax() int {
+	if o.RetryMax > 0 {
+		return o.RetryMax
+	}
+	return 3
+}
+
+func (o Options) retryBackoff() time.Duration {
+	if o.RetryBackoff > 0 {
+		return o.RetryBackoff
+	}
+	return 500 * time.Millisecond
+}
+
+func (o Options) pollInterval() time.Duration {
+	if o.PollInterval > 0 {
+		return o.PollInterval
+	}
+	return time.Second
 }
 
 // pair is one (record, elem) unit of the elem flow.
@@ -181,6 +247,39 @@ func normalizePair(p pair) pair {
 	return pair{rec: nr, elem: &ne[0]}
 }
 
+// winState is the lifecycle of one loss window in the pipeline.
+type winState int
+
+const (
+	winQueued    winState = iota // waiting for a backfill worker
+	winInFlight                  // a worker is fetching it
+	winDone                      // fetched; items hold the backfill
+	winAbandoned                 // retry budget exhausted; stays holey
+)
+
+// window is one outstanding loss window. The coordinator owns state
+// and items; workers read only gap (immutable after creation, with
+// channel sends ordering the accesses).
+type window struct {
+	gap   core.Gap
+	state winState
+	items []pair
+	// ftSeen/ftReady debounce the feed-clock splice trigger: the clock
+	// can run ahead of elems still in transit through the pump, so a
+	// window only counts as feed-time-passed after two consecutive
+	// poll ticks observed the clock beyond it — one full poll interval
+	// for in-flight elems to drain into the holdback.
+	ftSeen  bool
+	ftReady bool
+}
+
+// fetchResult is a worker's final verdict on one window.
+type fetchResult struct {
+	win   *window
+	items []pair
+	err   error
+}
+
 // Repairer wraps a lossy push source and emits a complete, time-ordered
 // elem flow: live elems pass through; whenever the source reports a
 // loss window, the window is backfilled from the archive source and
@@ -193,46 +292,55 @@ func normalizePair(p pair) pair {
 type Repairer struct {
 	live     core.ElemSource
 	reporter core.GapReporter // nil when the live source reports no gaps
+	clock    core.FeedClock   // nil when the live source has no feed clock
 	backfill Backfiller
 	opts     Options
+	cur      *cursor // nil when persistence is off
 
 	startOnce sync.Once
 	stopOnce  sync.Once
 	stop      chan struct{}
+	done      chan struct{} // closed when the coordinator has exited
 	cancel    context.CancelFunc
 	out       chan pair
+	feed      chan pair        // pump → coordinator
+	jobs      chan *window     // coordinator → workers
+	results   chan fetchResult // workers → coordinator
 
 	mu       sync.Mutex
 	terminal error
-	requeued []core.Gap // residual windows from holdback overflows
-
-	// Ring of recently delivered elems, touched only by the pump
-	// goroutine.
-	recent    []recentEntry
-	recentPos int
 
 	liveElems  atomic.Uint64
 	gapsTaken  atomic.Uint64
 	repairs    atomic.Uint64
 	failures   atomic.Uint64
+	abandoned  atomic.Uint64
 	backfilled atomic.Uint64
 	duplicates atomic.Uint64
 	overflows  atomic.Uint64
+	queued     atomic.Uint64
+	inflight   atomic.Uint64
 }
 
 // New builds a repairer over a live push source and a backfill
 // channel. If live implements core.GapReporter its windows drive the
 // repairs; otherwise the repairer is a transparent passthrough (it
-// still normalises and counts the flow).
+// still normalises and counts the flow). If live implements
+// core.FeedClock, repairs complete on feed-time advance alone, so a
+// quiet feed still heals.
 func New(live core.ElemSource, backfill Backfiller, opts Options) *Repairer {
 	r := &Repairer{live: live, backfill: backfill, opts: opts}
 	r.reporter, _ = live.(core.GapReporter)
+	r.clock, _ = live.(core.FeedClock)
+	if opts.CursorPath != "" {
+		r.cur = &cursor{path: opts.CursorPath}
+	}
 	return r
 }
 
 // NextElem implements core.ElemSource: it yields the spliced flow in
 // time order, blocking until the next elem, ctx cancellation, or
-// source close (io.EOF). The first call starts the repair goroutine.
+// source close (io.EOF). The first call starts the pipeline.
 func (r *Repairer) NextElem(ctx context.Context) (*core.Record, *core.Elem, error) {
 	r.startOnce.Do(r.start)
 	select {
@@ -253,14 +361,19 @@ func (r *Repairer) NextElem(ctx context.Context) (*core.Record, *core.Elem, erro
 }
 
 // Close stops the repairer and the underlying live source; blocked
-// NextElem calls return io.EOF. Safe to call multiple times.
+// NextElem calls return io.EOF. With a cursor configured, the current
+// watermark and any unrepaired windows are persisted first, so the
+// next process picks the repairs back up. Safe to call multiple times.
 func (r *Repairer) Close() error {
-	r.startOnce.Do(r.start) // ensure pump exists so out gets closed
+	r.startOnce.Do(r.start) // ensure the pipeline exists so out gets closed
 	var err error
 	r.stopOnce.Do(func() {
 		close(r.stop)
 		r.cancel()
 		err = r.live.Close()
+		// Wait for the coordinator: when Close returns, the cursor is
+		// on disk and no pipeline goroutine touches shared state.
+		<-r.done
 	})
 	return err
 }
@@ -277,6 +390,9 @@ func (r *Repairer) SourceStats() core.SourceStats {
 	}
 	s.Repairs = r.repairs.Load()
 	s.RepairFailures = r.failures.Load()
+	s.RepairsAbandoned = r.abandoned.Load()
+	s.RepairsQueued = r.queued.Load()
+	s.RepairsInFlight = r.inflight.Load()
 	s.BackfilledElems = r.backfilled.Load()
 	s.DuplicatesDropped = r.duplicates.Load()
 	s.HoldbackOverflows = r.overflows.Load()
@@ -285,17 +401,38 @@ func (r *Repairer) SourceStats() core.SourceStats {
 
 func (r *Repairer) start() {
 	r.stop = make(chan struct{})
-	r.out = make(chan pair, 64)
+	r.done = make(chan struct{})
+	// With a cursor, out is unbuffered on purpose: the watermark
+	// advances when a deliver completes, and with a buffer that would
+	// count elems the consumer never received — a restart would then
+	// clip its repair windows past elems lost in the buffer at
+	// shutdown. Unbuffered, a completed send means NextElem has handed
+	// the elem out. Without persistence there is no watermark to
+	// protect, so keep the throughput buffer.
+	if r.cur != nil {
+		r.out = make(chan pair)
+	} else {
+		r.out = make(chan pair, 64)
+	}
+	r.feed = make(chan pair, 64)
+	conc := r.opts.concurrency()
+	r.jobs = make(chan *window, conc)
+	r.results = make(chan fetchResult, conc)
 	ctx, cancel := context.WithCancel(context.Background())
 	r.cancel = cancel
+	for i := 0; i < conc; i++ {
+		go r.worker(ctx)
+	}
 	go r.pump(ctx)
+	go r.coordinate()
 }
 
-// pump is the repair loop: forward live elems, and whenever the source
-// reports loss windows, switch into a repair cycle that backfills and
-// splices them.
+// pump is the intake stage: it drains the live source into the
+// pipeline unconditionally, so backfill latency never translates into
+// upstream buffer overflows. It blocks only on the coordinator's
+// bounded intake (and, transitively, the bounded holdback).
 func (r *Repairer) pump(ctx context.Context) {
-	defer close(r.out)
+	defer close(r.feed)
 	for {
 		rec, elem, err := r.live.NextElem(ctx)
 		if err != nil {
@@ -304,192 +441,58 @@ func (r *Repairer) pump(ctx context.Context) {
 		}
 		r.liveElems.Add(1)
 		p := normalizePair(pair{rec, elem})
-		gaps := r.takeGaps()
-		if len(gaps) == 0 {
-			if !r.deliver(p) {
-				return
-			}
-			continue
-		}
-		if !r.repair(ctx, gaps, p) {
+		select {
+		case r.feed <- p:
+		case <-r.stop:
 			return
 		}
 	}
 }
 
-func (r *Repairer) fail(err error) {
-	if err == io.EOF {
-		return
-	}
-	select {
-	case <-r.stop:
-		return // closing: surface io.EOF, not the cancellation
-	default:
-	}
-	r.mu.Lock()
-	r.terminal = err
-	r.mu.Unlock()
-}
-
-// takeGaps drains re-queued residual windows plus whatever the live
-// source reports.
-func (r *Repairer) takeGaps() []core.Gap {
-	r.mu.Lock()
-	gaps := r.requeued
-	r.requeued = nil
-	r.mu.Unlock()
-	if r.reporter != nil {
-		fresh := r.reporter.TakeGaps()
-		r.gapsTaken.Add(uint64(len(fresh)))
-		gaps = append(gaps, fresh...)
-	}
-	return gaps
-}
-
-func (r *Repairer) requeue(g core.Gap) {
-	r.mu.Lock()
-	r.requeued = append(r.requeued, g)
-	r.mu.Unlock()
-}
-
-// deliver emits one pair, recording it in the recent ring for later
-// deduplication. Returns false when the repairer is closing.
-func (r *Repairer) deliver(p pair) bool {
-	r.remember(p)
-	select {
-	case r.out <- p:
-		return true
-	case <-r.stop:
-		return false
-	}
-}
-
-func (r *Repairer) remember(p pair) {
-	n := r.opts.recentWindow()
-	e := recentEntry{p: p, ts: p.elem.Timestamp}
-	if len(r.recent) < n {
-		r.recent = append(r.recent, e)
-		return
-	}
-	r.recent[r.recentPos] = e
-	r.recentPos = (r.recentPos + 1) % n
-}
-
-// repair runs one repair cycle: hold back the live flow until it
-// passes the newest window end, backfill every window, then splice.
-// closing is the live pair whose dispatch surfaced the gap report (for
-// rislive feeds its timestamp is the window's Until).
-func (r *Repairer) repair(ctx context.Context, gaps []core.Gap, closing pair) bool {
-	windows := coalesce(nil, gaps)
-	hold := []pair{closing}
-	overflow := false
-	// Hold back until the live flow passes strictly beyond the newest
-	// window end: elems sharing the window-closing timestamp may still
-	// be in flight, and splicing before they are in hand would emit
-	// their backfill copies as duplicates. If the live source ends
-	// mid-hold (EOF, error), the splice still runs on what is in hand.
-	for !hold[len(hold)-1].elem.Timestamp.After(windows[len(windows)-1].Until) {
-		if len(hold) >= r.opts.holdbackLimit() {
-			overflow = true
-			r.overflows.Add(1)
-			break
-		}
-		rec, elem, err := r.live.NextElem(ctx)
-		if err != nil {
-			// Live source died mid-repair: splice what we have so the
-			// consumer still sees it, then surface the error.
-			r.splice(ctx, windows, hold)
-			r.fail(err)
-			return false
-		}
-		r.liveElems.Add(1)
-		hold = append(hold, normalizePair(pair{rec, elem}))
-		windows = coalesce(windows, r.takeGaps())
-	}
-	if overflow {
-		// Clamp the spliceable region to strictly before the holdback
-		// horizon — elems at the horizon timestamp itself may still be
-		// in flight, exactly like the window-end elems above — and
-		// re-queue the uncovered remainder as a fresh gap.
-		horizon := hold[len(hold)-1].elem.Timestamp
-		covered := windows[:0:0]
-		for _, w := range windows {
-			if !w.From.Before(horizon) {
-				r.requeue(w)
-				continue
-			}
-			if !w.Until.Before(horizon) {
-				r.requeue(core.Gap{From: horizon, Until: w.Until, Reason: w.Reason})
-				w.Until = horizon.Add(-time.Microsecond) // closed interval: exclude the horizon
-			}
-			covered = append(covered, w)
-		}
-		windows = covered
-	}
-	return r.splice(ctx, windows, hold)
-}
-
-// splice backfills each window, deduplicates against the live flow,
-// and emits the k-way time-ordered merge of backfill and holdback.
-func (r *Repairer) splice(ctx context.Context, windows []core.Gap, hold []pair) bool {
-	// Dedup multiset: a backfill elem is suppressed once per matching
-	// live delivery inside the windows — copies already delivered (the
-	// recent ring) or held back for delivery (the holdback). Live
-	// copies win; backfill fills only true holes.
-	seen := make(map[elemKey]int)
-	for i := range r.recent {
-		if e := &r.recent[i]; inWindows(windows, e.ts) {
-			seen[e.elemKey()]++
-		}
-	}
-	for _, p := range hold {
-		if inWindows(windows, p.elem.Timestamp) {
-			seen[keyOf(p)]++
-		}
-	}
-	sources := make([]merge.Source[pair], 0, len(windows)+1)
-	for _, w := range windows {
-		items, err := r.fetch(ctx, w)
-		if err != nil {
-			r.failures.Add(1)
-			r.logf("gaprepair: backfill of %s failed: %v", w, err)
-			continue
-		}
-		kept := items[:0]
-		for _, it := range items {
-			k := keyOf(it)
-			if seen[k] > 0 {
-				seen[k]--
-				r.duplicates.Add(1)
-				continue
-			}
-			kept = append(kept, it)
-		}
-		r.repairs.Add(1)
-		r.backfilled.Add(uint64(len(kept)))
-		sources = append(sources, &merge.SliceSource[pair]{Items: kept})
-	}
-	// Windows are disjoint and ordered, the holdback is feed-ordered,
-	// and backfill streams arrive time-sorted from the archive merge:
-	// a k-way merge over (window₁, …, windowₙ, holdback) restores one
-	// time-ordered flow. Ties keep source order, so equal-timestamp
-	// backfill precedes the live elems that closed the window.
-	sources = append(sources, &merge.SliceSource[pair]{Items: hold})
-	m := merge.NewMerger(func(a, b pair) bool {
-		return a.elem.Timestamp.Before(b.elem.Timestamp)
-	}, sources...)
+// worker is the backfill stage: it fetches one window at a time with
+// bounded retries and exponential backoff, reporting the final
+// verdict to the coordinator.
+func (r *Repairer) worker(ctx context.Context) {
 	for {
-		p, err := m.Next()
-		if err == io.EOF {
-			return true
+		select {
+		case <-ctx.Done():
+			return
+		case w := <-r.jobs:
+			items, err := r.fetchWithRetries(ctx, w.gap)
+			select {
+			case r.results <- fetchResult{win: w, items: items, err: err}:
+			case <-ctx.Done():
+				return
+			}
 		}
-		if err != nil { // unreachable: slice sources never fail
-			r.fail(err)
-			return false
+	}
+}
+
+func (r *Repairer) fetchWithRetries(ctx context.Context, g core.Gap) ([]pair, error) {
+	backoff := r.opts.retryBackoff()
+	max := r.opts.retryMax()
+	for attempt := 1; ; attempt++ {
+		items, err := r.fetch(ctx, g)
+		if err == nil {
+			return items, nil
 		}
-		if !r.deliver(p) {
-			return false
+		if ctx.Err() != nil {
+			// Shutting down, not a backfill failure: surface the
+			// cancellation itself so the coordinator re-queues the
+			// window (and the cursor keeps it) instead of abandoning.
+			return nil, ctx.Err()
 		}
+		r.failures.Add(1)
+		r.logf("gaprepair: backfill of %s failed (attempt %d/%d): %v", g, attempt, max, err)
+		if attempt >= max {
+			return nil, err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		backoff *= 2
 	}
 }
 
@@ -505,7 +508,7 @@ func (r *Repairer) fetch(ctx context.Context, w core.Gap) ([]pair, error) {
 	var items []pair
 	for {
 		rec, elem, err := st.NextElem()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			r.logf("gaprepair: backfilled %d elems for %s", len(items), w)
 			return items, nil
 		}
@@ -524,10 +527,546 @@ func (r *Repairer) fetch(ctx context.Context, w core.Gap) ([]pair, error) {
 	}
 }
 
+func (r *Repairer) fail(err error) {
+	if errors.Is(err, io.EOF) {
+		return
+	}
+	select {
+	case <-r.stop:
+		return // closing: surface io.EOF, not the cancellation
+	default:
+	}
+	r.mu.Lock()
+	r.terminal = err
+	r.mu.Unlock()
+}
+
+// takeReported drains the loss windows the live source reports.
+func (r *Repairer) takeReported() []core.Gap {
+	if r.reporter == nil {
+		return nil
+	}
+	fresh := r.reporter.TakeGaps()
+	r.gapsTaken.Add(uint64(len(fresh)))
+	return fresh
+}
+
+// feedTime reads the live source's feed clock, or zero without one.
+func (r *Repairer) feedTime() time.Time {
+	if r.clock == nil {
+		return time.Time{}
+	}
+	return r.clock.FeedTime()
+}
+
 func (r *Repairer) logf(format string, args ...any) {
 	if r.opts.Logf != nil {
 		r.opts.Logf(format, args...)
 	}
+}
+
+// coordinator is the splice stage's state, owned by one goroutine.
+type coordinator struct {
+	r *Repairer
+
+	windows  []*window // outstanding, sorted by From, pairwise disjoint
+	hold     []pair    // live elems held behind the earliest window
+	feed     chan pair // nilled once the pump ends
+	liveEdge time.Time // newest live timestamp received
+	nfly     int       // fetches dispatched and not yet resolved
+	stopping bool
+
+	// restartMark is the persisted watermark awaiting its first feed
+	// signal, which turns the process downtime into a "restart" gap.
+	restartMark time.Time
+	edge        time.Time // delivered watermark (cursor)
+	dirty       bool      // cursor state changed since last persist
+
+	// Ring of recently delivered elems for backfill dedup.
+	recent    []recentEntry
+	recentPos int
+
+	// spliced is a bounded multiset of recently spliced backfill
+	// elems: a live copy arriving after its window was spliced (a
+	// feed-clock race, or an elem in flight across a splice) is
+	// suppressed against it, so splice timing can never double an
+	// elem.
+	spliced     map[elemKey]int
+	splicedFifo []elemKey
+	splicedPos  int
+}
+
+// coordinate runs the splice stage until the feed drains, the
+// repairer is closed, or the live source dies.
+func (r *Repairer) coordinate() {
+	defer close(r.done)
+	defer close(r.out)
+	co := &coordinator{r: r, feed: r.feed, spliced: map[elemKey]int{}}
+	if r.cur != nil {
+		st, err := r.cur.load()
+		if err != nil {
+			r.logf("gaprepair: cursor %s unreadable (starting fresh): %v", r.cur.path, err)
+		}
+		co.restartMark = st.Watermark
+		co.edge = st.Watermark
+		if gaps := st.gaps(); len(gaps) > 0 {
+			// Clip to strictly after the watermark: delivery was
+			// complete through it, and the recent ring that would
+			// deduplicate boundary copies did not survive the restart.
+			if !st.Watermark.IsZero() {
+				clip := st.Watermark.Add(time.Microsecond)
+				kept := gaps[:0]
+				for _, g := range gaps {
+					if g.From.Before(clip) {
+						g.From = clip
+					}
+					if !g.Until.Before(g.From) {
+						kept = append(kept, g)
+					}
+				}
+				gaps = kept
+			}
+			r.logf("gaprepair: resuming %d unrepaired windows from cursor", len(gaps))
+			co.integrate(gaps)
+		}
+	}
+	poll := time.NewTicker(r.opts.pollInterval())
+	defer poll.Stop()
+	for {
+		co.dispatch()
+		co.splice()
+		if co.stopping {
+			co.persist()
+			return
+		}
+		if co.feed == nil && len(co.windows) == 0 && len(co.hold) == 0 {
+			co.persist()
+			return
+		}
+		feedCh := co.feed
+		if len(co.hold) >= r.opts.holdbackLimit() && len(co.windows) > 0 {
+			// Holdback full: stop intake, backpressuring the pump,
+			// until the earliest window's fetch resolves and the
+			// overflow splice above frees space. This is the one
+			// deliberate pump stall — the bounded-memory escape valve
+			// — and it only triggers when HoldbackLimit is undersized
+			// for feed-rate × fetch latency.
+			feedCh = nil
+		}
+		select {
+		case p, ok := <-feedCh:
+			if !ok {
+				co.feed = nil
+				co.integrate(r.takeReported()) // final drain
+				continue
+			}
+			co.onPair(p)
+		case res := <-r.results:
+			co.onResult(res)
+		case <-poll.C:
+			co.onPoll()
+		case <-r.stop:
+			co.persist()
+			return
+		}
+	}
+}
+
+// onPair handles one live elem: gaps first (the reporter guarantees a
+// window is visible before the elem that closes it), then deliver or
+// hold.
+func (co *coordinator) onPair(p pair) {
+	r := co.r
+	co.noteFeedTime(p.elem.Timestamp)
+	co.integrate(r.takeReported())
+	if len(co.spliced) > 0 {
+		if k := keyOf(p); co.spliced[k] > 0 {
+			// The splice already emitted this elem's backfill copy;
+			// the late live copy would be a duplicate.
+			co.spliced[k]--
+			r.duplicates.Add(1)
+			return
+		}
+	}
+	co.liveEdge = core.MaxTime(co.liveEdge, p.elem.Timestamp)
+	if len(co.windows) == 0 {
+		co.deliver(p)
+		return
+	}
+	co.hold = append(co.hold, p)
+}
+
+// onResult records a worker's verdict on one window.
+func (co *coordinator) onResult(res fetchResult) {
+	co.nfly--
+	w := res.win
+	switch {
+	case errors.Is(res.err, context.Canceled):
+		// The pipeline is shutting down mid-fetch; that is not retry
+		// exhaustion. Back to queued so the cursor persists the
+		// window and the next process repairs it.
+		w.state = winQueued
+	case res.err != nil:
+		w.state = winAbandoned
+		co.r.abandoned.Add(1)
+		co.r.logf("gaprepair: abandoning %s after %d attempts: %v", w.gap, co.r.opts.retryMax(), res.err)
+	default:
+		w.state = winDone
+		w.items = res.items
+	}
+	co.gauges()
+	co.dirty = true
+}
+
+// onPoll is the time-driven trigger: drain gap reports and advance the
+// restart bridge even when no elem arrives, and flush the cursor if
+// the watermark moved.
+func (co *coordinator) onPoll() {
+	if ft := co.r.feedTime(); !ft.IsZero() {
+		co.noteFeedTime(ft)
+		// At-or-beyond, not strictly beyond: a gap closed by a ping
+		// watermark has Until exactly equal to the feed clock, and on
+		// a feed that then stays quiet the clock never advances — a
+		// strict comparison would hold the fetched backfill forever.
+		// Arm only while the intake is drained: elems still queued
+		// between pump and coordinator may belong inside the window,
+		// and the two-tick debounce (plus the spliced-duplicate
+		// guard) covers what the emptiness check cannot see.
+		if len(co.r.feed) == 0 {
+			for _, w := range co.windows {
+				if !w.ftReady && !ft.Before(w.gap.Until) {
+					if w.ftSeen {
+						w.ftReady = true
+					} else {
+						w.ftSeen = true
+					}
+				}
+			}
+		}
+	}
+	co.integrate(co.r.takeReported())
+	if co.dirty {
+		co.persist()
+	}
+}
+
+// noteFeedTime consumes the persisted watermark on the first feed
+// signal after a restart, bridging the downtime as an ordinary
+// repairable gap.
+func (co *coordinator) noteFeedTime(ts time.Time) {
+	if co.restartMark.IsZero() || ts.IsZero() {
+		return
+	}
+	mark := co.restartMark
+	co.restartMark = time.Time{}
+	if !ts.After(mark) {
+		return // feed restarted at or before the watermark: nothing missed
+	}
+	// Strictly after the watermark: elems at the watermark timestamp
+	// were delivered by the previous process.
+	g := core.Gap{From: mark.Add(time.Microsecond), Until: ts, Reason: "restart"}
+	if g.Until.Before(g.From) {
+		return
+	}
+	co.r.logf("gaprepair: restart: repairing downtime %s", g)
+	co.integrate([]core.Gap{g})
+}
+
+// integrate folds new loss windows into the outstanding set, keeping
+// it sorted and pairwise disjoint. Windows already being fetched (or
+// fetched) keep their bounds; only the uncovered remainder of a new
+// gap forms fresh queued windows.
+func (co *coordinator) integrate(gaps []core.Gap) {
+	if len(gaps) == 0 {
+		return
+	}
+	var plain []core.Gap
+	busy := co.windows[:0:0]
+	for _, w := range co.windows {
+		if w.state == winQueued {
+			plain = append(plain, w.gap)
+		} else {
+			busy = append(busy, w)
+		}
+	}
+	plain = coalesce(plain, gaps)
+	for _, b := range busy {
+		plain = subtractWindow(plain, b.gap)
+	}
+	ws := busy
+	for _, g := range plain {
+		ws = append(ws, &window{gap: g})
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].gap.From.Before(ws[j].gap.From) })
+	co.windows = ws
+	co.gauges()
+	co.dirty = true
+}
+
+// dispatch hands queued windows to idle workers, earliest first,
+// bounded by the configured concurrency.
+func (co *coordinator) dispatch() {
+	r := co.r
+	for co.nfly < r.opts.concurrency() {
+		var next *window
+		for _, w := range co.windows {
+			if w.state == winQueued {
+				next = w
+				break
+			}
+		}
+		if next == nil {
+			return
+		}
+		next.state = winInFlight
+		co.nfly++
+		r.jobs <- next // cap == concurrency, nfly < concurrency: never blocks
+		co.gauges()
+	}
+}
+
+// drainSafe delivers the holdback prefix that precedes every
+// outstanding window: those elems cannot interleave with any backfill
+// still to come, so holding them would only add latency and memory
+// pressure.
+func (co *coordinator) drainSafe() {
+	if co.stopping || len(co.windows) == 0 {
+		return
+	}
+	gate := co.windows[0].gap.From
+	for len(co.hold) > 0 && !co.hold[0].elem.Timestamp.After(gate) {
+		if !co.deliver(co.hold[0]) {
+			return
+		}
+		co.hold = co.hold[1:]
+	}
+}
+
+// splice resolves as many leading windows as are ready: the earliest
+// outstanding window, once fetched (or abandoned), is merged with the
+// holdback up to the next window and delivered in time order. A full
+// holdback forces the covered part through and re-queues the rest.
+func (co *coordinator) splice() {
+	r := co.r
+	for len(co.windows) > 0 && !co.stopping {
+		co.drainSafe()
+		w := co.windows[0]
+		if w.state != winDone && w.state != winAbandoned {
+			return
+		}
+		full := len(co.hold) >= r.opts.holdbackLimit()
+		// The window has passed when an elem beyond it reached the
+		// coordinator, the feed ended, or the feed clock sat beyond it
+		// for two poll ticks (the quiet-feed path; see window.ftReady).
+		passed := co.liveEdge.After(w.gap.Until) || co.feed == nil || w.ftReady
+		if !passed && !full {
+			return
+		}
+		items := w.items
+		var requeue []core.Gap
+		if !passed {
+			// Forced by holdback overflow: splice strictly before the
+			// holdback horizon — elems at the horizon timestamp itself
+			// may still be in flight — and re-queue the uncovered
+			// remainder as a fresh gap. drainSafe above guarantees the
+			// horizon lies inside the window. An abandoned window gets
+			// no requeue: its retry budget is spent and resurrecting
+			// it here would retry the same range forever.
+			r.overflows.Add(1)
+			horizon := co.hold[len(co.hold)-1].elem.Timestamp
+			if w.state == winDone {
+				requeue = append(requeue, core.Gap{From: horizon, Until: w.gap.Until, Reason: w.gap.Reason})
+			}
+			w.gap.Until = horizon.Add(-time.Microsecond) // closed interval: exclude the horizon
+			kept := items[:0:0]
+			for _, it := range items {
+				if !it.elem.Timestamp.After(w.gap.Until) {
+					kept = append(kept, it)
+				}
+			}
+			items = kept
+		}
+		// Dedup multiset: a backfill elem is suppressed once per
+		// matching live delivery inside the window — copies already
+		// delivered (the recent ring) or held back for delivery (the
+		// holdback). Live copies win; backfill fills only true holes.
+		seen := make(map[elemKey]int)
+		for i := range co.recent {
+			if e := &co.recent[i]; inWindow(w.gap, e.ts) {
+				seen[e.elemKey()]++
+			}
+		}
+		for _, p := range co.hold {
+			if inWindow(w.gap, p.elem.Timestamp) {
+				seen[keyOf(p)]++
+			}
+		}
+		kept := items[:0:0]
+		for _, it := range items {
+			k := keyOf(it)
+			if seen[k] > 0 {
+				seen[k]--
+				r.duplicates.Add(1)
+				continue
+			}
+			kept = append(kept, it)
+		}
+		if w.state == winDone {
+			r.repairs.Add(1)
+			r.backfilled.Add(uint64(len(kept)))
+			co.recordSpliced(kept)
+		}
+		co.windows = co.windows[1:]
+		co.integrate(requeue)
+		// The holdback prefix up to the next outstanding window (all
+		// of it when none remains) merges with the backfill: windows
+		// are disjoint and ordered, so nothing still to be fetched can
+		// interleave below that gate. Ties keep source order —
+		// equal-timestamp backfill precedes the live elems that closed
+		// the window.
+		n := len(co.hold)
+		if len(co.windows) > 0 {
+			gate := co.windows[0].gap.From
+			n = 0
+			for n < len(co.hold) && !co.hold[n].elem.Timestamp.After(gate) {
+				n++
+			}
+		}
+		prefix := co.hold[:n]
+		m := merge.NewMerger(func(a, b pair) bool {
+			return a.elem.Timestamp.Before(b.elem.Timestamp)
+		}, &merge.SliceSource[pair]{Items: kept}, &merge.SliceSource[pair]{Items: prefix})
+		for {
+			p, err := m.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil { // unreachable: slice sources never fail
+				r.fail(err)
+				co.stopping = true
+				return
+			}
+			if !co.deliver(p) {
+				return
+			}
+		}
+		co.hold = co.hold[n:]
+		co.gauges()
+		co.persist()
+	}
+	if len(co.windows) == 0 && len(co.hold) > 0 && !co.stopping {
+		// Defensive: with no window outstanding nothing gates the
+		// holdback.
+		for _, p := range co.hold {
+			if !co.deliver(p) {
+				return
+			}
+		}
+		co.hold = nil
+	}
+}
+
+// deliver emits one pair, recording it in the recent ring for later
+// deduplication. Returns false when the repairer is closing.
+func (co *coordinator) deliver(p pair) bool {
+	r := co.r
+	co.remember(p)
+	select {
+	case r.out <- p:
+		co.edge = core.MaxTime(co.edge, p.elem.Timestamp)
+		co.dirty = true
+		return true
+	case <-r.stop:
+		co.stopping = true
+		return false
+	}
+}
+
+func (co *coordinator) remember(p pair) {
+	n := co.r.opts.recentWindow()
+	e := recentEntry{p: p, ts: p.elem.Timestamp}
+	if len(co.recent) < n {
+		co.recent = append(co.recent, e)
+		return
+	}
+	co.recent[co.recentPos] = e
+	co.recentPos = (co.recentPos + 1) % n
+}
+
+// recordSpliced adds spliced backfill elems to the bounded
+// late-duplicate multiset (see coordinator.spliced).
+func (co *coordinator) recordSpliced(ps []pair) {
+	limit := co.r.opts.recentWindow()
+	for _, p := range ps {
+		k := keyOf(p)
+		co.spliced[k]++
+		if len(co.splicedFifo) < limit {
+			co.splicedFifo = append(co.splicedFifo, k)
+			continue
+		}
+		old := co.splicedFifo[co.splicedPos]
+		if co.spliced[old] > 1 {
+			co.spliced[old]--
+		} else {
+			delete(co.spliced, old)
+		}
+		co.splicedFifo[co.splicedPos] = k
+		co.splicedPos = (co.splicedPos + 1) % limit
+	}
+}
+
+// gauges refreshes the queued/in-flight window gauges.
+func (co *coordinator) gauges() {
+	var q, f uint64
+	for _, w := range co.windows {
+		switch w.state {
+		case winQueued:
+			q++
+		case winInFlight:
+			f++
+		}
+	}
+	co.r.queued.Store(q)
+	co.r.inflight.Store(f)
+}
+
+// persist writes the repair cursor: the completeness watermark plus
+// every window not yet spliced (abandoned windows stay dropped —
+// persisting them would retry them forever across restarts).
+//
+// The watermark is NOT simply the delivery edge: a drops window opens
+// at the source's lagging stable point, below elems already delivered
+// — its missing elems interleave with delivered ones. Completeness
+// only holds up to the earliest outstanding window, so the persisted
+// watermark is min(delivered edge, earliest window From). The restore
+// clip (strictly after the watermark) then never amputates a window.
+// The cost is the mirror image: elems delivered between that
+// watermark and the edge may be re-delivered after a restart (the
+// dedup ring does not survive); across restarts, completeness wins
+// over exactness.
+func (co *coordinator) persist() {
+	r := co.r
+	if r.cur == nil {
+		return
+	}
+	st := cursorState{Watermark: co.edge}
+	if !co.restartMark.IsZero() && co.restartMark.After(st.Watermark) {
+		st.Watermark = co.restartMark // no feed signal yet: keep the old mark
+	}
+	for _, w := range co.windows {
+		if w.state == winAbandoned {
+			continue
+		}
+		if w.gap.From.Before(st.Watermark) {
+			st.Watermark = w.gap.From
+		}
+		st.Windows = append(st.Windows, cursorWindow{From: w.gap.From, Until: w.gap.Until, Reason: w.gap.Reason})
+	}
+	if err := r.cur.save(st); err != nil {
+		r.logf("gaprepair: cursor %s not written: %v", r.cur.path, err)
+		return
+	}
+	co.dirty = false
 }
 
 // coalesce folds more windows into ws, merging overlapping or touching
@@ -552,12 +1091,32 @@ func coalesce(ws []core.Gap, more []core.Gap) []core.Gap {
 	return out
 }
 
-// inWindows reports whether ts falls in any (closed) window.
-func inWindows(ws []core.Gap, ts time.Time) bool {
+// subtractWindow removes the (closed) interval of g from every gap in
+// ws, keeping the disjoint leftovers at µs resolution.
+func subtractWindow(ws []core.Gap, g core.Gap) []core.Gap {
+	out := ws[:0:0]
 	for _, w := range ws {
-		if !ts.Before(w.From) && !ts.After(w.Until) {
-			return true
+		if w.Until.Before(g.From) || w.From.After(g.Until) {
+			out = append(out, w)
+			continue
+		}
+		if w.From.Before(g.From) {
+			left := core.Gap{From: w.From, Until: g.From.Add(-time.Microsecond), Reason: w.Reason}
+			if !left.Until.Before(left.From) {
+				out = append(out, left)
+			}
+		}
+		if w.Until.After(g.Until) {
+			right := core.Gap{From: g.Until.Add(time.Microsecond), Until: w.Until, Reason: w.Reason}
+			if !right.Until.Before(right.From) {
+				out = append(out, right)
+			}
 		}
 	}
-	return false
+	return out
+}
+
+// inWindow reports whether ts falls in the (closed) window.
+func inWindow(w core.Gap, ts time.Time) bool {
+	return !ts.Before(w.From) && !ts.After(w.Until)
 }

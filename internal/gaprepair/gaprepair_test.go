@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net/netip"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -75,10 +76,21 @@ func (f *fakeLive) TakeGaps() []core.Gap {
 func (f *fakeLive) Close() error { return nil }
 
 // fakeBackfill serves windows of a time-ordered elem universe.
+// Fetches run on worker goroutines, so the counters are guarded.
 type fakeBackfill struct {
 	universe []pair
-	fail     bool
-	calls    int
+	fail     bool // every fetch fails
+	// failFirst makes the first n fetches fail, then recovers.
+	failFirst int
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (b *fakeBackfill) count() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.calls
 }
 
 type slicePairs struct {
@@ -98,8 +110,11 @@ func (s *slicePairs) NextElem(ctx context.Context) (*core.Record, *core.Elem, er
 func (s *slicePairs) Close() error { return nil }
 
 func (b *fakeBackfill) Backfill(ctx context.Context, from, until time.Time) (*core.Stream, error) {
+	b.mu.Lock()
 	b.calls++
-	if b.fail {
+	n := b.calls
+	b.mu.Unlock()
+	if b.fail || n <= b.failFirst {
 		return nil, errors.New("backfill service down")
 	}
 	var sel []pair
@@ -188,8 +203,8 @@ func TestRepairSplicesGapWindow(t *testing.T) {
 	if st.LiveElems != 5 {
 		t.Fatalf("live elems = %d, want 5", st.LiveElems)
 	}
-	if bf.calls != 1 {
-		t.Fatalf("backfill calls = %d, want 1", bf.calls)
+	if bf.count() != 1 {
+		t.Fatalf("backfill calls = %d, want 1", bf.count())
 	}
 }
 
@@ -223,7 +238,8 @@ func TestRepairDedupsEqualTimestampSiblings(t *testing.T) {
 }
 
 // TestRepairBackfillFailureDegradesGracefully keeps the live flow
-// intact (original lossy behaviour) when the archive is unreachable.
+// intact (original lossy behaviour) when the archive stays
+// unreachable: the window is retried up to the bound, then abandoned.
 func TestRepairBackfillFailureDegradesGracefully(t *testing.T) {
 	live := &fakeLive{events: []any{
 		mkPair(0, 65000), mkPair(1, 65001),
@@ -231,7 +247,7 @@ func TestRepairBackfillFailureDegradesGracefully(t *testing.T) {
 		mkPair(5, 65005), mkPair(6, 65006),
 	}}
 	bf := &fakeBackfill{fail: true}
-	r := New(live, bf, Options{})
+	r := New(live, bf, Options{RetryMax: 2, RetryBackoff: time.Millisecond})
 	defer r.Close()
 
 	out := drain(t, r)
@@ -239,8 +255,45 @@ func TestRepairBackfillFailureDegradesGracefully(t *testing.T) {
 		t.Fatalf("flow = %v", got)
 	}
 	st := r.SourceStats()
-	if st.RepairFailures != 1 || st.Repairs != 0 || st.BackfilledElems != 0 {
+	if st.RepairFailures != 2 || st.RepairsAbandoned != 1 || st.Repairs != 0 || st.BackfilledElems != 0 {
 		t.Fatalf("stats = %+v", st)
+	}
+	if bf.count() != 2 {
+		t.Fatalf("backfill calls = %d, want 2 (bounded retries)", bf.count())
+	}
+}
+
+// TestRepairRetriesFailedWindow is the failed-window recovery path: a
+// backfill that fails transiently is re-fetched with backoff until it
+// succeeds, so the feed does not stay permanently holey after one bad
+// fetch.
+func TestRepairRetriesFailedWindow(t *testing.T) {
+	universe := make([]pair, 0, 10)
+	for s := 0; s < 10; s++ {
+		universe = append(universe, mkPair(s, uint32(65000+s)))
+	}
+	live := &fakeLive{events: []any{
+		universe[0], universe[1],
+		gapAt(1, 5),
+		universe[5], universe[6],
+	}}
+	bf := &fakeBackfill{universe: universe, failFirst: 2}
+	r := New(live, bf, Options{RetryMax: 3, RetryBackoff: time.Millisecond})
+	defer r.Close()
+
+	out := drain(t, r)
+	if got := asns(out); !eqASNs(got, 65000, 65001, 65002, 65003, 65004, 65005, 65006) {
+		t.Fatalf("flow = %v", got)
+	}
+	st := r.SourceStats()
+	if st.RepairFailures != 2 || st.Repairs != 1 || st.RepairsAbandoned != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BackfilledElems != 3 { // seconds 2..4; boundaries 1 and 5 deduped
+		t.Fatalf("backfilled = %d, want 3 (stats %+v)", st.BackfilledElems, st)
+	}
+	if bf.count() != 3 {
+		t.Fatalf("backfill calls = %d, want 3 (2 failures + 1 success)", bf.count())
 	}
 }
 
@@ -275,7 +328,7 @@ func TestRepairMergesOverlappingWindows(t *testing.T) {
 	// ones the coalesced [1,8] window re-fetches (1, 4, 8).
 	if st.BackfilledElems != 5 || st.DuplicatesDropped != 3 {
 		t.Fatalf("backfilled = %d dup = %d, want 5/3 (stats %+v, %d fetches)",
-			st.BackfilledElems, st.DuplicatesDropped, st, bf.calls)
+			st.BackfilledElems, st.DuplicatesDropped, st, bf.count())
 	}
 }
 
@@ -380,5 +433,283 @@ func TestRepairNormalizesSharedRecords(t *testing.T) {
 	}
 	if total != 5 {
 		t.Fatalf("total elems = %d, want 5 (%v)", total, counts)
+	}
+}
+
+// quietLive delivers a scripted prefix, then (optionally) reports one
+// loss window and goes quiet forever: no closing elem ever arrives. It
+// implements core.FeedClock, as rislive's ping watermarks do, so a
+// time-driven repairer can see the feed move past the window anyway.
+type quietLive struct {
+	items []pair
+	gap   core.Gap // zero Until means "no gap to report"
+	feed  time.Time
+	// needArm delays the gap report until arm() is called, letting a
+	// test sequence the report after its deliveries were consumed.
+	needArm bool
+	i       int // pump-goroutine-local
+
+	mu        sync.Mutex
+	exhausted bool
+	reported  bool
+	armed     bool
+}
+
+func (q *quietLive) arm() {
+	q.mu.Lock()
+	q.armed = true
+	q.mu.Unlock()
+}
+
+func (q *quietLive) NextElem(ctx context.Context) (*core.Record, *core.Elem, error) {
+	if q.i < len(q.items) {
+		p := q.items[q.i]
+		q.i++
+		return p.rec, p.elem, nil
+	}
+	q.mu.Lock()
+	q.exhausted = true
+	q.mu.Unlock()
+	<-ctx.Done()
+	return nil, nil, ctx.Err()
+}
+
+func (q *quietLive) TakeGaps() []core.Gap {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.exhausted || q.reported || q.gap.Until.IsZero() || (q.needArm && !q.armed) {
+		return nil
+	}
+	q.reported = true
+	return []core.Gap{q.gap}
+}
+
+func (q *quietLive) FeedTime() time.Time { return q.feed }
+
+func (q *quietLive) Close() error { return nil }
+
+// readN consumes exactly n elems from the repairer, checking time
+// order.
+func readN(t *testing.T, r *Repairer, n int) []pair {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	out := make([]pair, 0, n)
+	for len(out) < n {
+		rec, elem, err := r.NextElem(ctx)
+		if err != nil {
+			t.Fatalf("after %d/%d elems: %v (stats %+v)", len(out), n, err, r.SourceStats())
+		}
+		if k := len(out); k > 0 && elem.Timestamp.Before(out[k-1].elem.Timestamp) {
+			t.Fatalf("time order violated at elem %d: %v after %v", k, elem.Timestamp, out[k-1].elem.Timestamp)
+		}
+		out = append(out, pair{rec, elem})
+	}
+	return out
+}
+
+// TestRepairQuietFeedRepairsWithoutNextElem proves repairs are
+// time-driven: the feed reports a loss window and then falls silent —
+// no live elem ever follows — yet the window is backfilled and
+// delivered, because the poll ticker drains the gap and the feed clock
+// shows the window has passed. Under the old elem-driven loop this gap
+// starved forever.
+func TestRepairQuietFeedRepairsWithoutNextElem(t *testing.T) {
+	universe := make([]pair, 0, 6)
+	for s := 0; s < 6; s++ {
+		universe = append(universe, mkPair(s, uint32(65000+s)))
+	}
+	live := &quietLive{
+		items: []pair{universe[0], universe[1]},
+		gap:   gapAt(1, 5),
+		feed:  t0.Add(6 * time.Second),
+	}
+	bf := &fakeBackfill{universe: universe}
+	r := New(live, bf, Options{PollInterval: 5 * time.Millisecond})
+	defer r.Close()
+
+	out := readN(t, r, 6) // 0,1 live; 2..5 spliced with no elem after the gap
+	if got := asns(out); !eqASNs(got, 65000, 65001, 65002, 65003, 65004, 65005) {
+		t.Fatalf("flow = %v", got)
+	}
+	st := r.SourceStats()
+	if st.Repairs != 1 || st.BackfilledElems != 4 || st.DuplicatesDropped != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// blockedBackfill never completes until its context dies — a stand-in
+// for an archive fetch still in flight when the process stops.
+type blockedBackfill struct{}
+
+func (blockedBackfill) Backfill(ctx context.Context, from, until time.Time) (*core.Stream, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestRepairCursorSurvivesRestart is the restart-safety path: process
+// one stops with a window still unrepaired (its fetch never finishes);
+// process two restores the cursor, re-queues the window, bridges its
+// own downtime as a "restart" gap, and delivers the exact elem
+// multiset across both lifetimes — no duplicates, no holes.
+func TestRepairCursorSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cursor.json")
+	universe := make([]pair, 0, 8)
+	for s := 0; s < 8; s++ {
+		universe = append(universe, mkPair(s, uint32(65000+s)))
+	}
+
+	// Process one: delivers 0,1, loses [1,5]... and dies with the
+	// backfill fetch still hanging.
+	live1 := &quietLive{
+		items: []pair{universe[0], universe[1]},
+		gap:   gapAt(1, 5),
+		feed:  t0.Add(5 * time.Second),
+	}
+	r1 := New(live1, blockedBackfill{}, Options{CursorPath: path, PollInterval: 2 * time.Millisecond})
+	readN(t, r1, 2)
+	deadline := time.Now().Add(10 * time.Second)
+	for r1.SourceStats().RepairsInFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("window never dispatched (stats %+v)", r1.SourceStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r1.Close()
+	drain(t, r1) // EOF only after the coordinator persisted the cursor
+
+	st, err := (&cursor{path: path}).load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := t0.Add(1 * time.Second); !st.Watermark.Equal(want) {
+		t.Fatalf("persisted watermark = %v, want %v", st.Watermark, want)
+	}
+	if len(st.Windows) != 1 || !st.Windows[0].Until.Equal(t0.Add(5*time.Second)) {
+		t.Fatalf("persisted windows = %+v, want the unrepaired [1,5]", st.Windows)
+	}
+
+	// Process two: fresh live source picking up at second 6. The
+	// persisted window and the restart bridge [watermark, 6] coalesce
+	// into one backfill; elems 0 and 1 must not reappear.
+	live2 := &quietLive{
+		items: []pair{universe[6], universe[7]},
+		feed:  t0.Add(7 * time.Second),
+	}
+	r2 := New(live2, &fakeBackfill{universe: universe}, Options{CursorPath: path, PollInterval: 2 * time.Millisecond})
+	out := readN(t, r2, 6)
+	if got := asns(out); !eqASNs(got, 65002, 65003, 65004, 65005, 65006, 65007) {
+		t.Fatalf("post-restart flow = %v", got)
+	}
+	r2.Close()
+	drain(t, r2)
+
+	st, err = (&cursor{path: path}).load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Windows) != 0 {
+		t.Fatalf("windows still persisted after repair: %+v", st.Windows)
+	}
+	if want := t0.Add(7 * time.Second); !st.Watermark.Equal(want) {
+		t.Fatalf("final watermark = %v, want %v", st.Watermark, want)
+	}
+}
+
+// TestRepairQuietFeedSplicesAtExactWatermark pins the boundary the
+// rislive client actually produces: a gap closed by a ping watermark
+// has Until equal to the feed clock, and nothing ever advances the
+// clock afterwards. The splice must not demand feed time strictly
+// beyond the window, or the fetched backfill would be held forever.
+func TestRepairQuietFeedSplicesAtExactWatermark(t *testing.T) {
+	universe := make([]pair, 0, 6)
+	for s := 0; s < 6; s++ {
+		universe = append(universe, mkPair(s, uint32(65000+s)))
+	}
+	live := &quietLive{
+		items: []pair{universe[0], universe[1]},
+		gap:   gapAt(1, 5),
+		feed:  t0.Add(5 * time.Second), // == gap Until, never advances
+	}
+	bf := &fakeBackfill{universe: universe}
+	r := New(live, bf, Options{PollInterval: 5 * time.Millisecond})
+	defer r.Close()
+
+	out := readN(t, r, 6)
+	if got := asns(out); !eqASNs(got, 65000, 65001, 65002, 65003, 65004, 65005) {
+		t.Fatalf("flow = %v", got)
+	}
+}
+
+// TestRepairCursorKeepsDropsWindowBelowEdge pins the completeness
+// semantics of the persisted watermark: a drops window opens below
+// elems already delivered (its missing elems interleave with them),
+// so the cursor must persist the window's start — not the delivery
+// edge — as the watermark, or the restore clip would amputate the
+// window and lose the dropped elems for good. The mirror cost,
+// re-delivery of already-seen elems above the watermark, is accepted.
+func TestRepairCursorKeepsDropsWindowBelowEdge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cursor.json")
+	universe := make([]pair, 0, 9)
+	for s := 0; s < 9; s++ {
+		universe = append(universe, mkPair(s, uint32(65000+s)))
+	}
+
+	// Process one delivers 0..4 (edge = 4), then a drops window [1,5]
+	// arrives — elem 3 (say) was dropped below the edge — and the
+	// process dies with the fetch hanging.
+	live1 := &quietLive{
+		items:   universe[:5],
+		gap:     gapAt(1, 5),
+		feed:    t0.Add(5 * time.Second),
+		needArm: true, // report the window only after 0..4 are consumed
+	}
+	r1 := New(live1, blockedBackfill{}, Options{CursorPath: path, PollInterval: 2 * time.Millisecond})
+	readN(t, r1, 5)
+	live1.arm()
+	deadline := time.Now().Add(10 * time.Second)
+	for r1.SourceStats().RepairsInFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("window never dispatched (stats %+v)", r1.SourceStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r1.Close()
+	drain(t, r1)
+
+	st, err := (&cursor{path: path}).load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := t0.Add(1 * time.Second); !st.Watermark.Equal(want) {
+		t.Fatalf("persisted watermark = %v, want the window start %v (not the delivery edge)", st.Watermark, want)
+	}
+
+	// Process two must re-cover (1,5] — including the sub-edge elems —
+	// so the dropped elem is repaired; re-delivery of 2..4 is the
+	// accepted cost.
+	live2 := &quietLive{
+		items: []pair{universe[6], universe[7]},
+		feed:  t0.Add(8 * time.Second),
+	}
+	r2 := New(live2, &fakeBackfill{universe: universe}, Options{CursorPath: path, PollInterval: 2 * time.Millisecond})
+	defer r2.Close()
+	// The restored window plus the restart bridge cover (1,6]:
+	// re-delivering 2..4, filling 5; the live tail contributes 6,7 —
+	// six elems in all.
+	out := readN(t, r2, 6)
+	counts := map[uint32]int{}
+	for _, p := range out {
+		counts[p.elem.PeerASN]++
+	}
+	// Everything in (1, 7] must be present at least once; elem 5 (the
+	// one only the window covers) exactly once.
+	for asn := uint32(65002); asn <= 65007; asn++ {
+		if counts[asn] == 0 {
+			t.Fatalf("hole at %d after restart: %v", asn, counts)
+		}
+	}
+	if counts[65000] != 0 || counts[65001] != 0 {
+		t.Fatalf("elems at/below the watermark re-delivered: %v", counts)
 	}
 }

@@ -96,7 +96,7 @@ func NewMerger[T any](less func(a, b T) bool, sources ...Source[T]) *Merger[T] {
 func (m *Merger[T]) prime() error {
 	for i, src := range m.sources {
 		v, err := src.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			continue
 		}
 		if err != nil {
@@ -130,7 +130,7 @@ func (m *Merger[T]) Next() (T, error) {
 	top := m.h.items[0]
 	next, err := m.sources[top.src].Next()
 	switch {
-	case err == io.EOF:
+	case errors.Is(err, io.EOF):
 		heap.Pop(m.h)
 	case err != nil:
 		m.err = err
@@ -227,7 +227,7 @@ func (s *Sequence[T]) Next() (T, error) {
 			s.idx++
 		}
 		v, err := s.current.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			s.current = nil
 			continue
 		}

@@ -84,14 +84,20 @@ type Client struct {
 	// of the last delivered elem; stableTs is the delivered-complete
 	// watermark — the latest feed time T such that every subscribed
 	// elem with timestamp <= T is known delivered (advanced on pings
-	// whose drop counter shows no new loss).
-	lastTs        time.Time
-	stableTs      time.Time
-	gapFrom       time.Time
-	gapReason     string
-	gapPending    bool
-	everDelivered bool
-	connDropped   uint64 // server drop counter last reported this connection
+	// whose drop counter shows no new loss, seeded at subscribe from
+	// the server's hello-ping watermark so loss before the first
+	// delivery is still a bounded, repairable window).
+	lastTs      time.Time
+	stableTs    time.Time
+	gapFrom     time.Time
+	gapReason   string
+	gapPending  bool
+	connDropped uint64 // server drop counter last reported this connection
+
+	// feedMicro is the feed clock (Unix micro): the latest feed time
+	// observed through deliveries or ping watermarks. Read by FeedTime
+	// from other goroutines.
+	feedMicro atomic.Int64
 }
 
 type pair struct {
@@ -176,21 +182,28 @@ func (c *Client) TakeGaps() []core.Gap {
 }
 
 // openGap starts a loss window unless one is already pending (the
-// window only widens; the earliest From stays authoritative).
+// window only widens; the earliest From stays authoritative). It is a
+// no-op while the client has no feed-time watermark at all — neither a
+// delivery nor a server hello-ping — because such loss has no lower
+// bound and precedes the stream rather than interrupting it.
 func (c *Client) openGap(reason string) {
-	if !c.everDelivered || c.gapPending {
+	if c.gapPending {
 		return
 	}
 	from := c.stableTs
 	if from.IsZero() {
 		from = c.lastTs
 	}
+	if from.IsZero() {
+		return
+	}
 	c.gapFrom, c.gapReason, c.gapPending = from, reason, true
 }
 
 // closeGap records the pending window, ending at the elem about to be
-// delivered. It must run before that elem is enqueued so TakeGaps
-// ordering holds.
+// delivered — or at a server ping watermark, which covers everything
+// published up to it. It must run before that elem (or any elem after
+// that watermark) is enqueued so TakeGaps ordering holds.
 func (c *Client) closeGap(until time.Time) {
 	g := core.Gap{From: c.gapFrom, Until: until, Reason: c.gapReason}
 	c.gapPending = false
@@ -431,16 +444,31 @@ func (c *Client) dispatch(payload []byte) (int, error) {
 	case TypePing:
 		c.pings.Add(1)
 		c.serverDropped.Store(msg.Dropped)
-		switch {
-		case msg.Dropped > c.connDropped:
+		pingTs := msg.Time()
+		if msg.Dropped > c.connDropped {
 			c.droppedTotal.Add(msg.Dropped - c.connDropped)
 			c.connDropped = msg.Dropped
+			// Opens at the pre-ping watermark; the ping's own
+			// timestamp may then close it right below.
 			c.openGap("drops")
-		case !c.gapPending:
-			// All drops accounted for: delivery is complete up to the
-			// last delivered elem.
-			c.stableTs = c.lastTs
 		}
+		if c.gapPending {
+			// The watermark is ordered after everything it covers, so
+			// a watermark at/after the window start closes the window:
+			// every elem the gap can be missing was published by now.
+			// This is what lets a quiet feed repair without waiting
+			// for the next elem to happen along.
+			if !pingTs.IsZero() && !pingTs.Before(c.gapFrom) {
+				c.closeGap(pingTs)
+			}
+		} else {
+			// No loss outstanding: delivery is complete through the
+			// later of the last delivered elem and the server
+			// watermark (which also seeds a fresh client's watermark
+			// from the hello ping, before any delivery).
+			c.stableTs = core.MaxTime(c.lastTs, pingTs)
+		}
+		c.advanceFeedTime(pingTs)
 		return 0, nil
 	case TypeError:
 		return 0, fmt.Errorf("rislive: server error: %s", msg.Error)
@@ -469,14 +497,40 @@ func (c *Client) dispatch(payload []byte) (int, error) {
 		c.closeGap(elem.Timestamp)
 	}
 	c.lastTs = elem.Timestamp
-	c.everDelivered = true
 	select {
 	case c.pairs <- pair{rec: rec, elem: elem}:
 		c.messages.Add(1)
+		c.advanceFeedTime(elem.Timestamp)
 		return 1, nil
 	case <-c.stop:
 		return 0, io.EOF
 	}
+}
+
+// advanceFeedTime moves the feed clock forward, never backward.
+func (c *Client) advanceFeedTime(ts time.Time) {
+	if ts.IsZero() {
+		return
+	}
+	us := ts.UnixMicro()
+	for {
+		cur := c.feedMicro.Load()
+		if us <= cur || c.feedMicro.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// FeedTime implements core.FeedClock: the latest feed time observed
+// through elem deliveries or server ping watermarks, or the zero time
+// before either. Gap repairers use it to tell that the feed has moved
+// past a loss window even when no elem has been delivered since.
+func (c *Client) FeedTime() time.Time {
+	us := c.feedMicro.Load()
+	if us == 0 {
+		return time.Time{}
+	}
+	return time.UnixMicro(us).UTC()
 }
 
 // buildURL merges the subscription parameters into the endpoint query.

@@ -32,6 +32,16 @@ func pingMsg(dropped uint64) Message {
 	return Message{Type: TypePing, Dropped: dropped}
 }
 
+// pingAt builds a ping carrying the server publish watermark at
+// gapT0+sec, the shape a watermark-aware server emits.
+func pingAt(sec int, dropped uint64) Message {
+	return Message{
+		Type:      TypePing,
+		Dropped:   dropped,
+		Timestamp: float64(gapT0.Add(time.Duration(sec) * time.Second).Unix()),
+	}
+}
+
 // scriptedSSE serves one fixed message script per connection; the last
 // script's connection is held open so the client does not reconnect
 // past the end of the scenario.
@@ -171,6 +181,66 @@ func TestClientDropsGapWindow(t *testing.T) {
 	}
 }
 
+// TestClientSeedsWatermarkBeforeFirstDelivery covers pre-first-delivery
+// loss: the hello ping seeds the completeness watermark at subscribe,
+// so a connection that dies before delivering a single elem still
+// yields a bounded, repairable loss window — previously that loss was
+// silently "before the stream".
+func TestClientSeedsWatermarkBeforeFirstDelivery(t *testing.T) {
+	hs := scriptedSSE(t, [][]Message{
+		{pingAt(100, 0)},               // hello only; connection dies pre-delivery
+		{pingAt(200, 0), feedMsg(201)}, // reconnect: hello, then the first elem ever
+	})
+	defer hs.Close()
+
+	c := fastClient(hs.URL)
+	defer c.Close()
+	readElems(t, c, 1)
+
+	// The reconnect window is bounded by the two hello watermarks:
+	// everything published in [100, 200] was missed, nothing before
+	// the first subscribe is claimed.
+	wantGap(t, c.TakeGaps(), 100, 200, "reconnect")
+	if st := c.Stats(); st.Gaps != 1 || st.Reconnects != 1 || st.Messages != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestClientPingClosesGapOnQuietFeed proves a loss window closes from
+// a ping watermark alone: no elem follows the drop report, yet the gap
+// becomes visible with a finite Until — the signal a time-driven
+// repairer needs on a quiet feed.
+func TestClientPingClosesGapOnQuietFeed(t *testing.T) {
+	hs := scriptedSSE(t, [][]Message{{
+		feedMsg(100),
+		pingAt(100, 0), // clean ping: complete through 100
+		pingAt(110, 5), // five elems lost; watermark 110 bounds them
+	}})
+	defer hs.Close()
+
+	c := fastClient(hs.URL)
+	defer c.Close()
+	readElems(t, c, 1) // the only elem the feed ever delivers
+
+	// The gap is reported asynchronously (no closing elem to wait on).
+	deadline := time.Now().Add(10 * time.Second)
+	var gaps []core.Gap
+	for len(gaps) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("gap never became visible")
+		}
+		gaps = append(gaps, c.TakeGaps()...)
+		time.Sleep(time.Millisecond)
+	}
+	wantGap(t, gaps, 100, 110, "drops")
+	if got, want := c.FeedTime(), gapT0.Add(110*time.Second); !got.Equal(want) {
+		t.Fatalf("FeedTime = %v, want %v", got, want)
+	}
+	if st := c.Stats(); st.DroppedTotal != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
 // TestClientDropCounterResetAcrossReconnect ensures the per-connection
 // server counter does not double-count after a re-subscription resets
 // it to zero.
@@ -191,5 +261,66 @@ func TestClientDropCounterResetAcrossReconnect(t *testing.T) {
 	}
 	if st := c.Stats(); st.DroppedTotal != 5 {
 		t.Fatalf("dropped total = %d, want 3+2=5 (stats %+v)", st.DroppedTotal, st)
+	}
+}
+
+// TestClientSeedsFromFirstPublishPing covers the fresh-server corner:
+// a subscriber joins before anything was ever published (so its hello
+// carries no watermark) and its subscription filters away every elem —
+// yet the server's first-publish chase ping still seeds the
+// completeness watermark, so a disconnect before any delivery yields a
+// bounded loss window instead of silent, unbounded loss.
+func TestClientSeedsFromFirstPublishPing(t *testing.T) {
+	srv := &Server{KeepAlive: time.Hour} // keepalive ticker out of the picture
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	c := fastClient(hs.URL)
+	c.Sub = Subscription{Collectors: []string{"never-matches"}}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go c.NextElem(ctx) // starts the connection loop; never yields an elem
+
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().Subscribers < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("client never subscribed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	e := core.Elem{Type: core.ElemAnnouncement, Timestamp: gapT0.Add(100 * time.Second),
+		PeerASN: 65000}
+	srv.Publish("ris", "rrc00", &e) // filtered away; the chase ping carries ts 100
+	want := gapT0.Add(100 * time.Second)
+	for !c.FeedTime().Equal(want) {
+		if time.Now().After(deadline) {
+			t.Fatalf("feed clock never seeded (FeedTime %v)", c.FeedTime())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	srv.DisconnectClients()
+	e2 := core.Elem{Type: core.ElemAnnouncement, Timestamp: gapT0.Add(200 * time.Second),
+		PeerASN: 65001}
+	srv.Publish("ris", "rrc00", &e2) // may land before or after the reconnect
+
+	var gaps []core.Gap
+	for len(gaps) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no gap reported (stats %+v)", c.Stats())
+		}
+		gaps = append(gaps, c.TakeGaps()...)
+		time.Sleep(2 * time.Millisecond)
+	}
+	g := gaps[0]
+	if !g.From.Equal(want) || g.Reason != "reconnect" {
+		t.Fatalf("gap = %v, want From %v (reconnect)", g, want)
+	}
+	if g.Until.Before(g.From) {
+		t.Fatalf("gap inverted: %v", g)
+	}
+	if st := c.Stats(); st.Messages != 0 {
+		t.Fatalf("delivered %d elems, want 0 (filtered subscription)", st.Messages)
 	}
 }

@@ -22,9 +22,14 @@
 // Loss is explicit rather than silent: the client derives loss
 // windows (core.Gap) from its reconnects and from the server's
 // per-subscriber drop counters, reporting them through
-// core.GapReporter (see Client.TakeGaps). internal/gaprepair consumes
-// those windows to backfill a lossy feed from the archive path and
-// splice the result into a complete stream.
+// core.GapReporter (see Client.TakeGaps). Keepalive pings carry the
+// server's publish watermark: the first one — sent at subscribe time
+// — seeds the client's completeness watermark before any delivery
+// (so even pre-first-delivery loss is a bounded window), later ones
+// close pending windows and advance the feed clock the client
+// exposes through core.FeedClock. internal/gaprepair consumes those
+// windows to backfill a lossy feed from the archive path and splice
+// the result into a complete stream.
 //
 // The wire format follows RIS Live's envelope ({"type": "ris_message",
 // "data": {...}}) with elem-level granularity: one message per
@@ -59,8 +64,26 @@ type Message struct {
 	// Dropped accompanies pings: messages dropped for this subscriber
 	// so far because its buffer was full.
 	Dropped uint64 `json:"dropped,omitempty"`
+	// Timestamp accompanies pings: the server's publish watermark (the
+	// timestamp of the last elem published to any subscriber, Unix
+	// seconds with fractional microseconds, like ElemData.Timestamp).
+	// The first ping is sent at subscribe time, so a client learns the
+	// current feed time before its first delivery — loss before that
+	// delivery is then an ordinary bounded gap instead of being
+	// silently "before the stream". Zero (omitted) when the server has
+	// not published anything yet, or on servers predating the field.
+	Timestamp float64 `json:"timestamp,omitempty"`
 	// Error accompanies TypeError messages.
 	Error string `json:"error,omitempty"`
+}
+
+// Time returns the ping watermark at microsecond precision, or the
+// zero time when the message carries none.
+func (m *Message) Time() time.Time {
+	if m.Timestamp <= 0 {
+		return time.Time{}
+	}
+	return time.UnixMicro(int64(math.Round(m.Timestamp * 1e6))).UTC()
 }
 
 // ElemData is the elem-level payload, with RIS Live field naming where

@@ -37,15 +37,39 @@ type Server struct {
 
 	published atomic.Uint64
 	dropped   atomic.Uint64
+	// watermark is the publish watermark: the timestamp (Unix micro)
+	// of the last elem handed to Publish. Pings carry it so clients
+	// can track feed time — and close loss windows — without waiting
+	// for the next delivered elem.
+	watermark atomic.Int64
 }
 
 // subscriber is one connected SSE client.
 type subscriber struct {
-	sub     Subscription
-	ch      chan []byte
-	done    chan struct{} // closed to force-disconnect
-	once    sync.Once
-	dropped atomic.Uint64
+	sub  Subscription
+	ch   chan []byte
+	done chan struct{} // closed to force-disconnect
+	once sync.Once
+
+	// mu guards mark and dropped TOGETHER: a ping pairs the two into
+	// one claim — "published through mark, dropped this many" — and a
+	// torn read in either direction can close a client's loss window
+	// below a dropped elem, losing it outside every future gap. mark
+	// is the per-subscriber publish watermark (Unix micro): the
+	// timestamp of the last elem enqueued to (or dropped for, or
+	// filtered away from) this subscriber, so a ping carrying it is
+	// ordered after every elem it covers. Assumes publishers feed
+	// elems in time order.
+	mu      sync.Mutex
+	mark    int64
+	dropped uint64
+}
+
+// snapshot returns a consistent (mark, dropped) pair.
+func (c *subscriber) snapshot() (mark int64, dropped uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mark, c.dropped
 }
 
 func (c *subscriber) disconnect() { c.once.Do(func() { close(c.done) }) }
@@ -78,6 +102,10 @@ func (s *Server) Stats() ServerStats {
 // have their drop counter incremented. Safe for concurrent use.
 func (s *Server) Publish(project, collector string, e *core.Elem) {
 	s.published.Add(1)
+	// Advance the watermark before fanning out, so a subscriber
+	// registering concurrently either receives this elem through its
+	// buffer or sees a hello watermark covering it — never neither.
+	s.watermark.Store(e.Timestamp.UnixMicro())
 	var payload []byte // encoded lazily, once, on first match
 	// Iterate under the read lock: the sends below never block
 	// (select/default), so holding it costs subscribers only the
@@ -85,23 +113,50 @@ func (s *Server) Publish(project, collector string, e *core.Elem) {
 	// published elem on the fan-out hot path.
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	ts := e.Timestamp.UnixMicro()
 	for c := range s.subscribers {
-		if !c.sub.Matches(project, collector, e) {
-			continue
-		}
-		if payload == nil {
-			msg := Message{Type: TypeMessage, Data: EncodeElem(project, collector, e)}
-			var err error
-			payload, err = json.Marshal(msg)
-			if err != nil {
-				return // cannot happen for our own types
+		enqueued := false
+		matched := c.sub.Matches(project, collector, e)
+		if matched {
+			if payload == nil {
+				msg := Message{Type: TypeMessage, Data: EncodeElem(project, collector, e)}
+				var err error
+				payload, err = json.Marshal(msg)
+				if err != nil {
+					return // cannot happen for our own types
+				}
+			}
+			select {
+			case c.ch <- payload:
+				enqueued = true
+			default:
+				s.dropped.Add(1)
 			}
 		}
-		select {
-		case c.ch <- payload:
-		default:
-			c.dropped.Add(1)
-			s.dropped.Add(1)
+		// Account the drop and advance the per-subscriber watermark in
+		// one critical section, and only after the elem has been
+		// enqueued, dropped (counted), or rejected by the filter — the
+		// three cases a ping at this mark may summarise.
+		c.mu.Lock()
+		if matched && !enqueued {
+			c.dropped++
+		}
+		first := c.mark == 0 && ts > 0
+		c.mark = ts
+		d := c.dropped
+		c.mu.Unlock()
+		if first && !enqueued {
+			// This subscriber just saw its first feed time (it joined
+			// before anything was published, so its hello carried
+			// none), and the elem itself will not deliver it — it was
+			// filtered away or dropped. Chase it with a watermark ping
+			// so the client still gets seeded; otherwise loss before
+			// its first delivery would have no lower bound.
+			ping, _ := json.Marshal(Message{Type: TypePing, Dropped: d, Timestamp: float64(ts) / 1e6})
+			select {
+			case c.ch <- ping:
+			default:
+			}
 		}
 	}
 }
@@ -147,13 +202,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.subscribers == nil {
 		s.subscribers = make(map[*subscriber]struct{})
 	}
+	// Seed the per-subscriber watermark inside the registration
+	// critical section: Publish fans out under the read lock, so every
+	// elem is either newer than this seed (and lands in c.ch) or
+	// covered by it. The hello ping below hands it to the client as
+	// its start-of-stream feed time.
+	seeded := s.watermark.Load()
+	c.mark = seeded // not yet visible to Publish; no lock needed
 	s.subscribers[c] = struct{}{}
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
 		delete(s.subscribers, c)
 		s.mu.Unlock()
-		s.logf("rislive: client %s disconnected (dropped %d)", r.RemoteAddr, c.dropped.Load())
+		_, d := c.snapshot()
+		s.logf("rislive: client %s disconnected (dropped %d)", r.RemoteAddr, d)
 	}()
 	s.logf("rislive: client %s subscribed %v", r.RemoteAddr, sub.Values())
 
@@ -179,6 +242,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		flusher.Flush()
 		return true
 	}
+	ping := func(mark int64, dropped uint64) []byte {
+		m := Message{Type: TypePing, Dropped: dropped}
+		if mark > 0 {
+			m.Timestamp = float64(mark) / 1e6
+		}
+		b, _ := json.Marshal(m)
+		return b
+	}
+	// Hello ping: tell the client the current feed time at subscribe,
+	// before anything else, so a client that never receives an elem
+	// still has a watermark to bound its loss windows with. It must
+	// carry the registration-time seed, NOT the live mark: elems
+	// published since registration sit undelivered in c.ch, and a
+	// hello claiming their timestamps would let a disconnect lose
+	// them below every future gap window. Skipped when nothing had
+	// been published yet — there is no feed time to report, and so
+	// nothing a client could have missed.
+	if seeded > 0 {
+		if !write(ping(seeded, 0)) {
+			return
+		}
+	}
 	for {
 		select {
 		case <-r.Context().Done():
@@ -190,9 +275,29 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		case <-ticker.C:
-			ping, _ := json.Marshal(Message{Type: TypePing, Dropped: c.dropped.Load()})
-			if !write(ping) {
-				return
+			// Route the keepalive through the subscriber buffer rather
+			// than writing it directly: the watermark it carries
+			// claims "published through T", which is only true for the
+			// client once every elem enqueued before it has been
+			// delivered. The snapshot keeps the (mark, dropped) pair
+			// consistent — a torn pair could close a loss window below
+			// a dropped elem.
+			mark, dropped := c.snapshot()
+			select {
+			case c.ch <- ping(mark, dropped):
+			default:
+				// Buffer full: write a bare SSE comment directly for
+				// liveness only. A direct ping would overtake the
+				// queued elems, and reporting drops ahead of them
+				// lets the client close the loss window at the next
+				// queued elem — below the dropped one, losing it
+				// outside every window. The drop report waits for a
+				// tick with buffer room, where the (mark, dropped)
+				// pair is ordered correctly.
+				if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+					return
+				}
+				flusher.Flush()
 			}
 		}
 	}

@@ -131,10 +131,10 @@ func TestSlowClientDropPolicy(t *testing.T) {
 
 	publishN(srv, 10)
 
-	if got := slow.dropped.Load(); got != 8 {
+	if _, got := slow.snapshot(); got != 8 {
 		t.Fatalf("slow client dropped %d, want 8", got)
 	}
-	if got := fast.dropped.Load(); got != 0 {
+	if _, got := fast.snapshot(); got != 0 {
 		t.Fatalf("fast client dropped %d, want 0", got)
 	}
 	if len(slow.ch) != 2 || len(fast.ch) != 10 {
@@ -177,7 +177,9 @@ func TestKeepalivePingsCarryDrops(t *testing.T) {
 	}
 	srv.mu.Lock()
 	for c := range srv.subscribers {
-		c.dropped.Store(7)
+		c.mu.Lock()
+		c.dropped = 7
+		c.mu.Unlock()
 	}
 	srv.mu.Unlock()
 

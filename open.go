@@ -11,9 +11,11 @@ import (
 
 // openConfig accumulates the functional options of Open.
 type openConfig struct {
-	src     Source
-	repair  Source // backfill source; non-nil wraps src in gap repair
-	filters Filters
+	src           Source
+	repair        Source // backfill source; non-nil wraps src in gap repair
+	repairOpts    RepairOptions
+	repairOptsSet bool
+	filters       Filters
 }
 
 // Option configures Open.
@@ -94,6 +96,21 @@ func WithRepairInstance(backfill any) Option {
 	}
 }
 
+// WithRepairOptions tunes the repair pipeline of WithRepair /
+// WithRepairInstance: backfill concurrency, retry budget, holdback and
+// fetch-timeout bounds, the time-driven poll cadence, and the cursor
+// path that makes repairs survive process restarts (the cursor
+// persists the delivered watermark plus unrepaired windows; on start
+// the downtime itself becomes a repairable "restart" gap). A zero
+// value in any field keeps that default.
+func WithRepairOptions(opts RepairOptions) Option {
+	return func(c *openConfig) error {
+		c.repairOpts = opts
+		c.repairOptsSet = true
+		return nil
+	}
+}
+
 // WithFilters merges a Filters value into the stream configuration:
 // slice dimensions append, a non-zero Start/End overwrites, Live turns
 // on. Combines freely with WithFilterString.
@@ -168,9 +185,15 @@ func Open(ctx context.Context, opts ...Option) (*Stream, error) {
 	if cfg.src == nil {
 		return nil, errors.New("bgpstream: Open needs a source (use WithSource or WithSourceInstance)")
 	}
+	if cfg.repairOptsSet && cfg.repair == nil {
+		// Silently ignoring a cursor path or concurrency bound would
+		// hide a miswired stream; the options only mean something on a
+		// repaired one.
+		return nil, errors.New("bgpstream: WithRepairOptions needs WithRepair or WithRepairInstance")
+	}
 	src := cfg.src
 	if cfg.repair != nil {
-		src = &gaprepair.Composite{Live: src, Backfill: cfg.repair}
+		src = &gaprepair.Composite{Live: src, Backfill: cfg.repair, Options: cfg.repairOpts}
 	}
 	return src.OpenStream(ctx, cfg.filters)
 }

@@ -497,6 +497,15 @@ func TestOpenWithRepairOption(t *testing.T) {
 		t.Errorf("repairing a pull source accepted (err = %v)", err)
 	}
 
+	// Repair tuning without a repair source would be silently dead
+	// configuration (a cursor path that never persists); reject it.
+	if _, err := bgpstream.Open(context.Background(),
+		bgpstream.WithSource("directory", bgpstream.SourceOptions{"path": dir}),
+		bgpstream.WithRepairOptions(bgpstream.RepairOptions{Concurrency: 2})); err == nil ||
+		!strings.Contains(err.Error(), "WithRepair") {
+		t.Errorf("WithRepairOptions without WithRepair accepted (err = %v)", err)
+	}
+
 	if _, err := bgpstream.OpenSource("repaired", bgpstream.SourceOptions{
 		"backfill": "directory", "backfill.path": dir, "live.url": "http://x", "bogus": "y",
 	}); err == nil || !strings.Contains(err.Error(), `no option "bogus"`) {

@@ -343,7 +343,12 @@ func init() {
 			{Name: "live.*", Description: "options forwarded to the live source (live.url, ...)"},
 			{Name: "backfill.*", Description: "options forwarded to the backfill source (backfill.url, backfill.path, ...)"},
 			{Name: "holdback", Description: "max live elems buffered while a gap window closes", Default: "8192"},
-			{Name: "timeout", Description: "per-window backfill timeout", Default: "30s"},
+			{Name: "timeout", Description: "per-attempt backfill fetch timeout", Default: "30s"},
+			{Name: "concurrency", Description: "backfill fetches in flight at once", Default: "2"},
+			{Name: "retries", Description: "fetch attempts per window before it is abandoned", Default: "3"},
+			{Name: "retry-backoff", Description: "delay before the second fetch attempt, doubled per retry", Default: "500ms"},
+			{Name: "poll", Description: "time-driven repair poll cadence (gap drain + quiet-feed splice checks)", Default: "1s"},
+			{Name: "cursor", Description: "repair cursor file: persists the watermark and unrepaired windows so repairs survive restarts"},
 			{Name: "log", Description: `"stderr" surfaces repair lifecycle logs`},
 		},
 	}, func(opts SourceOptions) (Source, error) {
@@ -367,6 +372,22 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
+		concurrency, err := optInt("repaired", opts, "concurrency", 0)
+		if err != nil {
+			return nil, err
+		}
+		retries, err := optInt("repaired", opts, "retries", 0)
+		if err != nil {
+			return nil, err
+		}
+		retryBackoff, err := optDuration("repaired", opts, "retry-backoff", 0)
+		if err != nil {
+			return nil, err
+		}
+		poll, err := optDuration("repaired", opts, "poll", 0)
+		if err != nil {
+			return nil, err
+		}
 		var logf func(string, ...any)
 		switch opts["log"] {
 		case "":
@@ -378,7 +399,16 @@ func init() {
 		return &gaprepair.Composite{
 			Live:     live,
 			Backfill: backfill,
-			Options:  gaprepair.Options{HoldbackLimit: holdback, Timeout: timeout, Logf: logf},
+			Options: gaprepair.Options{
+				HoldbackLimit: holdback,
+				Timeout:       timeout,
+				Concurrency:   concurrency,
+				RetryMax:      retries,
+				RetryBackoff:  retryBackoff,
+				PollInterval:  poll,
+				CursorPath:    opts["cursor"],
+				Logf:          logf,
+			},
 		}, nil
 	})
 }
