@@ -11,10 +11,13 @@ package bgpstream_test
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"net/netip"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -90,15 +93,32 @@ func benchArchive(b *testing.B) string {
 	return dir
 }
 
-// BenchmarkStreamThroughput measures the full libBGPStream pipeline:
-// open files, parse MRT, merge, decompose into elems.
-func BenchmarkStreamThroughput(b *testing.B) {
+// benchStreamThroughput measures the full libBGPStream pipeline —
+// open files, gunzip, parse MRT, merge, decompose into elems — with
+// the given decode-worker bound (0 = GOMAXPROCS: the parallel
+// prefetch pipeline sized to the -cpu value; 1 = the sequential
+// in-line pipeline). Beyond the standard B/op and allocs/op it
+// reports the per-elem normalisations that pin the hot-path
+// allocation budget, counted via MemStats so prefetch-worker
+// allocations are included:
+//
+//	elems/op    — elems decoded per iteration (fixed by the archive)
+//	Melems/s    — end-to-end throughput
+//	allocs/elem — heap allocations per delivered elem
+//	B/elem      — heap bytes per delivered elem
+func benchStreamThroughput(b *testing.B, workers int) {
 	dir := benchArchive(b)
 	b.ReportAllocs()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
 	b.ResetTimer()
+	total := 0
+	elems := 0
 	for i := 0; i < b.N; i++ {
 		s := core.NewStream(context.Background(), &core.Directory{Dir: dir}, core.Filters{})
-		elems := 0
+		s.SetDecodeWorkers(workers)
+		elems = 0
 		for {
 			_, _, err := s.NextElem()
 			if err == io.EOF {
@@ -113,9 +133,26 @@ func BenchmarkStreamThroughput(b *testing.B) {
 		if elems == 0 {
 			b.Fatal("no elems")
 		}
-		b.ReportMetric(float64(elems), "elems/op")
+		total += elems
 	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	b.ReportMetric(float64(elems), "elems/op")
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds()/1e6, "Melems/s")
+	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(total), "allocs/elem")
+	b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(total), "B/elem")
 }
+
+// BenchmarkStreamThroughput is the headline ingest bench: the
+// parallel prefetch/decode pipeline at its default width (GOMAXPROCS
+// decode workers). Run with -cpu 1,4 to see the scaling against
+// BenchmarkStreamThroughputSequential, which pins the workers=1
+// baseline the ordering property test compares against.
+func BenchmarkStreamThroughput(b *testing.B) { benchStreamThroughput(b, 0) }
+
+// BenchmarkStreamThroughputSequential is the workers=1 (in-line
+// decode) baseline of BenchmarkStreamThroughput.
+func BenchmarkStreamThroughputSequential(b *testing.B) { benchStreamThroughput(b, 1) }
 
 // BenchmarkAblationNoPartition compares the §3.3.4 partitioned merge
 // against one big heap over every file (the design alternative).
@@ -255,50 +292,137 @@ func BenchmarkRISLiveEncodeDecode(b *testing.B) {
 func BenchmarkRISLiveFanout(b *testing.B) {
 	for _, clients := range []int{1, 4, 16} {
 		b.Run(map[int]string{1: "1client", 4: "4clients", 16: "16clients"}[clients], func(b *testing.B) {
-			srv := &rislive.Server{KeepAlive: time.Hour, BufferSize: 65536}
-			hs := httptest.NewServer(srv)
-			defer hs.Close()
-
-			ctx, cancel := context.WithCancel(context.Background())
-			defer cancel()
-			var delivered atomic.Uint64
-			for i := 0; i < clients; i++ {
-				c := rislive.NewClient(hs.URL, rislive.Subscription{})
-				defer c.Close()
-				go func() {
-					for {
-						if _, _, err := c.NextElem(ctx); err != nil {
-							return
-						}
-						delivered.Add(1)
-					}
-				}()
-			}
-			deadline := time.Now().Add(5 * time.Second)
-			for srv.Stats().Subscribers < clients {
-				if time.Now().After(deadline) {
-					b.Fatal("subscribers did not connect")
-				}
-				time.Sleep(time.Millisecond)
-			}
-
-			e := benchLiveElem()
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				srv.Publish("ris", "rrc00", &e)
-			}
-			b.StopTimer()
-			// Drain window: count what actually reached the clients.
-			want := uint64(b.N * clients)
-			drainUntil := time.Now().Add(5 * time.Second)
-			for delivered.Load()+srv.Stats().Dropped < want && time.Now().Before(drainUntil) {
-				time.Sleep(time.Millisecond)
-			}
-			b.ReportMetric(float64(delivered.Load())/float64(b.N), "delivered/op")
-			b.ReportMetric(float64(srv.Stats().Dropped)/float64(b.N), "dropped/op")
+			benchRISLiveFanoutE2E(b, clients)
 		})
 	}
+	// The >10k-subscriber scale question (ROADMAP PR 1 follow-up) is
+	// dominated by server-side fan-out cost, so the large sizes drive
+	// ServeHTTP directly over in-process writers — no TCP, no client
+	// decode — and pin the per-subscriber publish cost, which after
+	// the single-encode change is a filter check and a channel send
+	// (allocs/elem-sub → 0 as subscribers grow: the one encode+frame
+	// amortises across the fan-out).
+	for _, clients := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("%dsubs-direct", clients), func(b *testing.B) {
+			benchRISLiveFanoutDirect(b, clients)
+		})
+	}
+}
+
+// benchFanoutWriter is an in-process SSE sink: an http.ResponseWriter
+// + Flusher that counts frames and discards bytes.
+type benchFanoutWriter struct {
+	h      http.Header
+	frames *atomic.Uint64
+}
+
+func (w *benchFanoutWriter) Header() http.Header { return w.h }
+func (w *benchFanoutWriter) WriteHeader(int)     {}
+func (w *benchFanoutWriter) Flush()              {}
+func (w *benchFanoutWriter) Write(p []byte) (int, error) {
+	w.frames.Add(1)
+	return len(p), nil
+}
+
+// benchRISLiveFanoutDirect measures pure server-side fan-out at large
+// subscriber counts: handlers run in-process against discarding
+// writers. Reported metrics:
+//
+//	delivered/op   — frames that reached subscriber writers per publish
+//	dropped/op     — per-subscriber buffer drops per publish
+//	allocs/elem    — heap allocations per published elem
+//	allocs/elem-sub — the same normalised per (elem, subscriber) pair
+func benchRISLiveFanoutDirect(b *testing.B, clients int) {
+	srv := &rislive.Server{KeepAlive: time.Hour, BufferSize: 4096}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var delivered atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		w := &benchFanoutWriter{h: http.Header{}, frames: &delivered}
+		req := httptest.NewRequest(http.MethodGet, "/", nil).WithContext(ctx)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.ServeHTTP(w, req)
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().Subscribers < clients {
+		if time.Now().After(deadline) {
+			b.Fatal("subscribers did not register")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	e := benchLiveElem()
+	b.ReportAllocs()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Publish("ris", "rrc00", &e)
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	want := uint64(b.N * clients)
+	drainUntil := time.Now().Add(10 * time.Second)
+	for delivered.Load()+srv.Stats().Dropped < want && time.Now().Before(drainUntil) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	allocs := float64(after.Mallocs - before.Mallocs)
+	b.ReportMetric(float64(delivered.Load())/float64(b.N), "delivered/op")
+	b.ReportMetric(float64(srv.Stats().Dropped)/float64(b.N), "dropped/op")
+	b.ReportMetric(allocs/float64(b.N), "allocs/elem")
+	b.ReportMetric(allocs/float64(want), "allocs/elem-sub")
+}
+
+func benchRISLiveFanoutE2E(b *testing.B, clients int) {
+	srv := &rislive.Server{KeepAlive: time.Hour, BufferSize: 65536}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var delivered atomic.Uint64
+	for i := 0; i < clients; i++ {
+		c := rislive.NewClient(hs.URL, rislive.Subscription{})
+		defer c.Close()
+		go func() {
+			for {
+				if _, _, err := c.NextElem(ctx); err != nil {
+					return
+				}
+				delivered.Add(1)
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Subscribers < clients {
+		if time.Now().After(deadline) {
+			b.Fatal("subscribers did not connect")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	e := benchLiveElem()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Publish("ris", "rrc00", &e)
+	}
+	b.StopTimer()
+	// Drain window: count what actually reached the clients.
+	want := uint64(b.N * clients)
+	drainUntil := time.Now().Add(5 * time.Second)
+	for delivered.Load()+srv.Stats().Dropped < want && time.Now().Before(drainUntil) {
+		time.Sleep(time.Millisecond)
+	}
+	b.ReportMetric(float64(delivered.Load())/float64(b.N), "delivered/op")
+	b.ReportMetric(float64(srv.Stats().Dropped)/float64(b.N), "dropped/op")
 }
 
 // BenchmarkArchiveGeneration measures the simulator substrate itself.

@@ -171,6 +171,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		repair     = fs.Bool("repair", false, "backfill push-feed loss windows (reconnects, server drops) from the pull source given by -broker/-d/-csv; requires -ris-live")
 		repairCur  = fs.String("repair-cursor", "", "repair cursor file: persist the completeness watermark and unrepaired windows so repairs survive restarts (requires -repair)")
 		repairConc = fs.Int("repair-concurrency", 0, "backfill fetches in flight at once (0 = default 2; requires -repair)")
+		decodeWrk  = fs.Int("decode-workers", 0, "parallel ingest: dump files of an overlap partition decoded concurrently (0 = GOMAXPROCS, 1 = sequential; pull sources only)")
+		readahead  = fs.Int("readahead", 0, "per-dump-file decoded-record readahead bound (0 = default 4096; pull sources only)")
 		window     = fs.String("w", "", "time window: start[,end] unix seconds; omit end for live mode")
 		filterStr  = fs.String("filter", "", `BGPStream v2 filter string, e.g. "collector rrc00 and prefix more 10.0.0.0/8 and elemtype announcements" (exclusive with -p/-c/-t/-e/-k/-y/-j)`)
 		machine    = fs.Bool("m", false, "bgpdump -m compatible output (elems only)")
@@ -234,6 +236,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		pullName, pullOpts = "csvfile", bgpstream.SourceOptions{"path": *csv}
 	case *brokerURL != "":
 		pullName, pullOpts = "broker", bgpstream.SourceOptions{"url": *brokerURL}
+	}
+	if *decodeWrk != 0 || *readahead != 0 {
+		// The pull source must actually be in the data path: it is the
+		// main source, or the backfill side of -repair. Named alongside
+		// -ris-live without -repair it is ignored entirely, and the
+		// flags would silently do nothing.
+		if pullName == "" || (*risLive != "" && !*repair) {
+			return fmt.Errorf("-decode-workers and -readahead tune the dump-file ingest pipeline: they require a pull source (-broker, -d or -csv) used as the main source or as the -repair backfill")
+		}
+		if *decodeWrk != 0 {
+			pullOpts["decode-workers"] = strconv.Itoa(*decodeWrk)
+		}
+		if *readahead != 0 {
+			pullOpts["readahead"] = strconv.Itoa(*readahead)
+		}
 	}
 	var srcName string
 	switch {

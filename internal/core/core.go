@@ -103,6 +103,13 @@ func (p DumpPosition) String() string {
 
 // Record is the BGPStream record: a de-serialised MRT record plus an
 // error flag and annotations about the originating dump (§3.3.3).
+//
+// Records and their MRT bodies are carved out of shared arena chunks
+// on the dump-file path, so streaming consumers pay no per-record
+// allocation. A record stays valid as long as it is referenced — but
+// retaining a few scattered records for a long time pins their whole
+// chunks; such consumers should copy out what they keep (e.g.
+// rec.MRT.Body into a fresh slice) and drop the record.
 type Record struct {
 	// Project and Collector identify the data source.
 	Project   string

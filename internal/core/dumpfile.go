@@ -59,6 +59,37 @@ type dumpSource struct {
 	pending  *Record // lookahead so the final record can be marked PositionEnd
 	first    bool
 	finished bool
+
+	// recArena batches Record allocations: records escape to the user
+	// and may be retained indefinitely, so they cannot be pooled, but
+	// carving them out of chunks turns one heap allocation per record
+	// into one per chunk. Chunks grow geometrically (short dumps don't
+	// pay a full-size chunk) and a chunk stays alive only while some
+	// record in it is referenced.
+	recArena     []Record
+	recArenaNext int
+}
+
+// Record-arena chunk growth bounds, in records per chunk.
+const (
+	minRecArena = 16
+	maxRecArena = 512
+)
+
+// newRecord returns a zeroed *Record from the arena.
+func (s *dumpSource) newRecord() *Record {
+	if len(s.recArena) == 0 {
+		if s.recArenaNext < minRecArena {
+			s.recArenaNext = minRecArena
+		}
+		s.recArena = make([]Record, s.recArenaNext)
+		if s.recArenaNext < maxRecArena {
+			s.recArenaNext *= 2
+		}
+	}
+	r := &s.recArena[0]
+	s.recArena = s.recArena[1:]
+	return r
 }
 
 func newDumpSource(meta archive.DumpMeta, filters *Filters) *dumpSource {
@@ -87,6 +118,10 @@ func (s *dumpSource) open() error {
 		rc.Close()
 		return err
 	}
+	// Records outlive Next, so bodies must be stable: arena allocation
+	// in the reader replaces the copy-per-record this layer used to
+	// make out of the reader's reusable scratch.
+	mr.StableBodies(0)
 	s.rc, s.mr = rc, mr
 	return nil
 }
@@ -124,16 +159,13 @@ func (s *dumpSource) readRecord() (*Record, error) {
 			}
 			return nil, &StreamError{Op: "read", Dump: s.meta, Err: err}
 		}
-		rec := &Record{
-			Project:   s.meta.Project,
-			Collector: s.meta.Collector,
-			DumpType:  s.meta.Type,
-			DumpTime:  s.meta.Time,
-			Status:    StatusValid,
-			MRT:       raw,
-		}
-		// Bodies from the reader are reused; records outlive Next.
-		rec.MRT.Body = append([]byte(nil), raw.Body...)
+		rec := s.newRecord()
+		rec.Project = s.meta.Project
+		rec.Collector = s.meta.Collector
+		rec.DumpType = s.meta.Type
+		rec.DumpTime = s.meta.Time
+		rec.Status = StatusValid
+		rec.MRT = raw // body is arena-stable (StableBodies), no copy
 		if raw.Header.Type == mrt.TypeTableDumpV2 && raw.Header.Subtype == mrt.SubtypePeerIndexTable {
 			pit, perr := mrt.DecodePeerIndexTable(rec.MRT.Body)
 			if perr != nil {

@@ -21,66 +21,77 @@ func (r *Record) Elems() ([]Elem, error) {
 	if r.synth != nil {
 		return r.synth, nil
 	}
+	return r.appendElems(nil)
+}
+
+// appendElems is the allocation-aware form of Elems: decomposed elems
+// are appended to dst (which may be nil) and the extended slice
+// returned. The stream layer passes arena-backed buffers so the
+// per-record []Elem allocation amortises over many records; synth
+// records copy their pre-decomposed elems only when dst is non-nil.
+func (r *Record) appendElems(dst []Elem) ([]Elem, error) {
+	if r.synth != nil {
+		return append(dst, r.synth...), nil
+	}
 	if r.Status != StatusValid {
-		return nil, nil
+		return dst, nil
 	}
 	switch r.MRT.Header.Type {
 	case mrt.TypeBGP4MP, mrt.TypeBGP4MPET:
-		return r.bgp4mpElems()
+		return r.bgp4mpElems(dst)
 	case mrt.TypeTableDumpV2:
-		return r.tableDumpV2Elems()
+		return r.tableDumpV2Elems(dst)
 	case mrt.TypeTableDump:
-		return r.tableDumpElems()
+		return r.tableDumpElems(dst)
 	default:
-		return nil, nil
+		return dst, nil
 	}
 }
 
-func (r *Record) bgp4mpElems() ([]Elem, error) {
+func (r *Record) bgp4mpElems(dst []Elem) ([]Elem, error) {
 	ts := r.Time()
 	switch r.MRT.Header.Subtype {
 	case mrt.SubtypeStateChange, mrt.SubtypeStateChangeAS4:
 		sc, err := mrt.DecodeBGP4MPStateChange(r.MRT.Body, r.MRT.Header.Subtype)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		return []Elem{{
+		return append(dst, Elem{
 			Type:      ElemPeerState,
 			Timestamp: ts,
 			PeerAddr:  sc.PeerIP,
 			PeerASN:   sc.PeerAS,
 			OldState:  sc.OldState,
 			NewState:  sc.NewState,
-		}}, nil
+		}), nil
 	case mrt.SubtypeMessage, mrt.SubtypeMessageAS4:
 		msg, err := mrt.DecodeBGP4MPMessage(r.MRT.Body, r.MRT.Header.Subtype)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		mt, err := msg.MessageType()
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		if mt != bgp.MsgUpdate {
-			return nil, nil // OPEN/KEEPALIVE/NOTIFICATION carry no elems
+			return dst, nil // OPEN/KEEPALIVE/NOTIFICATION carry no elems
 		}
 		u, err := msg.Update()
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		return updateElems(ts, msg.PeerIP, msg.PeerAS, u), nil
+		return appendUpdateElems(dst, ts, msg.PeerIP, msg.PeerAS, u), nil
 	default:
-		return nil, nil
+		return dst, nil
 	}
 }
 
-func updateElems(ts time.Time, peerIP netip.Addr, peerAS uint32, u *bgp.Update) []Elem {
+func appendUpdateElems(dst []Elem, ts time.Time, peerIP netip.Addr, peerAS uint32, u *bgp.Update) []Elem {
 	path := u.Attrs.EffectivePath()
 	withdrawn := u.AllWithdrawn()
 	announced := u.Announced()
-	elems := make([]Elem, 0, len(withdrawn)+len(announced))
 	for _, p := range withdrawn {
-		elems = append(elems, Elem{
+		dst = append(dst, Elem{
 			Type:      ElemWithdrawal,
 			Timestamp: ts,
 			PeerAddr:  peerIP,
@@ -93,7 +104,7 @@ func updateElems(ts time.Time, peerIP netip.Addr, peerAS uint32, u *bgp.Update) 
 		if !p.Addr().Is4() && u.Attrs.MPReach != nil {
 			nh = u.Attrs.MPReach.NextHop
 		}
-		elems = append(elems, Elem{
+		dst = append(dst, Elem{
 			Type:        ElemAnnouncement,
 			Timestamp:   ts,
 			PeerAddr:    peerIP,
@@ -104,46 +115,46 @@ func updateElems(ts time.Time, peerIP netip.Addr, peerAS uint32, u *bgp.Update) 
 			Communities: u.Attrs.Communities,
 		})
 	}
-	return elems
+	return dst
 }
 
-func (r *Record) tableDumpV2Elems() ([]Elem, error) {
+func (r *Record) tableDumpV2Elems(dst []Elem) ([]Elem, error) {
 	switch r.MRT.Header.Subtype {
 	case mrt.SubtypePeerIndexTable:
-		return nil, nil
+		return dst, nil
 	case mrt.SubtypeRIBIPv4Unicast, mrt.SubtypeRIBIPv4Multicast:
-		return r.ribElems(bgp.AFIIPv4)
+		return r.ribElems(dst, bgp.AFIIPv4)
 	case mrt.SubtypeRIBIPv6Unicast, mrt.SubtypeRIBIPv6Multicast:
-		return r.ribElems(bgp.AFIIPv6)
+		return r.ribElems(dst, bgp.AFIIPv6)
 	default:
-		return nil, nil
+		return dst, nil
 	}
 }
 
-func (r *Record) ribElems(afi uint16) ([]Elem, error) {
+func (r *Record) ribElems(dst []Elem, afi uint16) ([]Elem, error) {
 	rib, err := mrt.DecodeRIB(r.MRT.Body, afi)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	if r.peers == nil {
-		return nil, fmt.Errorf("core: RIB record without peer index table")
+		return dst, fmt.Errorf("core: RIB record without peer index table")
 	}
 	ts := r.Time()
-	elems := make([]Elem, 0, len(rib.Entries))
+	start := len(dst)
 	for _, entry := range rib.Entries {
 		if int(entry.PeerIndex) >= len(r.peers.Peers) {
-			return nil, fmt.Errorf("core: RIB entry references peer %d of %d", entry.PeerIndex, len(r.peers.Peers))
+			return dst[:start], fmt.Errorf("core: RIB entry references peer %d of %d", entry.PeerIndex, len(r.peers.Peers))
 		}
 		peer := r.peers.Peers[entry.PeerIndex]
 		attrs, err := entry.DecodeAttrs()
 		if err != nil {
-			return nil, err
+			return dst[:start], err
 		}
 		nh := attrs.NextHop
 		if attrs.MPReach != nil && !nh.IsValid() {
 			nh = attrs.MPReach.NextHop
 		}
-		elems = append(elems, Elem{
+		dst = append(dst, Elem{
 			Type:        ElemRIB,
 			Timestamp:   ts,
 			PeerAddr:    peer.IP,
@@ -154,23 +165,23 @@ func (r *Record) ribElems(afi uint16) ([]Elem, error) {
 			Communities: attrs.Communities,
 		})
 	}
-	return elems, nil
+	return dst, nil
 }
 
-func (r *Record) tableDumpElems() ([]Elem, error) {
+func (r *Record) tableDumpElems(dst []Elem) ([]Elem, error) {
 	td, err := mrt.DecodeTableDump(r.MRT.Body, r.MRT.Header.Subtype)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	attrs, err := td.DecodeAttrs()
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	nh := attrs.NextHop
 	if attrs.MPReach != nil && !nh.IsValid() {
 		nh = attrs.MPReach.NextHop
 	}
-	return []Elem{{
+	return append(dst, Elem{
 		Type:        ElemRIB,
 		Timestamp:   r.Time(),
 		PeerAddr:    td.PeerIP,
@@ -179,5 +190,5 @@ func (r *Record) tableDumpElems() ([]Elem, error) {
 		NextHop:     nh,
 		ASPath:      attrs.EffectivePath(),
 		Communities: attrs.Communities,
-	}}, nil
+	}), nil
 }

@@ -138,6 +138,11 @@ type Filters struct {
 	ASPathContains []uint32
 	Prefixes       []PrefixFilter
 	Communities    []CommunityFilter
+	// IPVersions restricts elems by the IP version of their prefix (4
+	// and/or 6, the BGPStream v2 "ipversion" term). Elems without a
+	// prefix (peer-state) are excluded when set, mirroring the prefix
+	// filters.
+	IPVersions []int
 }
 
 // MatchMeta reports whether a dump file passes the meta-data filters,
@@ -219,6 +224,11 @@ type CompiledFilters struct {
 	commValue map[uint16]bool // "*:value"
 	commAll   bool            // "*:*"
 	hasComm   bool
+	// IP-version filter as two booleans: the per-elem check stays two
+	// branches, no lookups, on the 0-alloc hot path.
+	hasIPVersion bool
+	wantV4       bool
+	wantV6       bool
 }
 
 // CompileFilters builds the query-optimised form of f.
@@ -285,6 +295,17 @@ func CompileFilters(f Filters) *CompiledFilters {
 			}
 		}
 	}
+	for _, v := range f.IPVersions {
+		// Out-of-domain values are ignored (the filter language only
+		// admits 4 and 6); compiling them into a match-nothing filter
+		// would silently empty the stream.
+		switch v {
+		case 4:
+			c.hasIPVersion, c.wantV4 = true, true
+		case 6:
+			c.hasIPVersion, c.wantV6 = true, true
+		}
+	}
 	return c
 }
 
@@ -339,6 +360,19 @@ func asnSet(asns []uint32) map[uint32]bool {
 func (c *CompiledFilters) MatchElem(e *Elem) bool {
 	if c.elemTypes != nil && !c.elemTypes[e.Type] {
 		return false
+	}
+	if c.hasIPVersion {
+		if !e.Prefix.IsValid() {
+			// State elems carry no prefix; version filters exclude them.
+			return false
+		}
+		if e.Prefix.Addr().Is4() {
+			if !c.wantV4 {
+				return false
+			}
+		} else if !c.wantV6 {
+			return false
+		}
 	}
 	if c.peerASNs != nil && !c.peerASNs[e.PeerASN] {
 		return false

@@ -19,7 +19,9 @@ import (
 //	clause  := term value ( "or" [term] value )*
 //	term    := "project" | "collector" | "type" | "elemtype" | "peer"
 //	         | "origin" | "aspath" | "path" | "prefix" | "community"
-//	value   := word | quoted            (for prefix: [mode] word)
+//	         | "ipversion"
+//	value   := word | quoted            (for prefix: [mode] word;
+//	                                     for ipversion: "4" | "6")
 //	mode    := "exact" | "more" | "less" | "any"
 //
 // Values containing whitespace or colliding with a keyword are written
@@ -70,6 +72,7 @@ var filterTerms = map[string]string{
 	"path":      "aspath",
 	"prefix":    "prefix",
 	"community": "community",
+	"ipversion": "ipversion",
 }
 
 // filterKeywords holds every reserved word: a value spelled like one
@@ -78,7 +81,7 @@ var filterKeywords = map[string]bool{
 	"and": true, "or": true,
 	"project": true, "collector": true, "type": true, "elemtype": true,
 	"peer": true, "origin": true, "aspath": true, "path": true,
-	"prefix": true, "community": true,
+	"prefix": true, "community": true, "ipversion": true,
 	"exact": true, "more": true, "less": true, "any": true,
 }
 
@@ -203,7 +206,7 @@ func (p *filterParser) clause(f *Filters) error {
 	term, ok := filterTerms[strings.ToLower(t.text)]
 	if !ok {
 		return &FilterSyntaxError{Pos: t.pos, Token: t.text,
-			Msg: "unknown filter term (want project, collector, type, elemtype, peer, origin, aspath, prefix or community)"}
+			Msg: "unknown filter term (want project, collector, type, elemtype, peer, origin, aspath, prefix, community or ipversion)"}
 	}
 	for {
 		if err := p.value(term, f); err != nil {
@@ -279,6 +282,16 @@ func (p *filterParser) value(term string, f *Filters) error {
 				Msg: `bad community (want "asn:value" with optional "*" wildcards)`}
 		}
 		f.Communities = append(f.Communities, cf)
+	case "ipversion":
+		switch t.text {
+		case "4":
+			f.IPVersions = append(f.IPVersions, 4)
+		case "6":
+			f.IPVersions = append(f.IPVersions, 6)
+		default:
+			return &FilterSyntaxError{Pos: t.pos, Token: t.text,
+				Msg: `bad IP version (want "4" or "6")`}
+		}
 	}
 	return nil
 }
@@ -426,7 +439,8 @@ func prefixMatchName(m PrefixMatch) string {
 // String renders the filters as a canonical filter string that
 // ParseFilterString accepts and round-trips: terms in a fixed order
 // (project, collector, type, elemtype, peer, origin, aspath, prefix,
-// community) joined by "and", same-term alternatives joined by "or",
+// community, ipversion) joined by "and", same-term alternatives
+// joined by "or",
 // and values quoted only where the grammar requires it. The time
 // interval (Start/End/Live) is not part of the filter language and is
 // not rendered. The zero Filters renders as "".
@@ -466,6 +480,16 @@ func (f Filters) String() string {
 		vals = append(vals, cf.String())
 	}
 	add("community", vals)
+	vals = vals[:0]
+	for _, v := range f.IPVersions {
+		// Only the grammar's domain renders, matching CompileFilters
+		// (which ignores other values), so the canonical form always
+		// re-parses.
+		if v == 4 || v == 6 {
+			vals = append(vals, strconv.Itoa(v))
+		}
+	}
+	add("ipversion", vals)
 	return strings.Join(clauses, " and ")
 }
 

@@ -251,6 +251,11 @@ func randomFilters(rng *rand.Rand) Filters {
 		}
 		f.Communities = append(f.Communities, cf)
 	}
+	for _, v := range []int{4, 6} {
+		if pick(3) == 0 {
+			f.IPVersions = append(f.IPVersions, v)
+		}
+	}
 	return f
 }
 
@@ -280,6 +285,7 @@ func TestFilterStringParseStringFixpoint(t *testing.T) {
 		"collector rrc00 and prefix more 10.0.0.0/8 and elemtype announcements",
 		"peer AS3356 and community 701:* or *:666",
 		"path 174 and prefix exact 2001:db8::/32 or any 10.0.0.0/8",
+		"ipversion 4 or 6 and type updates",
 	}
 	for _, in := range inputs {
 		f1, err := ParseFilterString(in)
@@ -336,5 +342,61 @@ func TestCompiledCommunitySets(t *testing.T) {
 	}
 	if all.MatchElem(mkElem()) {
 		t.Error("*:* accepted an elem without communities")
+	}
+}
+
+// TestIPVersionFilter covers the "ipversion" term end to end: the
+// grammar, the canonical rendering, and the compiled per-elem match
+// (version of the elem prefix; prefix-less elems excluded when set).
+func TestIPVersionFilter(t *testing.T) {
+	f, err := ParseFilterString("ipversion 4 and type updates")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if want := []int{4}; !reflect.DeepEqual(f.IPVersions, want) {
+		t.Fatalf("IPVersions = %v, want %v", f.IPVersions, want)
+	}
+	if got, want := f.String(), "type updates and ipversion 4"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	for _, bad := range []string{"ipversion 5", "ipversion four", "ipversion"} {
+		if _, err := ParseFilterString(bad); err == nil {
+			t.Errorf("ParseFilterString(%q) accepted", bad)
+		}
+	}
+
+	v4 := &Elem{Type: ElemAnnouncement, Prefix: netip.MustParsePrefix("10.0.0.0/8")}
+	v6 := &Elem{Type: ElemAnnouncement, Prefix: netip.MustParsePrefix("2001:db8::/32")}
+	state := &Elem{Type: ElemPeerState}
+	cases := []struct {
+		filter string
+		e      *Elem
+		want   bool
+	}{
+		{"ipversion 4", v4, true},
+		{"ipversion 4", v6, false},
+		{"ipversion 6", v6, true},
+		{"ipversion 6", v4, false},
+		{"ipversion 4 or 6", v4, true},
+		{"ipversion 4 or 6", v6, true},
+		{"ipversion 4", state, false},
+		{"ipversion 4 or 6", state, false},
+		{"", state, true},
+	}
+	for _, tc := range cases {
+		ff, err := ParseFilterString(tc.filter)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.filter, err)
+		}
+		if got := CompileFilters(ff).MatchElem(tc.e); got != tc.want {
+			t.Errorf("%q on %v: MatchElem = %v, want %v", tc.filter, tc.e.Prefix, got, tc.want)
+		}
+	}
+
+	// The version check must not push the compiled match off the
+	// 0-alloc hot path.
+	c := CompileFilters(Filters{IPVersions: []int{4}})
+	if n := testing.AllocsPerRun(100, func() { c.MatchElem(v4) }); n != 0 {
+		t.Errorf("MatchElem with ipversion filter allocates %.1f per call", n)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"iter"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -37,11 +38,34 @@ type Stream struct {
 	closed  atomic.Bool // set by Close, possibly from another goroutine
 	err     error       // terminal error recorded by the iterators (guarded by mu)
 
+	// decodeWorkers and readahead configure the parallel ingest
+	// pipeline (see prefetch.go); stopPipeline abandons the current
+	// pipeline's workers on Close.
+	decodeWorkers int
+	readahead     int
+	stopPipeline  func()
+
 	// elem iteration state
 	curRecord *Record
 	curElems  []Elem
 	elemIdx   int
+	// elemArena amortises the per-record []Elem allocation of the
+	// decomposition path: records slice their elems out of a shared
+	// chunk that is replaced — never rewound — when full, so handed-out
+	// elems stay valid for as long as they are referenced. Chunks grow
+	// geometrically so short streams don't pay a full-size chunk.
+	elemArena     []Elem
+	elemArenaNext int
 }
+
+// Elem-arena chunk growth bounds (elems per chunk), and the minimum
+// free space worth starting a record decomposition with (larger
+// records grow the chunk via append, abandoning the remainder).
+const (
+	minElemArena   = 64
+	maxElemArena   = 1024
+	elemArenaSpare = 16
+)
 
 // NewStream builds a stream over the given data interface. The context
 // bounds blocking operations (live-mode polling); pass
@@ -57,6 +81,21 @@ func NewStream(ctx context.Context, di DataInterface, filters Filters) *Stream {
 		ctx:      ctx,
 	}
 }
+
+// SetDecodeWorkers bounds the decode workers of the parallel ingest
+// pipeline: up to n dump files of an overlap partition are opened,
+// gunzipped and MRT-parsed concurrently while the merge heap pops
+// ready records, with per-partition time ordering byte-for-byte
+// identical to a sequential run. n <= 0 (the default) selects
+// GOMAXPROCS; n == 1 selects the sequential in-line pipeline (no
+// worker goroutines). Call before iteration starts; batches already
+// being merged keep their pipeline.
+func (s *Stream) SetDecodeWorkers(n int) { s.decodeWorkers = n }
+
+// SetReadahead bounds the per-dump-file readahead queue of the
+// parallel ingest pipeline, in records. n <= 0 selects the default
+// (4096). Call before iteration starts.
+func (s *Stream) SetReadahead(n int) { s.readahead = n }
 
 // Filters returns a copy of the stream's filter configuration.
 func (s *Stream) Filters() Filters {
@@ -108,7 +147,10 @@ func (s *Stream) currentCompiled() *CompiledFilters {
 }
 
 // buildSequence partitions a batch of dump metas into overlapping
-// subsets and stacks a merger per subset.
+// subsets and stacks a merger per subset. With more than one decode
+// worker configured, each subset's files are read through the
+// parallel prefetch pipeline (prefetch.go); ordering is identical
+// either way.
 func (s *Stream) buildSequence(metas []archive.DumpMeta) *merge.Sequence[*Record] {
 	intervals := make([]merge.Interval, len(metas))
 	for i, m := range metas {
@@ -116,15 +158,38 @@ func (s *Stream) buildSequence(metas []archive.DumpMeta) *merge.Sequence[*Record
 		intervals[i] = merge.Interval{Start: start, End: end}
 	}
 	groups := merge.PartitionOverlapping(intervals)
-	srcGroups := make([][]merge.Source[*Record], 0, len(groups))
+	dumpGroups := make([][]*dumpSource, 0, len(groups))
 	for _, g := range groups {
-		sources := make([]merge.Source[*Record], 0, len(g))
+		sources := make([]*dumpSource, 0, len(g))
 		for _, idx := range g {
 			sources = append(sources, newDumpSource(metas[idx], &s.filters))
 		}
-		srcGroups = append(srcGroups, sources)
+		dumpGroups = append(dumpGroups, sources)
 	}
-	return merge.NewSequence(recordLess, srcGroups...)
+	workers := s.decodeWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		// Sequential pipeline: decode inline on the consumer.
+		srcGroups := make([][]merge.Source[*Record], 0, len(dumpGroups))
+		for _, g := range dumpGroups {
+			sources := make([]merge.Source[*Record], 0, len(g))
+			for _, ds := range g {
+				sources = append(sources, ds)
+			}
+			srcGroups = append(srcGroups, sources)
+		}
+		return merge.NewSequence(recordLess, srcGroups...)
+	}
+	// A fresh batch replaces the previous pipeline; its workers have
+	// drained (the sequence hit EOF), so stopping is bookkeeping.
+	if s.stopPipeline != nil {
+		s.stopPipeline()
+	}
+	stop := make(chan struct{})
+	s.stopPipeline = sync.OnceFunc(func() { close(stop) })
+	return buildPrefetchSequence(dumpGroups, workers, s.readahead, stop)
 }
 
 // matchSourceRecord applies the meta-data filters to a pushed record:
@@ -224,6 +289,11 @@ func (s *Stream) Close() error {
 	if s.elemSrc != nil {
 		return s.elemSrc.Close()
 	}
+	if s.stopPipeline != nil {
+		// Abandon the prefetch workers of an unfinished pipeline; they
+		// close their dump files and exit.
+		s.stopPipeline()
+	}
 	if !alreadyClosed {
 		s.seq = nil
 	}
@@ -315,7 +385,7 @@ func (s *Stream) NextElem() (*Record, *Elem, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		elems, err := rec.Elems()
+		elems, err := s.decodeElems(rec)
 		if err != nil {
 			// Undecodable payload inside a structurally valid record:
 			// treat like a corrupted record and continue.
@@ -325,4 +395,33 @@ func (s *Stream) NextElem() (*Record, *Elem, error) {
 		s.curElems = elems
 		s.elemIdx = 0
 	}
+}
+
+// decodeElems decomposes rec into elems through the stream's elem
+// arena: the returned slice is carved out of a shared chunk, so the
+// per-record []Elem header allocation amortises over ~elemArenaChunk
+// elems. Chunks are replaced, never rewound — elems stay valid while
+// referenced. Synth records (push feeds) return their pre-decomposed
+// elems directly.
+func (s *Stream) decodeElems(rec *Record) ([]Elem, error) {
+	if rec.synth != nil {
+		return rec.synth, nil
+	}
+	buf := s.elemArena
+	if cap(buf)-len(buf) < elemArenaSpare {
+		if s.elemArenaNext < minElemArena {
+			s.elemArenaNext = minElemArena
+		}
+		buf = make([]Elem, 0, s.elemArenaNext)
+		if s.elemArenaNext < maxElemArena {
+			s.elemArenaNext *= 2
+		}
+	}
+	start := len(buf)
+	buf, err := rec.appendElems(buf)
+	if err != nil {
+		return nil, err
+	}
+	s.elemArena = buf
+	return buf[start:len(buf):len(buf)], nil
 }

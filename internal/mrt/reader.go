@@ -23,6 +23,20 @@ type Reader struct {
 	hdr     [HeaderLen]byte
 	scratch []byte
 	err     error
+
+	// arena, when non-zero, switches body allocation from the shared
+	// scratch buffer to arena chunks: each record body is carved out
+	// of the current chunk (sized from the MRT header length), so
+	// bodies stay valid indefinitely and the per-record heap
+	// allocation the scratch mode forces on callers that retain bodies
+	// disappears — one chunk allocation amortises over many records.
+	// Chunks grow geometrically from minArenaChunk up to arena (the
+	// cap), so short dumps don't pay a full-size chunk. See
+	// StableBodies.
+	arena     int
+	arenaNext int
+	arenaBuf  []byte
+	arenaUsed int
 }
 
 // NewReader creates a Reader for raw or gzip-compressed MRT data.
@@ -40,9 +54,72 @@ func NewReader(r io.Reader) (*Reader, error) {
 	return &Reader{r: br}, nil
 }
 
+// DefaultArenaChunk is the maximum body-arena chunk size StableBodies
+// uses when passed a non-positive size; minArenaChunk is where the
+// geometric chunk growth starts.
+const (
+	DefaultArenaChunk = 256 << 10
+	minArenaChunk     = 8 << 10
+)
+
+// StableBodies switches the reader to arena body allocation: record
+// bodies returned by Next remain valid for the lifetime of the
+// process (not just until the next call) and cost no per-record heap
+// allocation — bodies are sliced out of chunkSize-byte arena chunks,
+// with bodies larger than a chunk allocated individually. Callers
+// that retain every record (the stream layer) use this to drop the
+// copy-per-record the default reusable-scratch mode forces on them.
+// chunkSize <= 0 selects DefaultArenaChunk. Must be called before the
+// first Next.
+func (r *Reader) StableBodies(chunkSize int) {
+	if chunkSize <= 0 {
+		chunkSize = DefaultArenaChunk
+	}
+	r.arena = chunkSize
+	r.arenaNext = minArenaChunk
+	if r.arenaNext > chunkSize {
+		r.arenaNext = chunkSize
+	}
+}
+
+// body returns a buffer of length n to decode the next record body
+// into, from the arena in StableBodies mode and from the reusable
+// scratch otherwise.
+func (r *Reader) body(n int) []byte {
+	if r.arena == 0 {
+		if cap(r.scratch) < n {
+			// Grow with headroom: record sizes fluctuate, and sizing the
+			// scratch to exactly the largest-so-far reallocates on every
+			// new maximum early in a dump.
+			r.scratch = make([]byte, n+n/2)
+		}
+		return r.scratch[:n]
+	}
+	if n > r.arena {
+		return make([]byte, n)
+	}
+	if len(r.arenaBuf)-r.arenaUsed < n {
+		size := r.arenaNext
+		if size < n {
+			size = n
+		}
+		if next := r.arenaNext * 2; next <= r.arena {
+			r.arenaNext = next
+		} else {
+			r.arenaNext = r.arena
+		}
+		r.arenaBuf = make([]byte, size)
+		r.arenaUsed = 0
+	}
+	b := r.arenaBuf[r.arenaUsed : r.arenaUsed+n : r.arenaUsed+n]
+	r.arenaUsed += n
+	return b
+}
+
 // Next returns the next record, io.EOF at the end of the stream, or
 // an error wrapping ErrCorrupted for structurally damaged input. The
-// record body is valid until the next call to Next.
+// record body is valid until the next call to Next (for the lifetime
+// of the process in StableBodies mode).
 func (r *Reader) Next() (Record, error) {
 	if r.err != nil {
 		return Record{}, r.err
@@ -68,10 +145,7 @@ func (r *Reader) next() (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
-	if cap(r.scratch) < int(h.Length) {
-		r.scratch = make([]byte, h.Length)
-	}
-	body := r.scratch[:h.Length]
+	body := r.body(int(h.Length))
 	if _, err := io.ReadFull(r.r, body); err != nil {
 		return Record{}, corrupt("body", err)
 	}

@@ -97,16 +97,39 @@ func (s *Server) Stats() ServerStats {
 	}
 }
 
+// sseFrame renders one complete SSE event — "data: <payload>\n\n" —
+// so the wire bytes of a published elem are built once and shared
+// verbatim by every matching subscriber's writer; the per-subscriber
+// cost is a filter check and a channel send.
+func sseFrame(payload []byte) []byte {
+	b := make([]byte, 0, len("data: ")+len(payload)+2)
+	b = append(b, "data: "...)
+	b = append(b, payload...)
+	return append(b, '\n', '\n')
+}
+
+// marshalFrame encodes a message and frames it for the wire.
+func marshalFrame(m Message) ([]byte, error) {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	return sseFrame(payload), nil
+}
+
 // Publish fans one elem out to every subscriber whose filter matches.
-// It never blocks: subscribers with full buffers lose the message and
-// have their drop counter incremented. Safe for concurrent use.
+// The elem is encoded (JSON + SSE framing) at most once per call —
+// lazily, on the first match — and the same byte slice is enqueued to
+// every matching subscriber. It never blocks: subscribers with full
+// buffers lose the message and have their drop counter incremented.
+// Safe for concurrent use.
 func (s *Server) Publish(project, collector string, e *core.Elem) {
 	s.published.Add(1)
 	// Advance the watermark before fanning out, so a subscriber
 	// registering concurrently either receives this elem through its
 	// buffer or sees a hello watermark covering it — never neither.
 	s.watermark.Store(e.Timestamp.UnixMicro())
-	var payload []byte // encoded lazily, once, on first match
+	var frame []byte // encoded and framed lazily, once, on first match
 	// Iterate under the read lock: the sends below never block
 	// (select/default), so holding it costs subscribers only the
 	// brief register/unregister window and saves a slice copy per
@@ -118,16 +141,15 @@ func (s *Server) Publish(project, collector string, e *core.Elem) {
 		enqueued := false
 		matched := c.sub.Matches(project, collector, e)
 		if matched {
-			if payload == nil {
-				msg := Message{Type: TypeMessage, Data: EncodeElem(project, collector, e)}
+			if frame == nil {
 				var err error
-				payload, err = json.Marshal(msg)
+				frame, err = marshalFrame(Message{Type: TypeMessage, Data: EncodeElem(project, collector, e)})
 				if err != nil {
 					return // cannot happen for our own types
 				}
 			}
 			select {
-			case c.ch <- payload:
+			case c.ch <- frame:
 				enqueued = true
 			default:
 				s.dropped.Add(1)
@@ -152,7 +174,7 @@ func (s *Server) Publish(project, collector string, e *core.Elem) {
 			// filtered away or dropped. Chase it with a watermark ping
 			// so the client still gets seeded; otherwise loss before
 			// its first delivery would have no lower bound.
-			ping, _ := json.Marshal(Message{Type: TypePing, Dropped: d, Timestamp: float64(ts) / 1e6})
+			ping, _ := marshalFrame(Message{Type: TypePing, Dropped: d, Timestamp: float64(ts) / 1e6})
 			select {
 			case c.ch <- ping:
 			default:
@@ -235,8 +257,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	ticker := time.NewTicker(keepAlive)
 	defer ticker.Stop()
 
-	write := func(payload []byte) bool {
-		if _, err := fmt.Fprintf(w, "data: %s\n\n", payload); err != nil {
+	// Frames arrive pre-rendered ("data: ...\n\n", shared across
+	// subscribers); the writer copies nothing and formats nothing.
+	write := func(frame []byte) bool {
+		if _, err := w.Write(frame); err != nil {
 			return false
 		}
 		flusher.Flush()
@@ -247,7 +271,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if mark > 0 {
 			m.Timestamp = float64(mark) / 1e6
 		}
-		b, _ := json.Marshal(m)
+		b, _ := marshalFrame(m)
 		return b
 	}
 	// Hello ping: tell the client the current feed time at subscribe,

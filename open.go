@@ -16,6 +16,10 @@ type openConfig struct {
 	repairOpts    RepairOptions
 	repairOptsSet bool
 	filters       Filters
+	decodeWorkers int
+	workersSet    bool
+	readahead     int
+	readaheadSet  bool
 }
 
 // Option configures Open.
@@ -111,6 +115,35 @@ func WithRepairOptions(opts RepairOptions) Option {
 	}
 }
 
+// WithDecodeWorkers bounds the decode workers of the parallel ingest
+// pipeline on pull (dump-file) streams: up to n files of an overlap
+// partition are opened, gunzipped and MRT-parsed concurrently while
+// the merge heap pops ready records, keeping the §3.3.4 per-partition
+// time order byte-for-byte identical to a sequential run. n <= 0 (the
+// default) selects GOMAXPROCS; n == 1 selects the sequential in-line
+// pipeline. Push streams ignore it. The registry equivalent is the
+// "decode-workers" option of the pull sources.
+func WithDecodeWorkers(n int) Option {
+	return func(c *openConfig) error {
+		c.decodeWorkers = n
+		c.workersSet = true
+		return nil
+	}
+}
+
+// WithReadahead bounds the per-dump-file readahead queue of the
+// parallel ingest pipeline, in decoded records (default 4096). Larger
+// values smooth bursty decode against a slow consumer at the cost of
+// memory; the registry equivalent is the "readahead" option of the
+// pull sources.
+func WithReadahead(records int) Option {
+	return func(c *openConfig) error {
+		c.readahead = records
+		c.readaheadSet = true
+		return nil
+	}
+}
+
 // WithFilters merges a Filters value into the stream configuration:
 // slice dimensions append, a non-zero Start/End overwrites, Live turns
 // on. Combines freely with WithFilterString.
@@ -195,7 +228,20 @@ func Open(ctx context.Context, opts ...Option) (*Stream, error) {
 	if cfg.repair != nil {
 		src = &gaprepair.Composite{Live: src, Backfill: cfg.repair, Options: cfg.repairOpts}
 	}
-	return src.OpenStream(ctx, cfg.filters)
+	s, err := src.OpenStream(ctx, cfg.filters)
+	if err != nil {
+		return nil, err
+	}
+	// Applied after construction, so an explicitly-set option wins
+	// over the equivalent registry option the source itself carried —
+	// without clobbering the other dimension when only one was set.
+	if cfg.workersSet {
+		s.SetDecodeWorkers(cfg.decodeWorkers)
+	}
+	if cfg.readaheadSet {
+		s.SetReadahead(cfg.readahead)
+	}
+	return s, nil
 }
 
 // mergeFilters folds src into dst: slices append, interval fields
@@ -210,6 +256,7 @@ func mergeFilters(dst *Filters, src Filters) {
 	dst.ASPathContains = append(dst.ASPathContains, src.ASPathContains...)
 	dst.Prefixes = append(dst.Prefixes, src.Prefixes...)
 	dst.Communities = append(dst.Communities, src.Communities...)
+	dst.IPVersions = append(dst.IPVersions, src.IPVersions...)
 	if !src.Start.IsZero() {
 		dst.Start = src.Start
 	}

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Runs the perf-trajectory benches — ingest throughput (sequential vs
+# parallel pipeline), live fan-out, compiled-filter matching — and
+# renders the results as JSON so every PR leaves a comparable
+# baseline (BENCH_5.json was generated this way; CI runs the same
+# script as a non-gating smoke step).
+#
+# Usage:  sh scripts/bench.sh [out.json]
+# Env:    BENCHTIME  go test -benchtime value (default 1s)
+#         CPUS       go test -cpu list        (default 1,4)
+set -eu
+
+out="${1:-BENCH_5.json}"
+benchtime="${BENCHTIME:-1s}"
+cpus="${CPUS:-1,4}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' \
+  -bench 'StreamThroughput|RISLiveFanout|FilterMatchElem' \
+  -benchmem -benchtime "$benchtime" -cpu "$cpus" . | tee "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v benchtime="$benchtime" -v cpus="$cpus" '
+BEGIN {
+	printf "{\n  \"generated\": \"%s\",\n", date
+	printf "  \"benchtime\": \"%s\",\n  \"cpu_counts\": \"%s\",\n", benchtime, cpus
+	printf "  \"benchmarks\": ["
+	first = 1
+}
+/^Benchmark/ && NF >= 4 {
+	if (!first) printf ","
+	first = 0
+	printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", $1, $2
+	m = 0
+	for (i = 3; i < NF; i += 2) {
+		if (m) printf ", "
+		printf "\"%s\": %s", $(i + 1), $i
+		m = 1
+	}
+	printf "}}"
+}
+/^cpu:/ { sub(/^cpu: /, ""); cpu_model = $0 }
+END {
+	printf "\n  ],\n  \"cpu_model\": \"%s\"\n}\n", cpu_model
+}' "$tmp" > "$out"
+
+echo "wrote $out"

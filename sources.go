@@ -187,6 +187,43 @@ func optDuration(name string, opts SourceOptions, key string, def time.Duration)
 	return d, nil
 }
 
+// pipelineOptions are the parallel-ingest options every pull source
+// accepts, mirroring WithDecodeWorkers / WithReadahead.
+var pipelineOptions = []SourceOption{
+	{Name: "decode-workers", Description: "parallel ingest: dump files of an overlap partition decoded concurrently (1 = sequential)", Default: "GOMAXPROCS"},
+	{Name: "readahead", Description: "per-dump-file decoded-record readahead bound", Default: "4096"},
+}
+
+// pipelineOpts parses the shared parallel-ingest options of a pull
+// source.
+func pipelineOpts(name string, opts SourceOptions) (workers, readahead int, err error) {
+	if workers, err = optInt(name, opts, "decode-workers", 0); err != nil {
+		return 0, 0, err
+	}
+	if readahead, err = optInt(name, opts, "readahead", 0); err != nil {
+		return 0, 0, err
+	}
+	return workers, readahead, nil
+}
+
+// pullPipelined wraps a pull data interface as a Source applying the
+// shared parallel-ingest options at stream construction.
+func pullPipelined(name string, opts SourceOptions, di core.DataInterface) (Source, error) {
+	workers, readahead, err := pipelineOpts(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	if workers == 0 && readahead == 0 {
+		return PullSource(di), nil
+	}
+	return core.SourceFunc(func(ctx context.Context, f Filters) (*Stream, error) {
+		s := core.NewStream(ctx, di, f)
+		s.SetDecodeWorkers(workers)
+		s.SetReadahead(readahead)
+		return s, nil
+	}), nil
+}
+
 // The built-in sources, mirroring the data interfaces of the C API
 // (§3.2: broker, single file, CSV file, local directory) plus the
 // push-based rislive transport of PR 1.
@@ -195,17 +232,21 @@ func init() {
 		Name:        "broker",
 		Description: "BGPStream Broker meta-data service (the default way to consume public archives)",
 		Kind:        "pull",
-		Options: []SourceOption{
+		Options: append([]SourceOption{
 			{Name: "url", Description: "broker service root, e.g. http://localhost:8472", Required: true},
 			{Name: "poll", Description: "live-mode polling period", Default: "10s"},
 			{Name: "window", Description: "override the broker's response window", Default: "broker-chosen"},
-		},
+		}, pipelineOptions...),
 	}, func(opts SourceOptions) (Source, error) {
 		poll, err := optDuration("broker", opts, "poll", 0)
 		if err != nil {
 			return nil, err
 		}
 		window, err := optDuration("broker", opts, "window", 0)
+		if err != nil {
+			return nil, err
+		}
+		workers, readahead, err := pipelineOpts("broker", opts)
 		if err != nil {
 			return nil, err
 		}
@@ -216,7 +257,10 @@ func init() {
 				c.PollInterval = poll
 			}
 			c.Window = window
-			return core.NewStream(ctx, c, f), nil
+			s := core.NewStream(ctx, c, f)
+			s.SetDecodeWorkers(workers)
+			s.SetReadahead(readahead)
+			return s, nil
 		}), nil
 	})
 
@@ -224,36 +268,36 @@ func init() {
 		Name:        "directory",
 		Description: "local archive tree in the collector-project on-disk layout",
 		Kind:        "pull",
-		Options: []SourceOption{
+		Options: append([]SourceOption{
 			{Name: "path", Description: "archive root directory", Required: true},
-		},
+		}, pipelineOptions...),
 	}, func(opts SourceOptions) (Source, error) {
-		return PullSource(&core.Directory{Dir: opts["path"]}), nil
+		return pullPipelined("directory", opts, &core.Directory{Dir: opts["path"]})
 	})
 
 	RegisterSource(SourceInfo{
 		Name:        "csvfile",
 		Description: "CSV dump index: project,collector,type,unix_start,duration_seconds,url per line",
 		Kind:        "pull",
-		Options: []SourceOption{
+		Options: append([]SourceOption{
 			{Name: "path", Description: "CSV index file", Required: true},
-		},
+		}, pipelineOptions...),
 	}, func(opts SourceOptions) (Source, error) {
-		return PullSource(&core.CSVFile{Path: opts["path"]}), nil
+		return pullPipelined("csvfile", opts, &core.CSVFile{Path: opts["path"]})
 	})
 
 	RegisterSource(SourceInfo{
 		Name:        "singlefile",
 		Description: "explicit dump files, no meta-data service (the C API's single-file interface)",
 		Kind:        "pull",
-		Options: []SourceOption{
+		Options: append([]SourceOption{
 			{Name: "rib-file", Description: "path or URL of a RIB dump (this or upd-file is required)"},
 			{Name: "upd-file", Description: "path or URL of an updates dump (this or rib-file is required)"},
 			{Name: "project", Description: "project annotation on the records", Default: "singlefile"},
 			{Name: "collector", Description: "collector annotation on the records", Default: "singlefile"},
 			{Name: "time", Description: "nominal dump start, unix seconds (zero = unknown: the dump always passes interval meta-filtering and records are time-filtered individually)", Default: "0"},
 			{Name: "duration", Description: "nominal dump duration, e.g. 8h", Default: "0s"},
-		},
+		}, pipelineOptions...),
 	}, func(opts SourceOptions) (Source, error) {
 		if opts["rib-file"] == "" && opts["upd-file"] == "" {
 			return nil, fmt.Errorf(`bgpstream: source "singlefile" requires option "rib-file" or "upd-file"`)
@@ -290,7 +334,7 @@ func init() {
 				Time: ts, Duration: dur, URL: u,
 			})
 		}
-		return PullSource(&core.SingleFiles{Metas: metas}), nil
+		return pullPipelined("singlefile", opts, &core.SingleFiles{Metas: metas})
 	})
 
 	RegisterSource(SourceInfo{
