@@ -32,6 +32,7 @@ import (
 	"github.com/bgpstream-go/bgpstream/internal/experiments"
 	"github.com/bgpstream-go/bgpstream/internal/gaprepair"
 	"github.com/bgpstream-go/bgpstream/internal/merge"
+	"github.com/bgpstream-go/bgpstream/internal/obsv"
 	"github.com/bgpstream-go/bgpstream/internal/prefixtrie"
 	"github.com/bgpstream-go/bgpstream/internal/rislive"
 )
@@ -878,4 +879,27 @@ func BenchmarkRepairBlockingBaseline(b *testing.B) {
 	b.ReportMetric(float64(worstStall.Microseconds())/1e3, "max-stall-ms")
 	b.ReportMetric(float64(worstP99.Microseconds())/1e3, "p99-delivery-ms")
 	b.ReportMetric(float64(worstMax.Microseconds())/1e3, "max-delivery-ms")
+}
+
+// --- observability: the metrics hot path must not allocate ---
+
+// BenchmarkObsvHotPath measures one update of each instrument kind
+// through pre-interned handles — the pattern every pipeline call site
+// uses (package-level vars resolved at init, one atomic op per
+// update). scripts/bench.sh gates on 0 allocs/op: an allocation here
+// would tax every elem of every stream.
+func BenchmarkObsvHotPath(b *testing.B) {
+	reg := obsv.NewRegistry()
+	ctr := reg.Counter("bench_events_total", "events")
+	gauge := reg.Gauge("bench_depth", "depth")
+	hist := reg.Histogram("bench_seconds", "latency", obsv.LatencyBuckets()...)
+	labeled := reg.CounterVec("bench_labeled_total", "labeled", "transport").With("sse")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctr.Inc()
+		gauge.Add(1)
+		hist.Observe(float64(i&1023) * 1e-6)
+		labeled.Inc()
+	}
 }

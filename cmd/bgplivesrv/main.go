@@ -15,7 +15,10 @@
 //	bgplivesrv -listen :8481 -d ./archive
 //
 // Endpoints: /v1/stream (SSE feed; see rislive.ParseSubscription for
-// the filter parameters) and /v1/stats (JSON counters).
+// the filter parameters), /v1/stats (JSON counters), /metrics
+// (Prometheus text exposition of the whole pipeline), /healthz (JSON
+// liveness), /sources (source registry plus per-stream health), and —
+// with -pprof — /debug/pprof/.
 package main
 
 import (
@@ -58,6 +61,7 @@ func run(ctx context.Context, args []string, onListen func(net.Addr)) error {
 		maxGap    = fs.Duration("max-gap", 5*time.Second, "cap on any single pacing sleep")
 		keepalive = fs.Duration("keepalive", 15*time.Second, "SSE ping interval")
 		buffer    = fs.Int("buffer", 1024, "per-client message buffer (drop-newest beyond)")
+		pprofFlag = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -100,6 +104,16 @@ func run(ctx context.Context, args []string, onListen func(net.Addr)) error {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(feed.Stats())
 	})
+	// Ops plane beside the data plane: Prometheus exposition of the
+	// whole pipeline (prefetch, merge, fan-out), liveness, and the
+	// source registry plus per-stream health.
+	ops := bgpstream.MetricsHandler(*pprofFlag)
+	mux.Handle("/metrics", ops)
+	mux.Handle("/healthz", ops)
+	mux.Handle("/sources", ops)
+	if *pprofFlag {
+		mux.Handle("/debug/pprof/", ops)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -3,9 +3,11 @@ package main
 import (
 	"context"
 	"encoding/json"
-
+	"io"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -15,6 +17,39 @@ import (
 	"github.com/bgpstream-go/bgpstream/internal/core"
 	"github.com/bgpstream-go/bgpstream/internal/rislive"
 )
+
+// httpGetBody fetches a URL and returns the body, failing the test on
+// any transport or status error.
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// expoValue extracts the sample value of an unlabeled metric from a
+// Prometheus text exposition.
+func expoValue(expo, name string) (float64, bool) {
+	for _, line := range strings.Split(expo, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
 
 func TestRunFlagErrors(t *testing.T) {
 	ctx := context.Background()
@@ -102,6 +137,51 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if stats.Subscribers != 1 || stats.Published < 50 {
 		t.Fatalf("stats = %+v", stats)
+	}
+
+	// The ops plane must reflect the session that just ran: decode and
+	// publish counters nonzero, every pipeline layer's family present.
+	expo := httpGetBody(t, base+"/metrics")
+	for _, metric := range []string{
+		"bgpstream_prefetch_records_decoded_total",
+		"bgpstream_rislive_published_total",
+	} {
+		v, ok := expoValue(expo, metric)
+		if !ok {
+			t.Fatalf("/metrics missing %s:\n%s", metric, expo)
+		}
+		if v <= 0 {
+			t.Fatalf("%s = %v, want > 0", metric, v)
+		}
+	}
+	for _, family := range []string{
+		"bgpstream_merge_heap_size",
+		"bgpstream_gaprepair_gaps_total",
+		"bgpstream_stream_elems_total",
+		"bgpstream_rislive_subscribers",
+	} {
+		if !strings.Contains(expo, family) {
+			t.Fatalf("/metrics missing family %s", family)
+		}
+	}
+
+	var health map[string]any
+	if err := json.Unmarshal([]byte(httpGetBody(t, base+"/healthz")), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	var sources map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(httpGetBody(t, base+"/sources")), &sources); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sources["registered"]; !ok {
+		t.Fatalf("/sources missing registered: %v", sources)
+	}
+	if _, ok := sources["active"]; !ok {
+		t.Fatalf("/sources missing active: %v", sources)
 	}
 
 	cancel()

@@ -28,6 +28,13 @@
 //	# (reconnects, server-side drops) are backfilled from the archive
 //	# and spliced in, in time order; -v prints the gap/repair counters:
 //	bgpreader -ris-live http://localhost:8481/v1/stream -repair -d ./archive -v
+//
+//	# the same run with the ops plane on a side listener — Prometheus
+//	# /metrics, /healthz, /sources, /debug/pprof/:
+//	bgpreader -ris-live http://localhost:8481/v1/stream -metrics-addr 127.0.0.1:9481
+//
+//	# list the source registry (names, kinds, options):
+//	bgpreader -show-sources
 package main
 
 import (
@@ -36,6 +43,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -44,6 +53,7 @@ import (
 
 	"github.com/bgpstream-go/bgpstream/internal/bgpdump"
 	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/obsv"
 
 	bgpstream "github.com/bgpstream-go/bgpstream"
 )
@@ -178,7 +188,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		machine    = fs.Bool("m", false, "bgpdump -m compatible output (elems only)")
 		records    = fs.Bool("r", false, "print one line per record instead of per elem")
 		stopAfter  = fs.Int("n", 0, "stop after printing this many lines (0 = unbounded; bounds live runs)")
-		verbose    = fs.Bool("v", false, "verbose: print the canonical filter string and source on stderr at startup, and the source completeness counters at exit")
+		verbose    = fs.Bool("v", false, "verbose: print the canonical filter string and source on stderr at startup, and the source completeness and pipeline counters at exit")
+		metricsFl  = fs.String("metrics-addr", "", "serve the ops plane — /metrics (Prometheus text), /healthz, /sources, /debug/pprof/ — on this extra listen address")
+		showSrcs   = fs.Bool("show-sources", false, "print the source registry (name, kind, options) with per-stream health, then exit")
 	)
 	var legacy legacyFilterFlags
 	fs.StringVar(&legacy.types, "t", "", "dump type filter: ribs or updates")
@@ -195,6 +207,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	if *showSrcs {
+		return printSources(stdout)
+	}
 	if err := checkFilterConflict(*filterStr, &legacy); err != nil {
 		return err
 	}
@@ -283,6 +298,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *metricsFl != "" {
+		ln, err := net.Listen("tcp", *metricsFl)
+		if err != nil {
+			return err
+		}
+		msrv := &http.Server{Handler: bgpstream.MetricsHandler(true)}
+		go msrv.Serve(ln)
+		defer msrv.Close()
+		if *verbose {
+			fmt.Fprintf(stderr, "bgpreader: ops plane on http://%s/metrics\n", ln.Addr())
+		}
+	}
+
 	stream, err := bgpstream.Open(ctx, opts...)
 	if err != nil {
 		return err
@@ -331,12 +360,60 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if *verbose {
+		// Close first: it quiesces the producer goroutines, so the
+		// completeness counters and the registry totals below are final
+		// values instead of racing with in-flight updates. The deferred
+		// Close is a no-op after this.
+		stream.Close()
 		printSourceStats(stderr, stream.SourceStats())
+		printPipelineCounters(stderr)
 	}
 	if err := stream.Err(); err != nil && ctx.Err() == nil {
 		return err
 	}
 	return nil // clean EOF, -n bound, or interrupt
+}
+
+// printSources lists the source registry with per-stream health — the
+// CLI twin of the /sources endpoint.
+func printSources(w io.Writer) error {
+	for _, src := range bgpstream.Sources() {
+		fmt.Fprintf(w, "%-10s %-4s %s\n", src.Name, src.Kind, src.Description)
+		for _, opt := range src.Options {
+			suffix := ""
+			if opt.Default != "" {
+				suffix = " (default " + opt.Default + ")"
+			}
+			if opt.Required {
+				suffix += " (required)"
+			}
+			fmt.Fprintf(w, "    option %-16s %s%s\n", opt.Name, opt.Description, suffix)
+		}
+		for _, h := range src.Health {
+			fmt.Fprintf(w, "    open since %s: %d elems, stats %+v\n",
+				h.OpenedAt.UTC().Format(time.RFC3339), h.Elems, h.Stats)
+		}
+	}
+	return nil
+}
+
+// printPipelineCounters reports the process-wide pipeline totals from
+// the metrics registry — the same numbers /metrics exposes — read
+// after the stream is closed so they are settled, not racing.
+func printPipelineCounters(w io.Writer) {
+	show := map[string]string{
+		"bgpstream_stream_elems_total":             "elems",
+		"bgpstream_stream_filter_rejected_total":   "filter-rejected",
+		"bgpstream_prefetch_records_decoded_total": "records-decoded",
+		"bgpstream_prefetch_corrupt_dumps_total":   "corrupt-dumps",
+	}
+	var parts []string
+	for _, p := range obsv.Default.Gather() {
+		if label, ok := show[p.Family]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%.0f", label, p.Value))
+		}
+	}
+	fmt.Fprintf(w, "bgpreader: pipeline: %s\n", strings.Join(parts, " "))
 }
 
 // printSourceStats reports the push-feed completeness counters at

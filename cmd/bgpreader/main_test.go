@@ -154,6 +154,26 @@ func TestRunFlagErrors(t *testing.T) {
 		!strings.Contains(err.Error(), "require -repair") {
 		t.Errorf("-repair-concurrency without -repair error = %v", err)
 	}
+	if err := run([]string{"-d", "/tmp", "-metrics-addr", "nonsense:port"}, &out, &errb); err == nil {
+		t.Error("unbindable -metrics-addr accepted")
+	}
+}
+
+// TestShowSources prints the registry and exits without needing a
+// source flag.
+func TestShowSources(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-show-sources"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"directory", "csvfile", "broker", "rislive", "repaired"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-show-sources output missing %q:\n%s", name, out.String())
+		}
+	}
+	if !strings.Contains(out.String(), "pull") || !strings.Contains(out.String(), "push") {
+		t.Errorf("-show-sources output missing source kinds:\n%s", out.String())
+	}
 }
 
 // TestRunRepairedFeed runs the real command path over a repaired push
@@ -225,6 +245,7 @@ func TestRunRepairedFeed(t *testing.T) {
 		done <- run([]string{
 			"-ris-live", hs.URL, "-repair", "-d", dir,
 			"-repair-cursor", cursor, "-repair-concurrency", "2",
+			"-metrics-addr", "127.0.0.1:0",
 			"-m", "-v", "-n", "500",
 		}, &out, &errb)
 	}()
@@ -248,6 +269,13 @@ func TestRunRepairedFeed(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "repairs-abandoned=") {
 		t.Errorf("repair pipeline counters missing from -v output: %s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "bgpreader: pipeline: ") ||
+		!strings.Contains(errb.String(), "elems=") {
+		t.Errorf("registry pipeline totals missing from -v output: %s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "bgpreader: ops plane on http://127.0.0.1:") {
+		t.Errorf("-metrics-addr bind line missing from -v output: %s", errb.String())
 	}
 	cb, err := os.ReadFile(cursor)
 	if err != nil {

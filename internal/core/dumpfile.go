@@ -98,6 +98,7 @@ func newDumpSource(meta archive.DumpMeta, filters *Filters) *dumpSource {
 
 // invalidRecord builds the placeholder record for a broken dump.
 func (s *dumpSource) invalidRecord(status RecordStatus) *Record {
+	metCorruptDumps.Inc()
 	return &Record{
 		Project:   s.meta.Project,
 		Collector: s.meta.Collector,
@@ -239,5 +240,6 @@ func (s *dumpSource) Next() (*Record, error) {
 		s.finished = true
 		s.close()
 	}
+	metDecodedRecords.Inc()
 	return cur, nil
 }

@@ -39,12 +39,15 @@ func NewLiveStream(ctx context.Context, src ElemSource, filters Filters) *Stream
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Stream{
+	s := &Stream{
 		filters:  filters,
 		compiled: CompileFilters(filters),
 		ctx:      ctx,
 		elemSrc:  src,
+		openedAt: time.Now().UTC(),
 	}
+	registerStream(s)
+	return s
 }
 
 // NewElemRecord synthesises a valid Record carrying pre-decomposed

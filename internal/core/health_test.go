@@ -1,0 +1,56 @@
+package core
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"github.com/bgpstream-go/bgpstream/internal/archive"
+)
+
+func healthBySource(name string) (SourceHealth, bool) {
+	for _, h := range ActiveSourceHealth() {
+		if h.Source == name {
+			return h, true
+		}
+	}
+	return SourceHealth{}, false
+}
+
+func TestHealthRegistryRegisterAndClose(t *testing.T) {
+	ch := make(chan []archive.DumpMeta)
+	s := NewStream(context.Background(), &blockingDI{ch: ch}, Filters{Live: true})
+	s.SetSourceName("health-test-open")
+	h, ok := healthBySource("health-test-open")
+	if !ok {
+		t.Fatal("open stream missing from the health registry")
+	}
+	if h.Kind != "pull" || h.OpenedAt.IsZero() || !h.LastElem.IsZero() || h.Elems != 0 {
+		t.Fatalf("health = %+v", h)
+	}
+	s.Close()
+	if _, ok := healthBySource("health-test-open"); ok {
+		t.Fatal("closed stream still in the health registry")
+	}
+}
+
+// TestHealthRegistryDropsExhaustedStream guards the replay-loop leak:
+// a pull stream that reaches natural EOF marks itself closed without a
+// Close call, and must leave the registry then — not only when (or
+// if) the caller closes it later.
+func TestHealthRegistryDropsExhaustedStream(t *testing.T) {
+	ch := make(chan []archive.DumpMeta)
+	close(ch) // EOF on the first NextBatch
+	s := NewStream(context.Background(), &blockingDI{ch: ch}, Filters{})
+	s.SetSourceName("health-test-eof")
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("Next = %v, want io.EOF", err)
+	}
+	if _, ok := healthBySource("health-test-eof"); ok {
+		t.Fatal("exhausted stream still in the health registry")
+	}
+	s.Close() // later Close stays a harmless no-op
+	if _, ok := healthBySource("health-test-eof"); ok {
+		t.Fatal("stream re-appeared after Close")
+	}
+}

@@ -109,6 +109,7 @@ func (s *prefetchSource) run() {
 			s.inner.close()
 			return
 		}
+		metPrefetchBusy.Inc()
 		recs := make([]*Record, 0, prefetchBatchSize)
 		var err error
 		for len(recs) < prefetchBatchSize {
@@ -119,11 +120,14 @@ func (s *prefetchSource) run() {
 			}
 			recs = append(recs, rec)
 		}
+		metPrefetchBusy.Dec()
 		<-s.g.sem
 		if len(recs) > 0 {
+			metPrefetchReadahead.Add(int64(len(recs)))
 			select {
 			case s.ch <- prefetchBatch{recs: recs}:
 			case <-s.g.stop:
+				metPrefetchReadahead.Add(-int64(len(recs)))
 				s.inner.close()
 				return
 			}
@@ -157,10 +161,15 @@ func (s *prefetchSource) Next() (*Record, error) {
 		if s.cur.err != nil {
 			return nil, s.cur.err
 		}
+		if len(s.ch) == 0 {
+			// The decode worker has not caught up; this receive blocks.
+			metPrefetchStalls.Inc()
+		}
 		b, ok := <-s.ch
 		if !ok {
 			return nil, io.EOF
 		}
+		metPrefetchReadahead.Add(-int64(len(b.recs)))
 		s.cur, s.i = b, 0
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/bgpstream-go/bgpstream/internal/archive"
 	"github.com/bgpstream-go/bgpstream/internal/merge"
@@ -45,6 +46,14 @@ type Stream struct {
 	readahead     int
 	stopPipeline  func()
 
+	// Health/introspection state (health.go): the registry source name
+	// the stream was opened from, when, and atomic progress marks
+	// readable while another goroutine consumes the stream.
+	sourceName  string
+	openedAt    time.Time
+	elemsOut    atomic.Uint64 // elems delivered past all filters
+	lastElemKey atomic.Uint64 // timeKey of the last delivered elem
+
 	// elem iteration state
 	curRecord *Record
 	curElems  []Elem
@@ -74,12 +83,15 @@ func NewStream(ctx context.Context, di DataInterface, filters Filters) *Stream {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Stream{
+	s := &Stream{
 		di:       di,
 		filters:  filters,
 		compiled: CompileFilters(filters),
 		ctx:      ctx,
+		openedAt: time.Now().UTC(),
 	}
+	registerStream(s)
+	return s
 }
 
 // SetDecodeWorkers bounds the decode workers of the parallel ingest
@@ -249,7 +261,10 @@ func (s *Stream) Next() (*Record, error) {
 		if s.seq == nil {
 			metas, err := s.di.NextBatch(s.ctx)
 			if err == io.EOF {
+				// Exhausted for good: mark closed so the health registry
+				// drops the stream even if the caller never calls Close.
 				s.closed.Store(true)
+				unregisterStream(s)
 				return nil, io.EOF
 			}
 			if err != nil {
@@ -286,6 +301,9 @@ func (s *Stream) Next() (*Record, error) {
 // concurrently with an in-flight Next/NextElem.
 func (s *Stream) Close() error {
 	alreadyClosed := s.closed.Swap(true)
+	// Unconditional: Next marks a pull stream closed on EOF without a
+	// Close call, and the registry delete is idempotent.
+	unregisterStream(s)
 	if s.elemSrc != nil {
 		return s.elemSrc.Close()
 	}
@@ -377,8 +395,12 @@ func (s *Stream) NextElem() (*Record, *Elem, error) {
 			e := &s.curElems[s.elemIdx]
 			s.elemIdx++
 			if s.currentCompiled().MatchElem(e) {
+				s.elemsOut.Add(1)
+				s.lastElemKey.Store(s.curRecord.timeKey())
+				metStreamElems.Inc()
 				return s.curRecord, e, nil
 			}
+			metStreamFilterRejected.Inc()
 			continue
 		}
 		rec, err := s.Next()

@@ -65,6 +65,9 @@ func (c *Composite) OpenStream(ctx context.Context, f core.Filters) (*core.Strea
 		ls.Close()
 		return nil, fmt.Errorf("gaprepair: live source %T is pull-based; repair wraps push feeds (pull sources are already complete)", c.Live)
 	}
+	// The wrapper stream is discarded — only its elem source lives on
+	// inside the repairer — so drop it from the health registry.
+	ls.Detach()
 	rep := New(src, SourceBackfiller{Source: c.Backfill, Filters: f}, c.Options)
 	return core.NewLiveStream(ctx, rep, f), nil
 }

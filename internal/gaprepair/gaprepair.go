@@ -320,6 +320,7 @@ type Repairer struct {
 	overflows  atomic.Uint64
 	queued     atomic.Uint64
 	inflight   atomic.Uint64
+	holdLen    atomic.Uint64 // last holdback length published to the global gauge
 }
 
 // New builds a repairer over a live push source and a backfill
@@ -472,8 +473,10 @@ func (r *Repairer) fetchWithRetries(ctx context.Context, g core.Gap) ([]pair, er
 	backoff := r.opts.retryBackoff()
 	max := r.opts.retryMax()
 	for attempt := 1; ; attempt++ {
+		start := time.Now()
 		items, err := r.fetch(ctx, g)
 		if err == nil {
+			metBackfillLatency.Observe(time.Since(start).Seconds())
 			return items, nil
 		}
 		if ctx.Err() != nil {
@@ -483,6 +486,7 @@ func (r *Repairer) fetchWithRetries(ctx context.Context, g core.Gap) ([]pair, er
 			return nil, ctx.Err()
 		}
 		r.failures.Add(1)
+		metFailures.Inc()
 		r.logf("gaprepair: backfill of %s failed (attempt %d/%d): %v", g, attempt, max, err)
 		if attempt >= max {
 			return nil, err
@@ -548,6 +552,7 @@ func (r *Repairer) takeReported() []core.Gap {
 	}
 	fresh := r.reporter.TakeGaps()
 	r.gapsTaken.Add(uint64(len(fresh)))
+	metGaps.Add(uint64(len(fresh)))
 	return fresh
 }
 
@@ -602,6 +607,7 @@ func (r *Repairer) coordinate() {
 	defer close(r.done)
 	defer close(r.out)
 	co := &coordinator{r: r, feed: r.feed, spliced: map[elemKey]int{}}
+	defer co.retractGauges()
 	if r.cur != nil {
 		st, err := r.cur.load()
 		if err != nil {
@@ -685,6 +691,7 @@ func (co *coordinator) onPair(p pair) {
 			// the late live copy would be a duplicate.
 			co.spliced[k]--
 			r.duplicates.Add(1)
+			metDuplicates.Inc()
 			return
 		}
 	}
@@ -694,6 +701,7 @@ func (co *coordinator) onPair(p pair) {
 		return
 	}
 	co.hold = append(co.hold, p)
+	co.gauges()
 }
 
 // onResult records a worker's verdict on one window.
@@ -709,6 +717,7 @@ func (co *coordinator) onResult(res fetchResult) {
 	case res.err != nil:
 		w.state = winAbandoned
 		co.r.abandoned.Add(1)
+		metAbandoned.Inc()
 		co.r.logf("gaprepair: abandoning %s after %d attempts: %v", w.gap, co.r.opts.retryMax(), res.err)
 	default:
 		w.state = winDone
@@ -873,6 +882,7 @@ func (co *coordinator) splice() {
 			// no requeue: its retry budget is spent and resurrecting
 			// it here would retry the same range forever.
 			r.overflows.Add(1)
+			metOverflows.Inc()
 			horizon := co.hold[len(co.hold)-1].elem.Timestamp
 			if w.state == winDone {
 				requeue = append(requeue, core.Gap{From: horizon, Until: w.gap.Until, Reason: w.gap.Reason})
@@ -907,13 +917,16 @@ func (co *coordinator) splice() {
 			if seen[k] > 0 {
 				seen[k]--
 				r.duplicates.Add(1)
+				metDuplicates.Inc()
 				continue
 			}
 			kept = append(kept, it)
 		}
 		if w.state == winDone {
 			r.repairs.Add(1)
+			metRepairs.Inc()
 			r.backfilled.Add(uint64(len(kept)))
+			metBackfilled.Add(uint64(len(kept)))
 			co.recordSpliced(kept)
 		}
 		co.windows = co.windows[1:]
@@ -1015,7 +1028,10 @@ func (co *coordinator) recordSpliced(ps []pair) {
 	}
 }
 
-// gauges refreshes the queued/in-flight window gauges.
+// gauges refreshes the queued/in-flight/holdback gauges: the instance
+// atomics hold the values SourceStats reports, and the global gauges
+// absorb the delta from each repairer's previous publication, so
+// concurrent repairers sum instead of clobbering each other.
 func (co *coordinator) gauges() {
 	var q, f uint64
 	for _, w := range co.windows {
@@ -1026,8 +1042,19 @@ func (co *coordinator) gauges() {
 			f++
 		}
 	}
-	co.r.queued.Store(q)
-	co.r.inflight.Store(f)
+	metQueued.Add(int64(q) - int64(co.r.queued.Swap(q)))
+	metInflight.Add(int64(f) - int64(co.r.inflight.Swap(f)))
+	h := uint64(len(co.hold))
+	metHoldback.Add(int64(h) - int64(co.r.holdLen.Swap(h)))
+}
+
+// retractGauges zeroes this repairer's contribution to the global
+// gauges when its coordinator exits, so closed repairers leave no
+// residue in the exposition.
+func (co *coordinator) retractGauges() {
+	metQueued.Add(-int64(co.r.queued.Swap(0)))
+	metInflight.Add(-int64(co.r.inflight.Swap(0)))
+	metHoldback.Add(-int64(co.r.holdLen.Swap(0)))
 }
 
 // persist writes the repair cursor: the completeness watermark plus

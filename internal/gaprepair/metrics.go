@@ -1,0 +1,44 @@
+package gaprepair
+
+import "github.com/bgpstream-go/bgpstream/internal/obsv"
+
+// Process-wide repair metrics on obsv.Default. Counters are updated
+// at the same call sites as the per-instance SourceStats atomics.
+// Gauges are delta-updated through each repairer's own last-published
+// value (see coordinator.gauges), so several repairers in one process
+// sum correctly and a closing repairer retracts its contribution.
+var (
+	metGaps = obsv.Default.Counter(
+		"bgpstream_gaprepair_gaps_total",
+		"Loss windows taken from live sources for repair.")
+	metRepairs = obsv.Default.Counter(
+		"bgpstream_gaprepair_repairs_total",
+		"Loss windows successfully backfilled and spliced.")
+	metFailures = obsv.Default.Counter(
+		"bgpstream_gaprepair_repair_failures_total",
+		"Failed backfill fetch attempts (retries count individually).")
+	metAbandoned = obsv.Default.Counter(
+		"bgpstream_gaprepair_repairs_abandoned_total",
+		"Loss windows dropped after exhausting their retry budget.")
+	metBackfilled = obsv.Default.Counter(
+		"bgpstream_gaprepair_backfilled_elems_total",
+		"Elems spliced into the flow from archive backfill.")
+	metDuplicates = obsv.Default.Counter(
+		"bgpstream_gaprepair_duplicates_dropped_total",
+		"Backfill or late live elems suppressed by deduplication.")
+	metOverflows = obsv.Default.Counter(
+		"bgpstream_gaprepair_holdback_overflows_total",
+		"Forced partial splices caused by a full holdback buffer.")
+	metQueued = obsv.Default.Gauge(
+		"bgpstream_gaprepair_repairs_queued",
+		"Loss windows waiting for a backfill worker, summed over repairers.")
+	metInflight = obsv.Default.Gauge(
+		"bgpstream_gaprepair_repairs_in_flight",
+		"Backfill fetches currently running, summed over repairers.")
+	metHoldback = obsv.Default.Gauge(
+		"bgpstream_gaprepair_holdback_len",
+		"Live elems held back behind outstanding loss windows, summed over repairers.")
+	metBackfillLatency = obsv.Default.Histogram(
+		"bgpstream_gaprepair_backfill_seconds",
+		"Duration of successful backfill fetches, window open to drained.")
+)

@@ -127,6 +127,8 @@ func (m *Merger[T]) prime() error {
 	}
 	heap.Init(m.h)
 	m.started = true
+	metPartitions.Inc()
+	metHeapSize.Add(int64(len(m.h.items)))
 	return nil
 }
 
@@ -174,6 +176,7 @@ func (m *Merger[T]) Next() (T, error) {
 	switch {
 	case errors.Is(err, io.EOF):
 		heap.Pop(m.h)
+		metHeapSize.Dec()
 	case err != nil:
 		m.err = err
 		return zero, err
@@ -282,6 +285,14 @@ func (s *Sequence[T]) Next() (T, error) {
 		if s.current == nil {
 			if s.idx >= len(s.groups) {
 				return zero, io.EOF
+			}
+			for _, src := range s.groups[s.idx] {
+				if !sourceReady(src) {
+					// The consumer reached this partition before its
+					// decode workers finished priming it.
+					metBoundaryStalls.Inc()
+					break
+				}
 			}
 			s.current = NewMerger(s.less, s.groups[s.idx]...)
 			s.idx++

@@ -1,0 +1,117 @@
+package obsv
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders the registry in Prometheus text exposition format
+// (version 0.0.4): one # HELP / # TYPE pair per family, histograms as
+// cumulative _bucket{le=...} plus _sum and _count.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var lastFamily string
+	for _, p := range r.Gather() {
+		if p.Family != lastFamily {
+			lastFamily = p.Family
+			bw.WriteString("# HELP ")
+			bw.WriteString(p.Family)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(p.Help))
+			bw.WriteString("\n# TYPE ")
+			bw.WriteString(p.Family)
+			bw.WriteByte(' ')
+			bw.WriteString(p.Kind.String())
+			bw.WriteByte('\n')
+		}
+		if p.Hist != nil {
+			writeHistogram(bw, p)
+			continue
+		}
+		bw.WriteString(p.Family)
+		writeLabels(bw, p.LabelNames, p.LabelValues, "", "")
+		bw.WriteByte(' ')
+		bw.WriteString(formatValue(p.Value))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(bw *bufio.Writer, p MetricPoint) {
+	var cum uint64
+	for i, c := range p.Hist.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(p.Hist.Bounds) {
+			le = formatValue(p.Hist.Bounds[i])
+		}
+		bw.WriteString(p.Family)
+		bw.WriteString("_bucket")
+		writeLabels(bw, p.LabelNames, p.LabelValues, "le", le)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(p.Family)
+	bw.WriteString("_sum")
+	writeLabels(bw, p.LabelNames, p.LabelValues, "", "")
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(p.Hist.Sum))
+	bw.WriteByte('\n')
+	bw.WriteString(p.Family)
+	bw.WriteString("_count")
+	writeLabels(bw, p.LabelNames, p.LabelValues, "", "")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(p.Hist.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// writeLabels renders {a="1",b="2"}, optionally appending one extra
+// pair (the histogram le label). Writes nothing when there are no
+// pairs at all.
+func writeLabels(bw *bufio.Writer, names, values []string, extraName, extraValue string) {
+	if len(names) == 0 && extraName == "" {
+		return
+	}
+	bw.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(n)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(values[i]))
+		bw.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extraName)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(extraValue))
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

@@ -1,0 +1,82 @@
+package obsv
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// startTime anchors the /healthz uptime report.
+var startTime = time.Now()
+
+// HandlerOptions configures the ops-plane handler.
+type HandlerOptions struct {
+	// Sources, when set, backs GET /sources with its JSON-encoded
+	// return value (typically the facade's registered + active source
+	// view).
+	Sources func() any
+	// Health, when set, merges extra fields into the /healthz body.
+	Health func() map[string]any
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// Handler serves the ops plane for a registry:
+//
+//	/metrics  Prometheus text exposition
+//	/healthz  JSON liveness: status, uptime, runtime facts
+//	/sources  JSON source introspection (when Sources is set)
+//	/debug/pprof/...  (when Pprof is set)
+//
+// Mount it on its own listener (bgpreader -metrics-addr) or alongside
+// the data plane (bgplivesrv).
+func Handler(reg *Registry, opts HandlerOptions) http.Handler {
+	if reg == nil {
+		reg = Default
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		body := map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(startTime).Seconds(),
+			"goroutines":     runtime.NumGoroutine(),
+			"gomaxprocs":     runtime.GOMAXPROCS(0),
+			"num_cpu":        runtime.NumCPU(),
+			"go_version":     runtime.Version(),
+		}
+		if opts.Health != nil {
+			for k, v := range opts.Health() {
+				body[k] = v
+			}
+		}
+		writeJSON(w, body)
+	})
+	if opts.Sources != nil {
+		mux.HandleFunc("/sources", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, opts.Sources())
+		})
+	}
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

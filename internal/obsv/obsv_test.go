@@ -1,0 +1,265 @@
+package obsv
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden locks the Prometheus text rendering: family
+// ordering, HELP/TYPE lines, label formatting, cumulative histogram
+// buckets.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "Events seen.")
+	c.Add(42)
+	g := r.Gauge("test_queue_depth", "Queue depth.")
+	g.Set(-3)
+	v := r.CounterVec("test_labeled_total", "Labeled events.", "kind", "src")
+	v.With("a", "x").Add(1)
+	v.With("b", `y"quoted\`).Add(2)
+	h := r.Histogram("test_latency_seconds", "Latency.", 0.1, 1, 10)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(99)
+	r.GaugeFunc("test_view", "A computed view.", func() float64 { return 7.5 })
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_events_total Events seen.
+# TYPE test_events_total counter
+test_events_total 42
+# HELP test_labeled_total Labeled events.
+# TYPE test_labeled_total counter
+test_labeled_total{kind="a",src="x"} 1
+test_labeled_total{kind="b",src="y\"quoted\\"} 2
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 1
+test_latency_seconds_bucket{le="1"} 3
+test_latency_seconds_bucket{le="10"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 100.05
+test_latency_seconds_count 4
+# HELP test_queue_depth Queue depth.
+# TYPE test_queue_depth gauge
+test_queue_depth -3
+# HELP test_view A computed view.
+# TYPE test_view gauge
+test_view 7.5
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestConcurrentUpdates hammers every metric type from many
+// goroutines while a reader gathers; run under -race this is the
+// concurrency proof for the whole package.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_counter", "")
+	g := r.Gauge("conc_gauge", "")
+	h := r.Histogram("conc_hist", "", 1, 10, 100)
+	vec := r.CounterVec("conc_vec", "", "w")
+	gv := r.GaugeVec("conc_gvec", "", "w")
+
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lc := vec.With("shared")
+			lg := gv.With("shared")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i % 150))
+				lc.Inc()
+				lg.Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.Gather()
+			var sb strings.Builder
+			r.WriteText(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	const want = workers * perWorker
+	if got := c.Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Snapshot().Count; got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	if got := vec.With("shared").Value(); got != want {
+		t.Errorf("vec counter = %d, want %d", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5, 10})
+	// 100 samples uniform in (0,10].
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 10)
+	}
+	if p50 := h.Quantile(0.5); math.Abs(p50-5) > 1.6 {
+		t.Errorf("p50 = %v, want ~5", p50)
+	}
+	if p99 := h.Quantile(0.99); math.Abs(p99-9.9) > 0.2 {
+		t.Errorf("p99 = %v, want ~9.9", p99)
+	}
+	// Everything beyond the last bound reports the last finite bound.
+	hi := newHistogram([]float64{1, 2})
+	hi.Observe(50)
+	if got := hi.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %v, want 2", got)
+	}
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.Observe(0.25)
+	h.Observe(0.5)
+	s := h.Snapshot()
+	if s.Sum != 0.75 {
+		t.Errorf("sum = %v, want 0.75", s.Sum)
+	}
+	if s.Count != 2 {
+		t.Errorf("count = %d, want 2", s.Count)
+	}
+}
+
+// TestVecInterning checks that With returns the same handle for the
+// same tuple and distinct handles otherwise.
+func TestVecInterning(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("intern_total", "", "a", "b")
+	c1 := v.With("x", "y")
+	c2 := v.With("x", "y")
+	if c1 != c2 {
+		t.Error("same label tuple returned distinct handles")
+	}
+	c3 := v.With("x", "z")
+	if c1 == c3 {
+		t.Error("distinct tuples shared a handle")
+	}
+	// The separator must keep ("ab","c") and ("a","bc") apart.
+	c4 := v.With("ab", "c")
+	c5 := v.With("a", "bc")
+	if c4 == c5 {
+		t.Error("joined-key collision between distinct tuples")
+	}
+}
+
+func TestReRegisterSameNameSameKind(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "h")
+	b := r.Counter("same_total", "h")
+	if a != b {
+		t.Error("re-registering same counter returned a new handle")
+	}
+}
+
+func TestReRegisterKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("clash_total", "")
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("handler_hits_total", "Hits.").Add(3)
+	h := Handler(r, HandlerOptions{
+		Sources: func() any { return map[string]any{"registered": []string{"broker"}} },
+		Health:  func() map[string]any { return map[string]any{"extra": "yes"} },
+		Pprof:   true,
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "handler_hits_total 3") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	code, body := get("/healthz")
+	if code != 200 {
+		t.Fatalf("/healthz = %d", code)
+	}
+	var health map[string]any
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz not JSON: %v", err)
+	}
+	if health["status"] != "ok" || health["extra"] != "yes" {
+		t.Errorf("/healthz body = %v", health)
+	}
+	if _, ok := health["gomaxprocs"]; !ok {
+		t.Error("/healthz missing gomaxprocs")
+	}
+	if code, body := get("/sources"); code != 200 || !strings.Contains(body, "broker") {
+		t.Errorf("/sources = %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestHandlerNilRegistryUsesDefault(t *testing.T) {
+	Default.Counter("default_reg_probe_total", "").Inc()
+	srv := httptest.NewServer(Handler(nil, HandlerOptions{}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "default_reg_probe_total") {
+		t.Error("nil-registry handler did not serve Default")
+	}
+}

@@ -1,0 +1,273 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kind distinguishes metric families in Gather output.
+type Kind int
+
+// Metric family kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Registry holds metric families by name. Registration (Counter,
+// GaugeVec.With, ...) takes a lock and may allocate; the returned
+// handles are then updated lock- and allocation-free. Registering the
+// same name twice with a different kind or help panics — metric names
+// are package-level constants, so a collision is a programming error.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one exposition family: either a single unlabeled metric
+// or a set of labeled children.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	bounds []float64 // histograms only
+	labels []string  // nil for unlabeled families
+
+	mu       sync.Mutex
+	plain    *child
+	children map[string]*child
+	order    []*child // children in registration order
+}
+
+// child is one concrete series inside a family.
+type child struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+	fn          func() float64 // read-time view (KindGauge)
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry the pipeline packages register
+// into at init; Handler and the cmd wiring expose it.
+var Default = NewRegistry()
+
+func (r *Registry) family(name, help string, kind Kind, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obsv: metric %q re-registered with different kind or labels", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels, bounds: bounds}
+	r.families[name] = f
+	return f
+}
+
+func (f *family) plainChild() *child {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.plain == nil {
+		f.plain = f.newChild(nil)
+		f.order = append(f.order, f.plain)
+	}
+	return f.plain
+}
+
+func (f *family) labeledChild(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obsv: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := joinKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.children == nil {
+		f.children = make(map[string]*child)
+	}
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := f.newChild(append([]string(nil), values...))
+	f.children[key] = c
+	f.order = append(f.order, c)
+	return c
+}
+
+func (f *family) newChild(values []string) *child {
+	c := &child{labelValues: values}
+	switch f.kind {
+	case KindCounter:
+		c.counter = &Counter{}
+	case KindGauge:
+		c.gauge = &Gauge{}
+	case KindHistogram:
+		c.hist = newHistogram(f.bounds)
+	}
+	return c
+}
+
+func joinKey(values []string) string {
+	switch len(values) {
+	case 0:
+		return ""
+	case 1:
+		return values[0]
+	}
+	key := values[0]
+	for _, v := range values[1:] {
+		key += "\x1f" + v
+	}
+	return key
+}
+
+// Counter registers (or returns the existing) unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, KindCounter, nil, nil).plainChild().counter
+}
+
+// Gauge registers (or returns the existing) unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, KindGauge, nil, nil).plainChild().gauge
+}
+
+// Histogram registers (or returns the existing) unlabeled histogram.
+// With no bounds it uses LatencyBuckets.
+func (r *Registry) Histogram(name, help string, bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets()
+	}
+	return r.family(name, help, KindHistogram, nil, bounds).plainChild().hist
+}
+
+// GaugeFunc registers a read-time gauge view: fn is called at Gather
+// time, so existing state (an atomic some other subsystem already
+// maintains) can be exposed without double-counting.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, KindGauge, nil, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.plain != nil {
+		panic(fmt.Sprintf("obsv: metric %q already registered", name))
+	}
+	f.plain = &child{fn: fn}
+	f.order = append(f.order, f.plain)
+}
+
+// CounterVec is a labeled counter family. With interns a child handle
+// per label-value tuple; hold the handle and the hot path is one
+// atomic add.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, KindCounter, append([]string(nil), labelNames...), nil)}
+}
+
+// With returns the child for the given label values, creating and
+// interning it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.labeledChild(values).counter
+}
+
+// GaugeVec is a labeled gauge family; see CounterVec.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, KindGauge, append([]string(nil), labelNames...), nil)}
+}
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.labeledChild(values).gauge
+}
+
+// HistogramVec is a labeled histogram family; see CounterVec.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family. With no bounds
+// it uses LatencyBuckets.
+func (r *Registry) HistogramVec(name, help string, labelNames []string, bounds ...float64) *HistogramVec {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets()
+	}
+	return &HistogramVec{r.family(name, help, KindHistogram, append([]string(nil), labelNames...), bounds)}
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.labeledChild(values).hist
+}
+
+// MetricPoint is one series in a Gather result.
+type MetricPoint struct {
+	Family      string
+	Kind        Kind
+	Help        string
+	LabelNames  []string
+	LabelValues []string
+	Value       float64       // counters and gauges
+	Hist        *HistSnapshot // histograms
+}
+
+// Gather snapshots every series, families sorted by name, children in
+// registration order.
+func (r *Registry) Gather() []MetricPoint {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var out []MetricPoint
+	for _, f := range fams {
+		f.mu.Lock()
+		children := append([]*child(nil), f.order...)
+		f.mu.Unlock()
+		for _, c := range children {
+			p := MetricPoint{
+				Family:      f.name,
+				Kind:        f.kind,
+				Help:        f.help,
+				LabelNames:  f.labels,
+				LabelValues: c.labelValues,
+			}
+			switch {
+			case c.fn != nil:
+				p.Value = c.fn()
+			case c.counter != nil:
+				p.Value = float64(c.counter.Value())
+			case c.gauge != nil:
+				p.Value = float64(c.gauge.Value())
+			case c.hist != nil:
+				s := c.hist.Snapshot()
+				p.Hist = &s
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -198,6 +198,7 @@ func (c *Client) openGap(reason string) {
 		return
 	}
 	c.gapFrom, c.gapReason, c.gapPending = from, reason, true
+	metClientGapsOpened.Inc()
 }
 
 // closeGap records the pending window, ending at the elem about to be
@@ -209,6 +210,7 @@ func (c *Client) closeGap(until time.Time) {
 	c.gapPending = false
 	c.stableTs = until // complete up to here, modulo the reported gap
 	c.gapsSeen.Add(1)
+	metClientGapsClosed.Inc()
 	c.gapMu.Lock()
 	c.gaps = append(c.gaps, g)
 	c.gapMu.Unlock()
@@ -381,7 +383,9 @@ func (c *Client) streamOnce() (int, error) {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		return 0, fmt.Errorf("rislive: HTTP %s", resp.Status)
 	}
-	c.connects.Add(1)
+	if n := c.connects.Add(1); n > 1 {
+		metClientReconnects.Inc()
+	}
 	c.connDropped = 0 // the server's drop counter is per-subscription
 	c.logf("rislive: connected to %s", c.URL)
 
@@ -447,6 +451,7 @@ func (c *Client) dispatch(payload []byte) (int, error) {
 		pingTs := msg.Time()
 		if msg.Dropped > c.connDropped {
 			c.droppedTotal.Add(msg.Dropped - c.connDropped)
+			metClientUpstreamDropped.Add(msg.Dropped - c.connDropped)
 			c.connDropped = msg.Dropped
 			// Opens at the pre-ping watermark; the ping's own
 			// timestamp may then close it right below.
@@ -487,6 +492,7 @@ func (c *Client) dispatch(payload []byte) (int, error) {
 	if c.Staleness > 0 {
 		if delay := time.Since(elem.Timestamp); delay > c.Staleness {
 			c.staleResets.Add(1)
+			metClientStaleResets.Inc()
 			return 0, fmt.Errorf("rislive: message delay %s exceeds staleness limit %s", delay.Round(time.Millisecond), c.Staleness)
 		}
 	}
@@ -500,6 +506,7 @@ func (c *Client) dispatch(payload []byte) (int, error) {
 	select {
 	case c.pairs <- pair{rec: rec, elem: elem}:
 		c.messages.Add(1)
+		metClientMessages.Inc()
 		c.advanceFeedTime(elem.Timestamp)
 		return 1, nil
 	case <-c.stop:
@@ -515,7 +522,14 @@ func (c *Client) advanceFeedTime(ts time.Time) {
 	us := ts.UnixMicro()
 	for {
 		cur := c.feedMicro.Load()
-		if us <= cur || c.feedMicro.CompareAndSwap(cur, us) {
+		if us <= cur {
+			return
+		}
+		if c.feedMicro.CompareAndSwap(cur, us) {
+			// Staleness = wall clock minus this gauge. With several
+			// clients in one process the freshest wins, which is the
+			// useful bound for "is the process seeing the feed at all".
+			metClientFeedTime.Set(us / 1e6)
 			return
 		}
 	}

@@ -1,0 +1,48 @@
+package rislive
+
+import "github.com/bgpstream-go/bgpstream/internal/obsv"
+
+// Process-wide rislive metrics on obsv.Default. Server and Client
+// instances also keep their own atomic counters (Stats/SourceStats);
+// each call site updates both so per-instance accounting and the
+// process-wide exposition stay one write apart, never re-derived.
+var (
+	metPublished = obsv.Default.Counter(
+		"bgpstream_rislive_published_total",
+		"Elems published to the SSE fan-out.")
+	metDropped = obsv.Default.Counter(
+		"bgpstream_rislive_dropped_total",
+		"Per-subscriber messages dropped on full buffers (slow clients).")
+	metSubscribers = obsv.Default.GaugeVec(
+		"bgpstream_rislive_subscribers",
+		"Currently connected live-feed subscribers.",
+		"transport")
+	// metSubsSSE is the pre-interned SSE child: subscriber churn is one
+	// atomic add, no label lookup.
+	metSubsSSE      = metSubscribers.With("sse")
+	metPublishWrite = obsv.Default.Histogram(
+		"bgpstream_rislive_publish_write_seconds",
+		"Latency from Publish enqueue to the subscriber's socket write.")
+
+	metClientMessages = obsv.Default.Counter(
+		"bgpstream_rislive_client_messages_total",
+		"Feed messages received by live clients.")
+	metClientReconnects = obsv.Default.Counter(
+		"bgpstream_rislive_client_reconnects_total",
+		"Client reconnect attempts after a broken feed connection.")
+	metClientStaleResets = obsv.Default.Counter(
+		"bgpstream_rislive_client_stale_resets_total",
+		"Connections reset because the feed went silent past the staleness bound.")
+	metClientUpstreamDropped = obsv.Default.Counter(
+		"bgpstream_rislive_client_upstream_dropped_total",
+		"Elems the server reported dropping for this client (slow-client loss).")
+	metClientGapsOpened = obsv.Default.Counter(
+		"bgpstream_rislive_client_gaps_opened_total",
+		"Loss windows opened (reconnects, server drops, stale resets).")
+	metClientGapsClosed = obsv.Default.Counter(
+		"bgpstream_rislive_client_gaps_closed_total",
+		"Loss windows closed with a bounded interval handed to repair.")
+	metClientFeedTime = obsv.Default.Gauge(
+		"bgpstream_rislive_client_feed_timestamp_seconds",
+		"BGP timestamp of the newest feed message or ping watermark; now() minus this is feed staleness.")
+)

@@ -44,10 +44,19 @@ type Server struct {
 	watermark atomic.Int64
 }
 
+// frame is one queued wire chunk plus the time it was enqueued by
+// Publish — zero for pings, whose latency is not a publish-to-write
+// measurement. It travels the subscriber channel by value, so the
+// timestamp rides along without an allocation.
+type frame struct {
+	b   []byte
+	enq int64 // UnixNano at Publish enqueue; 0 for non-elem frames
+}
+
 // subscriber is one connected SSE client.
 type subscriber struct {
 	sub  Subscription
-	ch   chan []byte
+	ch   chan frame
 	done chan struct{} // closed to force-disconnect
 	once sync.Once
 
@@ -125,11 +134,13 @@ func marshalFrame(m Message) ([]byte, error) {
 // Safe for concurrent use.
 func (s *Server) Publish(project, collector string, e *core.Elem) {
 	s.published.Add(1)
+	metPublished.Inc()
 	// Advance the watermark before fanning out, so a subscriber
 	// registering concurrently either receives this elem through its
 	// buffer or sees a hello watermark covering it — never neither.
 	s.watermark.Store(e.Timestamp.UnixMicro())
-	var frame []byte // encoded and framed lazily, once, on first match
+	var wire []byte // encoded and framed lazily, once, on first match
+	var enq int64   // stamped when the wire frame is built
 	// Iterate under the read lock: the sends below never block
 	// (select/default), so holding it costs subscribers only the
 	// brief register/unregister window and saves a slice copy per
@@ -141,18 +152,20 @@ func (s *Server) Publish(project, collector string, e *core.Elem) {
 		enqueued := false
 		matched := c.sub.Matches(project, collector, e)
 		if matched {
-			if frame == nil {
+			if wire == nil {
 				var err error
-				frame, err = marshalFrame(Message{Type: TypeMessage, Data: EncodeElem(project, collector, e)})
+				wire, err = marshalFrame(Message{Type: TypeMessage, Data: EncodeElem(project, collector, e)})
 				if err != nil {
 					return // cannot happen for our own types
 				}
+				enq = time.Now().UnixNano()
 			}
 			select {
-			case c.ch <- frame:
+			case c.ch <- frame{b: wire, enq: enq}:
 				enqueued = true
 			default:
 				s.dropped.Add(1)
+				metDropped.Inc()
 			}
 		}
 		// Account the drop and advance the per-subscriber watermark in
@@ -176,7 +189,7 @@ func (s *Server) Publish(project, collector string, e *core.Elem) {
 			// its first delivery would have no lower bound.
 			ping, _ := marshalFrame(Message{Type: TypePing, Dropped: d, Timestamp: float64(ts) / 1e6})
 			select {
-			case c.ch <- ping:
+			case c.ch <- frame{b: ping}:
 			default:
 			}
 		}
@@ -217,7 +230,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	c := &subscriber{
 		sub:  sub,
-		ch:   make(chan []byte, size),
+		ch:   make(chan frame, size),
 		done: make(chan struct{}),
 	}
 	s.mu.Lock()
@@ -233,10 +246,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	c.mark = seeded // not yet visible to Publish; no lock needed
 	s.subscribers[c] = struct{}{}
 	s.mu.Unlock()
+	metSubsSSE.Inc()
 	defer func() {
 		s.mu.Lock()
 		delete(s.subscribers, c)
 		s.mu.Unlock()
+		metSubsSSE.Dec()
 		_, d := c.snapshot()
 		s.logf("rislive: client %s disconnected (dropped %d)", r.RemoteAddr, d)
 	}()
@@ -258,21 +273,26 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer ticker.Stop()
 
 	// Frames arrive pre-rendered ("data: ...\n\n", shared across
-	// subscribers); the writer copies nothing and formats nothing.
-	write := func(frame []byte) bool {
-		if _, err := w.Write(frame); err != nil {
+	// subscribers); the writer copies nothing and formats nothing. Elem
+	// frames carry their Publish-enqueue time, which becomes the
+	// publish-to-write latency observation once the socket write lands.
+	write := func(f frame) bool {
+		if _, err := w.Write(f.b); err != nil {
 			return false
 		}
 		flusher.Flush()
+		if f.enq != 0 {
+			metPublishWrite.Observe(float64(time.Now().UnixNano()-f.enq) / 1e9)
+		}
 		return true
 	}
-	ping := func(mark int64, dropped uint64) []byte {
+	ping := func(mark int64, dropped uint64) frame {
 		m := Message{Type: TypePing, Dropped: dropped}
 		if mark > 0 {
 			m.Timestamp = float64(mark) / 1e6
 		}
 		b, _ := marshalFrame(m)
-		return b
+		return frame{b: b}
 	}
 	// Hello ping: tell the client the current feed time at subscribe,
 	// before anything else, so a client that never receives an elem

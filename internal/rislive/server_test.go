@@ -125,8 +125,8 @@ func TestServerFanoutWithFilters(t *testing.T) {
 // counted per client and globally.
 func TestSlowClientDropPolicy(t *testing.T) {
 	srv := &Server{}
-	slow := &subscriber{ch: make(chan []byte, 2), done: make(chan struct{})}
-	fast := &subscriber{ch: make(chan []byte, 64), done: make(chan struct{})}
+	slow := &subscriber{ch: make(chan frame, 2), done: make(chan struct{})}
+	fast := &subscriber{ch: make(chan frame, 64), done: make(chan struct{})}
 	srv.subscribers = map[*subscriber]struct{}{slow: {}, fast: {}}
 
 	publishN(srv, 10)

@@ -1,0 +1,106 @@
+package timeseries
+
+import (
+	"context"
+	"strings"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/obsv"
+)
+
+// Scraper bridges obsv metrics into a Store: on each tick it samples
+// selected registry series and appends them as timestamped points, so
+// the change-point detector can watch operational health (repair
+// backlog, subscriber counts) with the same machinery it applies to
+// BGP visibility series.
+type Scraper struct {
+	// Registry to sample; nil means obsv.Default.
+	Registry *obsv.Registry
+	// Store receives the points. Required.
+	Store *Store
+	// Metrics selects the family names to sample. Empty samples every
+	// counter and gauge family. Histograms contribute their _count.
+	Metrics []string
+	// Interval is the sampling cadence for Run (default 10s).
+	Interval time.Duration
+}
+
+// series names one scraped point target: the family plus its label
+// values, joined Prometheus-style into a Store series name.
+func seriesName(p obsv.MetricPoint) string {
+	if len(p.LabelValues) == 0 {
+		return p.Family
+	}
+	var b strings.Builder
+	b.WriteString(p.Family)
+	b.WriteByte('{')
+	for i, n := range p.LabelNames {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(p.LabelValues[i])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (s *Scraper) registry() *obsv.Registry {
+	if s.Registry != nil {
+		return s.Registry
+	}
+	return obsv.Default
+}
+
+func (s *Scraper) wants(family string) bool {
+	if len(s.Metrics) == 0 {
+		return true
+	}
+	for _, m := range s.Metrics {
+		if m == family {
+			return true
+		}
+	}
+	return false
+}
+
+// ScrapeOnce samples the selected series at the given timestamp,
+// appending one point per series. Errors from out-of-order appends
+// (clock steps) are reported for the first failing series.
+func (s *Scraper) ScrapeOnce(now time.Time) error {
+	var firstErr error
+	for _, p := range s.registry().Gather() {
+		if !s.wants(p.Family) {
+			continue
+		}
+		v := p.Value
+		if p.Hist != nil {
+			v = float64(p.Hist.Count)
+		}
+		err := s.Store.Append(seriesName(p), Point{Unix: now.Unix(), Value: v})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Run samples on the configured interval until ctx is done. Append
+// errors are skipped (a stepped clock heals on the next tick).
+func (s *Scraper) Run(ctx context.Context) {
+	interval := s.Interval
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			s.ScrapeOnce(now)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package timeseries
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/obsv"
+)
+
+// TestScraperBridgesRepairGauges exercises the satellite use case: the
+// repair backlog gauge becomes a Store series the change-point
+// detector can watch.
+func TestScraperBridgesRepairGauges(t *testing.T) {
+	reg := obsv.NewRegistry()
+	queued := reg.Gauge("bgpstream_gaprepair_repairs_queued", "")
+	st := NewStore()
+	sc := &Scraper{
+		Registry: reg,
+		Store:    st,
+		Metrics:  []string{"bgpstream_gaprepair_repairs_queued"},
+	}
+	base := time.Unix(1700000000, 0)
+	for i := 0; i < 15; i++ {
+		queued.Set(int64(2))
+		if i >= 12 {
+			queued.Set(40) // backlog spike: repairs are falling behind
+		}
+		if err := sc.ScrapeOnce(base.Add(time.Duration(i) * time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts := st.Get("bgpstream_gaprepair_repairs_queued")
+	if len(pts) != 15 {
+		t.Fatalf("points = %d, want 15", len(pts))
+	}
+	cps := Detect(pts, DefaultDetector())
+	if len(cps) == 0 {
+		t.Fatal("no change point detected on repair backlog spike")
+	}
+	if cps[0].Drop {
+		t.Fatalf("spike detected as drop: %+v", cps[0])
+	}
+}
+
+// TestScraperAllFamiliesAndLabels covers default selection (all
+// counter/gauge families), label rendering, and histogram _count
+// sampling.
+func TestScraperAllFamiliesAndLabels(t *testing.T) {
+	reg := obsv.NewRegistry()
+	reg.Counter("scrape_a_total", "").Add(5)
+	reg.GaugeVec("scrape_b", "", "transport").With("sse").Set(3)
+	h := reg.Histogram("scrape_c_seconds", "", 1)
+	h.Observe(0.5)
+	h.Observe(2)
+	st := NewStore()
+	sc := &Scraper{Registry: reg, Store: st}
+	if err := sc.ScrapeOnce(time.Unix(1700000000, 0)); err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		"scrape_a_total":          5,
+		"scrape_b{transport=sse}": 3,
+		"scrape_c_seconds":        2, // histogram samples its count
+	}
+	for name, want := range checks {
+		pts := st.Get(name)
+		if len(pts) != 1 || pts[0].Value != want {
+			t.Errorf("%s = %v, want one point of %v", name, pts, want)
+		}
+	}
+}
+
+func TestScraperOutOfOrderReported(t *testing.T) {
+	reg := obsv.NewRegistry()
+	reg.Gauge("scrape_d", "")
+	st := NewStore()
+	sc := &Scraper{Registry: reg, Store: st}
+	if err := sc.ScrapeOnce(time.Unix(2000, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.ScrapeOnce(time.Unix(1000, 0)); err == nil {
+		t.Fatal("out-of-order scrape not reported")
+	}
+}

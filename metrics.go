@@ -1,0 +1,46 @@
+package bgpstream
+
+import (
+	"net/http"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/obsv"
+)
+
+// SourceHealth is the runtime view of one open stream: source name,
+// kind, open time, data progress, and completeness counters. See
+// ActiveSources.
+type SourceHealth = core.SourceHealth
+
+// ActiveSources snapshots the health of every open stream in the
+// process. Streams register on Open (or any constructor) and
+// unregister on Close; the facade's Open annotates them with the
+// registry source name they were built from.
+func ActiveSources() []SourceHealth {
+	return core.ActiveSourceHealth()
+}
+
+// MetricsHandler returns the ops-plane HTTP handler over the
+// process-wide metrics registry:
+//
+//	/metrics   Prometheus text exposition of every pipeline metric
+//	/healthz   JSON liveness (uptime, goroutines, GOMAXPROCS, CPUs)
+//	/sources   registered sources plus per-stream health
+//	/debug/pprof/...   when pprof is true
+//
+// bgplivesrv mounts it beside the data plane; bgpreader serves it on
+// -metrics-addr. Embedders can mount it on any mux.
+func MetricsHandler(pprof bool) http.Handler {
+	return obsv.Handler(obsv.Default, obsv.HandlerOptions{
+		Sources: func() any {
+			return map[string]any{
+				"registered": Sources(),
+				"active":     ActiveSources(),
+			}
+		},
+		Health: func() map[string]any {
+			return map[string]any{"active_streams": len(ActiveSources())}
+		},
+		Pprof: pprof,
+	})
+}

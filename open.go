@@ -12,6 +12,7 @@ import (
 // openConfig accumulates the functional options of Open.
 type openConfig struct {
 	src           Source
+	srcName       string // registry name of src, for SourceHealth ("" for instances)
 	repair        Source // backfill source; non-nil wraps src in gap repair
 	repairOpts    RepairOptions
 	repairOptsSet bool
@@ -40,6 +41,7 @@ func WithSource(name string, opts SourceOptions) Option {
 			return err
 		}
 		c.src = src
+		c.srcName = name
 		return nil
 	}
 }
@@ -56,6 +58,7 @@ func WithSourceInstance(src any) Option {
 			return err
 		}
 		c.src = s
+		c.srcName = ""
 		return nil
 	}
 }
@@ -225,12 +228,21 @@ func Open(ctx context.Context, opts ...Option) (*Stream, error) {
 		return nil, errors.New("bgpstream: WithRepairOptions needs WithRepair or WithRepairInstance")
 	}
 	src := cfg.src
+	name := cfg.srcName
 	if cfg.repair != nil {
 		src = &gaprepair.Composite{Live: src, Backfill: cfg.repair, Options: cfg.repairOpts}
+		if name != "" {
+			name += "+repaired"
+		} else {
+			name = "repaired"
+		}
 	}
 	s, err := src.OpenStream(ctx, cfg.filters)
 	if err != nil {
 		return nil, err
+	}
+	if name != "" {
+		s.SetSourceName(name)
 	}
 	// Applied after construction, so an explicitly-set option wins
 	// over the equivalent registry option the source itself carried —

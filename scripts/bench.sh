@@ -1,9 +1,20 @@
 #!/bin/sh
 # Runs the perf-trajectory benches — ingest throughput (sequential vs
-# parallel pipeline), live fan-out, compiled-filter matching — and
-# renders the results as JSON so every PR leaves a comparable
-# baseline (BENCH_5.json was generated this way; CI runs the same
-# script as a non-gating smoke step).
+# parallel pipeline), live fan-out, compiled-filter matching, and the
+# metrics hot path — and renders the results as JSON so every PR
+# leaves a comparable baseline (BENCH_5.json was generated this way;
+# CI runs the same script as a non-gating smoke step).
+#
+# Two results gate (exit 1 on regression):
+#   - BenchmarkObsvHotPath must stay at 0 allocs/op: one metrics
+#     update per elem per layer means an allocation here taxes every
+#     stream in the process.
+#   - BenchmarkStreamThroughput{,Sequential} allocs/elem must stay
+#     <= 4.9 on the GOMAXPROCS=1 runs (BENCH_5.json baseline: 4.868),
+#     proving the pipeline instrumentation rides along for free. Only
+#     the unsuffixed (single-proc) runs gate: multi-proc runs jitter
+#     with scheduling (the pre-instrumentation baseline itself
+#     recorded 4.908 at -cpu 4).
 #
 # Usage:  sh scripts/bench.sh [out.json]
 # Env:    BENCHTIME  go test -benchtime value (default 1s)
@@ -17,14 +28,16 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-  -bench 'StreamThroughput|RISLiveFanout|FilterMatchElem' \
+  -bench 'StreamThroughput|RISLiveFanout|FilterMatchElem|ObsvHotPath' \
   -benchmem -benchtime "$benchtime" -cpu "$cpus" . | tee "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-    -v benchtime="$benchtime" -v cpus="$cpus" '
+    -v benchtime="$benchtime" -v cpus="$cpus" \
+    -v gomaxprocs="${GOMAXPROCS:-$(nproc)}" -v numcpu="$(nproc)" '
 BEGIN {
 	printf "{\n  \"generated\": \"%s\",\n", date
 	printf "  \"benchtime\": \"%s\",\n  \"cpu_counts\": \"%s\",\n", benchtime, cpus
+	printf "  \"gomaxprocs\": %s,\n  \"num_cpu\": %s,\n", gomaxprocs, numcpu
 	printf "  \"benchmarks\": ["
 	first = 1
 }
@@ -46,3 +59,28 @@ END {
 }' "$tmp" > "$out"
 
 echo "wrote $out"
+
+# Perf gates (see header). Metric values precede their unit in go test
+# output, so scan field pairs for the unit and read the field before.
+awk '
+function metric(unit,   i) {
+	for (i = 3; i < NF; i++) if ($(i + 1) == unit) return $i
+	return ""
+}
+/^BenchmarkObsvHotPath/ {
+	v = metric("allocs/op")
+	if (v != "" && v + 0 != 0) {
+		printf "GATE FAIL: %s allocates (%s allocs/op, want 0)\n", $1, v
+		fail = 1
+	}
+}
+/^BenchmarkStreamThroughput(Sequential)?[ \t]/ {
+	v = metric("allocs/elem")
+	if (v != "" && v + 0 > 4.9) {
+		printf "GATE FAIL: %s allocs/elem %s > 4.9 (BENCH_5.json baseline 4.868)\n", $1, v
+		fail = 1
+	}
+}
+END { exit fail }
+' "$tmp" || { echo "bench gates failed" >&2; exit 1; }
+echo "bench gates passed (ObsvHotPath 0 allocs/op, StreamThroughput allocs/elem <= 4.9)"

@@ -43,6 +43,11 @@ type SourceInfo struct {
 	// (per-elem messages, milliseconds-latency).
 	Kind    string
 	Options []SourceOption
+	// Health lists the open streams built from this source, attached
+	// by Sources at call time (always empty at registration). Streams
+	// opened through WithSourceInstance carry no source name and
+	// appear only in ActiveSources.
+	Health []SourceHealth `json:",omitempty"`
 }
 
 // SourceFactory builds a Source from validated options. Factories
@@ -74,15 +79,25 @@ func RegisterSource(info SourceInfo, factory SourceFactory) {
 }
 
 // Sources lists every registered source sorted by name, the Go form
-// of bgpstream_get_data_interfaces.
+// of bgpstream_get_data_interfaces, with the health of any open
+// streams attached per source (see SourceInfo.Health).
 func Sources() []SourceInfo {
 	sourceRegistry.RLock()
-	defer sourceRegistry.RUnlock()
 	out := make([]SourceInfo, 0, len(sourceRegistry.m))
 	for _, reg := range sourceRegistry.m {
 		out = append(out, reg.info)
 	}
+	sourceRegistry.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	byName := make(map[string][]SourceHealth)
+	for _, h := range core.ActiveSourceHealth() {
+		if h.Source != "" {
+			byName[h.Source] = append(byName[h.Source], h)
+		}
+	}
+	for i := range out {
+		out[i].Health = byName[out[i].Name]
+	}
 	return out
 }
 
