@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoIsLintClean is the suite's smoke test: the full analyzer set
+// must exit clean over the repo itself (the module pattern makes the
+// sweep independent of the test's working directory). Any finding here
+// is a regression against an invariant the codebase already satisfies.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped in -short mode")
+	}
+	var stdout, stderr strings.Builder
+	code := run([]string{"github.com/bgpstream-go/bgpstream/..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("bgplint exited %d on the repo\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if out := stdout.String(); out != "" {
+		t.Fatalf("bgplint reported findings:\n%s", out)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("bgplint -list exited %d: %s", code, stderr.String())
+	}
+	for _, name := range []string{"eofcompare", "hotpathalloc", "obsvlabels", "goleak", "lockdiscipline"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("bgplint -list output missing analyzer %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestVersionHandshake(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-V=full"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("bgplint -V=full exited %d: %s", code, stderr.String())
+	}
+	// The go command parses this line to extract a build ID, so the
+	// format is part of the vettool contract.
+	if !strings.Contains(stdout.String(), "bgplint version") || !strings.Contains(stdout.String(), "buildID=") {
+		t.Errorf("-V=full output is not a valid vettool handshake: %q", stdout.String())
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-run", "nope"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bgplint -run nope exited %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message: %q", stderr.String())
+	}
+}

@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -107,7 +108,7 @@ func run() error {
 
 	for {
 		_, elem, err := detectStream.NextElem()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
@@ -142,7 +143,7 @@ func run() error {
 	// Drain the withdrawal stream: repeat measurements at RTBH end.
 	for {
 		_, elem, err := withdrawStream.NextElem()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

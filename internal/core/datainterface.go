@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -79,7 +80,7 @@ func (c *CSVFile) NextBatch(ctx context.Context) ([]archive.DumpMeta, error) {
 	var metas []archive.DumpMeta
 	for {
 		row, err := r.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
@@ -149,7 +150,7 @@ func (w *Windowed) NextBatch(ctx context.Context) ([]archive.DumpMeta, error) {
 	if !w.loaded {
 		for {
 			batch, err := w.Inner.NextBatch(ctx)
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				break
 			}
 			if err != nil {

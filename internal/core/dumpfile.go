@@ -149,7 +149,7 @@ func (s *dumpSource) readRecord() (*Record, error) {
 			return nil, io.EOF
 		}
 		raw, err := s.mr.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil, io.EOF
 		}
 		if err != nil {
@@ -202,7 +202,7 @@ func (s *dumpSource) Next() (*Record, error) {
 		}
 		// Prime the lookahead.
 		rec, err := s.readRecord()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			s.finished = true
 			s.close()
 			return nil, io.EOF
@@ -222,7 +222,7 @@ func (s *dumpSource) Next() (*Record, error) {
 	}
 	next, err := s.readRecord()
 	switch {
-	case err == io.EOF:
+	case errors.Is(err, io.EOF):
 		s.pending = nil
 		cur.Position |= PositionEnd
 	case err != nil:

@@ -29,6 +29,8 @@ func (r *Record) Elems() ([]Elem, error) {
 // returned. The stream layer passes arena-backed buffers so the
 // per-record []Elem allocation amortises over many records; synth
 // records copy their pre-decomposed elems only when dst is non-nil.
+//
+//bgp:hotpath
 func (r *Record) appendElems(dst []Elem) ([]Elem, error) {
 	if r.synth != nil {
 		return append(dst, r.synth...), nil
@@ -48,6 +50,7 @@ func (r *Record) appendElems(dst []Elem) ([]Elem, error) {
 	}
 }
 
+//bgp:hotpath
 func (r *Record) bgp4mpElems(dst []Elem) ([]Elem, error) {
 	ts := r.Time()
 	switch r.MRT.Header.Subtype {
@@ -86,6 +89,7 @@ func (r *Record) bgp4mpElems(dst []Elem) ([]Elem, error) {
 	}
 }
 
+//bgp:hotpath
 func appendUpdateElems(dst []Elem, ts time.Time, peerIP netip.Addr, peerAS uint32, u *bgp.Update) []Elem {
 	path := u.Attrs.EffectivePath()
 	withdrawn := u.AllWithdrawn()

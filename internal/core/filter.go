@@ -332,6 +332,8 @@ func (c *CompiledFilters) MatchMeta(m archive.DumpMeta) bool {
 
 // matchTags applies the project/collector/dump-type sets; push-mode
 // streams use it per pushed record against the record's feed tags.
+//
+//bgp:hotpath
 func (c *CompiledFilters) matchTags(project, collector string, t DumpType) bool {
 	if c.projects != nil && !c.projects[project] {
 		return false
@@ -357,6 +359,8 @@ func asnSet(asns []uint32) map[uint32]bool {
 }
 
 // MatchElem applies every elem-level predicate.
+//
+//bgp:hotpath
 func (c *CompiledFilters) MatchElem(e *Elem) bool {
 	if c.elemTypes != nil && !c.elemTypes[e.Type] {
 		return false
@@ -428,6 +432,7 @@ func (c *CompiledFilters) MatchElem(e *Elem) bool {
 	return true
 }
 
+//bgp:hotpath
 func (c *CompiledFilters) matchPrefix(p netip.Prefix) bool {
 	p = p.Masked()
 	if _, ok := c.exact.Get(p); ok {
@@ -439,6 +444,7 @@ func (c *CompiledFilters) matchPrefix(p netip.Prefix) bool {
 	}
 	// lessSpecific: p covers some filter prefix.
 	covered := false
+	//bgp:alloc-ok non-escaping callback: Covered does not retain it, so the closure stays on the stack (FilterMatchElem benches 0 allocs)
 	c.lessSpecific.Covered(p, func(netip.Prefix, struct{}) bool {
 		covered = true
 		return false

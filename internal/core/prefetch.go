@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"io"
 	"sync"
 
@@ -136,7 +137,7 @@ func (s *prefetchSource) run() {
 			// inner has already released its file. EOF is conveyed by
 			// closing the channel; real errors are queued for the
 			// consumer first.
-			if err != io.EOF {
+			if !errors.Is(err, io.EOF) {
 				select {
 				case s.ch <- prefetchBatch{err: err}:
 				case <-s.g.stop:

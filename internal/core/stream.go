@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"io"
 	"iter"
 	"runtime"
@@ -260,7 +261,7 @@ func (s *Stream) Next() (*Record, error) {
 	for {
 		if s.seq == nil {
 			metas, err := s.di.NextBatch(s.ctx)
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				// Exhausted for good: mark closed so the health registry
 				// drops the stream even if the caller never calls Close.
 				s.closed.Store(true)
@@ -283,7 +284,7 @@ func (s *Stream) Next() (*Record, error) {
 			s.seq = s.buildSequence(selected)
 		}
 		rec, err := s.seq.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			s.seq = nil
 			continue
 		}
@@ -377,7 +378,7 @@ func (s *Stream) Err() error {
 }
 
 func (s *Stream) setErr(err error) {
-	if err == io.EOF {
+	if errors.Is(err, io.EOF) {
 		err = nil
 	}
 	s.mu.Lock()

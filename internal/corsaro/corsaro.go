@@ -8,6 +8,7 @@
 package corsaro
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -81,7 +82,7 @@ func (r *Runner) Run() error {
 	}
 	for {
 		rec, err := r.Source.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

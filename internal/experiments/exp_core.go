@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/netip"
@@ -137,7 +138,7 @@ func runFig3(cfg Config) (*Result, error) {
 	)
 	for {
 		rec, err := stream.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
@@ -347,7 +348,7 @@ func runListing1(cfg Config) (*Result, error) {
 	analysis := asgraph.NewInflationAnalysis()
 	for {
 		_, elem, err := stream.NextElem()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/netip"
@@ -139,7 +140,7 @@ func runFig5a(cfg Config) (*Result, error) {
 		unique := map[netip.Prefix]bool{}
 		for {
 			_, e, err := stream.NextElem()
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				break
 			}
 			if err != nil {
@@ -229,7 +230,7 @@ func runFig5b(cfg Config) (*Result, error) {
 			origins := map[netip.Prefix]map[string]map[uint32]bool{}
 			for {
 				rec, e, err := stream.NextElem()
-				if err == io.EOF {
+				if errors.Is(err, io.EOF) {
 					break
 				}
 				if err != nil {
@@ -322,7 +323,7 @@ func runFig5c(cfg Config) (*Result, error) {
 		defer stream.Close()
 		for {
 			_, e, err := stream.NextElem()
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				break
 			}
 			if err != nil {
@@ -388,7 +389,7 @@ func runFig5d(cfg Config) (*Result, error) {
 	vpSeen := map[uint32]bool{}
 	for {
 		rec, el, err := stream.NextElem()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -472,6 +472,15 @@ func (r *Repairer) worker(ctx context.Context) {
 func (r *Repairer) fetchWithRetries(ctx context.Context, g core.Gap) ([]pair, error) {
 	backoff := r.opts.retryBackoff()
 	max := r.opts.retryMax()
+	// One timer reused across retries: time.After in this loop would
+	// strand an allocated timer per attempt whenever ctx cancels the
+	// wait (goleak enforces this).
+	var retryTimer *time.Timer
+	defer func() {
+		if retryTimer != nil {
+			retryTimer.Stop()
+		}
+	}()
 	for attempt := 1; ; attempt++ {
 		start := time.Now()
 		items, err := r.fetch(ctx, g)
@@ -491,8 +500,13 @@ func (r *Repairer) fetchWithRetries(ctx context.Context, g core.Gap) ([]pair, er
 		if attempt >= max {
 			return nil, err
 		}
+		if retryTimer == nil {
+			retryTimer = time.NewTimer(backoff)
+		} else {
+			retryTimer.Reset(backoff)
+		}
 		select {
-		case <-time.After(backoff):
+		case <-retryTimer.C:
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EOFCompare flags direct equality comparisons with io.EOF in non-test
+// code. The stream layers wrap errors as they cross package
+// boundaries (gap repair, merge, prefetch), so a raw `err == io.EOF`
+// silently misses wrapped EOFs and turns clean termination into a
+// stream error — the regression class PR 4 swept by hand. errors.Is
+// matches both forms; test files are exempt because they assert on
+// exact sentinel identity on purpose.
+var EOFCompare = &Analyzer{
+	Name: "eofcompare",
+	Doc:  "flags err == io.EOF / err != io.EOF outside _test.go files; use errors.Is(err, io.EOF)",
+	Run:  runEOFCompare,
+}
+
+func runEOFCompare(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isIOEOF(pass, n.X) && !isIOEOF(pass, n.Y) {
+					return true
+				}
+				want := "errors.Is(err, io.EOF)"
+				if n.Op == token.NEQ {
+					want = "!errors.Is(err, io.EOF)"
+				}
+				pass.Reportf(n.Pos(), "comparison with io.EOF misses wrapped EOFs; use %s", want)
+			case *ast.SwitchStmt:
+				// switch err { case io.EOF: ... } compares with == implicitly.
+				if n.Tag == nil {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if isIOEOF(pass, e) {
+							pass.Reportf(e.Pos(), "switch case compares with io.EOF by ==; use errors.Is(err, io.EOF)")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isIOEOF reports whether the expression denotes the io.EOF variable.
+func isIOEOF(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Name() == "EOF" && v.Pkg() != nil && v.Pkg().Path() == "io"
+}

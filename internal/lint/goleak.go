@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak enforces goroutine and timer lifecycle discipline in non-test
+// code:
+//
+//   - A `go func(){...}()` literal launched inside a loop must have a
+//     channel-driven exit (a receive — typically <-ctx.Done(), a done/
+//     quit channel, a select with a receive case — or a range over a
+//     channel a producer closes). Per-iteration goroutines with no
+//     exit path accumulate without bound; //bgp:leak-ok suppresses a
+//     sanctioned site.
+//
+//   - time.After inside a loop allocates a timer per iteration that is
+//     not collected until it fires — abandoned waits pile up on every
+//     retry/backoff cycle. Use a reused time.Timer (Reset per wait).
+//
+//   - time.Tick leaks its ticker by design; use time.NewTicker + Stop.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines in loops need a channel-driven exit; time.After is banned inside loops; time.Tick is banned (suppress with //bgp:leak-ok)",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		leakOK := suppressedLines(pass.Fset, f, "leak-ok")
+		report := func(pos token.Pos, format string, args ...any) {
+			if leakOK[pass.Fset.Position(pos).Line] {
+				return
+			}
+			pass.Reportf(pos, format, args...)
+		}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				lit, isLit := ast.Unparen(n.Call.Fun).(*ast.FuncLit)
+				if !isLit || !inLoop(stack[:len(stack)-1], n.Pos()) {
+					return true
+				}
+				if !hasChannelExit(pass, lit.Body) {
+					report(n.Pos(), "goroutine launched per loop iteration has no channel-driven exit; select on a ctx.Done/quit channel or range over a closing channel")
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.TypesInfo, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !isPkgLevelFunc(fn) {
+					return true
+				}
+				switch fn.Name() {
+				case "After":
+					if inLoop(stack[:len(stack)-1], n.Pos()) {
+						report(n.Pos(), "time.After in a loop allocates a timer per iteration that lives until it fires; reuse a time.Timer (Reset per wait)")
+					}
+				case "Tick":
+					report(n.Pos(), "time.Tick leaks its ticker; use time.NewTicker and Stop it")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inLoop reports whether a node at pos sits in the per-iteration part
+// (body, condition, or post statement) of any enclosing for/range
+// loop.
+func inLoop(ancestors []ast.Node, pos token.Pos) bool {
+	within := func(n ast.Node) bool {
+		return n != nil && n.Pos() <= pos && pos < n.End()
+	}
+	for _, a := range ancestors {
+		switch a := a.(type) {
+		case *ast.ForStmt:
+			if within(a.Body) || within(a.Cond) || within(a.Post) {
+				return true
+			}
+		case *ast.RangeStmt:
+			if within(a.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasChannelExit reports whether the goroutine body contains any
+// blocking channel-driven construct that can terminate it: a receive
+// expression (<-ctx.Done(), <-quit, select receive cases) or a range
+// over a channel.
+func hasChannelExit(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

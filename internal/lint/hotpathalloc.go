@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc audits functions annotated //bgp:hotpath — the
+// elem-decode, filter-match, obsv-update and publish paths whose
+// allocation budgets the bench gates enforce (StreamThroughput ≤ 4.9
+// allocs/elem, ObsvHotPath 0 allocs/op). Between bench runs nothing
+// stops an allocating construct from creeping into these functions;
+// this analyzer fails the build instead. Flagged constructs: slice and
+// map composite literals, &composite literals, make/new, fmt.* and
+// errors.New calls, non-constant string concatenation, string<->[]byte
+// conversions, conversions into interface types, closures, and append
+// calls that fork a new slice instead of growing their operand in
+// place (arena discipline). Sanctioned allocations — arena chunk
+// growth, cold error branches — carry a //bgp:alloc-ok marker on or
+// above the line.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flags allocating constructs inside //bgp:hotpath functions (suppress with //bgp:alloc-ok)",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		var ok map[int]bool // lazily computed //bgp:alloc-ok lines
+		for _, decl := range f.Decls {
+			fn, isFn := decl.(*ast.FuncDecl)
+			if !isFn || fn.Body == nil || !hasDirective(fn.Doc, "hotpath") {
+				continue
+			}
+			if ok == nil {
+				ok = suppressedLines(pass.Fset, f, "alloc-ok")
+			}
+			checkHotBody(pass, fn, ok)
+		}
+	}
+	return nil
+}
+
+func checkHotBody(pass *Pass, fn *ast.FuncDecl, allocOK map[int]bool) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if allocOK[pass.Fset.Position(pos).Line] {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+	info := pass.TypesInfo
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "%s: slice literal allocates per call; hoist it or reuse a buffer", fn.Name.Name)
+			case *types.Map:
+				report(n.Pos(), "%s: map literal allocates per call; hoist it into a constructor or package var", fn.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := ast.Unparen(n.X).(*ast.CompositeLit); isLit {
+					report(n.Pos(), "%s: &composite literal escapes to the heap; reuse a preallocated value", fn.Name.Name)
+				}
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "%s: closure may allocate (captured variables escape); hoist it or mark //bgp:alloc-ok if it provably does not escape", fn.Name.Name)
+		case *ast.BinaryExpr:
+			if n.Op != token.ADD {
+				return true
+			}
+			tv := info.Types[n]
+			if tv.Value != nil { // constant-folded
+				return true
+			}
+			if b, isBasic := tv.Type.Underlying().(*types.Basic); isBasic && b.Info()&types.IsString != 0 {
+				report(n.Pos(), "%s: string concatenation allocates; use a reused buffer or precomputed string", fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN {
+				if b, isBasic := info.TypeOf(n.Lhs[0]).Underlying().(*types.Basic); isBasic && b.Info()&types.IsString != 0 {
+					report(n.Pos(), "%s: string += allocates; use a reused buffer", fn.Name.Name)
+				}
+				return true
+			}
+			checkAppendDiscipline(pass, fn, n, report)
+		case *ast.CallExpr:
+			checkHotCall(pass, fn, n, report)
+		}
+		return true
+	})
+}
+
+// checkHotCall flags allocating calls and conversions.
+func checkHotCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	info := pass.TypesInfo
+	// Explicit type conversions: T(x).
+	if tv, isConv := info.Types[call.Fun]; isConv && tv.IsType() {
+		if info.Types[call].Value != nil { // constant conversion
+			return
+		}
+		if len(call.Args) != 1 {
+			return
+		}
+		target := tv.Type
+		operand := info.TypeOf(call.Args[0])
+		if operand == nil {
+			return
+		}
+		switch {
+		case types.IsInterface(target) && !types.IsInterface(operand):
+			report(call.Pos(), "%s: conversion to %s boxes the value onto the heap", fn.Name.Name, types.TypeString(target, types.RelativeTo(pass.Pkg)))
+		case isString(target) && isByteOrRuneSlice(operand),
+			isByteOrRuneSlice(target) && isString(operand):
+			report(call.Pos(), "%s: string/[]byte conversion copies; keep one representation on the hot path", fn.Name.Name)
+		}
+		return
+	}
+	if isBuiltinCall(info, call, "make") || isBuiltinCall(info, call, "new") {
+		report(call.Pos(), "%s: make/new allocates per call; hoist into the constructor or arena (//bgp:alloc-ok for sanctioned growth)", fn.Name.Name)
+		return
+	}
+	callee := calleeFunc(info, call)
+	if callee == nil || callee.Pkg() == nil || !isPkgLevelFunc(callee) {
+		return
+	}
+	switch callee.Pkg().Path() {
+	case "fmt":
+		report(call.Pos(), "%s: fmt.%s allocates (boxing + formatting); keep formatting off the hot path", fn.Name.Name, callee.Name())
+	case "errors":
+		if callee.Name() == "New" {
+			report(call.Pos(), "%s: errors.New allocates; use a package-level sentinel error", fn.Name.Name)
+		}
+	}
+}
+
+// checkAppendDiscipline enforces arena discipline on appends that are
+// assigned: the destination must be the slice being grown (x =
+// append(x, ...)); forking a fresh slice from another's tail is a
+// hidden copy. Appends whose result is returned are the pass-through
+// arena idiom and are allowed.
+func checkAppendDiscipline(pass *Pass, fn *ast.FuncDecl, n *ast.AssignStmt, report func(token.Pos, string, ...any)) {
+	for i, rhs := range n.Rhs {
+		call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+		if !isCall || !isBuiltinCall(pass.TypesInfo, call, "append") || len(call.Args) == 0 {
+			continue
+		}
+		if len(n.Lhs) != len(n.Rhs) {
+			continue
+		}
+		dst := types.ExprString(ast.Unparen(n.Lhs[i]))
+		base := types.ExprString(ast.Unparen(call.Args[0]))
+		if dst != base {
+			report(call.Pos(), "%s: append grows %s but assigns to %s; arena discipline wants in-place growth (%s = append(%s, ...))", fn.Name.Name, base, dst, base, base)
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// LockDiscipline machine-checks the repo's concurrency layout
+// conventions:
+//
+//   - A struct field that is accessed through sync/atomic functions
+//     anywhere in the package must be accessed that way everywhere: a
+//     plain read or write of the same field races with the atomic
+//     sites (prefer the typed atomic.* field types, which make plain
+//     access impossible).
+//
+//   - Mutexes precede the fields they guard. A sync.Mutex/RWMutex
+//     declared as the last field of a struct sits below its guarded
+//     group; and a field whose comment says "guarded by X" must be
+//     declared after the mutex X it names.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no mixed atomic/plain access to the same field; mutexes precede the field groups they guard",
+	Run:  runLockDiscipline,
+}
+
+var guardedByRe = regexp.MustCompile(`(?i)\bguarded by (\w+)`)
+
+func runLockDiscipline(pass *Pass) error {
+	checkStructLayouts(pass)
+	checkAtomicMixing(pass)
+	return nil
+}
+
+// --- struct layout -----------------------------------------------------
+
+type structField struct {
+	name  string
+	field *ast.Field
+	mutex bool
+}
+
+func checkStructLayouts(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			checkOneStruct(pass, ts.Name.Name, st)
+			return true
+		})
+	}
+}
+
+func checkOneStruct(pass *Pass, structName string, st *ast.StructType) {
+	var fields []structField
+	for _, field := range st.Fields.List {
+		isMutex := isMutexType(pass.TypesInfo.TypeOf(field.Type))
+		if len(field.Names) == 0 {
+			// Embedded field: named after its type.
+			name := types.ExprString(field.Type)
+			if sel, ok := field.Type.(*ast.SelectorExpr); ok {
+				name = sel.Sel.Name
+			}
+			fields = append(fields, structField{name: name, field: field, mutex: isMutex})
+			continue
+		}
+		for _, name := range field.Names {
+			fields = append(fields, structField{name: name.Name, field: field, mutex: isMutex})
+		}
+	}
+	index := make(map[string]int, len(fields))
+	for i, f := range fields {
+		index[f.name] = i
+	}
+	// Rule: a mutex must not trail the fields it guards.
+	if len(fields) >= 2 && fields[len(fields)-1].mutex {
+		last := fields[len(fields)-1]
+		pass.Reportf(last.field.Pos(), "mutex %s is the last field of %s; declare it above the field group it guards (mu-precedes-guarded-fields convention)", last.name, structName)
+	}
+	// Rule: "guarded by X" comments must name a mutex declared above.
+	for i, f := range fields {
+		guard := guardedByComment(f.field)
+		if guard == "" {
+			continue
+		}
+		j, exists := index[guard]
+		switch {
+		case !exists:
+			pass.Reportf(f.field.Pos(), "field %s of %s is documented as guarded by %s, but %s has no field %s", f.name, structName, guard, structName, guard)
+		case !fields[j].mutex:
+			pass.Reportf(f.field.Pos(), "field %s of %s is documented as guarded by %s, which is not a sync.Mutex/RWMutex", f.name, structName, guard)
+		case j > i:
+			pass.Reportf(f.field.Pos(), "field %s of %s is guarded by %s but declared before it; move %s above its guarded group", f.name, structName, guard, guard)
+		}
+	}
+}
+
+func guardedByComment(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if !pkgPathIs(obj, "sync") {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// --- mixed atomic / plain field access ---------------------------------
+
+func checkAtomicMixing(pass *Pass) {
+	// Pass 1: fields whose address is taken by a sync/atomic call.
+	atomicFields := make(map[*types.Var]string) // field -> atomic func name
+	atomicSels := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !isPkgLevelFunc(fn) {
+				return true
+			}
+			for _, arg := range call.Args {
+				addr, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := fieldVar(pass, sel); v != nil {
+					atomicFields[v] = fn.Name()
+					atomicSels[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Pass 2: any other access to those fields is a race.
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSels[sel] {
+				return true
+			}
+			v := fieldVar(pass, sel)
+			if v == nil {
+				return true
+			}
+			if atomicFn, isAtomic := atomicFields[v]; isAtomic {
+				pass.Reportf(sel.Pos(), "field %s is accessed via atomic.%s elsewhere in this package; plain access here races — use the atomic API consistently (or a typed atomic field)", v.Name(), atomicFn)
+			}
+			return true
+		})
+	}
+}
+
+// fieldVar resolves a selector to the struct field it denotes, or nil.
+func fieldVar(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}

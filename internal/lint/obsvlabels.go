@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObsvLabels enforces the obsv label-interning discipline: vec child
+// lookups (CounterVec/GaugeVec/HistogramVec .With) take the family
+// lock, hash the label tuple and may allocate, so they belong in
+// package var initialisation or constructors — never per elem. The
+// handle they return is the thing hot paths update (one atomic op,
+// zero allocations). A With call anywhere else is almost always a
+// per-elem lookup creeping in; registration-time helpers that are
+// neither init nor New* can opt in with a //bgp:coldpath directive.
+var ObsvLabels = &Analyzer{
+	Name: "obsvlabels",
+	Doc:  "obsv vec With() interning must happen in var init, init(), or New*/new* constructors (//bgp:coldpath to opt in)",
+	Run:  runObsvLabels,
+}
+
+func runObsvLabels(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				// Package-level var initialisers are the canonical
+				// interning site.
+				continue
+			case *ast.FuncDecl:
+				if d.Body == nil || obsvInterningAllowed(d) {
+					continue
+				}
+				ast.Inspect(d.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if sel, isWith := isObsvVecWith(pass, call); isWith {
+						pass.Reportf(call.Pos(), "%s interns a label tuple per call (lock + hash + possible allocation); hoist the %s handle into a var init or constructor", types.ExprString(sel), types.ExprString(sel.X))
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// obsvInterningAllowed reports whether the function is a sanctioned
+// interning site: init(), a New*/new* constructor, or explicitly
+// marked //bgp:coldpath.
+func obsvInterningAllowed(fn *ast.FuncDecl) bool {
+	name := fn.Name.Name
+	return name == "init" ||
+		strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") ||
+		hasDirective(fn.Doc, "coldpath")
+}
+
+// isObsvVecWith reports whether the call is a With method on one of
+// the obsv vec families.
+func isObsvVecWith(pass *Pass, call *ast.CallExpr) (*ast.SelectorExpr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "With" {
+		return nil, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || !pkgPathIs(fn, "obsv") {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, false
+	}
+	recv := sig.Recv().Type()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	return sel, strings.HasSuffix(named.Obj().Name(), "Vec")
+}

@@ -1,0 +1,35 @@
+// Package eofcmp exercises the eofcompare analyzer.
+package eofcmp
+
+import (
+	"errors"
+	"io"
+)
+
+func bad(err error) bool {
+	if err == io.EOF { // want `comparison with io\.EOF misses wrapped EOFs; use errors\.Is\(err, io\.EOF\)`
+		return true
+	}
+	if io.EOF == err { // want `use errors\.Is\(err, io\.EOF\)`
+		return true
+	}
+	return err != io.EOF // want `use !errors\.Is\(err, io\.EOF\)`
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case io.EOF: // want `switch case compares with io\.EOF by ==; use errors\.Is\(err, io\.EOF\)`
+		return "eof"
+	case nil:
+		return ""
+	}
+	return "err"
+}
+
+func good(err error) bool {
+	if errors.Is(err, io.EOF) {
+		return true
+	}
+	// Comparing other sentinels directly is out of scope.
+	return err == errors.ErrUnsupported
+}

@@ -1,0 +1,9 @@
+package eofcmp
+
+import "io"
+
+// Test files are exempt wholesale: asserting on exact sentinel
+// identity is intentional here, so no want markers in this file.
+func assertEOF(err error) bool {
+	return err == io.EOF
+}

@@ -1,0 +1,70 @@
+// Package hotalloc exercises the hotpathalloc analyzer.
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+type elem struct {
+	buf []byte
+	n   int
+}
+
+type codeErr struct{}
+
+func (codeErr) Error() string { return "code" }
+
+//bgp:hotpath
+func hotLiterals() {
+	_ = []int{1, 2, 3}         // want `hotLiterals: slice literal allocates per call`
+	_ = map[string]int{"a": 1} // want `hotLiterals: map literal allocates per call`
+}
+
+//bgp:hotpath
+func hotEscapes() *elem {
+	fn := func() {} // want `hotEscapes: closure may allocate`
+	fn()
+	return &elem{n: 1} // want `hotEscapes: &composite literal escapes to the heap`
+}
+
+//bgp:hotpath
+func hotStrings(name string, b []byte) string {
+	s := "elem:" + name // want `hotStrings: string concatenation allocates`
+	s += name           // want `hotStrings: string \+= allocates`
+	_ = string(b)       // want `hotStrings: string/\[\]byte conversion copies`
+	return s
+}
+
+//bgp:hotpath
+func hotCalls(err error) error {
+	_ = make([]byte, 8)       // want `hotCalls: make/new allocates per call`
+	fmt.Println(err)          // want `hotCalls: fmt\.Println allocates \(boxing \+ formatting\)`
+	return errors.New("boom") // want `hotCalls: errors\.New allocates; use a package-level sentinel error`
+}
+
+//bgp:hotpath
+func hotBoxing(c codeErr) error {
+	return error(c) // want `hotBoxing: conversion to error boxes the value onto the heap`
+}
+
+//bgp:hotpath
+func hotAppend(dst, src []byte) []byte {
+	tail := append(src, 0) // want `hotAppend: append grows src but assigns to tail`
+	_ = tail
+	// In-place growth and pass-through returns are the arena idiom.
+	dst = append(dst, src...)
+	return append(dst, 0)
+}
+
+// hotSanctioned shows the //bgp:alloc-ok escape hatch.
+//
+//bgp:hotpath
+func hotSanctioned(n int) []byte {
+	return make([]byte, n) //bgp:alloc-ok amortised scratch growth
+}
+
+// coldAlloc has no hotpath directive, so it may allocate freely.
+func coldAlloc(name string) []string {
+	return []string{fmt.Sprintf("cold:%s", name)}
+}

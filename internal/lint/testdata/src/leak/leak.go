@@ -1,0 +1,77 @@
+// Package leak exercises the goleak analyzer.
+package leak
+
+import (
+	"context"
+	"time"
+)
+
+func spawnPerConn(ctx context.Context, conns []int) {
+	for range conns {
+		go func() { // want `goroutine launched per loop iteration has no channel-driven exit`
+			for {
+				work()
+			}
+		}()
+	}
+	for _, c := range conns {
+		_ = c
+		go func() { // a ctx.Done receive is a channel-driven exit
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+					work()
+				}
+			}
+		}()
+	}
+}
+
+func drain(jobs chan int) {
+	for i := 0; i < 4; i++ {
+		go func() { // ranging over a channel the producer closes is fine
+			for j := range jobs {
+				_ = j
+			}
+		}()
+	}
+}
+
+func retry(ctx context.Context) {
+	for {
+		select {
+		case <-time.After(time.Second): // want `time\.After in a loop allocates a timer per iteration`
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func poll() {
+	for range time.Tick(time.Second) { // want `time\.Tick leaks its ticker; use time\.NewTicker and Stop it`
+		work()
+	}
+}
+
+func onceOff() {
+	// A single goroutine outside any loop needs no channel exit, and
+	// time.After outside a loop is a bounded one-shot.
+	go func() {
+		work()
+	}()
+	<-time.After(time.Millisecond)
+}
+
+func sanctioned(n int) {
+	for i := 0; i < n; i++ {
+		go func() { //bgp:leak-ok worker pool lives for the process lifetime
+			for {
+				work()
+			}
+		}()
+	}
+}
+
+func work() {}

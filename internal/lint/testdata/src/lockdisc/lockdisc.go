@@ -1,0 +1,59 @@
+// Package lockdisc exercises the lockdiscipline analyzer.
+package lockdisc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// table follows the convention: the mutex precedes its guarded group.
+type table struct {
+	mu      sync.Mutex
+	entries map[string]int // guarded by mu
+}
+
+type trailing struct {
+	entries map[string]int
+	mu      sync.Mutex // want `mutex mu is the last field of trailing; declare it above the field group it guards`
+}
+
+type misordered struct {
+	entries map[string]int // guarded by mu -- want `field entries of misordered is guarded by mu but declared before it; move mu above its guarded group`
+	mu      sync.RWMutex
+	hits    int
+}
+
+type phantom struct {
+	mu    sync.Mutex
+	count int // guarded by lock -- want `field count of phantom is documented as guarded by lock, but phantom has no field lock`
+}
+
+type notAMutex struct {
+	state int
+	count int // guarded by state -- want `field count of notAMutex is documented as guarded by state, which is not a sync\.Mutex/RWMutex`
+}
+
+// justMu is exempt from the trailing rule: there is nothing above the
+// mutex for it to guard.
+type justMu struct {
+	mu sync.Mutex
+}
+
+// counters mixes atomic and plain access to the same field.
+type counters struct {
+	hits uint64
+	miss uint64
+}
+
+func (c *counters) record() {
+	atomic.AddUint64(&c.hits, 1)
+	c.miss++ // miss is never touched atomically, so plain access is fine
+}
+
+func (c *counters) snapshot() uint64 {
+	return c.hits // want `field hits is accessed via atomic\.\w+ elsewhere in this package; plain access here races`
+}
+
+func (c *counters) load() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}

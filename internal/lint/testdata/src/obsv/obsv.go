@@ -1,0 +1,26 @@
+// Package obsv is a miniature stand-in for the repo's internal/obsv
+// metrics package — just enough surface (a Vec family whose With
+// interns label tuples into atomic handles) for the obsvlabels
+// fixtures to type-check against.
+package obsv
+
+// Counter is one interned metric handle.
+type Counter struct{ v uint64 }
+
+// Inc bumps the counter.
+func (c *Counter) Inc() { c.v++ }
+
+// CounterVec is a labelled counter family.
+type CounterVec struct{ name string }
+
+// With interns a label tuple and returns its handle.
+func (v *CounterVec) With(labels ...string) *Counter {
+	_ = labels
+	return &Counter{}
+}
+
+// NewCounterVec registers a counter family.
+func NewCounterVec(name string, labels ...string) *CounterVec {
+	_ = labels
+	return &CounterVec{name: name}
+}

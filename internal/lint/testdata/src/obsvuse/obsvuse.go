@@ -1,0 +1,31 @@
+// Package obsvuse exercises the obsvlabels analyzer.
+package obsvuse
+
+import "obsv"
+
+// Package var initialisation is the canonical interning site.
+var (
+	elems    = obsv.NewCounterVec("elems", "collector")
+	rrcElems = elems.With("rrc00")
+)
+
+func init() {
+	_ = elems.With("rrc01")
+}
+
+// NewWorker is a constructor, so it may intern.
+func NewWorker() *obsv.Counter {
+	return elems.With("rrc02")
+}
+
+// refresh is registration-time code that opted in explicitly.
+//
+//bgp:coldpath
+func refresh() {
+	_ = elems.With("rrc03")
+}
+
+func perElem(collector string) {
+	elems.With(collector).Inc() // want `elems\.With interns a label tuple per call \(lock \+ hash \+ possible allocation\); hoist the elems handle into a var init or constructor`
+	rrcElems.Inc()              // updating an interned handle is the hot-path idiom
+}

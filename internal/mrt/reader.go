@@ -85,18 +85,20 @@ func (r *Reader) StableBodies(chunkSize int) {
 // body returns a buffer of length n to decode the next record body
 // into, from the arena in StableBodies mode and from the reusable
 // scratch otherwise.
+//
+//bgp:hotpath
 func (r *Reader) body(n int) []byte {
 	if r.arena == 0 {
 		if cap(r.scratch) < n {
 			// Grow with headroom: record sizes fluctuate, and sizing the
 			// scratch to exactly the largest-so-far reallocates on every
 			// new maximum early in a dump.
-			r.scratch = make([]byte, n+n/2)
+			r.scratch = make([]byte, n+n/2) //bgp:alloc-ok amortised scratch growth
 		}
 		return r.scratch[:n]
 	}
 	if n > r.arena {
-		return make([]byte, n)
+		return make([]byte, n) //bgp:alloc-ok oversized body cannot share a chunk
 	}
 	if len(r.arenaBuf)-r.arenaUsed < n {
 		size := r.arenaNext
@@ -108,7 +110,7 @@ func (r *Reader) body(n int) []byte {
 		} else {
 			r.arenaNext = r.arena
 		}
-		r.arenaBuf = make([]byte, size)
+		r.arenaBuf = make([]byte, size) //bgp:alloc-ok geometric arena chunk growth
 		r.arenaUsed = 0
 	}
 	b := r.arenaBuf[r.arenaUsed : r.arenaUsed+n : r.arenaUsed+n]
@@ -131,9 +133,10 @@ func (r *Reader) Next() (Record, error) {
 	return rec, err
 }
 
+//bgp:hotpath
 func (r *Reader) next() (Record, error) {
 	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return Record{}, io.EOF
 		}
 		if errors.Is(err, io.ErrUnexpectedEOF) {
@@ -222,7 +225,7 @@ func ReadAll(r io.Reader) ([]Record, error) {
 	var out []Record
 	for {
 		rec, err := mr.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return out, nil
 		}
 		if err != nil {

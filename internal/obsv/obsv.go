@@ -22,9 +22,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//bgp:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//bgp:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -37,15 +41,23 @@ type Gauge struct {
 }
 
 // Set replaces the value.
+//
+//bgp:hotpath
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add adds n (which may be negative).
+//
+//bgp:hotpath
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Inc adds one.
+//
+//bgp:hotpath
 func (g *Gauge) Inc() { g.v.Add(1) }
 
 // Dec subtracts one.
+//
+//bgp:hotpath
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
 // Value returns the current value.
@@ -71,6 +83,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one sample.
+//
+//bgp:hotpath
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

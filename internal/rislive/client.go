@@ -269,13 +269,27 @@ func (c *Client) run() {
 	defer close(c.pairs)
 	failures := 0 // consecutive attempts without a delivered message
 	step := 0     // backoff ladder position
+	// One timer reused across reconnect backoffs: time.After here
+	// would strand a timer allocation per attempt whenever Close cuts
+	// the wait short (goleak enforces this).
+	var backoffTimer *time.Timer
+	defer func() {
+		if backoffTimer != nil {
+			backoffTimer.Stop()
+		}
+	}()
 	for {
 		if c.stopped() {
 			return
 		}
 		if step > 0 {
+			if backoffTimer == nil {
+				backoffTimer = time.NewTimer(c.backoff(step))
+			} else {
+				backoffTimer.Reset(c.backoff(step))
+			}
 			select {
-			case <-time.After(c.backoff(step)):
+			case <-backoffTimer.C:
 			case <-c.stop:
 				return
 			}

@@ -2,6 +2,7 @@ package rislive
 
 import (
 	"context"
+	"errors"
 	"io"
 	"time"
 
@@ -31,12 +32,21 @@ func Replay(ctx context.Context, s *core.Stream, srv *Server, opts ReplayOptions
 	}
 	var prev time.Time
 	published := 0
+	// One timer reused across pacing sleeps: time.After would allocate
+	// a timer per elem at replay speed, stranded until it fires if the
+	// context cancels mid-wait (goleak enforces this).
+	var paceTimer *time.Timer
+	defer func() {
+		if paceTimer != nil {
+			paceTimer.Stop()
+		}
+	}()
 	for {
 		if err := ctx.Err(); err != nil {
 			return published, err
 		}
 		rec, elem, err := s.NextElem()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return published, nil
 		}
 		if err != nil {
@@ -48,8 +58,13 @@ func Replay(ctx context.Context, s *core.Stream, srv *Server, opts ReplayOptions
 				if gap > maxGap {
 					gap = maxGap
 				}
+				if paceTimer == nil {
+					paceTimer = time.NewTimer(gap)
+				} else {
+					paceTimer.Reset(gap)
+				}
 				select {
-				case <-time.After(gap):
+				case <-paceTimer.C:
 				case <-ctx.Done():
 					return published, ctx.Err()
 				}

@@ -132,6 +132,8 @@ func marshalFrame(m Message) ([]byte, error) {
 // every matching subscriber. It never blocks: subscribers with full
 // buffers lose the message and have their drop counter incremented.
 // Safe for concurrent use.
+//
+//bgp:hotpath
 func (s *Server) Publish(project, collector string, e *core.Elem) {
 	s.published.Add(1)
 	metPublished.Inc()

@@ -62,25 +62,46 @@ echo "wrote $out"
 
 # Perf gates (see header). Metric values precede their unit in go test
 # output, so scan field pairs for the unit and read the field before.
+# Each gate tracks whether its benchmark (and metric) appeared at all:
+# a renamed or dropped benchmark must fail the gate loudly instead of
+# silently gating nothing.
 awk '
 function metric(unit,   i) {
 	for (i = 3; i < NF; i++) if ($(i + 1) == unit) return $i
 	return ""
 }
 /^BenchmarkObsvHotPath/ {
+	seen_obsv = 1
 	v = metric("allocs/op")
-	if (v != "" && v + 0 != 0) {
+	if (v == "") {
+		printf "GATE FAIL: %s has no allocs/op metric (run with -benchmem)\n", $1
+		fail = 1
+	} else if (v + 0 != 0) {
 		printf "GATE FAIL: %s allocates (%s allocs/op, want 0)\n", $1, v
 		fail = 1
 	}
 }
 /^BenchmarkStreamThroughput(Sequential)?[ \t]/ {
+	seen_stream = 1
 	v = metric("allocs/elem")
-	if (v != "" && v + 0 > 4.9) {
+	if (v == "") {
+		printf "GATE FAIL: %s has no allocs/elem metric (ReportMetric dropped?)\n", $1
+		fail = 1
+	} else if (v + 0 > 4.9) {
 		printf "GATE FAIL: %s allocs/elem %s > 4.9 (BENCH_5.json baseline 4.868)\n", $1, v
 		fail = 1
 	}
 }
-END { exit fail }
+END {
+	if (!seen_obsv) {
+		print "GATE FAIL: BenchmarkObsvHotPath missing from bench output; its 0 allocs/op gate did not run"
+		fail = 1
+	}
+	if (!seen_stream) {
+		print "GATE FAIL: BenchmarkStreamThroughput missing from bench output; its allocs/elem gate did not run"
+		fail = 1
+	}
+	exit fail
+}
 ' "$tmp" || { echo "bench gates failed" >&2; exit 1; }
 echo "bench gates passed (ObsvHotPath 0 allocs/op, StreamThroughput allocs/elem <= 4.9)"
