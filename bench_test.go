@@ -302,10 +302,21 @@ func BenchmarkRISLiveFanout(b *testing.B) {
 	// decode — and pin the per-subscriber publish cost, which after
 	// the single-encode change is a filter check and a channel send
 	// (allocs/elem-sub → 0 as subscribers grow: the one encode+frame
-	// amortises across the fan-out).
+	// amortises across the fan-out). Sizes up to 4096 keep the buffer
+	// the historical 4096 so allocs/elem-sub stays comparable across
+	// BENCH_N.json files; the 16k/65k shard-scale runs use a small
+	// buffer — at those sizes the bench pins publish-side cost (p99
+	// publish latency must stay flat as subscribers grow), not drain
+	// completeness, and a 4096-deep buffer per 65k subscribers would
+	// be pure memory noise.
 	for _, clients := range []int{256, 1024, 4096} {
 		b.Run(fmt.Sprintf("%dsubs-direct", clients), func(b *testing.B) {
-			benchRISLiveFanoutDirect(b, clients)
+			benchRISLiveFanoutDirect(b, clients, 4096)
+		})
+	}
+	for _, clients := range []int{16384, 65536} {
+		b.Run(fmt.Sprintf("%dsubs-direct", clients), func(b *testing.B) {
+			benchRISLiveFanoutDirect(b, clients, 128)
 		})
 	}
 }
@@ -333,8 +344,10 @@ func (w *benchFanoutWriter) Write(p []byte) (int, error) {
 //	dropped/op     — per-subscriber buffer drops per publish
 //	allocs/elem    — heap allocations per published elem
 //	allocs/elem-sub — the same normalised per (elem, subscriber) pair
-func benchRISLiveFanoutDirect(b *testing.B, clients int) {
-	srv := &rislive.Server{KeepAlive: time.Hour, BufferSize: 4096}
+//	p99-publish-ns — p99 latency of a single Publish call (the time the
+//	                 producer is held, which bounds ingest throughput)
+func benchRISLiveFanoutDirect(b *testing.B, clients, buffer int) {
+	srv := &rislive.Server{KeepAlive: time.Hour, BufferSize: buffer}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var delivered atomic.Uint64
@@ -348,7 +361,7 @@ func benchRISLiveFanoutDirect(b *testing.B, clients int) {
 			srv.ServeHTTP(w, req)
 		}()
 	}
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := time.Now().Add(30 * time.Second)
 	for srv.Stats().Subscribers < clients {
 		if time.Now().After(deadline) {
 			b.Fatal("subscribers did not register")
@@ -357,13 +370,16 @@ func benchRISLiveFanoutDirect(b *testing.B, clients int) {
 	}
 
 	e := benchLiveElem()
+	samples := make([]time.Duration, 0, b.N)
 	b.ReportAllocs()
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
 		srv.Publish("ris", "rrc00", &e)
+		samples = append(samples, time.Since(t0))
 	}
 	b.StopTimer()
 	runtime.ReadMemStats(&after)
@@ -374,15 +390,20 @@ func benchRISLiveFanoutDirect(b *testing.B, clients int) {
 	}
 	cancel()
 	wg.Wait()
+	srv.Close()
 	allocs := float64(after.Mallocs - before.Mallocs)
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	p99 := samples[min((len(samples)*99)/100, len(samples)-1)]
 	b.ReportMetric(float64(delivered.Load())/float64(b.N), "delivered/op")
 	b.ReportMetric(float64(srv.Stats().Dropped)/float64(b.N), "dropped/op")
 	b.ReportMetric(allocs/float64(b.N), "allocs/elem")
 	b.ReportMetric(allocs/float64(want), "allocs/elem-sub")
+	b.ReportMetric(float64(p99.Nanoseconds()), "p99-publish-ns")
 }
 
 func benchRISLiveFanoutE2E(b *testing.B, clients int) {
 	srv := &rislive.Server{KeepAlive: time.Hour, BufferSize: 65536}
+	defer srv.Close()
 	hs := httptest.NewServer(srv)
 	defer hs.Close()
 

@@ -14,11 +14,13 @@
 //	# flood a one-shot replay as fast as it decodes:
 //	bgplivesrv -listen :8481 -d ./archive
 //
-// Endpoints: /v1/stream (SSE feed; see rislive.ParseSubscription for
-// the filter parameters), /v1/stats (JSON counters), /metrics
-// (Prometheus text exposition of the whole pipeline), /healthz (JSON
-// liveness), /sources (source registry plus per-stream health), and —
-// with -pprof — /debug/pprof/.
+// Endpoints: /v1/stream (live feed — SSE, or WebSocket when the
+// request carries an upgrade; see rislive.ParseSubscription for the
+// filter parameters), /v1/ws (same feed, conventional WebSocket
+// path), /v1/stats (JSON counters), /metrics (Prometheus text
+// exposition of the whole pipeline), /healthz (JSON liveness),
+// /sources (source registry plus per-stream health), and — with
+// -pprof — /debug/pprof/.
 package main
 
 import (
@@ -59,8 +61,10 @@ func run(ctx context.Context, args []string, onListen func(net.Addr)) error {
 		loop      = fs.Bool("loop", false, "restart the replay when the source is exhausted")
 		pace      = fs.Float64("pace", 0, "replay speed: 1 = real time, 60 = hour/minute, 0 = flat out")
 		maxGap    = fs.Duration("max-gap", 5*time.Second, "cap on any single pacing sleep")
-		keepalive = fs.Duration("keepalive", 15*time.Second, "SSE ping interval")
+		keepalive = fs.Duration("keepalive", 15*time.Second, "feed ping interval (SSE and WebSocket)")
 		buffer    = fs.Int("buffer", 1024, "per-client message buffer (drop-newest beyond)")
+		shards    = fs.Int("shards", 0, "fan-out shards (goroutines); 0 = default (8)")
+		shardQ    = fs.Int("shard-queue", 0, "per-shard queued-elem bound; 0 = default (8192)")
 		pprofFlag = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -96,10 +100,14 @@ func run(ctx context.Context, args []string, onListen func(net.Addr)) error {
 	feed := &rislive.Server{
 		KeepAlive:  *keepalive,
 		BufferSize: *buffer,
+		Shards:     *shards,
+		ShardQueue: *shardQ,
 		Logf:       log.Printf,
 	}
+	defer feed.Close() // drain and stop the fan-out shard goroutines
 	mux := http.NewServeMux()
 	mux.Handle("/v1/stream", feed)
+	mux.Handle("/v1/ws", feed)
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(feed.Stats())
@@ -122,7 +130,7 @@ func run(ctx context.Context, args []string, onListen func(net.Addr)) error {
 	if onListen != nil {
 		onListen(ln.Addr())
 	}
-	log.Printf("bgplivesrv: serving SSE feed on %s/v1/stream (pace %gx, loop %v)",
+	log.Printf("bgplivesrv: serving live feed on %s/v1/stream (SSE or WS upgrade) and /v1/ws (pace %gx, loop %v)",
 		ln.Addr(), *pace, *loop)
 
 	go func() {

@@ -330,17 +330,40 @@ func walk[T any](n *node[T], fn func(netip.Prefix, T) bool) bool {
 
 // OverlapsAny reports whether any stored prefix overlaps p, i.e.
 // contains p or is contained in it. This is the pfxmonitor matching
-// predicate.
+// predicate and the rislive fan-out pre-index probe; it performs no
+// allocations, so it is safe to call per published elem.
 func (t *Table[T]) OverlapsAny(p netip.Prefix) bool {
 	if _, _, ok := t.LookupPrefix(p); ok {
 		return true
 	}
-	found := false
-	t.Covered(p, func(netip.Prefix, T) bool {
-		found = true
+	return t.anyCovered(p)
+}
+
+// anyCovered reports whether any stored prefix is contained in p. It
+// mirrors Covered's descent but tests bare subtree occupancy instead
+// of invoking a callback, keeping the probe closure- and
+// allocation-free.
+func (t *Table[T]) anyCovered(p netip.Prefix) bool {
+	p = p.Masked()
+	n := *t.root(p.Addr().Is6())
+	for n != nil && n.prefix.Bits() < p.Bits() {
+		if !n.prefix.Contains(p.Addr()) {
+			return false
+		}
+		if bitAt(p.Addr(), n.prefix.Bits()) == 0 {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if n == nil || !contains(p, n.prefix) {
 		return false
-	})
-	return found
+	}
+	return subtreeHasValue(n)
+}
+
+func subtreeHasValue[T any](n *node[T]) bool {
+	return n != nil && (n.hasValue || subtreeHasValue(n.left) || subtreeHasValue(n.right))
 }
 
 // All calls fn for every stored prefix in trie order (sorted for

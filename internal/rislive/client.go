@@ -30,9 +30,16 @@ import (
 // forcing a reconnect. Fields must be set before the first NextElem
 // call.
 type Client struct {
-	// URL is the SSE endpoint; Sub is appended to its query string.
+	// URL is the feed endpoint; Sub is appended to its query string.
+	// http(s) and ws(s) schemes are accepted.
 	URL string
 	Sub Subscription
+	// Transport selects the wire framing: TransportSSE, TransportWS,
+	// or TransportAuto (default) to pick by URL scheme — ws/wss
+	// connect over WebSocket, http/https over SSE. Both transports
+	// carry the same JSON envelope and share the reconnect, gap, and
+	// staleness machinery.
+	Transport string
 	// HTTPClient overrides the default client (tests, custom TLS). The
 	// default applies ConnectTimeout to dialing only, never to the
 	// stream itself.
@@ -294,7 +301,7 @@ func (c *Client) run() {
 				return
 			}
 		}
-		delivered, err := c.streamOnce()
+		delivered, err := c.streamConn()
 		if c.stopped() {
 			return
 		}
@@ -372,6 +379,12 @@ func (c *Client) streamOnce() (int, error) {
 		c.fail(err)
 		c.Close()
 		return 0, err
+	}
+	// An SSE stream forced onto a ws(s) URL uses the equivalent http
+	// scheme; the endpoint and protocol are the same, only the default
+	// framing differs.
+	if strings.HasPrefix(endpoint, "ws") {
+		endpoint = "http" + strings.TrimPrefix(endpoint, "ws")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -567,8 +580,10 @@ func (c *Client) buildURL() (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("rislive: bad URL %q: %w", c.URL, err)
 	}
-	if !strings.HasPrefix(u.Scheme, "http") {
-		return "", fmt.Errorf("rislive: bad URL %q: need http(s)", c.URL)
+	switch u.Scheme {
+	case "http", "https", "ws", "wss":
+	default:
+		return "", fmt.Errorf("rislive: bad URL %q: need http(s) or ws(s)", c.URL)
 	}
 	q := u.Query()
 	for k, vs := range c.Sub.Values() {

@@ -1,0 +1,188 @@
+package rislive
+
+import (
+	"bufio"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Transport values for Client.Transport.
+const (
+	// TransportAuto picks by URL scheme: ws/wss connect over
+	// WebSocket, everything else over SSE.
+	TransportAuto = ""
+	TransportSSE  = "sse"
+	TransportWS   = "ws"
+)
+
+// useWS resolves the configured transport to a concrete choice. An
+// unknown Transport value is a configuration error (terminal — no
+// amount of reconnecting fixes it).
+func (c *Client) useWS() (bool, error) {
+	switch c.Transport {
+	case TransportWS:
+		return true, nil
+	case TransportSSE:
+		return false, nil
+	case TransportAuto:
+	default:
+		return false, fmt.Errorf("rislive: unknown transport %q (want %q, %q, or empty for auto)", c.Transport, TransportSSE, TransportWS)
+	}
+	u, err := url.Parse(c.URL)
+	if err != nil {
+		return false, nil // the URL error surfaces in buildURL
+	}
+	return u.Scheme == "ws" || u.Scheme == "wss", nil
+}
+
+// streamConn establishes one connection over the resolved transport
+// and consumes it until error. Everything above the framing — the
+// JSON envelope, gap tracking, staleness, reconnect policy — is
+// transport-agnostic and shared through dispatch.
+func (c *Client) streamConn() (int, error) {
+	ws, err := c.useWS()
+	if err != nil {
+		c.fail(err)
+		c.Close()
+		return 0, err
+	}
+	if ws {
+		return c.streamOnceWS()
+	}
+	return c.streamOnce()
+}
+
+// streamOnceWS dials the endpoint, performs the RFC 6455 client
+// handshake, and consumes text frames until error, returning how many
+// data messages it delivered. Each text frame carries one Message —
+// the same JSON the SSE path carries per event — so dispatch is
+// shared verbatim.
+func (c *Client) streamOnceWS() (delivered int, err error) {
+	endpoint, err := c.buildURL()
+	if err != nil {
+		c.fail(err)
+		c.Close()
+		return 0, err
+	}
+	u, err := url.Parse(endpoint)
+	if err != nil {
+		return 0, err
+	}
+	secure := u.Scheme == "wss" || u.Scheme == "https"
+	hostport := u.Host
+	if u.Port() == "" {
+		if secure {
+			hostport = net.JoinHostPort(u.Hostname(), "443")
+		} else {
+			hostport = net.JoinHostPort(u.Hostname(), "80")
+		}
+	}
+	timeout := c.ConnectTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	d := net.Dialer{Timeout: timeout}
+	rawConn, err := d.Dial("tcp", hostport)
+	if err != nil {
+		return 0, err
+	}
+	conn := rawConn
+	defer func() { conn.Close() }()
+	if secure {
+		tc := tls.Client(rawConn, &tls.Config{ServerName: u.Hostname()})
+		tc.SetDeadline(time.Now().Add(timeout))
+		if err := tc.Handshake(); err != nil {
+			return 0, err
+		}
+		tc.SetDeadline(time.Time{})
+		conn = tc
+	}
+	// Close the connection when the client stops, unblocking the
+	// frame read below; the deferred close on return retires the
+	// watcher through watchDone.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-c.stop:
+			conn.Close()
+		case <-watchDone:
+		}
+	}()
+
+	key, err := wsChallengeKey()
+	if err != nil {
+		return 0, err
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := io.WriteString(conn, "GET "+u.RequestURI()+" HTTP/1.1\r\nHost: "+u.Host+"\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Key: "+key+"\r\nSec-WebSocket-Version: 13\r\n\r\n"); err != nil {
+		return 0, err
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		return 0, fmt.Errorf("rislive: HTTP %s (want 101 Switching Protocols)", resp.Status)
+	}
+	if got, want := resp.Header.Get("Sec-WebSocket-Accept"), wsAcceptKey(key); got != want {
+		return 0, fmt.Errorf("rislive: handshake Sec-WebSocket-Accept %q, want %q", got, want)
+	}
+	conn.SetDeadline(time.Time{})
+
+	if n := c.connects.Add(1); n > 1 {
+		metClientReconnects.Inc()
+	}
+	c.connDropped = 0 // the server's drop counter is per-subscription
+	c.logf("rislive: connected to %s (websocket)", c.URL)
+
+	readTimeout := c.ReadTimeout
+	if readTimeout <= 0 {
+		readTimeout = 30 * time.Second
+	}
+	rd := wsReader{r: br}
+	for {
+		// The deadline bounds silence between frames, the WS analogue
+		// of the SSE read timer; any server frame — data, watermark
+		// ping, or a bare protocol ping — resets it. It applies to
+		// reads only, so consumer backpressure inside dispatch is not
+		// mistaken for upstream silence.
+		conn.SetReadDeadline(time.Now().Add(readTimeout))
+		op, payload, err := rd.next()
+		if err != nil {
+			if errors.Is(err, errWSClosed) {
+				return delivered, io.EOF
+			}
+			return delivered, err
+		}
+		switch op {
+		case wsOpPing:
+			pong, perr := wsMaskedFrame(wsOpPong, payload)
+			if perr != nil {
+				return delivered, perr
+			}
+			conn.SetWriteDeadline(time.Now().Add(readTimeout))
+			if _, werr := conn.Write(pong); werr != nil {
+				return delivered, werr
+			}
+			conn.SetWriteDeadline(time.Time{})
+		case wsOpPong:
+			// Unsolicited pong: permitted by the RFC, nothing to do.
+		case wsOpText, wsOpBinary:
+			n, derr := c.dispatch(payload)
+			delivered += n
+			if derr != nil {
+				return delivered, derr
+			}
+		}
+	}
+}

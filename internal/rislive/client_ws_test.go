@@ -1,0 +1,174 @@
+package rislive
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+)
+
+// wsURL rewrites an httptest server URL to the ws scheme so the
+// client's transport autodetection picks WebSocket.
+func wsURL(httpURL string) string {
+	return "ws" + strings.TrimPrefix(httpURL, "http")
+}
+
+// TestClientWebSocketStreams checks end-to-end delivery over the
+// WebSocket transport through core.NewLiveStream, including record
+// tags, mirroring TestClientStreams for SSE.
+func TestClientWebSocketStreams(t *testing.T) {
+	srv := &Server{KeepAlive: 50 * time.Millisecond}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	feed := startFeed(srv, time.Millisecond, 0)
+	defer feed.Close()
+
+	client := fastClient(wsURL(hs.URL))
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	s := core.NewLiveStream(ctx, client, core.Filters{})
+	defer s.Close()
+
+	for i := 0; i < 20; i++ {
+		rec, elem, err := s.NextElem()
+		if err != nil {
+			t.Fatalf("after %d elems: %v", i, err)
+		}
+		if rec.Project != "ris" || rec.Collector != "rrc00" {
+			t.Fatalf("record tags %s/%s", rec.Project, rec.Collector)
+		}
+		if elem.Type != core.ElemAnnouncement || elem.PeerASN < 65000 {
+			t.Fatalf("elem %+v", elem)
+		}
+	}
+	if got := client.Stats().Messages; got < 20 {
+		t.Fatalf("client stats: %d messages", got)
+	}
+}
+
+// TestClientWebSocketReconnects severs all server-side connections
+// mid-stream: the WS client must reconnect on its own, keep
+// delivering, and report the outage as a reconnect gap.
+func TestClientWebSocketReconnects(t *testing.T) {
+	srv := &Server{KeepAlive: 50 * time.Millisecond}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	feed := startFeed(srv, time.Millisecond, 0)
+	defer feed.Close()
+
+	client := fastClient(wsURL(hs.URL))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	s := core.NewLiveStream(ctx, client, core.Filters{})
+	defer s.Close()
+
+	for i := 0; i < 10; i++ {
+		if _, _, err := s.NextElem(); err != nil {
+			t.Fatalf("before disconnect: %v", err)
+		}
+	}
+	srv.DisconnectClients()
+	for i := 0; i < 10; i++ {
+		if _, _, err := s.NextElem(); err != nil {
+			t.Fatalf("after disconnect: %v", err)
+		}
+	}
+	if got := client.Stats().Reconnects; got < 1 {
+		t.Fatalf("reconnects = %d, want >= 1", got)
+	}
+	for _, g := range client.TakeGaps() {
+		if g.Reason != "reconnect" && g.Reason != "drops" {
+			t.Fatalf("gap reason %q", g.Reason)
+		}
+	}
+}
+
+// TestClientTransportSelection pins the Transport option contract: an
+// unknown value is a terminal configuration error, while sse/ws force
+// the framing independent of the URL scheme.
+func TestClientTransportSelection(t *testing.T) {
+	srv := &Server{KeepAlive: 50 * time.Millisecond}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	feed := startFeed(srv, time.Millisecond, 0)
+	defer feed.Close()
+
+	t.Run("unknown is terminal", func(t *testing.T) {
+		client := fastClient(hs.URL)
+		client.Transport = "carrier-pigeon"
+		defer client.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, _, err := client.NextElem(ctx)
+		if err == nil || err == io.EOF {
+			t.Fatalf("err = %v, want transport configuration error", err)
+		}
+		if !strings.Contains(err.Error(), "unknown transport") {
+			t.Fatalf("err = %v, want unknown-transport error", err)
+		}
+	})
+	t.Run("sse forced on ws URL", func(t *testing.T) {
+		client := fastClient(wsURL(hs.URL))
+		client.Transport = TransportSSE
+		defer client.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if _, _, err := client.NextElem(ctx); err != nil {
+			t.Fatalf("sse over ws URL: %v", err)
+		}
+	})
+	t.Run("ws forced on http URL", func(t *testing.T) {
+		client := fastClient(hs.URL)
+		client.Transport = TransportWS
+		defer client.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if _, _, err := client.NextElem(ctx); err != nil {
+			t.Fatalf("ws over http URL: %v", err)
+		}
+	})
+}
+
+// TestServeWSRejectsBadHandshake checks the server refuses malformed
+// RFC 6455 upgrades instead of hijacking the connection.
+func TestServeWSRejectsBadHandshake(t *testing.T) {
+	srv := &Server{KeepAlive: 50 * time.Millisecond}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	do := func(mutate func(*http.Request)) *http.Response {
+		req, err := http.NewRequest(http.MethodGet, hs.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Connection", "Upgrade")
+		req.Header.Set("Upgrade", "websocket")
+		req.Header.Set("Sec-WebSocket-Version", "13")
+		req.Header.Set("Sec-WebSocket-Key", "dGhlIHNhbXBsZSBub25jZQ==")
+		mutate(req)
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	resp := do(func(r *http.Request) { r.Header.Del("Sec-WebSocket-Key") })
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing key: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	resp = do(func(r *http.Request) { r.Header.Set("Sec-WebSocket-Version", "8") })
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad version: HTTP %d, want 400", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Version"); got != "13" {
+		t.Fatalf("bad version response advertises %q, want 13", got)
+	}
+}

@@ -1,0 +1,101 @@
+package rislive
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"testing"
+)
+
+// Fuzz harnesses for the two wire decoders an untrusted peer feeds
+// directly: the elem JSON codec (every SSE event / WS text frame the
+// client dispatches) and the RFC 6455 frame reader (every byte a WS
+// peer sends). Seed corpora are checked in under testdata/fuzz and run
+// as ordinary test cases on every `go test`; `go test -fuzz` explores
+// from there.
+
+// FuzzMessageDecode drives the envelope/elem decode path with
+// arbitrary JSON and pins the codec's round-trip invariant: any
+// payload that decodes into an elem must re-encode into a payload
+// that decodes again — otherwise a feed relay (decode, re-publish,
+// encode) would corrupt messages it merely forwards.
+func FuzzMessageDecode(f *testing.F) {
+	f.Add([]byte(`{"type":"ris_message","data":{"timestamp":1457000000.25,"peer":"192.0.2.1","peer_asn":65000,"host":"rrc00","project":"ris","elem_type":"A","prefix":"10.0.0.0/16","next_hop":"192.0.2.254","path":"701 174 {4777,9318}","community":[[701,120]]}}`))
+	f.Add([]byte(`{"type":"ris_message","data":{"timestamp":1457000001,"peer":"2001:db8::1","peer_asn":65001,"host":"route-views2","elem_type":"W","prefix":"2001:db8::/32"}}`))
+	f.Add([]byte(`{"type":"ris_message","data":{"timestamp":1457000002,"peer":"192.0.2.2","peer_asn":65002,"host":"rrc01","elem_type":"S","old_state":5,"new_state":6}}`))
+	f.Add([]byte(`{"type":"ping","dropped":3,"timestamp":1457000003.5}`))
+	f.Add([]byte(`{"type":"ris_error","error":"boom"}`))
+	f.Add([]byte(`{"type":"ris_message","data":{"elem_type":"A","prefix":"not-a-prefix"}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		if json.Unmarshal(data, &m) != nil || m.Data == nil {
+			return
+		}
+		e, err := m.Data.Elem()
+		if err != nil {
+			return // undecodable payloads are fine; they must only not panic
+		}
+		if _, _, err := m.Data.Record(); err != nil {
+			t.Fatalf("Elem() decoded but Record() failed: %v", err)
+		}
+		reenc, err := json.Marshal(Message{Type: TypeMessage, Data: EncodeElem(m.Data.Project, m.Data.Host, e)})
+		if err != nil {
+			t.Fatalf("re-encode failed for decodable elem: %v", err)
+		}
+		var m2 Message
+		if err := json.Unmarshal(reenc, &m2); err != nil {
+			t.Fatalf("re-encoded message does not parse: %v\n%s", err, reenc)
+		}
+		if _, err := m2.Data.Elem(); err != nil {
+			t.Fatalf("re-encoded elem does not decode: %v\n%s", err, reenc)
+		}
+	})
+}
+
+// FuzzWSFrame drives the WebSocket frame reader with arbitrary byte
+// streams: it must never panic, never fabricate an opcode, never
+// return a payload beyond the size cap, and always make progress
+// (either a frame or a terminal error) so a malicious peer cannot
+// wedge the reader.
+func FuzzWSFrame(f *testing.F) {
+	f.Add(wsTextFrame([]byte(`{"type":"ping"}`)))
+	f.Add(wsControlFrame(wsOpPing, []byte("hi")))
+	f.Add(wsControlFrame(wsOpClose, nil))
+	if masked, err := wsMaskedFrame(wsOpText, []byte(`{"type":"ris_message"}`)); err == nil {
+		f.Add(masked)
+	}
+	// Fragmented text: non-FIN start + FIN continuation.
+	frag := append([]byte{0x01, 0x03}, 'a', 'b', 'c')
+	frag = append(frag, 0x80, 0x02, 'd', 'e')
+	f.Add(frag)
+	// 16- and 64-bit length headers, truncated payloads, RSV bits.
+	f.Add([]byte{0x81, 126, 0x00, 0x05, 'h', 'e', 'l', 'l', 'o'})
+	f.Add([]byte{0x81, 127, 0, 0, 0, 0, 0, 0, 0, 2, 'h', 'i'})
+	f.Add([]byte{0xF1, 0x00})
+	f.Add([]byte{0x81, 0x7D})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := wsReader{r: bufio.NewReader(bytes.NewReader(data))}
+		for i := 0; i < 64; i++ {
+			op, payload, err := rd.next()
+			if err != nil {
+				switch {
+				case errors.Is(err, errWSClosed), errors.Is(err, errWSProtocol):
+				case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+				default:
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			if len(payload) > wsMaxPayload {
+				t.Fatalf("payload %d bytes exceeds cap %d", len(payload), wsMaxPayload)
+			}
+			switch op {
+			case wsOpText, wsOpBinary, wsOpPing, wsOpPong:
+			default:
+				t.Fatalf("next returned opcode %#x without error", op)
+			}
+		}
+	})
+}

@@ -17,9 +17,16 @@ var (
 		"bgpstream_rislive_subscribers",
 		"Currently connected live-feed subscribers.",
 		"transport")
-	// metSubsSSE is the pre-interned SSE child: subscriber churn is one
-	// atomic add, no label lookup.
-	metSubsSSE      = metSubscribers.With("sse")
+	// metSubsSSE/metSubsWS are the pre-interned per-transport children:
+	// subscriber churn is one atomic add, no label lookup.
+	metSubsSSE = metSubscribers.With("sse")
+	metSubsWS  = metSubscribers.With("ws")
+	// metShardOverflow counts publishes rejected by a full shard queue
+	// (fan-out backpressure); each rejection also charges one counted
+	// drop to every subscriber of that shard.
+	metShardOverflow = obsv.Default.Counter(
+		"bgpstream_rislive_shard_overflow_total",
+		"Publishes rejected by a full fan-out shard queue.")
 	metPublishWrite = obsv.Default.Histogram(
 		"bgpstream_rislive_publish_write_seconds",
 		"Latency from Publish enqueue to the subscriber's socket write.")

@@ -1,8 +1,9 @@
 package rislive
 
 import (
+	"bufio"
 	"encoding/json"
-	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -11,15 +12,20 @@ import (
 	"github.com/bgpstream-go/bgpstream/internal/core"
 )
 
-// Server fans out elems to SSE subscribers. It is an http.Handler:
-// every GET establishes one event stream whose subscription filter is
-// parsed from the query string (see Subscription). Producers call
-// Publish; the handler side drains per-client buffers.
+// Server fans out elems to live subscribers over SSE or WebSocket. It
+// is an http.Handler: every GET establishes one stream whose
+// subscription filter is parsed from the query string (see
+// Subscription); requests carrying a WebSocket upgrade get RFC 6455
+// framing, everything else gets SSE, on the same endpoint. Producers
+// call Publish; per-shard goroutines drain batches into per-client
+// buffers (see shard.go for the fan-out architecture).
 //
 // Slow clients do not stall the feed: each subscriber owns a bounded
 // buffer and messages that arrive while it is full are dropped for
 // that subscriber only (drop-newest), counted per client and globally,
-// and reported to the client on every keepalive ping. This is the
+// and reported to the client on every keepalive ping. The same policy
+// applies one level up: a shard whose queue is full rejects the
+// publish for all its subscribers, counted the same way. This is the
 // explicit policy choice of a live feed — late data is as good as no
 // data — in contrast to the archive path, where completeness wins.
 type Server struct {
@@ -29,19 +35,41 @@ type Server struct {
 	KeepAlive time.Duration
 	// BufferSize is the per-subscriber message buffer (default 1024).
 	BufferSize int
+	// Shards is the number of fan-out shards (default 8, capped at 64).
+	// Subscribers hash across shards; each shard is one goroutine.
+	Shards int
+	// ShardQueue bounds each shard's queued-elem batch (default 8192).
+	// A publish hitting a full shard queue is dropped for that shard's
+	// subscribers — counted and reported like per-subscriber drops.
+	ShardQueue int
 	// Logf, when set, receives connection lifecycle logs.
 	Logf func(format string, args ...any)
 
-	mu          sync.RWMutex
-	subscribers map[*subscriber]struct{}
+	// ready flips after initShards; Publish checks it with one atomic
+	// load so the hot path never touches the sync.Once.
+	ready     atomic.Bool
+	initOnce  sync.Once
+	closeOnce sync.Once
+	shards    []*shard
+	closed    chan struct{}
+	wg        sync.WaitGroup
+	queueCap  int
+	// shardGate, when set before first use (tests only), installs a
+	// drain gate on every shard; see shard.gate.
+	shardGate chan struct{}
 
 	published atomic.Uint64
 	dropped   atomic.Uint64
 	// watermark is the publish watermark: the timestamp (Unix micro)
-	// of the last elem handed to Publish. Pings carry it so clients
-	// can track feed time — and close loss windows — without waiting
-	// for the next delivered elem.
+	// of the last elem handed to Publish. Stored before fan-out so a
+	// concurrently-registering subscriber either receives the elem or
+	// sees a hello watermark covering it — never neither.
 	watermark atomic.Int64
+	// wsSubs counts connected WebSocket subscribers. Publish renders
+	// the WS wire frame only when it is nonzero, keeping the SSE-only
+	// fan-out cost identical to the pre-WS server.
+	wsSubs atomic.Int64
+	subSeq atomic.Uint64
 }
 
 // frame is one queued wire chunk plus the time it was enqueued by
@@ -53,52 +81,65 @@ type frame struct {
 	enq int64 // UnixNano at Publish enqueue; 0 for non-elem frames
 }
 
-// subscriber is one connected SSE client.
-type subscriber struct {
-	sub  Subscription
-	ch   chan frame
-	done chan struct{} // closed to force-disconnect
-	once sync.Once
+func (s *Server) init() { s.initOnce.Do(s.initShards) }
 
-	// mu guards mark and dropped TOGETHER: a ping pairs the two into
-	// one claim — "published through mark, dropped this many" — and a
-	// torn read in either direction can close a client's loss window
-	// below a dropped elem, losing it outside every future gap. mark
-	// is the per-subscriber publish watermark (Unix micro): the
-	// timestamp of the last elem enqueued to (or dropped for, or
-	// filtered away from) this subscriber, so a ping carrying it is
-	// ordered after every elem it covers. Assumes publishers feed
-	// elems in time order.
-	mu      sync.Mutex
-	mark    int64
-	dropped uint64
+func (s *Server) initShards() {
+	n := s.Shards
+	if n <= 0 {
+		n = 8
+	}
+	if n > 64 {
+		n = 64 // Publish tracks plausible shards in one uint64 mask
+	}
+	q := s.ShardQueue
+	if q <= 0 {
+		q = 8192
+	}
+	s.queueCap = q
+	s.closed = make(chan struct{})
+	s.shards = make([]*shard, n)
+	keepAlive := s.keepAliveInterval()
+	for i := range s.shards {
+		sh := &shard{
+			srv:  s,
+			wake: make(chan struct{}, 1),
+			gate: s.shardGate,
+			subs: make(map[*subscriber]struct{}),
+		}
+		s.shards[i] = sh
+		s.wg.Add(1)
+		go sh.loop(keepAlive)
+	}
+	s.ready.Store(true)
 }
 
-// snapshot returns a consistent (mark, dropped) pair.
-func (c *subscriber) snapshot() (mark int64, dropped uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.mark, c.dropped
+func (s *Server) keepAliveInterval() time.Duration {
+	if s.KeepAlive > 0 {
+		return s.KeepAlive
+	}
+	return 15 * time.Second
 }
-
-func (c *subscriber) disconnect() { c.once.Do(func() { close(c.done) }) }
 
 // ServerStats is a snapshot of the server counters.
 type ServerStats struct {
 	// Subscribers is the number of currently connected clients.
 	Subscribers int
 	// Published counts Publish calls; Dropped counts per-subscriber
-	// message drops due to full buffers (one publish reaching N slow
-	// clients counts N).
+	// message drops due to full buffers or shard-queue overflow (one
+	// publish reaching N slow clients counts N).
 	Published uint64
 	Dropped   uint64
 }
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() ServerStats {
-	s.mu.RLock()
-	n := len(s.subscribers)
-	s.mu.RUnlock()
+	s.init()
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.subs)
+		sh.mu.Unlock()
+	}
 	return ServerStats{
 		Subscribers: n,
 		Published:   s.published.Load(),
@@ -108,8 +149,9 @@ func (s *Server) Stats() ServerStats {
 
 // sseFrame renders one complete SSE event — "data: <payload>\n\n" —
 // so the wire bytes of a published elem are built once and shared
-// verbatim by every matching subscriber's writer; the per-subscriber
-// cost is a filter check and a channel send.
+// verbatim by every matching SSE subscriber's writer; the
+// per-subscriber cost is a filter check and a channel send. WS
+// subscribers share a wsTextFrame render the same way.
 func sseFrame(payload []byte) []byte {
 	b := make([]byte, 0, len("data: ")+len(payload)+2)
 	b = append(b, "data: "...)
@@ -117,7 +159,7 @@ func sseFrame(payload []byte) []byte {
 	return append(b, '\n', '\n')
 }
 
-// marshalFrame encodes a message and frames it for the wire.
+// marshalFrame encodes a message and frames it for the SSE wire.
 func marshalFrame(m Message) ([]byte, error) {
 	payload, err := json.Marshal(m)
 	if err != nil {
@@ -126,95 +168,210 @@ func marshalFrame(m Message) ([]byte, error) {
 	return sseFrame(payload), nil
 }
 
+// renderPing encodes a watermark keepalive for one transport. A zero
+// mark elides the timestamp: there is no feed time to report.
+func renderPing(mark int64, dropped uint64, ws bool) []byte {
+	m := Message{Type: TypePing, Dropped: dropped}
+	if mark > 0 {
+		m.Timestamp = float64(mark) / 1e6
+	}
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil
+	}
+	if ws {
+		return wsTextFrame(payload)
+	}
+	return sseFrame(payload)
+}
+
 // Publish fans one elem out to every subscriber whose filter matches.
-// The elem is encoded (JSON + SSE framing) at most once per call —
-// lazily, on the first match — and the same byte slice is enqueued to
-// every matching subscriber. It never blocks: subscribers with full
-// buffers lose the message and have their drop counter incremented.
-// Safe for concurrent use.
+// The elem is encoded once per call (JSON payload, plus one frame
+// render per transport in use) and the same byte slices are shared by
+// every matching subscriber. Each shard's pre-index is probed with the
+// elem's cheap keys; shards with no plausible subscriber receive only
+// a coalesced watermark advance. Publish never blocks on subscribers:
+// a full shard queue drops the elem for that shard (counted per
+// subscriber). Safe for concurrent use.
 //
 //bgp:hotpath
 func (s *Server) Publish(project, collector string, e *core.Elem) {
+	if !s.ready.Load() {
+		s.init()
+	}
+	select {
+	case <-s.closed:
+		return
+	default:
+	}
 	s.published.Add(1)
 	metPublished.Inc()
-	// Advance the watermark before fanning out, so a subscriber
-	// registering concurrently either receives this elem through its
-	// buffer or sees a hello watermark covering it — never neither.
-	s.watermark.Store(e.Timestamp.UnixMicro())
-	var wire []byte // encoded and framed lazily, once, on first match
-	var enq int64   // stamped when the wire frame is built
-	// Iterate under the read lock: the sends below never block
-	// (select/default), so holding it costs subscribers only the
-	// brief register/unregister window and saves a slice copy per
-	// published elem on the fan-out hot path.
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	ts := e.Timestamp.UnixMicro()
-	for c := range s.subscribers {
-		enqueued := false
-		matched := c.sub.Matches(project, collector, e)
-		if matched {
-			if wire == nil {
-				var err error
-				wire, err = marshalFrame(Message{Type: TypeMessage, Data: EncodeElem(project, collector, e)})
-				if err != nil {
-					return // cannot happen for our own types
-				}
-				enq = time.Now().UnixNano()
-			}
-			select {
-			case c.ch <- frame{b: wire, enq: enq}:
-				enqueued = true
-			default:
-				s.dropped.Add(1)
-				metDropped.Inc()
-			}
-		}
-		// Account the drop and advance the per-subscriber watermark in
-		// one critical section, and only after the elem has been
-		// enqueued, dropped (counted), or rejected by the filter — the
-		// three cases a ping at this mark may summarise.
-		c.mu.Lock()
-		if matched && !enqueued {
-			c.dropped++
-		}
-		first := c.mark == 0 && ts > 0
-		c.mark = ts
-		d := c.dropped
-		c.mu.Unlock()
-		if first && !enqueued {
-			// This subscriber just saw its first feed time (it joined
-			// before anything was published, so its hello carried
-			// none), and the elem itself will not deliver it — it was
-			// filtered away or dropped. Chase it with a watermark ping
-			// so the client still gets seeded; otherwise loss before
-			// its first delivery would have no lower bound.
-			ping, _ := marshalFrame(Message{Type: TypePing, Dropped: d, Timestamp: float64(ts) / 1e6})
-			select {
-			case c.ch <- frame{b: ping}:
-			default:
-			}
+	// Advance the watermark before fanning out (see field doc).
+	s.watermark.Store(ts)
+	var mask uint64
+	for i := 0; i < len(s.shards); i++ {
+		if s.shards[i].plausible(collector, e) {
+			mask |= 1 << uint(i)
 		}
 	}
+	if mask == 0 {
+		for i := 0; i < len(s.shards); i++ {
+			s.shards[i].advance(ts)
+		}
+		return
+	}
+	ent, ok := s.buildEntry(project, collector, e, ts)
+	if !ok {
+		return // cannot happen for our own types
+	}
+	for i := 0; i < len(s.shards); i++ {
+		if mask&(1<<uint(i)) != 0 {
+			s.shards[i].enqueue(ent)
+		} else {
+			s.shards[i].advance(ts)
+		}
+	}
+}
+
+// buildEntry encodes the elem once and copies out the match keys the
+// shard loops need; the WS frame is rendered only when a WebSocket
+// subscriber is connected.
+func (s *Server) buildEntry(project, collector string, e *core.Elem, ts int64) (shardEntry, bool) {
+	payload, err := json.Marshal(Message{Type: TypeMessage, Data: EncodeElem(project, collector, e)})
+	if err != nil {
+		return shardEntry{}, false
+	}
+	ent := shardEntry{
+		sse:       sseFrame(payload),
+		ts:        ts,
+		enq:       time.Now().UnixNano(),
+		project:   project,
+		collector: collector,
+		peerASN:   e.PeerASN,
+		typ:       e.Type,
+		prefix:    e.Prefix,
+	}
+	if s.wsSubs.Load() > 0 {
+		ent.ws = wsTextFrame(payload)
+	}
+	return ent, true
+}
+
+// register hashes a new subscriber onto a shard, indexes its
+// subscription, and returns it with the hello-seed watermark.
+//
+// Ordering argument for the seed: Publish stores the watermark before
+// probing any shard, and this function reads it after the subscriber
+// is visible in the shard (insertion under sh.mu precedes the load in
+// program order). So for any elem: if the shard probe missed this
+// subscriber, the probe ran before insertion completed, hence after
+// the insertion's watermark load would see that elem's timestamp —
+// i.e. the seed covers it. Every elem is either delivered through the
+// shard queue or covered by the hello seed; never neither. The same
+// argument (with wsSubs incremented before insertion) guarantees any
+// entry missing a WS render predates this subscriber's seed.
+func (s *Server) register(sub Subscription, ws bool) (*subscriber, int64) {
+	s.init()
+	size := s.BufferSize
+	if size <= 0 {
+		size = 1024
+	}
+	id := s.subSeq.Add(1)
+	sh := s.shards[int(shardHash(id)%uint64(len(s.shards)))]
+	c := &subscriber{
+		sub:  sub,
+		ch:   make(chan frame, size),
+		done: make(chan struct{}),
+		sh:   sh,
+		ws:   ws,
+	}
+	if ws {
+		s.wsSubs.Add(1)
+		metSubsWS.Inc()
+	} else {
+		metSubsSSE.Inc()
+	}
+	sh.mu.Lock()
+	sh.subs[c] = struct{}{}
+	sh.idx.add(&c.sub)
+	seeded := s.watermark.Load()
+	if seeded == 0 {
+		// Nothing published yet: no feed time to seed with. The shard
+		// loop chases this subscriber with a watermark ping on the
+		// first publish it processes, bounding loss before the first
+		// delivery.
+		c.needSeed = true
+		sh.seedWait++
+	}
+	sh.mu.Unlock()
+	return c, seeded
+}
+
+func (s *Server) unregister(c *subscriber, remote string) {
+	sh := c.sh
+	sh.mu.Lock()
+	if _, ok := sh.subs[c]; ok {
+		delete(sh.subs, c)
+		sh.idx.remove(&c.sub)
+		if c.needSeed {
+			c.needSeed = false
+			sh.seedWait--
+		}
+	}
+	sh.mu.Unlock()
+	if c.ws {
+		s.wsSubs.Add(-1)
+		metSubsWS.Dec()
+	} else {
+		metSubsSSE.Dec()
+	}
+	s.logf("rislive: client %s disconnected (dropped %d)", remote, c.dropped.Load())
 }
 
 // DisconnectClients force-closes every current subscriber's stream,
 // as after a server restart. Clients with reconnection enabled come
 // back on their own; tests use this to exercise that path.
 func (s *Server) DisconnectClients() {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for c := range s.subscribers {
-		c.disconnect()
+	s.init()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for c := range sh.subs {
+			c.disconnect()
+		}
+		sh.mu.Unlock()
 	}
 }
 
-// ServeHTTP implements the SSE endpoint.
+// Close stops the fan-out: every shard goroutine drains its queue and
+// exits, then every connected subscriber is force-disconnected. Close
+// does not return until all shard goroutines have stopped, so a
+// closed server leaks nothing. Publishes after Close are no-ops.
+func (s *Server) Close() error {
+	s.init()
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.wg.Wait()
+		s.DisconnectClients()
+	})
+	return nil
+}
+
+// ServeHTTP serves one live stream per GET: WebSocket when the request
+// asks for an upgrade, SSE otherwise.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	if wsUpgradeRequested(r.Header.Get("Connection"), r.Header.Get("Upgrade")) {
+		s.serveWS(w, r)
+		return
+	}
+	s.serveSSE(w, r)
+}
+
+func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request) {
 	sub, err := ParseSubscription(r.URL.Query())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -225,38 +382,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
-
-	size := s.BufferSize
-	if size <= 0 {
-		size = 1024
-	}
-	c := &subscriber{
-		sub:  sub,
-		ch:   make(chan frame, size),
-		done: make(chan struct{}),
-	}
-	s.mu.Lock()
-	if s.subscribers == nil {
-		s.subscribers = make(map[*subscriber]struct{})
-	}
-	// Seed the per-subscriber watermark inside the registration
-	// critical section: Publish fans out under the read lock, so every
-	// elem is either newer than this seed (and lands in c.ch) or
-	// covered by it. The hello ping below hands it to the client as
-	// its start-of-stream feed time.
-	seeded := s.watermark.Load()
-	c.mark = seeded // not yet visible to Publish; no lock needed
-	s.subscribers[c] = struct{}{}
-	s.mu.Unlock()
-	metSubsSSE.Inc()
-	defer func() {
-		s.mu.Lock()
-		delete(s.subscribers, c)
-		s.mu.Unlock()
-		metSubsSSE.Dec()
-		_, d := c.snapshot()
-		s.logf("rislive: client %s disconnected (dropped %d)", r.RemoteAddr, d)
-	}()
+	c, seeded := s.register(sub, false)
+	defer s.unregister(c, r.RemoteAddr)
 	s.logf("rislive: client %s subscribed %v", r.RemoteAddr, sub.Values())
 
 	h := w.Header()
@@ -267,10 +394,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	keepAlive := s.KeepAlive
-	if keepAlive <= 0 {
-		keepAlive = 15 * time.Second
-	}
+	keepAlive := s.keepAliveInterval()
 	ticker := time.NewTicker(keepAlive)
 	defer ticker.Stop()
 
@@ -278,35 +402,29 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// subscribers); the writer copies nothing and formats nothing. Elem
 	// frames carry their Publish-enqueue time, which becomes the
 	// publish-to-write latency observation once the socket write lands.
+	lastWrite := time.Now()
 	write := func(f frame) bool {
 		if _, err := w.Write(f.b); err != nil {
 			return false
 		}
 		flusher.Flush()
+		lastWrite = time.Now()
 		if f.enq != 0 {
 			metPublishWrite.Observe(float64(time.Now().UnixNano()-f.enq) / 1e9)
 		}
 		return true
 	}
-	ping := func(mark int64, dropped uint64) frame {
-		m := Message{Type: TypePing, Dropped: dropped}
-		if mark > 0 {
-			m.Timestamp = float64(mark) / 1e6
-		}
-		b, _ := marshalFrame(m)
-		return frame{b: b}
-	}
 	// Hello ping: tell the client the current feed time at subscribe,
 	// before anything else, so a client that never receives an elem
 	// still has a watermark to bound its loss windows with. It must
-	// carry the registration-time seed, NOT the live mark: elems
+	// carry the registration-time seed, NOT a live mark: elems
 	// published since registration sit undelivered in c.ch, and a
 	// hello claiming their timestamps would let a disconnect lose
 	// them below every future gap window. Skipped when nothing had
-	// been published yet — there is no feed time to report, and so
-	// nothing a client could have missed.
+	// been published yet — there is no feed time to report (the shard
+	// loop chases this subscriber with one once there is).
 	if seeded > 0 {
-		if !write(ping(seeded, 0)) {
+		if !write(frame{b: renderPing(seeded, 0, false)}) {
 			return
 		}
 	}
@@ -316,34 +434,137 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-c.done:
 			return
-		case payload := <-c.ch:
-			if !write(payload) {
+		case f := <-c.ch:
+			if !write(f) {
 				return
 			}
 		case <-ticker.C:
-			// Route the keepalive through the subscriber buffer rather
-			// than writing it directly: the watermark it carries
-			// claims "published through T", which is only true for the
-			// client once every elem enqueued before it has been
-			// delivered. The snapshot keeps the (mark, dropped) pair
-			// consistent — a torn pair could close a loss window below
-			// a dropped elem.
-			mark, dropped := c.snapshot()
+			// Watermark pings arrive through c.ch from the shard loop,
+			// already ordered behind the queued elems. This timer only
+			// guards transport liveness: if nothing has been written
+			// for a full interval (e.g. the buffer is saturated and
+			// the shard skipped our ping), emit a bare SSE comment —
+			// it carries no watermark claim, so ordering is moot.
+			if time.Since(lastWrite) < keepAlive {
+				continue
+			}
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+			lastWrite = time.Now()
+		}
+	}
+}
+
+// serveWS upgrades the connection per RFC 6455 and serves the same
+// feed over WebSocket text frames. The handler goroutine is the only
+// writer; a reader goroutine drains client frames (ping → pong via
+// the subscriber channel, close/error → disconnect).
+func (s *Server) serveWS(w http.ResponseWriter, r *http.Request) {
+	sub, err := ParseSubscription(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if v := r.Header.Get("Sec-WebSocket-Version"); v != "13" {
+		w.Header().Set("Sec-WebSocket-Version", "13")
+		http.Error(w, "unsupported websocket version", http.StatusBadRequest)
+		return
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "missing Sec-WebSocket-Key", http.StatusBadRequest)
+		return
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "websocket unsupported", http.StatusInternalServerError)
+		return
+	}
+	conn, brw, err := hj.Hijack()
+	if err != nil {
+		http.Error(w, "hijack failed", http.StatusInternalServerError)
+		return
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Time{})
+	if _, err := brw.WriteString("HTTP/1.1 101 Switching Protocols\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Accept: " + wsAcceptKey(key) + "\r\n\r\n"); err != nil {
+		return
+	}
+	if err := brw.Flush(); err != nil {
+		return
+	}
+
+	c, seeded := s.register(sub, true)
+	defer s.unregister(c, r.RemoteAddr)
+	s.logf("rislive: ws client %s subscribed %v", r.RemoteAddr, sub.Values())
+
+	readerDone := make(chan struct{})
+	go wsServeRead(brw.Reader, c, readerDone)
+
+	keepAlive := s.keepAliveInterval()
+	ticker := time.NewTicker(keepAlive)
+	defer ticker.Stop()
+	lastWrite := time.Now()
+	write := func(f frame) bool {
+		if _, err := conn.Write(f.b); err != nil {
+			return false
+		}
+		lastWrite = time.Now()
+		if f.enq != 0 {
+			metPublishWrite.Observe(float64(time.Now().UnixNano()-f.enq) / 1e9)
+		}
+		return true
+	}
+	// Hello seed, same contract as SSE (see serveSSE).
+	if seeded > 0 {
+		if !write(frame{b: renderPing(seeded, 0, true)}) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-readerDone:
+			return
+		case <-c.done:
+			// Best-effort close frame so well-behaved clients see an
+			// orderly shutdown rather than a cut socket.
+			conn.Write(wsControlFrame(wsOpClose, nil))
+			return
+		case f := <-c.ch:
+			if !write(f) {
+				return
+			}
+		case <-ticker.C:
+			// Same liveness-only role as the SSE bare keepalive: a WS
+			// ping control frame carries no watermark claim.
+			if time.Since(lastWrite) < keepAlive {
+				continue
+			}
+			if !write(frame{b: wsControlFrame(wsOpPing, nil)}) {
+				return
+			}
+		}
+	}
+}
+
+// wsServeRead drains client-to-server frames: pongs to client pings
+// are routed through the subscriber channel (keeping the connection
+// single-writer); a close frame or read error ends the stream. The
+// goroutine exits when the handler closes the connection.
+func wsServeRead(br *bufio.Reader, c *subscriber, done chan struct{}) {
+	defer close(done)
+	rd := wsReader{r: br}
+	for {
+		op, payload, err := rd.next()
+		if err != nil {
+			return
+		}
+		if op == wsOpPing {
 			select {
-			case c.ch <- ping(mark, dropped):
+			case c.ch <- frame{b: wsControlFrame(wsOpPong, payload)}:
 			default:
-				// Buffer full: write a bare SSE comment directly for
-				// liveness only. A direct ping would overtake the
-				// queued elems, and reporting drops ahead of them
-				// lets the client close the loss window at the next
-				// queued elem — below the dropped one, losing it
-				// outside every window. The drop report waits for a
-				// tick with buffer room, where the (mark, dropped)
-				// pair is ordered correctly.
-				if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
-					return
-				}
-				flusher.Flush()
 			}
 		}
 	}

@@ -77,6 +77,7 @@ func TestServerFanoutWithFilters(t *testing.T) {
 	srv := &Server{KeepAlive: time.Hour}
 	hs := httptest.NewServer(srv)
 	defer hs.Close()
+	defer srv.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -120,25 +121,40 @@ func TestServerFanoutWithFilters(t *testing.T) {
 }
 
 // TestSlowClientDropPolicy exercises the bounded-buffer drop policy
-// deterministically against an unregistered handler-side subscriber:
-// messages beyond the buffer are dropped for that subscriber only and
-// counted per client and globally.
+// deterministically against handler-less shard subscribers: messages
+// beyond a subscriber's buffer are dropped for that subscriber only
+// and counted per client and globally.
 func TestSlowClientDropPolicy(t *testing.T) {
-	srv := &Server{}
-	slow := &subscriber{ch: make(chan frame, 2), done: make(chan struct{})}
-	fast := &subscriber{ch: make(chan frame, 64), done: make(chan struct{})}
-	srv.subscribers = map[*subscriber]struct{}{slow: {}, fast: {}}
+	srv := &Server{Shards: 1, KeepAlive: time.Hour}
+	srv.init()
+	defer srv.Close()
+	sh := srv.shards[0]
+	slow := &subscriber{ch: make(chan frame, 2), done: make(chan struct{}), sh: sh}
+	fast := &subscriber{ch: make(chan frame, 64), done: make(chan struct{}), sh: sh}
+	sh.mu.Lock()
+	for _, c := range []*subscriber{slow, fast} {
+		sh.subs[c] = struct{}{}
+		sh.idx.add(&c.sub)
+	}
+	sh.mu.Unlock()
 
 	publishN(srv, 10)
 
-	if _, got := slow.snapshot(); got != 8 {
-		t.Fatalf("slow client dropped %d, want 8", got)
+	// Delivery is asynchronous (the shard goroutine drains the queue);
+	// wait for the batch to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(fast.ch) != 10 || slow.dropped.Load() != 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("shard did not drain: fast buffered %d (want 10), slow dropped %d (want 8)",
+				len(fast.ch), slow.dropped.Load())
+		}
+		time.Sleep(time.Millisecond)
 	}
-	if _, got := fast.snapshot(); got != 0 {
+	if got := fast.dropped.Load(); got != 0 {
 		t.Fatalf("fast client dropped %d, want 0", got)
 	}
-	if len(slow.ch) != 2 || len(fast.ch) != 10 {
-		t.Fatalf("buffers: slow %d fast %d", len(slow.ch), len(fast.ch))
+	if len(slow.ch) != 2 {
+		t.Fatalf("slow buffer holds %d, want 2", len(slow.ch))
 	}
 	stats := srv.Stats()
 	if stats.Published != 10 || stats.Dropped != 8 {
@@ -153,6 +169,7 @@ func TestKeepalivePingsCarryDrops(t *testing.T) {
 	srv := &Server{KeepAlive: 20 * time.Millisecond}
 	hs := httptest.NewServer(srv)
 	defer hs.Close()
+	defer srv.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -175,13 +192,13 @@ func TestKeepalivePingsCarryDrops(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	srv.mu.Lock()
-	for c := range srv.subscribers {
-		c.mu.Lock()
-		c.dropped = 7
-		c.mu.Unlock()
+	for _, sh := range srv.shards {
+		sh.mu.Lock()
+		for c := range sh.subs {
+			c.dropped.Store(7)
+		}
+		sh.mu.Unlock()
 	}
-	srv.mu.Unlock()
 
 	scanner := bufio.NewScanner(resp.Body)
 	for scanner.Scan() {
@@ -208,6 +225,7 @@ func TestDisconnectClients(t *testing.T) {
 	srv := &Server{KeepAlive: time.Hour}
 	hs := httptest.NewServer(srv)
 	defer hs.Close()
+	defer srv.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -241,6 +259,7 @@ func TestServerRejectsBadRequests(t *testing.T) {
 	srv := &Server{}
 	hs := httptest.NewServer(srv)
 	defer hs.Close()
+	defer srv.Close()
 
 	resp, err := http.Get(hs.URL + "?peer_asn=junk")
 	if err != nil {

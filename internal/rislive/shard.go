@@ -1,0 +1,488 @@
+package rislive
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/prefixtrie"
+)
+
+// The fan-out is sharded: subscribers are hashed across N shards, each
+// owned by one goroutine. Publish probes every shard's subscription
+// pre-index with the elem's cheap keys (collector, elem type, prefix)
+// and enqueues the pre-rendered wire frames only to shards that hold a
+// plausibly-matching subscriber; the rest receive a coalesced
+// watermark advance. The shard goroutine drains its queue in batches,
+// runs the exact per-subscriber filter, and owns ALL per-subscriber
+// ordering-sensitive traffic — elem frames, watermark pings, drop
+// accounting — so a ping claiming "published through T, dropped N" is
+// always enqueued after every elem it covers, without any
+// per-subscriber locking on the publish path.
+
+// shardEntry is one published elem queued to a shard: the frames to
+// deliver plus the flattened match keys for the exact filter pass.
+// Entries hold no *core.Elem — stream arenas recycle elems after
+// Publish returns, so the keys are copied out by value.
+type shardEntry struct {
+	sse []byte // rendered SSE event, shared by every SSE subscriber
+	ws  []byte // rendered WS text frame; nil if no WS subscriber existed at encode time
+	ts  int64  // elem timestamp (Unix micro)
+	enq int64  // UnixNano at Publish enqueue, for publish-to-write latency
+
+	project   string
+	collector string
+	peerASN   uint32
+	typ       core.ElemType
+	prefix    netip.Prefix
+}
+
+// shard is one fan-out lane: a subscriber subset, its pre-index, and a
+// double-buffered batch queue drained by a dedicated goroutine.
+type shard struct {
+	srv *Server
+	// wake nudges the loop when work is queued; 1-buffered so a
+	// publisher never blocks ringing a bell that is already ringing.
+	wake chan struct{}
+	// gate, when non-nil (test hook, set via Server.shardGate before
+	// first use), is received from before every wake- or tick-triggered
+	// drain, letting tests hold entries queued to force overflow. The
+	// final drain on close is never gated.
+	gate chan struct{}
+
+	// mu guards the subscriber set, its pre-index, and the queue state
+	// below. Held only for map/slice operations — never across I/O.
+	mu   sync.Mutex
+	subs map[*subscriber]struct{} // guarded by mu
+	idx  subIndex                 // guarded by mu
+	// pending is the swap-in batch buffer. guarded by mu.
+	pending []shardEntry
+	// advTs coalesces watermark advances for elems this shard was
+	// skipped for (no plausible subscriber): only the newest timestamp
+	// matters, because the feed is time-ordered. guarded by mu.
+	advTs int64
+	// overflowN/overflowTs count publishes rejected because pending hit
+	// the queue bound, and the newest rejected timestamp. Folded into
+	// every subscriber's drop counter at the next drain. guarded by mu.
+	overflowN  uint64
+	overflowTs int64
+	// seedWait counts subscribers awaiting their first feed-time
+	// watermark (joined before anything was published). guarded by mu.
+	seedWait int
+
+	// mark is the shard's delivery watermark (Unix micro): the highest
+	// elem timestamp the loop has fully processed — enqueued, dropped
+	// (counted), or filtered for every subscriber. Owned by the shard
+	// goroutine; pings pair it with the drop counters it covers.
+	mark int64
+}
+
+// loop is the shard goroutine: it drains queued batches on wake,
+// applies overflow drops and coalesced watermark advances strictly
+// after the entries they followed, and emits keepalive pings.
+func (sh *shard) loop(keepAlive time.Duration) {
+	defer sh.srv.wg.Done()
+	ticker := time.NewTicker(keepAlive)
+	defer ticker.Stop()
+	var spare []shardEntry
+	for {
+		select {
+		case <-sh.srv.closed:
+			// Final drain so Close leaves no queued entry unprocessed,
+			// then exit; Close waits on the WaitGroup before returning.
+			spare = sh.drain(spare)
+			return
+		case <-sh.wake:
+			sh.gateWait()
+			spare = sh.drain(spare)
+		case <-ticker.C:
+			sh.gateWait()
+			spare = sh.drain(spare)
+			sh.tickPings()
+		}
+	}
+}
+
+// gateWait blocks on the test gate when one is installed, so tests can
+// deterministically pile entries into pending. Close releases it.
+func (sh *shard) gateWait() {
+	if sh.gate == nil {
+		return
+	}
+	select {
+	case <-sh.gate:
+	case <-sh.srv.closed:
+	}
+}
+
+// plausible reports whether any subscriber of this shard could match
+// an elem with these keys, per the pre-index. Publishers call it to
+// skip shards entirely; it must never say false for a shard holding a
+// matching subscriber (the property tests pin this superset guarantee).
+func (sh *shard) plausible(collector string, e *core.Elem) bool {
+	sh.mu.Lock()
+	ok := len(sh.subs) > 0 && sh.idx.plausible(collector, e)
+	sh.mu.Unlock()
+	return ok
+}
+
+// enqueue appends one entry to the pending batch, or — when the batch
+// has hit the queue bound — records an overflow to be folded into
+// every subscriber's drop counter at the next drain, so the loss is
+// counted and the next ping's watermark covers it.
+func (sh *shard) enqueue(ent shardEntry) {
+	sh.mu.Lock()
+	if len(sh.pending) >= sh.srv.queueCap {
+		sh.overflowN++
+		if ent.ts > sh.overflowTs {
+			sh.overflowTs = ent.ts
+		}
+		sh.mu.Unlock()
+		metShardOverflow.Inc()
+		sh.wakeLoop()
+		return
+	}
+	sh.pending = append(sh.pending, ent)
+	sh.mu.Unlock()
+	sh.wakeLoop()
+}
+
+// advance records the watermark of an elem this shard was skipped for.
+// It wakes the loop only when a subscriber is waiting to be seeded;
+// otherwise the advance rides along with the next drain or tick — the
+// mark is only ever read when building pings.
+func (sh *shard) advance(ts int64) {
+	sh.mu.Lock()
+	if ts > sh.advTs {
+		sh.advTs = ts
+	}
+	chase := sh.seedWait > 0
+	sh.mu.Unlock()
+	if chase {
+		sh.wakeLoop()
+	}
+}
+
+func (sh *shard) wakeLoop() {
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drain swaps out the queued batch and processes it: deliver each
+// entry through the exact filter, then fold in overflow drops and the
+// coalesced skip watermark — strictly after the queued entries, so a
+// watermark never overtakes an elem it claims to cover. The spent
+// batch is zeroed (releasing frame bytes to the GC) and returned as
+// the next swap-in buffer.
+func (sh *shard) drain(spare []shardEntry) []shardEntry {
+	sh.mu.Lock()
+	batch := sh.pending
+	sh.pending = spare[:0]
+	advTs := sh.advTs
+	sh.advTs = 0
+	ofN, ofTs := sh.overflowN, sh.overflowTs
+	sh.overflowN, sh.overflowTs = 0, 0
+	sh.mu.Unlock()
+
+	for i := range batch {
+		sh.deliver(&batch[i])
+	}
+	if ofN > 0 {
+		sh.applyOverflow(ofN, ofTs)
+	}
+	if advTs > sh.mark {
+		sh.mark = advTs
+	}
+	sh.chaseSeeds()
+	for i := range batch {
+		batch[i] = shardEntry{}
+	}
+	return batch
+}
+
+// deliver fans one entry out to the shard's matching subscribers and
+// advances the shard mark past it. Sends never block: a full buffer
+// costs that subscriber the message and a counted drop (drop-newest),
+// reported with a correctly-ordered watermark on the next ping.
+func (sh *shard) deliver(ent *shardEntry) {
+	sh.mu.Lock()
+	for c := range sh.subs {
+		if c.ws && ent.ws == nil {
+			// No WS frame was rendered for this elem, so this
+			// subscriber registered after the encode; its hello seed
+			// covers the elem (see register's ordering argument).
+			continue
+		}
+		if !c.sub.matchKeys(ent.project, ent.collector, ent.peerASN, ent.typ, ent.prefix) {
+			continue
+		}
+		b := ent.sse
+		if c.ws {
+			b = ent.ws
+		}
+		select {
+		case c.ch <- frame{b: b, enq: ent.enq}:
+			if c.needSeed {
+				// The delivery itself seeds the client's feed time.
+				c.needSeed = false
+				sh.seedWait--
+			}
+		default:
+			c.dropped.Add(1)
+			sh.srv.dropped.Add(1)
+			metDropped.Inc()
+		}
+	}
+	sh.mu.Unlock()
+	if ent.ts > sh.mark {
+		sh.mark = ent.ts
+	}
+}
+
+// applyOverflow charges n conservative drops to every subscriber in
+// the shard — a rejected publish might have matched any of them — and
+// advances the mark to the newest rejected timestamp, so the next
+// ping's (mark, dropped) pair bounds the loss window correctly.
+func (sh *shard) applyOverflow(n uint64, ts int64) {
+	var affected uint64
+	sh.mu.Lock()
+	for c := range sh.subs {
+		c.dropped.Add(n)
+		affected++
+	}
+	sh.mu.Unlock()
+	if affected > 0 {
+		sh.srv.dropped.Add(n * affected)
+		metDropped.Add(n * affected)
+	}
+	if ts > sh.mark {
+		sh.mark = ts
+	}
+}
+
+// chaseSeeds sends a watermark ping to subscribers that joined before
+// the feed had any watermark, as soon as the shard has one. Without
+// it, loss before a quiet subscriber's first delivery would have no
+// lower bound. Runs after the batch so the watermark is ordered
+// behind every elem it covers.
+func (sh *shard) chaseSeeds() {
+	if sh.mark <= 0 {
+		return
+	}
+	sh.mu.Lock()
+	if sh.seedWait > 0 {
+		for c := range sh.subs {
+			if !c.needSeed {
+				continue
+			}
+			c.needSeed = false
+			sh.seedWait--
+			b := renderPing(sh.mark, c.dropped.Load(), c.ws)
+			select {
+			case c.ch <- frame{b: b}:
+			default:
+			}
+			if sh.seedWait == 0 {
+				break
+			}
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// tickPings queues a keepalive ping to every subscriber carrying the
+// (mark, dropped) pair. It runs in the shard goroutine right after a
+// drain, so the mark is ordered after every enqueued elem it covers
+// and pairs consistently with the drop counters — the invariant gap
+// repair depends on. The zero-drop renders are shared per transport:
+// the common case costs one encode per shard per tick.
+func (sh *shard) tickPings() {
+	mark := sh.mark
+	var zeroSSE, zeroWS []byte
+	sh.mu.Lock()
+	for c := range sh.subs {
+		d := c.dropped.Load()
+		var b []byte
+		switch {
+		case d == 0 && c.ws:
+			if zeroWS == nil {
+				zeroWS = renderPing(mark, 0, true)
+			}
+			b = zeroWS
+		case d == 0:
+			if zeroSSE == nil {
+				zeroSSE = renderPing(mark, 0, false)
+			}
+			b = zeroSSE
+		default:
+			b = renderPing(mark, d, c.ws)
+		}
+		select {
+		case c.ch <- frame{b: b}:
+		default:
+			// Buffer full: skip. A ping here would overtake the queued
+			// elems and claim delivery through a mark they have not
+			// reached; the handler's own liveness timer keeps the
+			// transport alive until a tick finds room.
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// subIndex is a shard's subscription pre-index: per-key reference
+// counts over the cheap dimensions a publisher can probe without
+// running the full filter — collector name, elem type, and prefix
+// (via a refcounted prefix trie). A subscription with no filter on a
+// dimension counts as a wildcard for it. The index is conservative by
+// design: project and peer-ASN filters are not indexed, so plausible()
+// may admit an elem no subscriber matches, but never the reverse.
+type subIndex struct {
+	collWild int
+	coll     map[string]int
+	typWild  int
+	typN     [8]int
+	pfxWild  int
+	pfx      *prefixtrie.Table[int]
+}
+
+func (ix *subIndex) add(sub *Subscription) {
+	if len(sub.Collectors) == 0 {
+		ix.collWild++
+	} else {
+		if ix.coll == nil {
+			ix.coll = make(map[string]int)
+		}
+		for _, c := range sub.Collectors {
+			ix.coll[c]++
+		}
+	}
+	if len(sub.ElemTypes) == 0 {
+		ix.typWild++
+	} else {
+		for _, t := range sub.ElemTypes {
+			if i := int(t); i >= 0 && i < len(ix.typN) {
+				ix.typN[i]++
+			} else {
+				// Out-of-range type values cannot be probed; treat the
+				// subscription as a type wildcard to stay conservative.
+				ix.typWild++
+			}
+		}
+	}
+	if len(sub.Prefixes) == 0 {
+		ix.pfxWild++
+	} else {
+		if ix.pfx == nil {
+			ix.pfx = prefixtrie.New[int]()
+		}
+		for _, pf := range sub.Prefixes {
+			p := pf.Prefix.Masked()
+			n, _ := ix.pfx.Get(p)
+			ix.pfx.Insert(p, n+1)
+		}
+	}
+}
+
+func (ix *subIndex) remove(sub *Subscription) {
+	if len(sub.Collectors) == 0 {
+		ix.collWild--
+	} else {
+		for _, c := range sub.Collectors {
+			if ix.coll[c] <= 1 {
+				delete(ix.coll, c)
+			} else {
+				ix.coll[c]--
+			}
+		}
+	}
+	if len(sub.ElemTypes) == 0 {
+		ix.typWild--
+	} else {
+		for _, t := range sub.ElemTypes {
+			if i := int(t); i >= 0 && i < len(ix.typN) {
+				ix.typN[i]--
+			} else {
+				ix.typWild--
+			}
+		}
+	}
+	if len(sub.Prefixes) == 0 {
+		ix.pfxWild--
+	} else {
+		for _, pf := range sub.Prefixes {
+			p := pf.Prefix.Masked()
+			n, ok := ix.pfx.Get(p)
+			switch {
+			case !ok:
+			case n <= 1:
+				ix.pfx.Remove(p)
+			default:
+				ix.pfx.Insert(p, n-1)
+			}
+		}
+	}
+}
+
+// plausible reports whether some indexed subscription could match an
+// elem with these keys: each filtered dimension must have a wildcard
+// or a key hit. For prefixes, any stored filter prefix overlapping the
+// elem prefix is a hit — a superset of every prefix match mode (exact,
+// more-, and less-specific all imply overlap). Elems without a valid
+// prefix (peer-state) can only match prefix-wildcard subscriptions,
+// mirroring Subscription.Matches. Allocation-free; called per
+// published elem under the shard lock.
+func (ix *subIndex) plausible(collector string, e *core.Elem) bool {
+	if ix.collWild == 0 && ix.coll[collector] == 0 {
+		return false
+	}
+	if ix.typWild == 0 {
+		i := int(e.Type)
+		if i < 0 || i >= len(ix.typN) || ix.typN[i] == 0 {
+			return false
+		}
+	}
+	if ix.pfxWild == 0 {
+		if !e.Prefix.IsValid() {
+			return false
+		}
+		if ix.pfx == nil || !ix.pfx.OverlapsAny(e.Prefix) {
+			return false
+		}
+	}
+	return true
+}
+
+// shardHash mixes a subscriber id into a well-distributed 64-bit value
+// (splitmix64 finalizer) so sequential ids spread across shards.
+func shardHash(id uint64) uint64 {
+	id += 0x9e3779b97f4a7c15
+	id = (id ^ (id >> 30)) * 0xbf58476d1ce4e5b9
+	id = (id ^ (id >> 27)) * 0x94d049bb133111eb
+	return id ^ (id >> 31)
+}
+
+// subscriber is one connected client, SSE or WebSocket.
+type subscriber struct {
+	sub  Subscription
+	ch   chan frame
+	done chan struct{} // closed to force-disconnect
+	once sync.Once
+	sh   *shard
+	ws   bool
+
+	// needSeed marks a subscriber that joined before the feed had any
+	// watermark: the shard loop chases it with a seed ping on the
+	// first publish it processes. Protected by sh.mu.
+	needSeed bool
+
+	// dropped counts messages this subscriber lost (full buffer or
+	// shard-queue overflow). The shard goroutine adds; pings and the
+	// disconnect log read — hence atomic.
+	dropped atomic.Uint64
+}
+
+func (c *subscriber) disconnect() { c.once.Do(func() { close(c.done) }) }

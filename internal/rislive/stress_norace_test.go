@@ -1,0 +1,5 @@
+//go:build !race
+
+package rislive_test
+
+const raceEnabled = false

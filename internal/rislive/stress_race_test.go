@@ -1,0 +1,8 @@
+//go:build race
+
+package rislive_test
+
+// raceEnabled caps the default stress size under the race detector,
+// whose memory and scheduling overhead makes 10k-subscriber runs
+// unreasonably slow; RISLIVE_STRESS_SUBS still overrides.
+const raceEnabled = true

@@ -150,6 +150,13 @@ func parsePrefixParam(enc string) (core.PrefixFilter, error) {
 // Matches reports whether an elem with the given tags passes the
 // subscription.
 func (s *Subscription) Matches(project, collector string, e *core.Elem) bool {
+	return s.matchKeys(project, collector, e.PeerASN, e.Type, e.Prefix)
+}
+
+// matchKeys evaluates the subscription against an elem's flattened
+// match keys — the form the shard fan-out stores per queued entry, so
+// delivery never retains a *core.Elem whose arena the stream recycles.
+func (s *Subscription) matchKeys(project, collector string, peerASN uint32, typ core.ElemType, prefix netip.Prefix) bool {
 	if len(s.Collectors) > 0 && !containsString(s.Collectors, collector) {
 		return false
 	}
@@ -159,7 +166,7 @@ func (s *Subscription) Matches(project, collector string, e *core.Elem) bool {
 	if len(s.PeerASNs) > 0 {
 		ok := false
 		for _, a := range s.PeerASNs {
-			if a == e.PeerASN {
+			if a == peerASN {
 				ok = true
 				break
 			}
@@ -171,7 +178,7 @@ func (s *Subscription) Matches(project, collector string, e *core.Elem) bool {
 	if len(s.ElemTypes) > 0 {
 		ok := false
 		for _, t := range s.ElemTypes {
-			if t == e.Type {
+			if t == typ {
 				ok = true
 				break
 			}
@@ -181,12 +188,12 @@ func (s *Subscription) Matches(project, collector string, e *core.Elem) bool {
 		}
 	}
 	if len(s.Prefixes) > 0 {
-		if !e.Prefix.IsValid() {
+		if !prefix.IsValid() {
 			return false
 		}
 		ok := false
 		for _, pf := range s.Prefixes {
-			if pf.Matches(e.Prefix) {
+			if pf.Matches(prefix) {
 				ok = true
 				break
 			}

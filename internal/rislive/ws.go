@@ -1,0 +1,310 @@
+package rislive
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// WebSocket transport plumbing (RFC 6455), implemented on the standard
+// library only. The feed speaks the same JSON envelope over both
+// transports: each Message travels as one unfragmented text frame, so
+// the codec, subscription-filter, keepalive, and gap-reporting logic
+// is shared with SSE verbatim — only the wire framing differs. The
+// server sends unmasked frames; the client masks, as the RFC requires.
+
+// WebSocket opcodes.
+const (
+	wsOpContinuation = 0x0
+	wsOpText         = 0x1
+	wsOpBinary       = 0x2
+	wsOpClose        = 0x8
+	wsOpPing         = 0x9
+	wsOpPong         = 0xA
+)
+
+// wsMaxPayload bounds a single message (after reassembly). Feed
+// messages are small JSON objects; anything near this limit is a
+// broken or hostile peer.
+const wsMaxPayload = 1 << 20
+
+// wsGUID is the fixed handshake GUID of RFC 6455 §4.2.2.
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// wsAcceptKey derives the Sec-WebSocket-Accept value for a handshake
+// key.
+func wsAcceptKey(key string) string {
+	h := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// wsChallengeKey generates a random Sec-WebSocket-Key for the client
+// side of the handshake.
+func wsChallengeKey() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return base64.StdEncoding.EncodeToString(b[:]), nil
+}
+
+// wsFrameHeaderLen returns the header size for a payload length (no
+// mask).
+func wsFrameHeaderLen(n int) int {
+	switch {
+	case n < 126:
+		return 2
+	case n <= 0xFFFF:
+		return 4
+	default:
+		return 10
+	}
+}
+
+// appendWSHeader appends a FIN frame header (unmasked) for the given
+// opcode and payload length.
+func appendWSHeader(b []byte, opcode byte, n int) []byte {
+	b = append(b, 0x80|opcode)
+	switch {
+	case n < 126:
+		b = append(b, byte(n))
+	case n <= 0xFFFF:
+		b = append(b, 126, byte(n>>8), byte(n))
+	default:
+		b = append(b, 127)
+		var ext [8]byte
+		binary.BigEndian.PutUint64(ext[:], uint64(n))
+		b = append(b, ext[:]...)
+	}
+	return b
+}
+
+// wsTextFrame renders one complete unmasked text frame around payload,
+// the WS analogue of sseFrame: built once per published elem and
+// shared verbatim by every WS subscriber's writer.
+func wsTextFrame(payload []byte) []byte {
+	b := make([]byte, 0, wsFrameHeaderLen(len(payload))+len(payload))
+	b = appendWSHeader(b, wsOpText, len(payload))
+	return append(b, payload...)
+}
+
+// wsControlFrame renders an unmasked control frame (ping/pong/close).
+// Control payloads are capped at 125 bytes by the RFC.
+func wsControlFrame(opcode byte, payload []byte) []byte {
+	if len(payload) > 125 {
+		payload = payload[:125]
+	}
+	b := make([]byte, 0, 2+len(payload))
+	b = appendWSHeader(b, opcode, len(payload))
+	return append(b, payload...)
+}
+
+// wsMaskedFrame renders a masked client->server frame.
+func wsMaskedFrame(opcode byte, payload []byte) ([]byte, error) {
+	if len(payload) > wsMaxPayload {
+		return nil, fmt.Errorf("rislive: ws payload %d exceeds limit", len(payload))
+	}
+	var key [4]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		return nil, err
+	}
+	b := make([]byte, 0, wsFrameHeaderLen(len(payload))+4+len(payload))
+	b = appendWSHeader(b, opcode, len(payload))
+	b[1] |= 0x80 // mask bit
+	b = append(b, key[:]...)
+	start := len(b)
+	b = append(b, payload...)
+	for i := start; i < len(b); i++ {
+		b[i] ^= key[(i-start)%4]
+	}
+	return b, nil
+}
+
+// Errors the frame parser reports. errWSClosed means the peer sent a
+// close frame — an orderly end of stream.
+var (
+	errWSClosed   = errors.New("rislive: ws close frame")
+	errWSProtocol = errors.New("rislive: ws protocol error")
+)
+
+// wsReader reassembles messages from a WebSocket byte stream. It
+// accepts masked and unmasked frames (so both peers can share it),
+// reassembles fragmented data messages, surfaces control frames
+// individually (they may interleave with fragments), and bounds every
+// payload by wsMaxPayload.
+type wsReader struct {
+	r *bufio.Reader
+	// frag accumulates fragmented message payloads between calls.
+	frag   []byte
+	inFrag bool
+	fragOp byte
+}
+
+// next returns the next complete message or control frame. For data
+// opcodes (text/binary) the payload is the fully reassembled message;
+// for control opcodes it is the control payload. Returns errWSClosed
+// on a close frame.
+func (r *wsReader) next() (opcode byte, payload []byte, err error) {
+	for {
+		fin, op, data, err := r.readFrame()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch {
+		case op == wsOpClose:
+			return op, data, errWSClosed
+		case op == wsOpPing || op == wsOpPong:
+			if !fin {
+				return 0, nil, fmt.Errorf("%w: fragmented control frame", errWSProtocol)
+			}
+			return op, data, nil
+		case op == wsOpContinuation:
+			if !r.inFrag {
+				return 0, nil, fmt.Errorf("%w: continuation without start", errWSProtocol)
+			}
+			if len(r.frag)+len(data) > wsMaxPayload {
+				return 0, nil, fmt.Errorf("%w: fragmented message exceeds %d bytes", errWSProtocol, wsMaxPayload)
+			}
+			r.frag = append(r.frag, data...)
+			if fin {
+				r.inFrag = false
+				msg := r.frag
+				r.frag = nil
+				return r.fragOp, msg, nil
+			}
+		case op == wsOpText || op == wsOpBinary:
+			if r.inFrag {
+				return 0, nil, fmt.Errorf("%w: new message inside fragment", errWSProtocol)
+			}
+			if fin {
+				return op, data, nil
+			}
+			r.inFrag = true
+			r.fragOp = op
+			r.frag = append([]byte(nil), data...)
+		default:
+			return 0, nil, fmt.Errorf("%w: reserved opcode %#x", errWSProtocol, op)
+		}
+	}
+}
+
+// readFrame reads and unmasks one raw frame.
+func (r *wsReader) readFrame() (fin bool, opcode byte, payload []byte, err error) {
+	var hdr [2]byte
+	if _, err = io.ReadFull(r.r, hdr[:]); err != nil {
+		return false, 0, nil, err
+	}
+	if hdr[0]&0x70 != 0 {
+		return false, 0, nil, fmt.Errorf("%w: nonzero RSV bits", errWSProtocol)
+	}
+	fin = hdr[0]&0x80 != 0
+	opcode = hdr[0] & 0x0F
+	masked := hdr[1]&0x80 != 0
+	n := uint64(hdr[1] & 0x7F)
+	switch n {
+	case 126:
+		var ext [2]byte
+		if _, err = io.ReadFull(r.r, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		n = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err = io.ReadFull(r.r, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		n = binary.BigEndian.Uint64(ext[:])
+	}
+	if opcode >= wsOpClose && (n > 125 || !fin) {
+		return false, 0, nil, fmt.Errorf("%w: oversized or fragmented control frame", errWSProtocol)
+	}
+	if n > wsMaxPayload {
+		return false, 0, nil, fmt.Errorf("%w: frame payload %d exceeds %d bytes", errWSProtocol, n, wsMaxPayload)
+	}
+	var key [4]byte
+	if masked {
+		if _, err = io.ReadFull(r.r, key[:]); err != nil {
+			return false, 0, nil, err
+		}
+	}
+	payload = make([]byte, int(n))
+	if _, err = io.ReadFull(r.r, payload); err != nil {
+		return false, 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= key[i%4]
+		}
+	}
+	return fin, opcode, payload, nil
+}
+
+// wsUpgradeRequested reports whether an HTTP request asks for a
+// WebSocket upgrade — the server-side autodetect that lets one
+// endpoint serve both transports.
+func wsUpgradeRequested(connection, upgrade string) bool {
+	if !tokenListContains(connection, "upgrade") {
+		return false
+	}
+	return tokenListContains(upgrade, "websocket")
+}
+
+// tokenListContains reports whether a comma-separated HTTP token list
+// contains token (ASCII case-insensitive).
+func tokenListContains(list, token string) bool {
+	for len(list) > 0 {
+		var item string
+		if i := indexByte(list, ','); i >= 0 {
+			item, list = list[:i], list[i+1:]
+		} else {
+			item, list = list, ""
+		}
+		if asciiEqualFold(trimSpace(item), token) {
+			return true
+		}
+	}
+	return false
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+func trimSpace(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func asciiEqualFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -354,10 +354,11 @@ func init() {
 
 	RegisterSource(SourceInfo{
 		Name:        "rislive",
-		Description: "RIS Live-style SSE push feed (bgplivesrv, rislive.Server); millisecond latency",
+		Description: "RIS Live-style push feed (bgplivesrv, rislive.Server) over SSE or WebSocket; millisecond latency",
 		Kind:        "push",
 		Options: []SourceOption{
-			{Name: "url", Description: "SSE endpoint, e.g. http://localhost:8481/v1/stream", Required: true},
+			{Name: "url", Description: "feed endpoint, e.g. http://localhost:8481/v1/stream or ws://localhost:8481/v1/ws", Required: true},
+			{Name: "transport", Description: `wire framing: "sse", "ws", or "" to pick by URL scheme (ws/wss connect over WebSocket)`},
 			{Name: "stale", Description: "reconnect when messages lag the clock by this much (0 disables)", Default: "0s"},
 			{Name: "backoff", Description: "initial reconnect delay, doubled per consecutive failure", Default: "500ms"},
 			{Name: "log", Description: `"stderr" surfaces connection lifecycle logs`},
@@ -371,17 +372,23 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
+		switch opts["transport"] {
+		case rislive.TransportAuto, rislive.TransportSSE, rislive.TransportWS:
+		default:
+			return nil, fmt.Errorf(`bgpstream: source "rislive" option "transport": want "sse", "ws", or empty, got %q`, opts["transport"])
+		}
 		switch opts["log"] {
 		case "", "stderr":
 		default:
 			return nil, fmt.Errorf(`bgpstream: source "rislive" option "log": want "stderr", got %q`, opts["log"])
 		}
-		url, logDest := opts["url"], opts["log"]
+		url, transport, logDest := opts["url"], opts["transport"], opts["log"]
 		return core.SourceFunc(func(ctx context.Context, f Filters) (*Stream, error) {
 			// The subscription pushes the server-enforceable dimensions
 			// upstream; the stream re-applies every filter locally, so
 			// its configuration stays authoritative.
 			c := rislive.NewClient(url, rislive.SubscriptionFromFilters(f))
+			c.Transport = transport
 			c.Staleness = stale
 			c.Backoff = backoff
 			if logDest == "stderr" {
