@@ -198,6 +198,11 @@ func (t ElemType) String() string {
 // Elem is the BGPStream elem of Table 1: one route, withdrawal, or
 // state message for one (vantage point, prefix) pair, extracted from a
 // record that may group several of them.
+//
+// Elems handed out by Stream.NextElem reference the stream's decode
+// arenas through ASPath and Communities; they are guaranteed valid
+// until the stream's next pull. Use Clone for retention beyond that
+// (Record.Elems results are caller-owned and need no Clone).
 type Elem struct {
 	Type      ElemType
 	Timestamp time.Time
@@ -214,6 +219,17 @@ type Elem struct {
 	// OldState and NewState are set for peer-state elems.
 	OldState bgp.FSMState
 	NewState bgp.FSMState
+}
+
+// Clone returns a deep copy of the elem, independent of any decode
+// arena it was materialised from: the retention edge of the pipeline's
+// memory-ownership contract (docs/ARCHITECTURE.md). Scalar fields are
+// values already; ASPath segments and Communities get fresh backing.
+func (e *Elem) Clone() Elem {
+	out := *e
+	out.ASPath = e.ASPath.Clone()
+	out.Communities = e.Communities.Clone()
+	return out
 }
 
 // Origins returns the origin ASNs of the elem's AS path (multiple for

@@ -9,11 +9,37 @@ import (
 	"github.com/bgpstream-go/bgpstream/internal/mrt"
 )
 
+// elemDecoder bundles the per-consumer decode state that elem
+// materialisation reuses from record to record: a bgp.Decoder
+// (attribute scratch + retained-output arenas) plus record-level
+// scratch for each MRT body shape. One elemDecoder belongs to exactly
+// one consumer — the Stream's pull loop owns one, and Record.Elems
+// makes a throwaway one per call — so decoding needs no locking.
+//
+// Ownership within one record's materialisation: the scratch structs
+// (msg, sc, rib, td) and everything the bgp.Decoder marks transient
+// are overwritten by the next record, but that's invisible to elem
+// consumers because appendUpdateElems/ribElems copy every scalar into
+// the Elem and the only referenced storage (AS-path segments,
+// community lists) is arena-retained by the bgp.Decoder. See the
+// lifetime contract on Elem.
+type elemDecoder struct {
+	bgp bgp.Decoder
+	msg mrt.BGP4MPMessage
+	sc  mrt.BGP4MPStateChange
+	rib mrt.RIB
+	td  mrt.TableDump
+}
+
 // Elems decomposes the record into its BGPStream elems (§3.3.3): a
 // RIB record yields one elem per (VP, prefix) entry, an update message
 // one elem per announced or withdrawn prefix, a state change exactly
 // one elem. Invalid records and records carrying no route information
 // (peer index tables, OPEN/KEEPALIVE messages) yield none.
+//
+// Each call decodes through a fresh throwaway decoder, so the caller
+// owns the returned elems outright (no lifetime caveats — this is the
+// convenient, allocating path; Stream.NextElem is the arena path).
 //
 // Decoding failures inside an otherwise intact record return an error;
 // stream layers surface it without terminating.
@@ -21,17 +47,20 @@ func (r *Record) Elems() ([]Elem, error) {
 	if r.synth != nil {
 		return r.synth, nil
 	}
-	return r.appendElems(nil)
+	var dec elemDecoder
+	return r.appendElems(nil, &dec)
 }
 
 // appendElems is the allocation-aware form of Elems: decomposed elems
 // are appended to dst (which may be nil) and the extended slice
-// returned. The stream layer passes arena-backed buffers so the
-// per-record []Elem allocation amortises over many records; synth
-// records copy their pre-decomposed elems only when dst is non-nil.
+// returned, with all decoding routed through dec's scratch and arenas.
+// The stream layer passes arena-backed buffers and its per-stream
+// decoder so steady-state materialisation performs no allocation;
+// synth records copy their pre-decomposed elems only when dst is
+// non-nil.
 //
 //bgp:hotpath
-func (r *Record) appendElems(dst []Elem) ([]Elem, error) {
+func (r *Record) appendElems(dst []Elem, dec *elemDecoder) ([]Elem, error) {
 	if r.synth != nil {
 		return append(dst, r.synth...), nil
 	}
@@ -40,50 +69,48 @@ func (r *Record) appendElems(dst []Elem) ([]Elem, error) {
 	}
 	switch r.MRT.Header.Type {
 	case mrt.TypeBGP4MP, mrt.TypeBGP4MPET:
-		return r.bgp4mpElems(dst)
+		return r.bgp4mpElems(dst, dec)
 	case mrt.TypeTableDumpV2:
-		return r.tableDumpV2Elems(dst)
+		return r.tableDumpV2Elems(dst, dec)
 	case mrt.TypeTableDump:
-		return r.tableDumpElems(dst)
+		return r.tableDumpElems(dst, dec)
 	default:
 		return dst, nil
 	}
 }
 
 //bgp:hotpath
-func (r *Record) bgp4mpElems(dst []Elem) ([]Elem, error) {
+func (r *Record) bgp4mpElems(dst []Elem, dec *elemDecoder) ([]Elem, error) {
 	ts := r.Time()
 	switch r.MRT.Header.Subtype {
 	case mrt.SubtypeStateChange, mrt.SubtypeStateChangeAS4:
-		sc, err := mrt.DecodeBGP4MPStateChange(r.MRT.Body, r.MRT.Header.Subtype)
-		if err != nil {
+		if err := mrt.DecodeBGP4MPStateChangeTo(&dec.sc, r.MRT.Body, r.MRT.Header.Subtype); err != nil {
 			return dst, err
 		}
 		return append(dst, Elem{
 			Type:      ElemPeerState,
 			Timestamp: ts,
-			PeerAddr:  sc.PeerIP,
-			PeerASN:   sc.PeerAS,
-			OldState:  sc.OldState,
-			NewState:  sc.NewState,
+			PeerAddr:  dec.sc.PeerIP,
+			PeerASN:   dec.sc.PeerAS,
+			OldState:  dec.sc.OldState,
+			NewState:  dec.sc.NewState,
 		}), nil
 	case mrt.SubtypeMessage, mrt.SubtypeMessageAS4:
-		msg, err := mrt.DecodeBGP4MPMessage(r.MRT.Body, r.MRT.Header.Subtype)
-		if err != nil {
+		if err := mrt.DecodeBGP4MPMessageTo(&dec.msg, r.MRT.Body, r.MRT.Header.Subtype); err != nil {
 			return dst, err
 		}
-		mt, err := msg.MessageType()
+		mt, err := dec.msg.MessageType()
 		if err != nil {
 			return dst, err
 		}
 		if mt != bgp.MsgUpdate {
 			return dst, nil // OPEN/KEEPALIVE/NOTIFICATION carry no elems
 		}
-		u, err := msg.Update()
+		u, err := dec.msg.UpdateInto(&dec.bgp)
 		if err != nil {
 			return dst, err
 		}
-		return appendUpdateElems(dst, ts, msg.PeerIP, msg.PeerAS, u), nil
+		return appendUpdateElems(dst, ts, dec.msg.PeerIP, dec.msg.PeerAS, u), nil
 	default:
 		return dst, nil
 	}
@@ -122,22 +149,22 @@ func appendUpdateElems(dst []Elem, ts time.Time, peerIP netip.Addr, peerAS uint3
 	return dst
 }
 
-func (r *Record) tableDumpV2Elems(dst []Elem) ([]Elem, error) {
+//bgp:hotpath
+func (r *Record) tableDumpV2Elems(dst []Elem, dec *elemDecoder) ([]Elem, error) {
 	switch r.MRT.Header.Subtype {
 	case mrt.SubtypePeerIndexTable:
 		return dst, nil
 	case mrt.SubtypeRIBIPv4Unicast, mrt.SubtypeRIBIPv4Multicast:
-		return r.ribElems(dst, bgp.AFIIPv4)
+		return r.ribElems(dst, dec, bgp.AFIIPv4)
 	case mrt.SubtypeRIBIPv6Unicast, mrt.SubtypeRIBIPv6Multicast:
-		return r.ribElems(dst, bgp.AFIIPv6)
+		return r.ribElems(dst, dec, bgp.AFIIPv6)
 	default:
 		return dst, nil
 	}
 }
 
-func (r *Record) ribElems(dst []Elem, afi uint16) ([]Elem, error) {
-	rib, err := mrt.DecodeRIB(r.MRT.Body, afi)
-	if err != nil {
+func (r *Record) ribElems(dst []Elem, dec *elemDecoder, afi uint16) ([]Elem, error) {
+	if err := mrt.DecodeRIBTo(&dec.rib, r.MRT.Body, afi); err != nil {
 		return dst, err
 	}
 	if r.peers == nil {
@@ -145,12 +172,13 @@ func (r *Record) ribElems(dst []Elem, afi uint16) ([]Elem, error) {
 	}
 	ts := r.Time()
 	start := len(dst)
-	for _, entry := range rib.Entries {
+	for i := range dec.rib.Entries {
+		entry := &dec.rib.Entries[i]
 		if int(entry.PeerIndex) >= len(r.peers.Peers) {
 			return dst[:start], fmt.Errorf("core: RIB entry references peer %d of %d", entry.PeerIndex, len(r.peers.Peers))
 		}
 		peer := r.peers.Peers[entry.PeerIndex]
-		attrs, err := entry.DecodeAttrs()
+		attrs, err := entry.DecodeAttrsInto(&dec.bgp)
 		if err != nil {
 			return dst[:start], err
 		}
@@ -163,7 +191,7 @@ func (r *Record) ribElems(dst []Elem, afi uint16) ([]Elem, error) {
 			Timestamp:   ts,
 			PeerAddr:    peer.IP,
 			PeerASN:     peer.AS,
-			Prefix:      rib.Prefix,
+			Prefix:      dec.rib.Prefix,
 			NextHop:     nh,
 			ASPath:      attrs.EffectivePath(),
 			Communities: attrs.Communities,
@@ -172,12 +200,11 @@ func (r *Record) ribElems(dst []Elem, afi uint16) ([]Elem, error) {
 	return dst, nil
 }
 
-func (r *Record) tableDumpElems(dst []Elem) ([]Elem, error) {
-	td, err := mrt.DecodeTableDump(r.MRT.Body, r.MRT.Header.Subtype)
-	if err != nil {
+func (r *Record) tableDumpElems(dst []Elem, dec *elemDecoder) ([]Elem, error) {
+	if err := mrt.DecodeTableDumpTo(&dec.td, r.MRT.Body, r.MRT.Header.Subtype); err != nil {
 		return dst, err
 	}
-	attrs, err := td.DecodeAttrs()
+	attrs, err := dec.td.DecodeAttrsInto(&dec.bgp)
 	if err != nil {
 		return dst, err
 	}
@@ -188,9 +215,9 @@ func (r *Record) tableDumpElems(dst []Elem) ([]Elem, error) {
 	return append(dst, Elem{
 		Type:        ElemRIB,
 		Timestamp:   r.Time(),
-		PeerAddr:    td.PeerIP,
-		PeerASN:     uint32(td.PeerAS),
-		Prefix:      td.Prefix,
+		PeerAddr:    dec.td.PeerIP,
+		PeerASN:     uint32(dec.td.PeerAS),
+		Prefix:      dec.td.Prefix,
 		NextHop:     nh,
 		ASPath:      attrs.EffectivePath(),
 		Communities: attrs.Communities,

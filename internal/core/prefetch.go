@@ -57,15 +57,39 @@ type prefetchBatch struct {
 // source of a partition before popping, so starting on first pull
 // would serialise the first batch of each file), and share the
 // stream-wide decode semaphore and stop channel.
+//
+// Groups are chained in partition order (next): when a group starts,
+// it also launches the workers of the following partition, so group
+// N+1's files are opened, gunzipped and decoded into their readahead
+// queues while the merge heap is still draining group N. This removes
+// the partition-boundary bubble — without it, every partition handoff
+// idled all workers for a full cold start (open + first batch of each
+// file). The lookahead is exactly one partition and non-cascading
+// (launching N+1 does not launch N+2 until the merge reaches N+1), so
+// open-file and queue memory stays bounded at two partitions, and the
+// shared semaphore keeps total decode concurrency unchanged. Ordering
+// is unaffected: the merge heap's pop order depends only on per-source
+// record sequences, never on when decoding happened.
 type prefetchGroup struct {
 	sem     chan struct{} // stream-wide decode-concurrency bound
 	stop    chan struct{} // closed by Stream.Close: abandon work
 	members []*prefetchSource
+	next    *prefetchGroup // following overlap partition, if any
 	once    sync.Once
 }
 
-// start launches every member's decode worker exactly once.
+// start launches this group's workers and — cross-partition prefetch —
+// the next group's, each exactly once.
 func (g *prefetchGroup) start() {
+	g.launch()
+	if g.next != nil {
+		g.next.launch()
+	}
+}
+
+// launch starts every member's decode worker exactly once, without
+// cascading into the next group.
+func (g *prefetchGroup) launch() {
 	g.once.Do(func() {
 		for _, m := range g.members {
 			go m.run()
@@ -194,8 +218,13 @@ func (s *prefetchSource) Ready() bool {
 func buildPrefetchSequence(groups [][]*dumpSource, workers, readahead int, stop chan struct{}) *merge.Sequence[*Record] {
 	sem := make(chan struct{}, workers)
 	srcGroups := make([][]merge.Source[*Record], 0, len(groups))
+	var prev *prefetchGroup
 	for _, g := range groups {
 		pg := &prefetchGroup{sem: sem, stop: stop}
+		if prev != nil {
+			prev.next = pg // cross-partition lookahead chain
+		}
+		prev = pg
 		sources := make([]merge.Source[*Record], 0, len(g))
 		for _, ds := range g {
 			sources = append(sources, newPrefetchSource(ds, pg, readahead))

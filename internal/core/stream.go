@@ -66,6 +66,11 @@ type Stream struct {
 	// geometrically so short streams don't pay a full-size chunk.
 	elemArena     []Elem
 	elemArenaNext int
+	// dec is the stream's per-reader decode state (bgp.Decoder arenas +
+	// MRT record scratch). Elems are materialised exclusively on the
+	// consumer goroutine — prefetch workers parse MRT framing but never
+	// decode elems — so a single decoder per stream needs no locking.
+	dec elemDecoder
 }
 
 // Elem-arena chunk growth bounds (elems per chunk), and the minimum
@@ -390,6 +395,13 @@ func (s *Stream) setErr(err error) {
 // filters. It returns the elem together with the record it came from;
 // io.EOF signals end of stream. Records whose payload fails to decode
 // are skipped (their count is available via Stats in higher layers).
+//
+// Lifetime contract: the returned elem is decoded through the stream's
+// per-reader arenas. It is guaranteed valid until the next pull
+// (NextElem/Next) on this stream; callers that retain elems across
+// pulls must copy them with Elem.Clone. (The current arenas are
+// append-only, so handed-out elems are not actually recycled, but only
+// the one-pull guarantee is contractual.)
 func (s *Stream) NextElem() (*Record, *Elem, error) {
 	for {
 		if s.curRecord != nil && s.elemIdx < len(s.curElems) {
@@ -441,7 +453,7 @@ func (s *Stream) decodeElems(rec *Record) ([]Elem, error) {
 		}
 	}
 	start := len(buf)
-	buf, err := rec.appendElems(buf)
+	buf, err := rec.appendElems(buf, &s.dec)
 	if err != nil {
 		return nil, err
 	}

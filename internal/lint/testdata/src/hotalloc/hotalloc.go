@@ -64,6 +64,34 @@ func hotSanctioned(n int) []byte {
 	return make([]byte, n) //bgp:alloc-ok amortised scratch growth
 }
 
+// arenaT is a geometric append-only arena: carves are served from the
+// tail of chunk; a full chunk is replaced (never rewound), so earlier
+// carves stay valid while referenced.
+type arenaT struct {
+	chunk []int
+	next  int
+}
+
+// hotArena is the sanctioned decoder-arena idiom (internal/bgp
+// Decoder): the only allocation is the amortised chunk replacement
+// behind //bgp:alloc-ok; the in-place length extension and the
+// three-index carve below it must stay diagnostic-free.
+//
+//bgp:hotpath
+func hotArena(a *arenaT, n int) []int {
+	if cap(a.chunk)-len(a.chunk) < n {
+		size := a.next
+		if size < n {
+			size = n
+		}
+		a.next = size * 2
+		a.chunk = make([]int, 0, size) //bgp:alloc-ok geometric arena chunk growth
+	}
+	start := len(a.chunk)
+	a.chunk = a.chunk[:start+n]
+	return a.chunk[start : start+n : start+n]
+}
+
 // coldAlloc has no hotpath directive, so it may allocate freely.
 func coldAlloc(name string) []string {
 	return []string{fmt.Sprintf("cold:%s", name)}

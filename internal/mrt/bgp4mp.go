@@ -22,13 +22,29 @@ type BGP4MPMessage struct {
 }
 
 // Update decodes the contained BGP message, which must be an UPDATE,
-// using the AS-number width implied by the record subtype.
+// using the AS-number width implied by the record subtype. It
+// allocates fresh storage per call; hot paths use UpdateInto with a
+// per-reader bgp.Decoder instead.
 func (m *BGP4MPMessage) Update() (*bgp.Update, error) {
 	asSize := 2
 	if m.AS4 {
 		asSize = 4
 	}
 	return bgp.DecodeUpdateMessage(m.Data, asSize)
+}
+
+// UpdateInto decodes the contained UPDATE through dec. The returned
+// update follows dec's lifetime contract: transient scratch valid
+// until the next Decode* call, with AS-path/community backing retained
+// by dec's arenas (see bgp.Decoder).
+//
+//bgp:hotpath
+func (m *BGP4MPMessage) UpdateInto(dec *bgp.Decoder) (*bgp.Update, error) {
+	asSize := 2
+	if m.AS4 {
+		asSize = 4
+	}
+	return dec.DecodeUpdateMessage(m.Data, asSize)
 }
 
 // MessageType returns the BGP message type code of the contained
@@ -91,36 +107,66 @@ func decodeBGP4MPPreamble(buf []byte, as4 bool) (peerAS, localAS uint32, ifIndex
 	return
 }
 
-// DecodeBGP4MPMessage decodes a MESSAGE or MESSAGE_AS4 record body.
-func DecodeBGP4MPMessage(body []byte, subtype uint16) (*BGP4MPMessage, error) {
+// DecodeBGP4MPMessageTo decodes a MESSAGE or MESSAGE_AS4 record body
+// into m, reusing its storage: the allocation-free form of
+// DecodeBGP4MPMessage for per-reader decode loops. m.Data aliases
+// body, so m is only valid while body is (under Reader.StableBodies,
+// until the reader is garbage).
+//
+//bgp:hotpath
+func DecodeBGP4MPMessageTo(m *BGP4MPMessage, body []byte, subtype uint16) error {
 	as4 := subtype == SubtypeMessageAS4
 	peerAS, localAS, ifIndex, afi, peerIP, localIP, n, err := decodeBGP4MPPreamble(body, as4)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &BGP4MPMessage{
+	*m = BGP4MPMessage{
 		PeerAS: peerAS, LocalAS: localAS, IfIndex: ifIndex, AFI: afi,
 		PeerIP: peerIP, LocalIP: localIP, AS4: as4, Data: body[n:],
-	}, nil
+	}
+	return nil
 }
 
-// DecodeBGP4MPStateChange decodes a STATE_CHANGE or STATE_CHANGE_AS4
-// record body.
-func DecodeBGP4MPStateChange(body []byte, subtype uint16) (*BGP4MPStateChange, error) {
+// DecodeBGP4MPMessage decodes a MESSAGE or MESSAGE_AS4 record body
+// into fresh storage the caller owns.
+func DecodeBGP4MPMessage(body []byte, subtype uint16) (*BGP4MPMessage, error) {
+	m := &BGP4MPMessage{}
+	if err := DecodeBGP4MPMessageTo(m, body, subtype); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeBGP4MPStateChangeTo decodes a STATE_CHANGE or STATE_CHANGE_AS4
+// record body into sc, reusing its storage.
+//
+//bgp:hotpath
+func DecodeBGP4MPStateChangeTo(sc *BGP4MPStateChange, body []byte, subtype uint16) error {
 	as4 := subtype == SubtypeStateChangeAS4
 	peerAS, localAS, ifIndex, afi, peerIP, localIP, n, err := decodeBGP4MPPreamble(body, as4)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if len(body)-n < 4 {
-		return nil, corrupt("state change", bgp.ErrTruncated)
+		return corrupt("state change", bgp.ErrTruncated)
 	}
-	return &BGP4MPStateChange{
+	*sc = BGP4MPStateChange{
 		PeerAS: peerAS, LocalAS: localAS, IfIndex: ifIndex, AFI: afi,
 		PeerIP: peerIP, LocalIP: localIP, AS4: as4,
 		OldState: bgp.FSMState(binary.BigEndian.Uint16(body[n:])),
 		NewState: bgp.FSMState(binary.BigEndian.Uint16(body[n+2:])),
-	}, nil
+	}
+	return nil
+}
+
+// DecodeBGP4MPStateChange decodes a STATE_CHANGE or STATE_CHANGE_AS4
+// record body into fresh storage the caller owns.
+func DecodeBGP4MPStateChange(body []byte, subtype uint16) (*BGP4MPStateChange, error) {
+	sc := &BGP4MPStateChange{}
+	if err := DecodeBGP4MPStateChangeTo(sc, body, subtype); err != nil {
+		return nil, err
+	}
+	return sc, nil
 }
 
 func appendBGP4MPPreamble(dst []byte, peerAS, localAS uint32, ifIndex uint16, peerIP, localIP netip.Addr, as4 bool) []byte {

@@ -71,6 +71,13 @@ const (
 // copy-per-record the default reusable-scratch mode forces on them.
 // chunkSize <= 0 selects DefaultArenaChunk. Must be called before the
 // first Next.
+//
+// This is the bottom layer of the decode stack's memory-ownership
+// chain (docs/ARCHITECTURE.md "Memory ownership along the decode
+// stack"): the record bodies carved here back every downstream view —
+// mrt wire structs alias them, and bgp.Decoder parses elems out of
+// them — so body stability is what lets those layers reuse scratch
+// instead of copying.
 func (r *Reader) StableBodies(chunkSize int) {
 	if chunkSize <= 0 {
 		chunkSize = DefaultArenaChunk

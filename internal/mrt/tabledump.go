@@ -106,9 +106,19 @@ type RIBEntry struct {
 }
 
 // DecodeAttrs parses the entry's path attributes. TABLE_DUMP_V2
-// attributes always use 4-octet AS numbers (RFC 6396 §4.3.4).
+// attributes always use 4-octet AS numbers (RFC 6396 §4.3.4). It
+// allocates per call; hot paths use DecodeAttrsInto.
 func (e *RIBEntry) DecodeAttrs() (bgp.PathAttributes, error) {
 	return bgp.DecodeAttributes(e.Attrs, 4)
+}
+
+// DecodeAttrsInto parses the entry's path attributes through dec; the
+// result follows dec's lifetime contract (valid until the next Decode*
+// call on dec).
+//
+//bgp:hotpath
+func (e *RIBEntry) DecodeAttrsInto(dec *bgp.Decoder) (*bgp.PathAttributes, error) {
+	return dec.DecodeAttributes(e.Attrs, 4)
 }
 
 // RIB is a TABLE_DUMP_V2 RIB_IPV4_UNICAST or RIB_IPV6_UNICAST record:
@@ -119,29 +129,37 @@ type RIB struct {
 	Entries  []RIBEntry
 }
 
-// DecodeRIB decodes a RIB_IPVx_UNICAST/MULTICAST record body; afi
-// selects the prefix family and is implied by the record subtype.
-func DecodeRIB(body []byte, afi uint16) (*RIB, error) {
+// DecodeRIBTo decodes a RIB_IPVx_UNICAST/MULTICAST record body into r,
+// reusing r.Entries' backing: the allocation-free form of DecodeRIB
+// for per-reader decode loops. Entry Attrs alias body.
+//
+//bgp:hotpath
+func DecodeRIBTo(r *RIB, body []byte, afi uint16) error {
 	if len(body) < 4 {
-		return nil, corrupt("rib", bgp.ErrTruncated)
+		return corrupt("rib", bgp.ErrTruncated)
 	}
-	r := &RIB{Sequence: binary.BigEndian.Uint32(body)}
+	r.Sequence = binary.BigEndian.Uint32(body)
+	r.Prefix = netip.Prefix{}
 	off := 4
 	prefix, n, err := bgp.DecodeNLRI(body[off:], afi)
 	if err != nil {
-		return nil, corrupt("rib prefix", err)
+		return corrupt("rib prefix", err)
 	}
 	r.Prefix = prefix
 	off += n
 	if len(body)-off < 2 {
-		return nil, corrupt("rib", bgp.ErrTruncated)
+		return corrupt("rib", bgp.ErrTruncated)
 	}
 	count := int(binary.BigEndian.Uint16(body[off:]))
 	off += 2
-	r.Entries = make([]RIBEntry, 0, count)
+	if r.Entries == nil {
+		r.Entries = make([]RIBEntry, 0, count) //bgp:alloc-ok first-use backing, reused by later decodes
+	} else {
+		r.Entries = r.Entries[:0]
+	}
 	for i := 0; i < count; i++ {
 		if len(body)-off < 8 {
-			return nil, corrupt("rib entry", bgp.ErrTruncated)
+			return corrupt("rib entry", bgp.ErrTruncated)
 		}
 		e := RIBEntry{
 			PeerIndex:      binary.BigEndian.Uint16(body[off:]),
@@ -150,11 +168,22 @@ func DecodeRIB(body []byte, afi uint16) (*RIB, error) {
 		alen := int(binary.BigEndian.Uint16(body[off+6:]))
 		off += 8
 		if len(body)-off < alen {
-			return nil, corrupt("rib entry attrs", bgp.ErrTruncated)
+			return corrupt("rib entry attrs", bgp.ErrTruncated)
 		}
 		e.Attrs = body[off : off+alen]
 		off += alen
 		r.Entries = append(r.Entries, e)
+	}
+	return nil
+}
+
+// DecodeRIB decodes a RIB_IPVx_UNICAST/MULTICAST record body into
+// fresh storage the caller owns; afi selects the prefix family and is
+// implied by the record subtype.
+func DecodeRIB(body []byte, afi uint16) (*RIB, error) {
+	r := &RIB{}
+	if err := DecodeRIBTo(r, body, afi); err != nil {
+		return nil, err
 	}
 	return r, nil
 }
@@ -214,31 +243,33 @@ type TableDump struct {
 	Attrs          []byte
 }
 
-// DecodeTableDump decodes a TABLE_DUMP record body; the header subtype
-// carries the AFI.
-func DecodeTableDump(body []byte, afi uint16) (*TableDump, error) {
+// DecodeTableDumpTo decodes a TABLE_DUMP record body into td, reusing
+// its storage; td.Attrs aliases body.
+//
+//bgp:hotpath
+func DecodeTableDumpTo(td *TableDump, body []byte, afi uint16) error {
 	addrLen := 4
 	if afi == bgp.AFIIPv6 {
 		addrLen = 16
 	}
 	need := 2 + 2 + addrLen + 1 + 1 + 4 + addrLen + 2 + 2
 	if len(body) < need {
-		return nil, corrupt("table dump", bgp.ErrTruncated)
+		return corrupt("table dump", bgp.ErrTruncated)
 	}
-	td := &TableDump{
+	*td = TableDump{
 		ViewNumber: binary.BigEndian.Uint16(body[0:]),
 		Sequence:   binary.BigEndian.Uint16(body[2:]),
 	}
 	off := 4
 	addr, _, err := decodeAddr(body[off:], afi)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	off += addrLen
 	bits := int(body[off])
 	p, err := addr.Prefix(bits)
 	if err != nil {
-		return nil, corrupt("table dump prefix", bgp.ErrBadPrefix)
+		return corrupt("table dump prefix", bgp.ErrBadPrefix)
 	}
 	td.Prefix = p
 	off++
@@ -248,7 +279,7 @@ func DecodeTableDump(body []byte, afi uint16) (*TableDump, error) {
 	off += 4
 	td.PeerIP, _, err = decodeAddr(body[off:], afi)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	off += addrLen
 	td.PeerAS = binary.BigEndian.Uint16(body[off:])
@@ -256,15 +287,33 @@ func DecodeTableDump(body []byte, afi uint16) (*TableDump, error) {
 	alen := int(binary.BigEndian.Uint16(body[off:]))
 	off += 2
 	if len(body)-off < alen {
-		return nil, corrupt("table dump attrs", bgp.ErrTruncated)
+		return corrupt("table dump attrs", bgp.ErrTruncated)
 	}
 	td.Attrs = body[off : off+alen]
+	return nil
+}
+
+// DecodeTableDump decodes a TABLE_DUMP record body into fresh storage
+// the caller owns; the header subtype carries the AFI.
+func DecodeTableDump(body []byte, afi uint16) (*TableDump, error) {
+	td := &TableDump{}
+	if err := DecodeTableDumpTo(td, body, afi); err != nil {
+		return nil, err
+	}
 	return td, nil
 }
 
 // DecodeAttrs parses the record's path attributes (2-octet AS paths).
 func (td *TableDump) DecodeAttrs() (bgp.PathAttributes, error) {
 	return bgp.DecodeAttributes(td.Attrs, 2)
+}
+
+// DecodeAttrsInto parses the record's path attributes (2-octet AS
+// paths) through dec; the result follows dec's lifetime contract.
+//
+//bgp:hotpath
+func (td *TableDump) DecodeAttrsInto(dec *bgp.Decoder) (*bgp.PathAttributes, error) {
+	return dec.DecodeAttributes(td.Attrs, 2)
 }
 
 // EncodeTableDump produces a TABLE_DUMP record body and its subtype.
