@@ -24,6 +24,7 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -59,6 +60,7 @@ func run() error {
 		mqAddr    = flag.String("mq", "", "message-bus address for the rt plugin")
 		collector = flag.String("c", "", "restrict to one collector")
 		filterStr = flag.String("filter", "", `BGPStream v2 filter string, e.g. "collector rrc00 and type updates" (exclusive with -c)`)
+		fetchRet  = flag.Int("fetch-retries", 0, "attempts per transient network failure on dump fetches and broker queries (0 = default 3)")
 	)
 	var pluginSpecs listFlag
 	flag.Var(&pluginSpecs, "plugin", "plugin spec (repeatable): stats | pfxmonitor:<p;p> | rt")
@@ -89,11 +91,17 @@ func run() error {
 			opts = append(opts, bgpstream.WithLive(start))
 		}
 	}
+	srcOpts := bgpstream.SourceOptions{}
+	if *fetchRet != 0 {
+		srcOpts["retry"] = strconv.Itoa(*fetchRet)
+	}
 	switch {
 	case *dir != "":
-		opts = append(opts, bgpstream.WithSource("directory", bgpstream.SourceOptions{"path": *dir}))
+		srcOpts["path"] = *dir
+		opts = append(opts, bgpstream.WithSource("directory", srcOpts))
 	case *brokerURL != "":
-		opts = append(opts, bgpstream.WithSource("broker", bgpstream.SourceOptions{"url": *brokerURL}))
+		srcOpts["url"] = *brokerURL
+		opts = append(opts, bgpstream.WithSource("broker", srcOpts))
 	default:
 		return fmt.Errorf("one of -broker, -d is required")
 	}

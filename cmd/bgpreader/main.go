@@ -183,6 +183,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		repairConc = fs.Int("repair-concurrency", 0, "backfill fetches in flight at once (0 = default 2; requires -repair)")
 		decodeWrk  = fs.Int("decode-workers", 0, "parallel ingest: dump files of an overlap partition decoded concurrently (0 = GOMAXPROCS, 1 = sequential; pull sources only)")
 		readahead  = fs.Int("readahead", 0, "per-dump-file decoded-record readahead bound (0 = default 4096; pull sources only)")
+		fetchRetry = fs.Int("fetch-retries", 0, "attempts per transient network failure on dump fetches and broker queries (0 = default 3; pull sources only)")
 		window     = fs.String("w", "", "time window: start[,end] unix seconds; omit end for live mode")
 		filterStr  = fs.String("filter", "", `BGPStream v2 filter string, e.g. "collector rrc00 and prefix more 10.0.0.0/8 and elemtype announcements" (exclusive with -p/-c/-t/-e/-k/-y/-j)`)
 		machine    = fs.Bool("m", false, "bgpdump -m compatible output (elems only)")
@@ -252,19 +253,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case *brokerURL != "":
 		pullName, pullOpts = "broker", bgpstream.SourceOptions{"url": *brokerURL}
 	}
-	if *decodeWrk != 0 || *readahead != 0 {
+	if *decodeWrk != 0 || *readahead != 0 || *fetchRetry != 0 {
 		// The pull source must actually be in the data path: it is the
 		// main source, or the backfill side of -repair. Named alongside
 		// -ris-live without -repair it is ignored entirely, and the
 		// flags would silently do nothing.
 		if pullName == "" || (*risLive != "" && !*repair) {
-			return fmt.Errorf("-decode-workers and -readahead tune the dump-file ingest pipeline: they require a pull source (-broker, -d or -csv) used as the main source or as the -repair backfill")
+			return fmt.Errorf("-decode-workers, -readahead and -fetch-retries tune the dump-file ingest pipeline: they require a pull source (-broker, -d or -csv) used as the main source or as the -repair backfill")
 		}
 		if *decodeWrk != 0 {
 			pullOpts["decode-workers"] = strconv.Itoa(*decodeWrk)
 		}
 		if *readahead != 0 {
 			pullOpts["readahead"] = strconv.Itoa(*readahead)
+		}
+		if *fetchRetry != 0 {
+			pullOpts["retry"] = strconv.Itoa(*fetchRetry)
 		}
 	}
 	var srcName string
@@ -416,9 +420,10 @@ func printPipelineCounters(w io.Writer) {
 	fmt.Fprintf(w, "bgpreader: pipeline: %s\n", strings.Join(parts, " "))
 }
 
-// printSourceStats reports the push-feed completeness counters at
-// shutdown (all zero on pull sources, which are complete by
-// construction).
+// printSourceStats reports the completeness and fault-tolerance
+// counters at shutdown: push-feed repair stats (all zero on pull
+// sources, which are complete by construction) plus the pull-side
+// fetch retry/resume/breaker stats.
 func printSourceStats(w io.Writer, st bgpstream.SourceStats) {
 	fmt.Fprintf(w,
 		"bgpreader: source stats: live=%d reconnects=%d upstream-dropped=%d gaps=%d "+
@@ -427,6 +432,11 @@ func printSourceStats(w io.Writer, st bgpstream.SourceStats) {
 		st.LiveElems, st.Reconnects, st.UpstreamDropped, st.Gaps,
 		st.Repairs, st.RepairFailures, st.RepairsAbandoned, st.RepairsQueued, st.RepairsInFlight,
 		st.BackfilledElems, st.DuplicatesDropped, st.HoldbackOverflows)
+	fmt.Fprintf(w,
+		"bgpreader: fetch stats: retries=%d resumes=%d permanent-failures=%d "+
+			"breaker-transitions=%d breakers-open=%d\n",
+		st.FetchRetries, st.FetchResumes, st.FetchFailures,
+		st.BreakerTransitions, st.BreakersOpen)
 }
 
 func parseWindow(s string) (start, end time.Time, live bool, err error) {

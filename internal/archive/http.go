@@ -97,9 +97,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	defer f.Close()
 	w.Header().Set("Content-Type", "application/octet-stream")
-	if _, err := io.Copy(w, f); err != nil {
-		return // client went away; nothing to do
-	}
+	// ServeContent (not io.Copy) so byte-range requests work: the
+	// resilient fetcher resumes an interrupted dump transfer with a
+	// Range header, exactly as against the real archives.
+	http.ServeContent(w, r, "", info.ModTime(), f)
 }
 
 func (s *Server) serveListing(w http.ResponseWriter, rel, full string) {

@@ -12,6 +12,7 @@ import (
 
 	"github.com/bgpstream-go/bgpstream/internal/archive"
 	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/resilience"
 )
 
 // Client is the Broker data interface of libBGPStream (§3.3.2): it
@@ -32,6 +33,11 @@ type Client struct {
 	Window time.Duration
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Retry governs query retries: transient failures (connection
+	// errors, 5xx, 429 — honouring Retry-After) are retried with
+	// jittered backoff, 4xx responses fail immediately. The zero
+	// value is the resilience defaults.
+	Retry resilience.Policy
 
 	cursorStart time.Time // next intervalStart for window paging
 	addedSince  uint64    // live-mode arrival cursor
@@ -91,6 +97,17 @@ func (c *Client) query(ctx context.Context, addedSince uint64, start time.Time) 
 		return nil, fmt.Errorf("broker client: query: %w", err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// A 502 gateway page is HTML, not JSON: surface the status
+		// (classified transient/permanent for the retry loop, with any
+		// Retry-After hint attached) instead of a baffling decode error.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return nil, fmt.Errorf("broker client: query: %w", &resilience.HTTPError{
+			URL:        u,
+			Status:     resp.StatusCode,
+			RetryAfter: resilience.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()),
+		})
+	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		return nil, fmt.Errorf("broker client: read response: %w", err)
@@ -103,6 +120,19 @@ func (c *Client) query(ctx context.Context, addedSince uint64, start time.Time) 
 		return nil, fmt.Errorf("broker client: broker error: %s", out.Error)
 	}
 	return &out, nil
+}
+
+// queryRetry runs one query under the client's retry policy:
+// transient failures are retried with backoff (and the broker's
+// Retry-After hint), permanent ones surface immediately.
+func (c *Client) queryRetry(ctx context.Context, addedSince uint64, start time.Time) (*Response, error) {
+	var out *Response
+	err := c.Retry.Do(ctx, "broker query", func(ctx context.Context) error {
+		var qerr error
+		out, qerr = c.query(ctx, addedSince, start)
+		return qerr
+	})
+	return out, err
 }
 
 func toMetas(files []DumpFile) []archive.DumpMeta {
@@ -141,9 +171,9 @@ func (c *Client) NextBatch(ctx context.Context) ([]archive.DumpMeta, error) {
 		)
 		if c.exhausted {
 			// Live polling phase: only files added since the cursor.
-			resp, err = c.query(ctx, c.addedSince, time.Time{})
+			resp, err = c.queryRetry(ctx, c.addedSince, time.Time{})
 		} else {
-			resp, err = c.query(ctx, 0, c.cursorStart)
+			resp, err = c.queryRetry(ctx, 0, c.cursorStart)
 		}
 		if err != nil {
 			return nil, err

@@ -1,0 +1,118 @@
+package broker
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/resilience"
+)
+
+func brokerResponse(t *testing.T) []byte {
+	t.Helper()
+	b, err := json.Marshal(Response{
+		DumpFiles: []DumpFile{{
+			Project: "ris", Collector: "rrc00", Type: "updates",
+			InitialTime: 1456790400, Duration: 300, URL: "http://archive/d.gz",
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestClientRetries5xxGatewayPage(t *testing.T) {
+	resp := brokerResponse(t)
+	var requests atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if requests.Add(1) <= 2 {
+			// The classic failure shape: an HTML 502 from a proxy, which
+			// used to surface as a baffling JSON decode error.
+			w.Header().Set("Content-Type", "text/html")
+			w.WriteHeader(http.StatusBadGateway)
+			io.WriteString(w, "<html><body>502 Bad Gateway</body></html>")
+			return
+		}
+		w.Write(resp)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, core.Filters{Start: time.Unix(1456790000, 0)})
+	c.Retry = resilience.Policy{MaxAttempts: 4, Backoff: time.Millisecond}
+	metas, err := c.NextBatch(context.Background())
+	if err != nil || len(metas) != 1 {
+		t.Fatalf("batch after 5xx burst: %v %v", metas, err)
+	}
+	if n := requests.Load(); n != 3 {
+		t.Fatalf("requests=%d, want 3 (two 502s + success)", n)
+	}
+}
+
+func TestClient4xxIsPermanentWithStatusInError(t *testing.T) {
+	var requests atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		http.Error(w, "no such broker path", http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, core.Filters{Start: time.Unix(1456790000, 0)})
+	c.Retry = resilience.Policy{MaxAttempts: 5, Backoff: time.Millisecond}
+	_, err := c.NextBatch(context.Background())
+	if err == nil {
+		t.Fatal("want error for 404 broker")
+	}
+	if !strings.Contains(err.Error(), "404") {
+		t.Fatalf("status missing from error: %v", err)
+	}
+	var he *resilience.HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusNotFound {
+		t.Fatalf("error does not carry HTTPError: %v", err)
+	}
+	if !resilience.IsPermanent(err) {
+		t.Fatalf("broker 404 classified transient: %v", err)
+	}
+	if n := requests.Load(); n != 1 {
+		t.Fatalf("permanent 404 cost %d requests, want 1", n)
+	}
+}
+
+func TestClientHonorsRetryAfterHint(t *testing.T) {
+	resp := brokerResponse(t)
+	var requests atomic.Int64
+	var firstGap atomic.Int64
+	var last atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now().UnixNano()
+		if prev := last.Swap(now); prev != 0 && firstGap.Load() == 0 {
+			firstGap.Store(now - prev)
+		}
+		if requests.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write(resp)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, core.Filters{Start: time.Unix(1456790000, 0)})
+	// Backoff far below the hint: the observed gap proves the hint won.
+	c.Retry = resilience.Policy{MaxAttempts: 3, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+	metas, err := c.NextBatch(context.Background())
+	if err != nil || len(metas) != 1 {
+		t.Fatalf("batch: %v %v", metas, err)
+	}
+	if gap := time.Duration(firstGap.Load()); gap < 900*time.Millisecond {
+		t.Fatalf("Retry-After not honoured: gap %v, want >= ~1s", gap)
+	}
+}

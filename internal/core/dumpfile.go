@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -11,6 +11,7 @@ import (
 
 	"github.com/bgpstream-go/bgpstream/internal/archive"
 	"github.com/bgpstream-go/bgpstream/internal/mrt"
+	"github.com/bgpstream-go/bgpstream/internal/resilience"
 )
 
 // httpClient is the shared client used to stream remote dump files.
@@ -23,20 +24,28 @@ var httpClient = &http.Client{
 	},
 }
 
+// defaultFetcher serves dump sources constructed without a stream
+// (tests, tools): default retry policy, per-host breakers at default
+// threshold. Streams build their own fetcher so retry/resume counters
+// are attributable per stream (Stream.SourceStats).
+var defaultFetcher = &resilience.Fetcher{
+	Client:   httpClient,
+	Breakers: resilience.NewBreakerSet(0, 0),
+}
+
 // openDump opens a dump by URL: http(s) URLs stream straight from the
-// connection (no local copy, matching libBGPStream §5), anything else
-// is a local path.
-func openDump(url string) (io.ReadCloser, error) {
+// connection (no local copy, matching libBGPStream §5) through the
+// resuming fetcher — transient failures are retried with backoff and
+// a transfer cut mid-body re-attaches at the consumed byte offset —
+// while anything else is a local path. Returned errors are classified
+// (resilience.IsPermanent): a permanent error means the URL is dead,
+// not flaky.
+func openDump(ctx context.Context, fetch *resilience.Fetcher, url string) (io.ReadCloser, error) {
 	if strings.HasPrefix(url, "http://") || strings.HasPrefix(url, "https://") {
-		resp, err := httpClient.Get(url)
-		if err != nil {
-			return nil, err
+		if fetch == nil {
+			fetch = defaultFetcher
 		}
-		if resp.StatusCode != http.StatusOK {
-			resp.Body.Close()
-			return nil, fmt.Errorf("http status %d", resp.StatusCode)
-		}
-		return resp.Body, nil
+		return fetch.Open(ctx, url)
 	}
 	return os.Open(url)
 }
@@ -50,6 +59,11 @@ func openDump(url string) (io.ReadCloser, error) {
 type dumpSource struct {
 	meta    archive.DumpMeta
 	filters *Filters
+	// ctx bounds the fetch (the stream's context); fetch is the
+	// resilient opener shared across the stream's dump sources, nil
+	// selecting the package default.
+	ctx   context.Context
+	fetch *resilience.Fetcher
 
 	opened bool
 	rc     io.ReadCloser
@@ -92,8 +106,11 @@ func (s *dumpSource) newRecord() *Record {
 	return r
 }
 
-func newDumpSource(meta archive.DumpMeta, filters *Filters) *dumpSource {
-	return &dumpSource{meta: meta, filters: filters, first: true}
+func newDumpSource(ctx context.Context, fetch *resilience.Fetcher, meta archive.DumpMeta, filters *Filters) *dumpSource {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &dumpSource{meta: meta, filters: filters, ctx: ctx, fetch: fetch, first: true}
 }
 
 // invalidRecord builds the placeholder record for a broken dump.
@@ -110,7 +127,7 @@ func (s *dumpSource) invalidRecord(status RecordStatus) *Record {
 }
 
 func (s *dumpSource) open() error {
-	rc, err := openDump(s.meta.URL)
+	rc, err := openDump(s.ctx, s.fetch, s.meta.URL)
 	if err != nil {
 		return err
 	}
@@ -153,10 +170,17 @@ func (s *dumpSource) readRecord() (*Record, error) {
 			return nil, io.EOF
 		}
 		if err != nil {
-			// Mid-file corruption: one invalid record, then EOF.
+			// Mid-file failure: one invalid record, then EOF.
 			s.close()
 			if errors.Is(err, mrt.ErrCorrupted) {
 				return s.invalidRecord(StatusCorruptedRecord), nil
+			}
+			if errors.Is(err, mrt.ErrSourceIO) {
+				// The fetch layer below already spent its retry and
+				// resume budgets; the rest of the dump is unreachable,
+				// which is the §3.3.3 corrupted-dump status, not an
+				// error that should kill the stream.
+				return s.invalidRecord(StatusCorruptedDump), nil
 			}
 			return nil, &StreamError{Op: "read", Dump: s.meta, Err: err}
 		}

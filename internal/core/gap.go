@@ -103,6 +103,20 @@ type SourceStats struct {
 	// buffer filled before the window closed; the residual window is
 	// re-queued, so the count measures pressure, not loss.
 	HoldbackOverflows uint64
+	// Pull-side fetch resilience (dump-file streams): FetchRetries
+	// counts open/resume attempts re-run after a transient failure,
+	// FetchResumes counts mid-body transfer resumptions (Range
+	// re-requests or skip-ahead re-reads), and FetchFailures counts
+	// fetches abandoned as permanent (4xx, exhausted retry budget,
+	// open circuit breaker).
+	FetchRetries  uint64
+	FetchResumes  uint64
+	FetchFailures uint64
+	// BreakerTransitions counts per-host circuit-breaker state
+	// changes; BreakersOpen is a gauge of hosts currently tripped
+	// (open or half-open).
+	BreakerTransitions uint64
+	BreakersOpen       int64
 }
 
 // StatsReporter is implemented by elem sources that track

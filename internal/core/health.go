@@ -22,7 +22,8 @@ type SourceHealth struct {
 	LastElem time.Time `json:"last_elem,omitzero"`
 	// Elems counts elems this stream delivered past all filters.
 	Elems uint64 `json:"elems"`
-	// Stats are the source completeness counters (push streams).
+	// Stats are the source completeness counters (push streams) and
+	// the fetch retry/resume/breaker counters (pull streams).
 	Stats SourceStats `json:"stats"`
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"github.com/bgpstream-go/bgpstream/internal/archive"
 	"github.com/bgpstream-go/bgpstream/internal/merge"
+	"github.com/bgpstream-go/bgpstream/internal/resilience"
 )
 
 // Stream is the user-facing BGP data stream of the libBGPStream API:
@@ -46,6 +47,16 @@ type Stream struct {
 	decodeWorkers int
 	readahead     int
 	stopPipeline  func()
+
+	// fetchPolicy and breakerThreshold configure the resilient dump
+	// fetcher (SetFetchPolicy / SetBreakerThreshold, before
+	// iteration); fetcher is built lazily for the first batch and
+	// shared by every dump source of the stream, so retry/resume
+	// counters aggregate per stream. fetcher is guarded by mu (read by
+	// SourceStats while a consumer goroutine builds batches).
+	fetchPolicy      resilience.Policy
+	breakerThreshold int
+	fetcher          *resilience.Fetcher
 
 	// Health/introspection state (health.go): the registry source name
 	// the stream was opened from, when, and atomic progress marks
@@ -115,6 +126,33 @@ func (s *Stream) SetDecodeWorkers(n int) { s.decodeWorkers = n }
 // (4096). Call before iteration starts.
 func (s *Stream) SetReadahead(n int) { s.readahead = n }
 
+// SetFetchPolicy overrides the retry policy of the stream's dump
+// fetcher: attempts per transient failure, backoff shape, and (via
+// the same policy) mid-body resume re-requests. The zero value is the
+// resilience defaults. Call before iteration starts.
+func (s *Stream) SetFetchPolicy(p resilience.Policy) { s.fetchPolicy = p }
+
+// SetBreakerThreshold sets how many consecutive fetch failures trip a
+// per-host circuit breaker on the stream's dump fetcher: 0 (the
+// default) selects resilience.DefaultBreakerThreshold, negative
+// disables circuit breaking. Call before iteration starts.
+func (s *Stream) SetBreakerThreshold(n int) { s.breakerThreshold = n }
+
+// fetch returns the stream's dump fetcher, building it on first use
+// from the configured policy and breaker threshold.
+func (s *Stream) fetch() *resilience.Fetcher {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fetcher == nil {
+		f := &resilience.Fetcher{Client: httpClient, Policy: s.fetchPolicy}
+		if s.breakerThreshold >= 0 {
+			f.Breakers = resilience.NewBreakerSet(s.breakerThreshold, 0)
+		}
+		s.fetcher = f
+	}
+	return s.fetcher
+}
+
 // Filters returns a copy of the stream's filter configuration.
 func (s *Stream) Filters() Filters {
 	s.mu.Lock()
@@ -129,14 +167,28 @@ func (s *Stream) Filters() Filters {
 func (s *Stream) ElemSource() ElemSource { return s.elemSrc }
 
 // SourceStats reports the completeness counters of the stream's
-// source. Pull streams are complete by construction and return the
-// zero value; push streams delegate to their elem source when it
-// implements StatsReporter (rislive.Client, gaprepair.Repairer).
+// source. Push streams delegate to their elem source when it
+// implements StatsReporter (rislive.Client, gaprepair.Repairer);
+// pull streams are complete by construction but report the fetch
+// resilience counters of their dump fetcher (retries, resumes,
+// permanent failures, breaker state).
 func (s *Stream) SourceStats() SourceStats {
+	var st SourceStats
 	if sr, ok := s.elemSrc.(StatsReporter); ok {
-		return sr.SourceStats()
+		st = sr.SourceStats()
 	}
-	return SourceStats{}
+	s.mu.Lock()
+	f := s.fetcher
+	s.mu.Unlock()
+	if f != nil {
+		fs := f.Stats()
+		st.FetchRetries = fs.Retries
+		st.FetchResumes = fs.Resumes
+		st.FetchFailures = fs.Permanent
+		st.BreakerTransitions = fs.BreakerTransitions
+		st.BreakersOpen = fs.BreakersOpen
+	}
+	return st
 }
 
 // AddPrefixFilter adds a prefix filter while the stream runs. This is
@@ -176,11 +228,12 @@ func (s *Stream) buildSequence(metas []archive.DumpMeta) *merge.Sequence[*Record
 		intervals[i] = merge.Interval{Start: start, End: end}
 	}
 	groups := merge.PartitionOverlapping(intervals)
+	fetch := s.fetch()
 	dumpGroups := make([][]*dumpSource, 0, len(groups))
 	for _, g := range groups {
 		sources := make([]*dumpSource, 0, len(g))
 		for _, idx := range g {
-			sources = append(sources, newDumpSource(metas[idx], &s.filters))
+			sources = append(sources, newDumpSource(s.ctx, fetch, metas[idx], &s.filters))
 		}
 		dumpGroups = append(dumpGroups, sources)
 	}

@@ -75,6 +75,7 @@ import (
 
 	"github.com/bgpstream-go/bgpstream/internal/core"
 	"github.com/bgpstream-go/bgpstream/internal/merge"
+	"github.com/bgpstream-go/bgpstream/internal/resilience"
 )
 
 // Options tunes a Repairer. The zero value picks sensible defaults.
@@ -496,14 +497,27 @@ func (r *Repairer) fetchWithRetries(ctx context.Context, g core.Gap) ([]pair, er
 		}
 		r.failures.Add(1)
 		metFailures.Inc()
+		if resilience.IsPermanent(err) {
+			// A 404/410 archive hole (or an explicitly permanent
+			// failure) will not heal with retries: abandon the window
+			// now instead of burning the whole retry budget on it.
+			r.logf("gaprepair: backfill of %s failed permanently (attempt %d/%d): %v", g, attempt, max, err)
+			return nil, err
+		}
 		r.logf("gaprepair: backfill of %s failed (attempt %d/%d): %v", g, attempt, max, err)
 		if attempt >= max {
 			return nil, err
 		}
+		delay := backoff
+		if hint := resilience.RetryAfterOf(err); hint > delay {
+			// The archive told us when to come back (Retry-After on a
+			// 429/503): believe it over our own schedule.
+			delay = hint
+		}
 		if retryTimer == nil {
-			retryTimer = time.NewTimer(backoff)
+			retryTimer = time.NewTimer(delay)
 		} else {
-			retryTimer.Reset(backoff)
+			retryTimer.Reset(delay)
 		}
 		select {
 		case <-retryTimer.C:

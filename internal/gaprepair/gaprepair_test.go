@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/bgpstream-go/bgpstream/internal/core"
+	"github.com/bgpstream-go/bgpstream/internal/resilience"
 )
 
 var t0 = time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
@@ -82,6 +83,9 @@ type fakeBackfill struct {
 	fail     bool // every fetch fails
 	// failFirst makes the first n fetches fail, then recovers.
 	failFirst int
+	// failErr overrides the error used by fail/failFirst, to model
+	// classified failures (permanent 404s, Retry-After hints).
+	failErr error
 
 	mu    sync.Mutex
 	calls int
@@ -115,6 +119,9 @@ func (b *fakeBackfill) Backfill(ctx context.Context, from, until time.Time) (*co
 	n := b.calls
 	b.mu.Unlock()
 	if b.fail || n <= b.failFirst {
+		if b.failErr != nil {
+			return nil, b.failErr
+		}
 		return nil, errors.New("backfill service down")
 	}
 	var sel []pair
@@ -260,6 +267,74 @@ func TestRepairBackfillFailureDegradesGracefully(t *testing.T) {
 	}
 	if bf.count() != 2 {
 		t.Fatalf("backfill calls = %d, want 2 (bounded retries)", bf.count())
+	}
+}
+
+// TestRepairPermanentFailureAbandonsImmediately: a backfill error
+// classified permanent (a 404 archive hole, say) is abandoned after a
+// single attempt instead of burning the whole retry budget on a URL
+// that will never heal.
+func TestRepairPermanentFailureAbandonsImmediately(t *testing.T) {
+	live := &fakeLive{events: []any{
+		mkPair(0, 65000), mkPair(1, 65001),
+		gapAt(1, 5),
+		mkPair(5, 65005), mkPair(6, 65006),
+	}}
+	bf := &fakeBackfill{
+		fail:    true,
+		failErr: &resilience.HTTPError{URL: "http://archive/missing.gz", Status: 404},
+	}
+	r := New(live, bf, Options{RetryMax: 5, RetryBackoff: time.Millisecond})
+	defer r.Close()
+
+	out := drain(t, r)
+	if got := asns(out); !eqASNs(got, 65000, 65001, 65005, 65006) {
+		t.Fatalf("flow = %v", got)
+	}
+	st := r.SourceStats()
+	if st.RepairFailures != 1 || st.RepairsAbandoned != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if bf.count() != 1 {
+		t.Fatalf("backfill calls = %d, want 1 (permanent error, no retries)", bf.count())
+	}
+}
+
+// TestRepairHonorsRetryAfterHint: when the archive answers 429/503
+// with Retry-After, the retry delay is floored by the hint even when
+// the configured backoff is far smaller.
+func TestRepairHonorsRetryAfterHint(t *testing.T) {
+	universe := make([]pair, 0, 10)
+	for s := 0; s < 10; s++ {
+		universe = append(universe, mkPair(s, uint32(65000+s)))
+	}
+	live := &fakeLive{events: []any{
+		universe[0], universe[1],
+		gapAt(1, 5),
+		universe[5], universe[6],
+	}}
+	const hint = 300 * time.Millisecond
+	bf := &fakeBackfill{
+		universe:  universe,
+		failFirst: 1,
+		failErr:   &resilience.HTTPError{URL: "http://archive/busy", Status: 429, RetryAfter: hint},
+	}
+	r := New(live, bf, Options{RetryMax: 3, RetryBackoff: time.Millisecond})
+	defer r.Close()
+
+	start := time.Now()
+	out := drain(t, r)
+	elapsed := time.Since(start)
+	if got := asns(out); !eqASNs(got, 65000, 65001, 65002, 65003, 65004, 65005, 65006) {
+		t.Fatalf("flow = %v", got)
+	}
+	if st := r.SourceStats(); st.Repairs != 1 || st.RepairFailures != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// 1ms backoff alone would finish almost instantly; the hint forces
+	// the second attempt to wait ~300ms.
+	if elapsed < hint-50*time.Millisecond {
+		t.Fatalf("retry ignored Retry-After hint: drained in %v, want >= ~%v", elapsed, hint)
 	}
 }
 

@@ -13,6 +13,8 @@
 package mrt
 
 import (
+	"compress/flate"
+	"compress/gzip"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -60,10 +62,17 @@ const HeaderLen = 12
 const MaxRecordLen = 64 << 20
 
 // Errors returned by decoders. ErrCorrupted wraps structural failures
-// so stream layers can mark a single record invalid without aborting.
+// (bad bytes: impossible lengths, truncated input, decompression
+// corruption) so stream layers can mark a single record invalid
+// without aborting. ErrSourceIO wraps failures of the underlying
+// reader itself (bad network: connection resets, exhausted resume
+// budgets) — the bytes already decoded are fine, the source just
+// stopped delivering — so callers can tell recoverable transport loss
+// from damaged data and account for it differently.
 var (
 	ErrCorrupted   = errors.New("mrt: corrupted record")
 	ErrUnsupported = errors.New("mrt: unsupported record type")
+	ErrSourceIO    = errors.New("mrt: source read error")
 )
 
 // Header is the common MRT record header. For the extended-timestamp
@@ -95,6 +104,23 @@ func (r *Record) IsExtended() bool { return r.Header.Type == TypeBGP4MPET }
 
 func corrupt(op string, err error) error {
 	return fmt.Errorf("mrt: %s: %w", op, errors.Join(ErrCorrupted, err))
+}
+
+func sourceErr(op string, err error) error {
+	return fmt.Errorf("mrt: %s: %w", op, errors.Join(ErrSourceIO, err))
+}
+
+// readFailure classifies a non-EOF failure of the underlying stream:
+// decompression-level damage is structural corruption of the input
+// (ErrCorrupted); anything else — connection resets, timeouts, a
+// resuming fetcher giving up — is the source failing mid-read
+// (ErrSourceIO).
+func readFailure(op string, err error) error {
+	var fe flate.CorruptInputError
+	if errors.Is(err, gzip.ErrChecksum) || errors.Is(err, gzip.ErrHeader) || errors.As(err, &fe) {
+		return corrupt(op, err)
+	}
+	return sourceErr(op, err)
 }
 
 // decodeAddr reads an address of the family implied by afi.

@@ -125,10 +125,13 @@ func (r *Reader) body(n int) []byte {
 	return b
 }
 
-// Next returns the next record, io.EOF at the end of the stream, or
-// an error wrapping ErrCorrupted for structurally damaged input. The
-// record body is valid until the next call to Next (for the lifetime
-// of the process in StableBodies mode).
+// Next returns the next record, io.EOF at the end of the stream, an
+// error wrapping ErrCorrupted for structurally damaged input (bad
+// bytes, including truncation), or an error wrapping ErrSourceIO when
+// the underlying reader itself failed mid-record (bad network — the
+// input up to that point was fine). The record body is valid until
+// the next call to Next (for the lifetime of the process in
+// StableBodies mode).
 func (r *Reader) Next() (Record, error) {
 	if r.err != nil {
 		return Record{}, r.err
@@ -149,7 +152,7 @@ func (r *Reader) next() (Record, error) {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
 			return Record{}, corrupt("header", err)
 		}
-		return Record{}, err
+		return Record{}, readFailure("header", err)
 	}
 	h, err := DecodeHeader(r.hdr[:])
 	if err != nil {
@@ -157,7 +160,12 @@ func (r *Reader) next() (Record, error) {
 	}
 	body := r.body(int(h.Length))
 	if _, err := io.ReadFull(r.r, body); err != nil {
-		return Record{}, corrupt("body", err)
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// The stream ended inside a record the header promised:
+			// structural truncation of the input itself.
+			return Record{}, corrupt("body", err)
+		}
+		return Record{}, readFailure("body", err)
 	}
 	if h.Type == TypeBGP4MPET {
 		if len(body) < 4 {

@@ -1,0 +1,143 @@
+package mrt
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"io"
+	"net"
+	"testing"
+)
+
+// failingReader yields data, then fails every subsequent read with
+// err (simulating a source that dies mid-stream).
+type failingReader struct {
+	data []byte
+	err  error
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if len(f.data) == 0 {
+		return 0, f.err
+	}
+	n := copy(p, f.data)
+	f.data = f.data[n:]
+	return n, nil
+}
+
+// oneRecord encodes a minimal valid BGP4MP record.
+func oneRecord(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rec := Record{
+		Header: Header{Timestamp: 1456790400, Type: TypeBGP4MP, Subtype: SubtypeMessageAS4},
+		Body:   bytes.Repeat([]byte{0xab}, 64),
+	}
+	if err := w.WriteRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestNextSourceErrorMidBodyIsNotCorruption(t *testing.T) {
+	data := oneRecord(t)
+	// Cut inside the second record's body and fail with a net error:
+	// the reader must report a source failure, not corruption.
+	stream := append(append([]byte{}, data...), data[:HeaderLen+10]...)
+	netErr := &net.OpError{Op: "read", Net: "tcp", Err: errors.New("connection reset by peer")}
+	r, err := NewReader(&failingReader{data: stream, err: netErr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+	_, err = r.Next()
+	if err == nil {
+		t.Fatal("want error for mid-body source failure")
+	}
+	if !errors.Is(err, ErrSourceIO) {
+		t.Fatalf("got %v, want ErrSourceIO in the chain", err)
+	}
+	if errors.Is(err, ErrCorrupted) {
+		t.Fatalf("source failure misclassified as corruption: %v", err)
+	}
+	var oe *net.OpError
+	if !errors.As(err, &oe) {
+		t.Fatalf("original cause lost from the chain: %v", err)
+	}
+}
+
+func TestNextSourceErrorMidHeaderIsNotCorruption(t *testing.T) {
+	netErr := &net.OpError{Op: "read", Net: "tcp", Err: errors.New("reset")}
+	r, err := NewReader(&failingReader{data: oneRecord(t)[:4], err: netErr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Next()
+	if !errors.Is(err, ErrSourceIO) || errors.Is(err, ErrCorrupted) {
+		t.Fatalf("mid-header source failure: got %v, want ErrSourceIO and not ErrCorrupted", err)
+	}
+}
+
+func TestNextTruncationIsStillCorruption(t *testing.T) {
+	data := oneRecord(t)
+	for _, cut := range []int{HeaderLen + 10, 4} { // mid-body, mid-header
+		r, err := NewReader(bytes.NewReader(data[:cut]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = r.Next()
+		if !errors.Is(err, ErrCorrupted) {
+			t.Fatalf("cut=%d: got %v, want ErrCorrupted", cut, err)
+		}
+		if errors.Is(err, ErrSourceIO) {
+			t.Fatalf("cut=%d: truncated input misclassified as source failure: %v", cut, err)
+		}
+	}
+}
+
+func TestNextGzipChecksumDamageIsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	gz.Write(oneRecord(t))
+	gz.Close()
+	data := buf.Bytes()
+	// Flip a bit in the trailer CRC so decompression fails at the end.
+	data[len(data)-5] ^= 0xff
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for {
+		_, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			lastErr = err
+			break
+		}
+	}
+	if lastErr == nil {
+		t.Skip("gzip damage not observed (checksum verified only at EOF)")
+	}
+	if !errors.Is(lastErr, ErrCorrupted) || errors.Is(lastErr, ErrSourceIO) {
+		t.Fatalf("gzip damage: got %v, want ErrCorrupted and not ErrSourceIO", lastErr)
+	}
+}
+
+func TestReaderStopsAfterSourceError(t *testing.T) {
+	netErr := &net.OpError{Op: "read", Err: errors.New("reset")}
+	r, err := NewReader(&failingReader{data: oneRecord(t)[:HeaderLen+5], err: netErr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err1 := r.Next()
+	_, err2 := r.Next()
+	if err1 == nil || !errors.Is(err2, ErrSourceIO) {
+		t.Fatalf("error not latched: first=%v second=%v", err1, err2)
+	}
+}

@@ -1,0 +1,217 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Breaker defaults: five consecutive failures trip a host, and a
+// tripped host gets one probe every cooldown period.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 30 * time.Second
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes requests through (healthy host).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses requests locally until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe through; its outcome
+	// closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// OpenError is returned by Breaker.Allow while the breaker is open;
+// errors.Is(err, ErrBreakerOpen) matches it, and it classifies
+// permanent so retry loops fail fast.
+type OpenError struct {
+	Host  string
+	Until time.Time // when the next half-open probe becomes possible
+}
+
+func (e *OpenError) Error() string {
+	return fmt.Sprintf("%v for host %q", ErrBreakerOpen, e.Host)
+}
+
+// Is makes errors.Is(err, ErrBreakerOpen) hold.
+func (e *OpenError) Is(target error) bool { return target == ErrBreakerOpen }
+
+// Breaker is a per-host circuit breaker: Threshold consecutive
+// failures open it, refusing further requests until Cooldown has
+// elapsed; then a single half-open probe decides between closing
+// (success) and re-opening (failure). The zero value is not usable —
+// breakers come from a BreakerSet.
+type Breaker struct {
+	host      string
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	set       *BreakerSet // owner, for transition accounting
+
+	mu sync.Mutex
+	// state, fails, openedAt and probing are guarded by mu.
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when state last became open
+	probing  bool      // a half-open probe is in flight
+}
+
+// Allow reports whether a request may proceed: nil from a closed (or
+// newly half-open) breaker, an *OpenError while open or while a
+// half-open probe is already in flight. A nil Allow must be paired
+// with exactly one Success or Failure call for the request's outcome.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		until := b.openedAt.Add(b.cooldown)
+		if b.now().Before(until) {
+			metBreakerRejected.Inc()
+			return &OpenError{Host: b.host, Until: until}
+		}
+		b.transition(BreakerHalfOpen)
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			metBreakerRejected.Inc()
+			return &OpenError{Host: b.host, Until: b.now()}
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Success records a successful request, closing the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	if b.state != BreakerClosed {
+		b.transition(BreakerClosed)
+	}
+}
+
+// Failure records a failed request: a half-open probe failure
+// re-opens immediately, and the threshold'th consecutive failure
+// while closed opens the breaker.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case BreakerHalfOpen:
+		b.transition(BreakerOpen)
+		b.openedAt = b.now()
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.fails = 0
+			b.transition(BreakerOpen)
+			b.openedAt = b.now()
+		}
+	}
+}
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// transition moves to next, maintaining the open-breaker gauge and
+// transition counters. Caller holds b.mu.
+func (b *Breaker) transition(next BreakerState) {
+	prev := b.state
+	if prev == next {
+		return
+	}
+	b.state = next
+	metBreakerTransitions.Inc()
+	if b.set != nil {
+		b.set.transitions.Add(1)
+	}
+	// The gauge counts tripped hosts: open and half-open both mean
+	// "not healthy yet", so only the closed<->non-closed edges move it.
+	if prev == BreakerClosed {
+		metBreakersOpen.Inc()
+		if b.set != nil {
+			b.set.open.Add(1)
+		}
+	} else if next == BreakerClosed {
+		metBreakersOpen.Dec()
+		if b.set != nil {
+			b.set.open.Add(-1)
+		}
+	}
+}
+
+// BreakerSet manages one Breaker per host, created lazily with the
+// set's threshold and cooldown.
+type BreakerSet struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	transitions atomic.Uint64 // state changes across all breakers
+	open        atomic.Int64  // breakers currently tripped (open/half-open)
+
+	mu sync.Mutex
+	m  map[string]*Breaker // guarded by mu
+}
+
+// NewBreakerSet builds a set whose breakers trip after threshold
+// consecutive failures (<=0 selects DefaultBreakerThreshold) and
+// probe every cooldown (<=0 selects DefaultBreakerCooldown).
+func NewBreakerSet(threshold int, cooldown time.Duration) *BreakerSet {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &BreakerSet{threshold: threshold, cooldown: cooldown, now: time.Now, m: map[string]*Breaker{}}
+}
+
+// For returns the breaker for host, creating it closed on first use.
+func (s *BreakerSet) For(host string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[host]
+	if b == nil {
+		b = &Breaker{host: host, threshold: s.threshold, cooldown: s.cooldown, now: s.now, set: s}
+		s.m[host] = b
+	}
+	return b
+}
+
+// Transitions returns the total state changes across the set's
+// breakers since creation.
+func (s *BreakerSet) Transitions() uint64 { return s.transitions.Load() }
+
+// Open returns how many breakers are currently tripped (open or
+// half-open).
+func (s *BreakerSet) Open() int64 { return s.open.Load() }

@@ -1,0 +1,358 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxResumes bounds how many times one transfer may re-attach
+// mid-body. Each resume runs a full retry policy, so this caps total
+// work on a pathologically flaky link without giving up on a long
+// transfer that loses its connection every few hundred MB.
+const DefaultMaxResumes = 32
+
+// Fetcher opens HTTP(S) dump files with retries, per-host circuit
+// breaking, and mid-transfer resume: the returned reader re-issues
+// the request with a Range header from the last consumed byte offset
+// when the connection dies mid-body (falling back to a skip-ahead
+// re-read when the server ignores Range), so a reset deep into a
+// multi-GB RIB dump costs a reconnect, not the dump. Safe for
+// concurrent use by the prefetch workers.
+type Fetcher struct {
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+	// Policy governs open and resume attempts; zero value = defaults.
+	Policy Policy
+	// Breakers, when set, gates every request through the per-host
+	// circuit breakers of the set. Nil disables circuit breaking.
+	Breakers *BreakerSet
+	// MaxResumes bounds mid-body re-attachments per transfer (<=0
+	// selects DefaultMaxResumes).
+	MaxResumes int
+
+	retries    atomic.Uint64
+	resumes    atomic.Uint64
+	permanents atomic.Uint64
+}
+
+// FetchStats is a point-in-time snapshot of a Fetcher's counters,
+// surfaced through core.SourceStats into the health plane.
+type FetchStats struct {
+	// Retries counts open/resume attempts re-run after a transient
+	// failure; Resumes counts mid-body re-attachments; Permanent
+	// counts fetches abandoned for good (4xx, exhausted budget,
+	// breaker open).
+	Retries   uint64
+	Resumes   uint64
+	Permanent uint64
+	// BreakerTransitions and BreakersOpen mirror the fetcher's breaker
+	// set (zero when circuit breaking is disabled).
+	BreakerTransitions uint64
+	BreakersOpen       int64
+}
+
+// Stats snapshots the fetcher's counters.
+func (f *Fetcher) Stats() FetchStats {
+	s := FetchStats{
+		Retries:   f.retries.Load(),
+		Resumes:   f.resumes.Load(),
+		Permanent: f.permanents.Load(),
+	}
+	if f.Breakers != nil {
+		s.BreakerTransitions = f.Breakers.Transitions()
+		s.BreakersOpen = f.Breakers.Open()
+	}
+	return s
+}
+
+func (f *Fetcher) client() *http.Client {
+	if f.Client != nil {
+		return f.Client
+	}
+	return http.DefaultClient
+}
+
+func (f *Fetcher) maxResumes() int {
+	if f.MaxResumes > 0 {
+		return f.MaxResumes
+	}
+	return DefaultMaxResumes
+}
+
+// breaker returns the circuit breaker for host, or nil when circuit
+// breaking is disabled.
+func (f *Fetcher) breaker(host string) *Breaker {
+	if f.Breakers == nil {
+		return nil
+	}
+	return f.Breakers.For(host)
+}
+
+// hostOf extracts the breaker key from a URL; unparsable URLs key on
+// the whole string so they still break independently.
+func hostOf(rawURL string) string {
+	if u, err := url.Parse(rawURL); err == nil && u.Host != "" {
+		return u.Host
+	}
+	return rawURL
+}
+
+// drainBody discards a bounded amount of an unwanted response body
+// and closes it, letting the transport reuse the connection.
+func drainBody(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 8<<10))
+	resp.Body.Close()
+}
+
+// Open fetches rawURL, applying the retry policy and circuit breaker
+// to the request and returning a reader that transparently resumes
+// the body on transient mid-transfer failures. The context governs
+// the whole transfer, not just the open. Errors are classified: a
+// permanent error (404, exhausted budget, open breaker) means the
+// URL is not worth retrying.
+func (f *Fetcher) Open(ctx context.Context, rawURL string) (io.ReadCloser, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	host := hostOf(rawURL)
+	pol := f.Policy
+	pol.AttemptTimeout = 0 // the body outlives the attempt; see Policy
+	pol.OnRetry = func(error) { f.retries.Add(1) }
+	var resp *http.Response
+	err := pol.Do(ctx, "fetch "+rawURL, func(context.Context) error {
+		br := f.breaker(host)
+		if br != nil {
+			if err := br.Allow(); err != nil {
+				return err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+		if err != nil {
+			return MarkPermanent(err)
+		}
+		r2, err := f.client().Do(req)
+		if err != nil {
+			if br != nil {
+				br.Failure()
+			}
+			return err
+		}
+		if r2.StatusCode != http.StatusOK {
+			herr := httpError(r2, rawURL, time.Now())
+			if br != nil {
+				// A decisive 4xx is the host working correctly; only
+				// transient statuses count against its breaker.
+				if herr.Transient() {
+					br.Failure()
+				} else {
+					br.Success()
+				}
+			}
+			return herr
+		}
+		if br != nil {
+			br.Success()
+		}
+		resp = r2
+		return nil
+	})
+	if err != nil {
+		f.permanents.Add(1)
+		return nil, err
+	}
+	rr := &resumeReader{
+		f:      f,
+		ctx:    ctx,
+		url:    rawURL,
+		host:   host,
+		body:   resp.Body,
+		length: resp.ContentLength,
+		etag:   resp.Header.Get("ETag"),
+		// Transparent transport decompression rewrites offsets, so a
+		// byte Range against the raw resource would land in the wrong
+		// place; resume by skip-ahead re-read only.
+		noRange: resp.Uncompressed,
+	}
+	return rr, nil
+}
+
+// resumeReader streams one HTTP body, transparently re-attaching
+// after transient mid-transfer failures: a Range request from the
+// consumed offset when the server honours it (206), a re-read
+// discarding the consumed prefix when it doesn't (200). It sits below
+// any decompression layer, so resume is byte-exact regardless of what
+// is stacked on top. Not safe for concurrent use (one reader owns one
+// transfer).
+type resumeReader struct {
+	f       *Fetcher
+	ctx     context.Context
+	url     string
+	host    string
+	body    io.ReadCloser
+	offset  int64  // bytes consumed so far
+	length  int64  // Content-Length of the first response, -1 unknown
+	etag    string // If-Range validator, when the server sent one
+	noRange bool   // skip-ahead only (offsets don't match the raw resource)
+	resumes int
+	closed  bool
+	failed  error // latched terminal resume failure
+}
+
+func (r *resumeReader) Read(p []byte) (int, error) {
+	for {
+		if r.closed {
+			return 0, errors.New("resilience: read from closed fetch")
+		}
+		if r.failed != nil {
+			return 0, r.failed
+		}
+		n, err := r.body.Read(p)
+		if n > 0 {
+			r.offset += int64(n)
+		}
+		if err == nil {
+			return n, nil
+		}
+		if r.finished(err) {
+			return n, err
+		}
+		if rerr := r.resume(err); rerr != nil {
+			r.failed = rerr
+			return n, rerr
+		}
+		if n > 0 {
+			return n, nil
+		}
+	}
+}
+
+// finished reports whether err ends the transfer for real: a clean
+// EOF with every promised byte delivered, or the caller's context
+// ending. Everything else is a candidate for resumption.
+func (r *resumeReader) finished(err error) bool {
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return false // promised bytes missing: truncated transfer
+	}
+	if errors.Is(err, io.EOF) {
+		return r.length < 0 || r.offset >= r.length
+	}
+	return r.ctx.Err() != nil
+}
+
+// resume re-attaches the transfer at r.offset, consuming one resume
+// from the budget and running the fetcher's retry policy over the
+// re-request. On success r.body continues exactly where the failed
+// body stopped. The returned error never has an EOF-family error in
+// its Is-chain (see ExhaustedError), so a failed resume cannot
+// masquerade as end-of-stream.
+func (r *resumeReader) resume(cause error) error {
+	r.body.Close()
+	if r.resumes >= r.f.maxResumes() {
+		r.f.permanents.Add(1)
+		return &ExhaustedError{Op: "resume " + r.url, Attempts: r.resumes, Cause: cause}
+	}
+	r.resumes++
+	r.f.resumes.Add(1)
+	metResumes.Inc()
+	pol := r.f.Policy
+	pol.AttemptTimeout = 0
+	pol.OnRetry = func(error) { r.f.retries.Add(1) }
+	err := pol.Do(r.ctx, "resume "+r.url, r.reattach)
+	if err != nil {
+		r.f.permanents.Add(1)
+		if errors.Is(err, ErrExhausted) {
+			return err
+		}
+		return &ExhaustedError{Op: "resume " + r.url, Attempts: r.resumes, Cause: err}
+	}
+	return nil
+}
+
+// reattach is one resume attempt: request [offset, end) and accept
+// either a 206 continuation or a 200 full body whose consumed prefix
+// is discarded.
+func (r *resumeReader) reattach(context.Context) error {
+	br := r.f.breaker(r.host)
+	if br != nil {
+		if err := br.Allow(); err != nil {
+			return err
+		}
+	}
+	req, err := http.NewRequestWithContext(r.ctx, http.MethodGet, r.url, nil)
+	if err != nil {
+		return MarkPermanent(err)
+	}
+	if !r.noRange {
+		req.Header.Set("Range", "bytes="+strconv.FormatInt(r.offset, 10)+"-")
+		if r.etag != "" {
+			// Resume only against the same representation; a changed
+			// file downgrades to a 200 re-read below.
+			req.Header.Set("If-Range", r.etag)
+		}
+	}
+	resp, err := r.f.client().Do(req)
+	if err != nil {
+		if br != nil {
+			br.Failure()
+		}
+		return err
+	}
+	switch resp.StatusCode {
+	case http.StatusPartialContent:
+		if br != nil {
+			br.Success()
+		}
+		r.body = resp.Body
+		return nil
+	case http.StatusOK:
+		// Range ignored (or If-Range invalidated): re-read from the
+		// start, discarding what was already consumed. A failure while
+		// skipping is itself transient — the policy retries reattach.
+		if br != nil {
+			br.Success()
+		}
+		if _, err := io.CopyN(io.Discard, resp.Body, r.offset); err != nil {
+			resp.Body.Close()
+			return err
+		}
+		r.body = resp.Body
+		return nil
+	case http.StatusRequestedRangeNotSatisfiable:
+		if br != nil {
+			br.Success()
+		}
+		drainBody(resp)
+		if r.length >= 0 && r.offset >= r.length {
+			// Every promised byte was already consumed; the failed read
+			// just never observed the EOF. Finish cleanly.
+			r.body = http.NoBody
+			return nil
+		}
+		return MarkPermanent(&HTTPError{URL: r.url, Status: resp.StatusCode})
+	default:
+		herr := httpError(resp, r.url, time.Now())
+		if br != nil {
+			if herr.Transient() {
+				br.Failure()
+			} else {
+				br.Success()
+			}
+		}
+		return herr
+	}
+}
+
+// Close aborts the transfer.
+func (r *resumeReader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	return r.body.Close()
+}

@@ -1,0 +1,273 @@
+package resilience_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/bgpstream-go/bgpstream/internal/resilience"
+	"github.com/bgpstream-go/bgpstream/internal/resilience/faultproxy"
+)
+
+// testPayload is a deterministic pseudo-random body large enough to
+// cut at interesting offsets.
+func testPayload(n int) []byte {
+	rng := rand.New(rand.NewPCG(42, 99))
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Uint32())
+	}
+	return b
+}
+
+// payloadHandler serves payload with full Range support.
+func payloadHandler(payload []byte) http.Handler {
+	mod := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		http.ServeContent(w, r, "", mod, bytes.NewReader(payload))
+	})
+}
+
+func testFetcher() *resilience.Fetcher {
+	return &resilience.Fetcher{
+		Policy: resilience.Policy{MaxAttempts: 4, Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond},
+	}
+}
+
+func fetchAll(t *testing.T, f *resilience.Fetcher, url string) ([]byte, error) {
+	t.Helper()
+	rc, err := f.Open(context.Background(), url)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	return io.ReadAll(rc)
+}
+
+func TestFetchResumesAfterMidBodyReset(t *testing.T) {
+	payload := testPayload(256 << 10)
+	for _, offset := range []int64{0, 1, 1000, 100_000, int64(len(payload)) - 1} {
+		proxy := faultproxy.New(payloadHandler(payload))
+		srv := httptest.NewServer(proxy)
+		defer srv.Close()
+		proxy.Push("/dump.gz", faultproxy.Fault{Kind: faultproxy.FaultReset, Offset: offset})
+
+		f := testFetcher()
+		got, err := fetchAll(t, f, srv.URL+"/dump.gz")
+		if err != nil {
+			t.Fatalf("offset %d: fetch failed: %v", offset, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("offset %d: resumed body differs: got %d bytes, want %d", offset, len(got), len(payload))
+		}
+		if st := f.Stats(); st.Resumes == 0 {
+			t.Fatalf("offset %d: resume not counted: %+v", offset, st)
+		}
+	}
+}
+
+func TestFetchResumesAfterTruncation(t *testing.T) {
+	payload := testPayload(64 << 10)
+	proxy := faultproxy.New(payloadHandler(payload))
+	srv := httptest.NewServer(proxy)
+	defer srv.Close()
+	proxy.Push("/d", faultproxy.Fault{Kind: faultproxy.FaultTruncate, Offset: 10_000})
+
+	got, err := fetchAll(t, testFetcher(), srv.URL+"/d")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("truncated transfer not recovered: err=%v len=%d", err, len(got))
+	}
+}
+
+func TestFetchSkipAheadWhenRangeIgnored(t *testing.T) {
+	payload := testPayload(128 << 10)
+	proxy := faultproxy.New(payloadHandler(payload))
+	srv := httptest.NewServer(proxy)
+	defer srv.Close()
+	// Reset mid-body, then serve the resume request with Range
+	// stripped: the client must fall back to skip-ahead re-reading.
+	proxy.Push("/d",
+		faultproxy.Fault{Kind: faultproxy.FaultReset, Offset: 50_000},
+		faultproxy.Fault{Kind: faultproxy.FaultIgnoreRange},
+	)
+
+	f := testFetcher()
+	got, err := fetchAll(t, f, srv.URL+"/d")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("skip-ahead resume failed: err=%v len=%d", err, len(got))
+	}
+}
+
+func TestFetchRetries5xxBurstOnOpen(t *testing.T) {
+	payload := testPayload(4 << 10)
+	proxy := faultproxy.New(payloadHandler(payload))
+	srv := httptest.NewServer(proxy)
+	defer srv.Close()
+	proxy.Push("/d",
+		faultproxy.Fault{Kind: faultproxy.FaultStatus, Status: 503},
+		faultproxy.Fault{Kind: faultproxy.FaultStatus, Status: 502, RetryAfter: time.Millisecond},
+	)
+
+	f := testFetcher()
+	got, err := fetchAll(t, f, srv.URL+"/d")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("5xx burst not ridden out: err=%v", err)
+	}
+	if st := f.Stats(); st.Retries != 2 {
+		t.Fatalf("retries=%d, want 2", st.Retries)
+	}
+	if n := proxy.Requests("/d"); n != 3 {
+		t.Fatalf("requests=%d, want 3", n)
+	}
+}
+
+func TestFetch404IsPermanentSingleRequest(t *testing.T) {
+	var requests atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+
+	f := testFetcher()
+	_, err := f.Open(context.Background(), srv.URL+"/gone")
+	if err == nil {
+		t.Fatal("want error for 404")
+	}
+	if !resilience.IsPermanent(err) {
+		t.Fatalf("404 classified transient: %v", err)
+	}
+	var he *resilience.HTTPError
+	if !errors.As(err, &he) || he.Status != 404 {
+		t.Fatalf("error does not carry the status: %v", err)
+	}
+	if n := requests.Load(); n != 1 {
+		t.Fatalf("404 cost %d requests, want exactly 1 (no retry storm)", n)
+	}
+	if st := f.Stats(); st.Permanent != 1 {
+		t.Fatalf("permanent failure not counted: %+v", st)
+	}
+}
+
+func TestFetchResumeBudgetExhausts(t *testing.T) {
+	payload := testPayload(32 << 10)
+	proxy := faultproxy.New(payloadHandler(payload))
+	srv := httptest.NewServer(proxy)
+	defer srv.Close()
+	// Every response dies at byte 0 of its body: no progress possible.
+	for i := 0; i < 64; i++ {
+		proxy.Push("/d", faultproxy.Fault{Kind: faultproxy.FaultReset, Offset: 0})
+	}
+	f := testFetcher()
+	f.MaxResumes = 3
+	f.Policy.MaxAttempts = 1
+	rc, err := f.Open(context.Background(), srv.URL+"/d")
+	if err != nil {
+		// The open itself may die on the first reset; that is also an
+		// acceptable terminal path, but it must not look like EOF.
+		if errors.Is(err, io.EOF) {
+			t.Fatalf("open error in the EOF family: %v", err)
+		}
+		return
+	}
+	defer rc.Close()
+	_, err = io.ReadAll(rc)
+	if err == nil {
+		t.Fatal("want terminal error once the resume budget is spent")
+	}
+	if !errors.Is(err, resilience.ErrExhausted) {
+		t.Fatalf("got %v, want ErrExhausted", err)
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("terminal resume error is in the EOF family: %v", err)
+	}
+}
+
+func TestFetchBreakerFailsFast(t *testing.T) {
+	var requests atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	f := testFetcher()
+	f.Policy.MaxAttempts = 2
+	f.Breakers = resilience.NewBreakerSet(2, time.Hour)
+	// First open: 2 attempts, both 503 → breaker trips at threshold 2.
+	if _, err := f.Open(context.Background(), srv.URL+"/a"); err == nil {
+		t.Fatal("want error")
+	}
+	before := requests.Load()
+	// Second open against the same host: refused locally.
+	_, err := f.Open(context.Background(), srv.URL+"/b")
+	if !errors.Is(err, resilience.ErrBreakerOpen) {
+		t.Fatalf("got %v, want ErrBreakerOpen", err)
+	}
+	if requests.Load() != before {
+		t.Fatal("open breaker still sent requests")
+	}
+	if st := f.Stats(); st.BreakersOpen != 1 || st.BreakerTransitions == 0 {
+		t.Fatalf("breaker state not surfaced in stats: %+v", st)
+	}
+}
+
+func TestFetchStallRecoversWithoutResume(t *testing.T) {
+	payload := testPayload(16 << 10)
+	proxy := faultproxy.New(payloadHandler(payload))
+	srv := httptest.NewServer(proxy)
+	defer srv.Close()
+	proxy.Push("/d", faultproxy.Fault{Kind: faultproxy.FaultStall, Offset: 8000, Delay: 20 * time.Millisecond})
+
+	f := testFetcher()
+	got, err := fetchAll(t, f, srv.URL+"/d")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("stalled transfer failed: err=%v", err)
+	}
+	if st := f.Stats(); st.Resumes != 0 {
+		t.Fatalf("a stall below the timeout must not trigger resume: %+v", st)
+	}
+}
+
+func TestFaultProxyCleanRelay(t *testing.T) {
+	payload := testPayload(8 << 10)
+	proxy := faultproxy.New(payloadHandler(payload))
+	srv := httptest.NewServer(proxy)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("clean relay corrupted the body: err=%v len=%d", err, len(got))
+	}
+	// Range passthrough: the upstream's 206 survives the proxy.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/x", nil)
+	req.Header.Set("Range", "bytes=100-")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusPartialContent {
+		t.Fatalf("Range request: status %d, want 206", resp2.StatusCode)
+	}
+	got2, _ := io.ReadAll(resp2.Body)
+	if !bytes.Equal(got2, payload[100:]) {
+		t.Fatalf("206 body wrong: %d bytes", len(got2))
+	}
+	if proxy.Requests("/x") != 2 || proxy.TotalRequests() != 2 {
+		t.Fatalf("request counting wrong: %d/%d", proxy.Requests("/x"), proxy.TotalRequests())
+	}
+}

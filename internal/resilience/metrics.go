@@ -1,0 +1,23 @@
+package resilience
+
+import "github.com/bgpstream-go/bgpstream/internal/obsv"
+
+// Package-wide resilience metrics, registered on the default obsv
+// registry at init. All are plain (unlabeled) handles: updates are
+// single atomics, safe on the fetch path.
+var (
+	metRetries = obsv.Default.Counter("bgpstream_resilience_retries_total",
+		"Network operations retried after a transient failure.")
+	metPermanentFailures = obsv.Default.Counter("bgpstream_resilience_permanent_failures_total",
+		"Network operations abandoned on a permanent (non-retryable) error.")
+	metExhausted = obsv.Default.Counter("bgpstream_resilience_exhausted_total",
+		"Network operations abandoned after spending their retry budget.")
+	metResumes = obsv.Default.Counter("bgpstream_fetch_resumes_total",
+		"Dump transfers resumed mid-body via Range re-request (or skip-ahead re-read).")
+	metBreakerTransitions = obsv.Default.Counter("bgpstream_breaker_transitions_total",
+		"Circuit breaker state changes (closed/open/half-open edges).")
+	metBreakerRejected = obsv.Default.Counter("bgpstream_breaker_rejected_total",
+		"Requests refused locally by an open circuit breaker.")
+	metBreakersOpen = obsv.Default.Gauge("bgpstream_breakers_open",
+		"Per-host circuit breakers currently tripped (open or half-open).")
+)

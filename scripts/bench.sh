@@ -16,6 +16,9 @@
 #     ownership refactor (the per-reader bgp.Decoder arenas cut the
 #     BENCH_8.json baseline of 4.868 to ~0.22). Only the unsuffixed
 #     (single-proc) runs gate: multi-proc runs jitter with scheduling.
+#     The resilient-fetch layer (internal/resilience: retry policy,
+#     resume bookkeeping, breaker checks) sits on this path and is
+#     compiled in; the gate proves it stays off the per-elem budget.
 #
 # Usage:  sh scripts/bench.sh [out.json]
 # Env:    BENCHTIME  go test -benchtime value (default 1s)
